@@ -1,0 +1,37 @@
+// Regenerates Fig. 5(a): ablation of CMSF's model components. CMSF-M swaps
+// MAGA for vanilla GAT stacks (no inter-modal context); CMSF-G removes the
+// MS-Gate (master model only); CMSF-H additionally removes the GSCM
+// hierarchy. Expected shape: CMSF > CMSF-G > CMSF-H, CMSF-M worst or near
+// worst (paper Section VI-E1).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/table.h"
+
+int main() {
+  auto bench = uv::bench::BenchConfig::FromEnv();
+  if (std::getenv("UV_BENCH_FOLDS") == nullptr) bench.folds = 2;
+  uv::bench::PrintBenchHeader("Fig. 5(a): effect of model components", bench);
+
+  const std::vector<std::string> variants = {"CMSF", "CMSF-M", "CMSF-G",
+                                             "CMSF-H"};
+  for (const auto& city : uv::bench::CityNames()) {
+    auto urg = uv::bench::BuildCityUrg(city, bench);
+    std::printf("--- %s ---\n", city.c_str());
+    uv::TextTable table({"Variant", "AUC", "F1@3", "F1@5"});
+    for (const auto& variant : variants) {
+      auto stats = uv::eval::RunCrossValidation(
+          urg, uv::bench::MakeFactory(variant, city, bench),
+          uv::bench::MakeRunnerOptions(bench));
+      table.AddRow({variant, uv::FormatMeanStd(stats.auc.mean, stats.auc.std),
+                    uv::FormatMeanStd(stats.f13.mean, stats.f13.std),
+                    uv::FormatMeanStd(stats.f15.mean, stats.f15.std)});
+      std::fprintf(stderr, "[fig5a] %s/%s done\n", city.c_str(),
+                   variant.c_str());
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Regenerates Fig. 5(b): ablation of the multi-modal urban data used to
+// build the URG. noImage / noCate / noRad / noIndex remove feature groups;
+// noRoad / noProx remove one edge relation. Expected shape: the full CMSF
+// beats every ablated variant (paper Section VI-E2).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/table.h"
+
+namespace {
+
+struct Variant {
+  const char* name;
+  uv::urg::FeatureAblation ablation;
+  bool use_spatial;
+  bool use_road;
+};
+
+constexpr Variant kVariants[] = {
+    {"full", uv::urg::FeatureAblation::kNone, true, true},
+    {"noImage", uv::urg::FeatureAblation::kNoImage, true, true},
+    {"noCate", uv::urg::FeatureAblation::kNoCate, true, true},
+    {"noRad", uv::urg::FeatureAblation::kNoRad, true, true},
+    {"noIndex", uv::urg::FeatureAblation::kNoIndex, true, true},
+    {"noRoad", uv::urg::FeatureAblation::kNone, true, false},
+    {"noProx", uv::urg::FeatureAblation::kNone, false, true},
+};
+
+}  // namespace
+
+int main() {
+  auto bench = uv::bench::BenchConfig::FromEnv();
+  if (std::getenv("UV_BENCH_FOLDS") == nullptr) bench.folds = 2;
+  uv::bench::PrintBenchHeader("Fig. 5(b): effect of multi-modal urban data",
+                              bench);
+
+  for (const auto& city : uv::bench::AblationCityNames()) {
+    auto city_data = uv::synth::GenerateCity(uv::bench::CityPreset(city, bench));
+    std::printf("--- %s ---\n", city.c_str());
+    uv::TextTable table({"Variant", "AUC", "F1@3"});
+    for (const Variant& variant : kVariants) {
+      uv::urg::UrgOptions options;
+      options.feature_ablation = variant.ablation;
+      options.use_spatial_edges = variant.use_spatial;
+      options.use_road_edges = variant.use_road;
+      auto urg = uv::urg::BuildUrg(city_data, options);
+      auto stats = uv::eval::RunCrossValidation(
+          urg, uv::bench::MakeFactory("CMSF", city, bench),
+          uv::bench::MakeRunnerOptions(bench));
+      table.AddRow({variant.name,
+                    uv::FormatMeanStd(stats.auc.mean, stats.auc.std),
+                    uv::FormatMeanStd(stats.f13.mean, stats.f13.std)});
+      std::fprintf(stderr, "[fig5b] %s/%s done\n", city.c_str(), variant.name);
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  return 0;
+}

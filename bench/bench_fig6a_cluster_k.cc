@@ -1,0 +1,40 @@
+// Regenerates Fig. 6(a): sensitivity to the number of latent semantic
+// clusters K. Expected shape: AUC rises with K to a city-dependent optimum,
+// then degrades as superfluous clusters add noise (paper Section VI-F).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/table.h"
+
+int main() {
+  auto bench = uv::bench::BenchConfig::FromEnv();
+  if (std::getenv("UV_BENCH_FOLDS") == nullptr) bench.folds = 2;
+  uv::bench::PrintBenchHeader(
+      "Fig. 6(a): sensitivity to the number of latent clusters K", bench);
+
+  for (const auto& city : uv::bench::AblationCityNames()) {
+    auto urg = uv::bench::BuildCityUrg(city, bench);
+    std::printf("--- %s ---\n", city.c_str());
+    uv::TextTable table({"K", "AUC", "F1@3"});
+    for (int k : {5, 15, 30, 60, 120}) {
+      auto cmsf = uv::bench::CmsfPreset(city, bench);
+      cmsf.num_clusters = k;
+      auto factory = [cmsf, &bench](uint64_t seed) {
+        uv::baselines::TrainOptions options;
+        options.epochs = bench.epochs;
+        options.seed = seed;
+        return uv::baselines::MakeDetector("CMSF", options, cmsf);
+      };
+      auto stats = uv::eval::RunCrossValidation(
+          urg, factory, uv::bench::MakeRunnerOptions(bench));
+      table.AddRow({std::to_string(k),
+                    uv::FormatMeanStd(stats.auc.mean, stats.auc.std),
+                    uv::FormatMeanStd(stats.f13.mean, stats.f13.std)});
+      std::fprintf(stderr, "[fig6a] %s/K=%d done\n", city.c_str(), k);
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Regenerates Fig. 6(b): sensitivity to the balancing weight lambda of the
+// slave-stage joint loss. Expected shape: performance rises with a moderate
+// lambda (the PU rank loss regularizes the context) then declines when it
+// dominates training (paper Section VI-F).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/table.h"
+
+int main() {
+  auto bench = uv::bench::BenchConfig::FromEnv();
+  if (std::getenv("UV_BENCH_FOLDS") == nullptr) bench.folds = 2;
+  uv::bench::PrintBenchHeader("Fig. 6(b): sensitivity to balancing weight",
+                              bench);
+
+  for (const auto& city : uv::bench::AblationCityNames()) {
+    auto urg = uv::bench::BuildCityUrg(city, bench);
+    std::printf("--- %s ---\n", city.c_str());
+    uv::TextTable table({"lambda", "AUC", "F1@3"});
+    for (double lambda : {0.001, 0.01, 0.1, 1.0, 10.0}) {
+      auto cmsf = uv::bench::CmsfPreset(city, bench);
+      cmsf.lambda = lambda;
+      auto factory = [cmsf, &bench](uint64_t seed) {
+        uv::baselines::TrainOptions options;
+        options.epochs = bench.epochs;
+        options.seed = seed;
+        return uv::baselines::MakeDetector("CMSF", options, cmsf);
+      };
+      auto stats = uv::eval::RunCrossValidation(
+          urg, factory, uv::bench::MakeRunnerOptions(bench));
+      table.AddRow({uv::FormatDouble(lambda, 3),
+                    uv::FormatMeanStd(stats.auc.mean, stats.auc.std),
+                    uv::FormatMeanStd(stats.f13.mean, stats.f13.std)});
+      std::fprintf(stderr, "[fig6b] %s/lambda=%g done\n", city.c_str(),
+                   lambda);
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Regenerates Fig. 6(c): performance of CMSF vs the most competitive
+// baseline (UVLens) as the ratio of available labeled training data shrinks
+// (random masks at 10/25/50/75/100%). Expected shape: CMSF stays above
+// UVLens at every ratio and degrades more gracefully (paper Section VI-F).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/table.h"
+
+int main() {
+  auto bench = uv::bench::BenchConfig::FromEnv();
+  if (std::getenv("UV_BENCH_FOLDS") == nullptr) bench.folds = 2;
+  uv::bench::PrintBenchHeader("Fig. 6(c): ratio of labeled data", bench);
+
+  for (const auto& city : uv::bench::AblationCityNames()) {
+    auto urg = uv::bench::BuildCityUrg(city, bench);
+    std::printf("--- %s ---\n", city.c_str());
+    uv::TextTable table(
+        {"Label ratio", "CMSF AUC", "UVLens AUC", "CMSF F1@3", "UVLens F1@3"});
+    for (double ratio : {0.10, 0.25, 0.50, 0.75, 1.00}) {
+      auto options = uv::bench::MakeRunnerOptions(bench);
+      options.label_ratio = ratio;
+      auto cmsf = uv::eval::RunCrossValidation(
+          urg, uv::bench::MakeFactory("CMSF", city, bench), options);
+      auto uvlens = uv::eval::RunCrossValidation(
+          urg, uv::bench::MakeFactory("UVLens", city, bench), options);
+      table.AddRow({uv::FormatDouble(ratio, 2),
+                    uv::FormatMeanStd(cmsf.auc.mean, cmsf.auc.std),
+                    uv::FormatMeanStd(uvlens.auc.mean, uvlens.auc.std),
+                    uv::FormatMeanStd(cmsf.f13.mean, cmsf.f13.std),
+                    uv::FormatMeanStd(uvlens.f13.mean, uvlens.f13.std)});
+      std::fprintf(stderr, "[fig6c] %s/ratio=%.2f done\n", city.c_str(),
+                   ratio);
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Microbenchmarks for the model layers (MAGA, GSCM, MS-Gate) and URG
+// construction, measuring the per-epoch building blocks of CMSF.
+
+#include <benchmark/benchmark.h>
+
+#include "core/cmsf_model.h"
+#include "tensor/tensor_ops.h"
+#include "nn/gscm.h"
+#include "nn/maga.h"
+#include "nn/ms_gate.h"
+#include "synth/city.h"
+#include "urg/urban_region_graph.h"
+
+namespace {
+
+uv::Tensor RandomTensor(int r, int c, uint64_t seed) {
+  uv::Rng rng(seed);
+  uv::Tensor t(r, c);
+  t.RandomNormal(&rng, 1.0f);
+  return t;
+}
+
+uv::nn::GraphContext GridContext(int side) {
+  uv::graph::GridSpec grid{side, side, 128.0};
+  auto csr = uv::graph::CsrGraph::FromEdges(
+      grid.num_regions(), uv::graph::BuildSpatialProximityEdges(grid), false,
+      true);
+  return uv::nn::GraphContext::FromCsr(csr);
+}
+
+void BM_MagaLayerForward(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  const int n = side * side;
+  auto ctx = GridContext(side);
+  uv::Rng rng(1);
+  uv::nn::MagaLayer layer(64, 128, 64, 2, uv::nn::AggKind::kAttention, &rng);
+  auto p = uv::ag::MakeConst(RandomTensor(n, 64, 2));
+  auto i = uv::ag::MakeConst(RandomTensor(n, 128, 3));
+  for (auto _ : state) {
+    auto out = layer.Forward(p, i, ctx);
+    benchmark::DoNotOptimize(out.p->value.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MagaLayerForward)->Arg(32)->Arg(64);
+
+void BM_GscmForward(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  uv::Rng rng(4);
+  uv::nn::Gscm::Options options;
+  options.in_dim = 128;
+  options.num_clusters = 50;
+  uv::nn::Gscm gscm(options, &rng);
+  auto x = uv::ag::MakeConst(RandomTensor(n, 128, 5));
+  for (auto _ : state) {
+    auto out = gscm.Forward(x);
+    benchmark::DoNotOptimize(out.region_repr->value.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GscmForward)->Arg(1024)->Arg(4096);
+
+void BM_MsGateForward(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  uv::Rng rng(6);
+  uv::nn::MsGate::Options options;
+  options.num_clusters = 50;
+  options.cluster_repr_dim = 128;
+  options.context_dim = 16;
+  options.classifier_in = 128;
+  options.classifier_hidden = 32;
+  uv::nn::MsGate gate(options, &rng);
+  uv::nn::Mlp master(128, 32, 1, &rng);
+  auto x = uv::ag::MakeConst(RandomTensor(n, 128, 7));
+  auto b = uv::ag::MakeConst(::uv::RowSoftmax(RandomTensor(n, 50, 8), 0.1f));
+  auto h = uv::ag::MakeConst(RandomTensor(50, 128, 9));
+  for (auto _ : state) {
+    auto inclusion = gate.EstimateInclusion(h);
+    auto logits = gate.Forward(x, b, inclusion, master);
+    benchmark::DoNotOptimize(logits->value.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MsGateForward)->Arg(512)->Arg(2048);
+
+void BM_UrgConstruction(benchmark::State& state) {
+  auto config = uv::synth::ShenzhenLike(0.005, 11);
+  config.generate_images = false;
+  auto city = uv::synth::GenerateCity(config);
+  for (auto _ : state) {
+    uv::urg::UrgOptions options;
+    auto urg = uv::urg::BuildUrg(city, options);
+    benchmark::DoNotOptimize(urg.num_edges);
+  }
+}
+BENCHMARK(BM_UrgConstruction);
+
+void BM_CityGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    auto config = uv::synth::ShenzhenLike(0.005, state.iterations());
+    config.generate_images = false;
+    auto city = uv::synth::GenerateCity(config);
+    benchmark::DoNotOptimize(city.pois.size());
+  }
+}
+BENCHMARK(BM_CityGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

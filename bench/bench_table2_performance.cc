@@ -1,0 +1,67 @@
+// Regenerates Table II: detection performance (AUC, Recall/Precision/F1 at
+// p=3 and p=5) of all eight methods on the three cities, mean (std) across
+// runs x folds. The paper's AUC per method is printed in the last column
+// for shape comparison.
+
+#include <cstdio>
+#include <map>
+
+#include "bench_common.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace {
+
+// Paper Table II AUC means, for side-by-side shape checks.
+const std::map<std::string, std::map<std::string, double>>& PaperAuc() {
+  static const auto* paper = new std::map<std::string, std::map<std::string, double>>{
+      {"Fuzhou",
+       {{"MLP", 0.837}, {"GCN", 0.831}, {"GAT", 0.850}, {"MMRE", 0.836},
+        {"UVLens", 0.854}, {"MUVFCN", 0.846}, {"ImGAGN", 0.865}, {"CMSF", 0.870}}},
+      {"Shenzhen",
+       {{"MLP", 0.691}, {"GCN", 0.598}, {"GAT", 0.669}, {"MMRE", 0.690},
+        {"UVLens", 0.713}, {"MUVFCN", 0.719}, {"ImGAGN", 0.636}, {"CMSF", 0.762}}},
+      {"Beijing",
+       {{"MLP", 0.699}, {"GCN", 0.715}, {"GAT", 0.782}, {"MMRE", 0.691},
+        {"UVLens", 0.772}, {"MUVFCN", 0.750}, {"ImGAGN", 0.698}, {"CMSF", 0.821}}},
+  };
+  return *paper;
+}
+
+}  // namespace
+
+int main() {
+  const auto bench = uv::bench::BenchConfig::FromEnv();
+  uv::bench::PrintBenchHeader(
+      "Table II: detection performance comparison (mean (std))", bench);
+
+  for (const auto& city : uv::bench::CityNames()) {
+    auto urg = uv::bench::BuildCityUrg(city, bench);
+    std::printf("--- %s (%d regions, %lld edges, %zu labeled) ---\n",
+                city.c_str(), urg.num_regions(),
+                static_cast<long long>(urg.num_edges),
+                urg.LabeledIds().size());
+    uv::TextTable table({"Method", "AUC", "R@3", "P@3", "F1@3", "R@5", "P@5",
+                         "F1@5", "paper-AUC"});
+    for (const auto& method : uv::baselines::AllDetectorNames()) {
+      uv::WallTimer timer;
+      auto stats = uv::eval::RunCrossValidation(
+          urg, uv::bench::MakeFactory(method, city, bench),
+          uv::bench::MakeRunnerOptions(bench));
+      table.AddRow({method,
+                    uv::FormatMeanStd(stats.auc.mean, stats.auc.std),
+                    uv::FormatMeanStd(stats.recall3.mean, stats.recall3.std),
+                    uv::FormatMeanStd(stats.precision3.mean, stats.precision3.std),
+                    uv::FormatMeanStd(stats.f13.mean, stats.f13.std),
+                    uv::FormatMeanStd(stats.recall5.mean, stats.recall5.std),
+                    uv::FormatMeanStd(stats.precision5.mean, stats.precision5.std),
+                    uv::FormatMeanStd(stats.f15.mean, stats.f15.std),
+                    uv::FormatDouble(PaperAuc().at(city).at(method), 3)});
+      std::fprintf(stderr, "[table2] %s/%s done in %.0fs\n", city.c_str(),
+                   method.c_str(), timer.Seconds());
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  return 0;
+}

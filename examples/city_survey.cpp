@@ -1,0 +1,89 @@
+// City survey: the end-to-end workflow a city planner would run. Generates
+// a city, trains CMSF on the known labels, scores EVERY region (not just
+// the labeled ones), prints an ASCII detection map and a ranked
+// renovation-priority list, and saves the trained model for reuse.
+//
+//   ./build/examples/city_survey [scale] [out_model.bin]
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "core/cmsf_detector.h"
+#include "synth/city.h"
+#include "urg/urban_region_graph.h"
+#include "util/logging.h"
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.015;
+  const std::string model_path = argc > 2 ? argv[2] : "/tmp/cmsf_survey.bin";
+
+  auto city = uv::synth::GenerateCity(uv::synth::FuzhouLike(scale, 99));
+  uv::urg::UrgOptions urg_options;
+  auto urg = uv::urg::BuildUrg(city, urg_options);
+
+  // Train on every available label (deployment setting: no held-out fold).
+  std::vector<int> train_ids = urg.LabeledIds();
+  std::vector<int> train_labels(train_ids.size());
+  for (size_t i = 0; i < train_ids.size(); ++i) {
+    train_labels[i] = urg.labels[train_ids[i]];
+  }
+  uv::core::CmsfConfig config;
+  config.num_clusters = 40;
+  config.master_epochs = 80;
+  uv::core::CmsfDetector detector(config);
+  detector.Train(urg, train_ids, train_labels);
+
+  // Score every region in the city.
+  std::vector<int> all_ids(urg.num_regions());
+  std::iota(all_ids.begin(), all_ids.end(), 0);
+  auto scores = detector.Score(urg, all_ids);
+
+  // ASCII detection map: top 3% of ALL regions are flagged.
+  const int top_k = std::max(1, urg.num_regions() * 3 / 100);
+  std::vector<int> order = all_ids;
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return scores[a] > scores[b]; });
+  std::vector<char> cell(urg.num_regions(), '.');
+  for (int i = 0; i < urg.num_regions(); ++i) {
+    if (urg.is_uv[i]) cell[i] = 'G';
+  }
+  for (int i = 0; i < top_k; ++i) {
+    const int id = order[i];
+    cell[id] = urg.is_uv[id] ? '#' : '?';
+  }
+  std::printf("\nDetection map (G missed UV, # detected UV, ? flagged "
+              "non-UV):\n");
+  for (int r = 0; r < std::min(urg.grid.height, 48); ++r) {
+    for (int c = 0; c < std::min(urg.grid.width, 96); ++c) {
+      std::putchar(cell[urg.grid.RegionId(r, c)]);
+    }
+    std::putchar('\n');
+  }
+
+  // Renovation priority list: the strongest *previously unknown* candidates.
+  std::printf("\nTop 10 previously-unlabeled UV candidates:\n");
+  std::printf("%-6s %-10s %-8s %s\n", "rank", "region", "score", "truth");
+  int rank = 0;
+  for (int id : order) {
+    if (urg.labels[id] != -1) continue;  // Skip already-known regions.
+    ++rank;
+    std::printf("%-6d (%3d,%3d)  %.3f    %s\n", rank, urg.grid.RowOf(id),
+                urg.grid.ColOf(id), scores[id],
+                urg.is_uv[id] ? "true UV" : "not a UV");
+    if (rank == 10) break;
+  }
+
+  // Detection quality against the full ground truth.
+  int hits = 0, truth = 0;
+  for (int i = 0; i < top_k; ++i) hits += (urg.is_uv[order[i]] != 0);
+  for (uint8_t u : urg.is_uv) truth += (u != 0);
+  std::printf("\nflagged %d regions; %d are true UVs (%.0f%% precision); "
+              "city has %d true UV cells\n",
+              top_k, hits, 100.0 * hits / top_k, truth);
+
+  const auto status = detector.SaveModel(model_path);
+  std::printf("model checkpoint: %s (%s)\n", model_path.c_str(),
+              status.ok() ? "saved" : status.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Quickstart: generate a small synthetic city, build its Urban Region Graph,
+// train the CMSF detector, and print detection metrics on a held-out fold.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart [scale]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/cmsf_detector.h"
+#include "eval/metrics.h"
+#include "eval/splits.h"
+#include "synth/city.h"
+#include "urg/urban_region_graph.h"
+#include "util/logging.h"
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.02;
+
+  // 1. Generate a Shenzhen-like synthetic city (substitutes the paper's
+  //    proprietary Baidu Maps data; see DESIGN.md).
+  uv::synth::CityConfig config = uv::synth::ShenzhenLike(scale, /*seed=*/42);
+  uv::synth::City city = uv::synth::GenerateCity(config);
+
+  // 2. Build the Urban Region Graph: spatial + road edges, POI + image
+  //    features (paper Section IV).
+  uv::urg::UrgOptions urg_options;
+  uv::urg::UrbanRegionGraph urg = uv::urg::BuildUrg(city, urg_options);
+
+  // 3. Split the labeled regions with the paper's coarse 10x10-block rule.
+  uv::Rng rng(7);
+  const auto folds =
+      uv::eval::BlockKFold(urg.grid, urg.LabeledIds(), /*k=*/3,
+                           /*block_size=*/10, &rng);
+  const auto& fold = folds[0];
+  std::vector<int> train_labels(fold.train_ids.size());
+  for (size_t i = 0; i < fold.train_ids.size(); ++i) {
+    train_labels[i] = urg.labels[fold.train_ids[i]];
+  }
+
+  // 4. Train CMSF: master stage (Algorithm 1) + slave stage (Algorithm 2).
+  uv::core::CmsfConfig cmsf;
+  cmsf.num_clusters = 30;
+  cmsf.master_epochs = 80;
+  cmsf.slave_epochs = 20;
+  uv::core::CmsfDetector detector(cmsf);
+  detector.Train(urg, fold.train_ids, train_labels);
+
+  // 5. Score the held-out regions and report the paper's metrics.
+  const std::vector<float> scores = detector.Score(urg, fold.test_ids);
+  std::vector<int> test_labels(fold.test_ids.size());
+  for (size_t i = 0; i < fold.test_ids.size(); ++i) {
+    test_labels[i] = urg.labels[fold.test_ids[i]];
+  }
+  const auto metrics = uv::eval::ComputeDetectionMetrics(scores, test_labels);
+
+  std::printf("\nCMSF quickstart on %s-like city (%d regions, %zu labeled)\n",
+              config.name.c_str(), urg.num_regions(),
+              urg.LabeledIds().size());
+  std::printf("  AUC          : %.3f\n", metrics.auc);
+  std::printf("  Recall@3%%    : %.3f\n", metrics.at3.recall);
+  std::printf("  Precision@3%% : %.3f\n", metrics.at3.precision);
+  std::printf("  F1@3%%        : %.3f\n", metrics.at3.f1);
+  std::printf("  Recall@5%%    : %.3f\n", metrics.at5.recall);
+  std::printf("  Precision@5%% : %.3f\n", metrics.at5.precision);
+  std::printf("  F1@5%%        : %.3f\n", metrics.at5.f1);
+  std::printf("  parameters   : %lld\n",
+              static_cast<long long>(detector.NumParameters()));
+  return 0;
+}

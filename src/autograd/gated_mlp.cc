@@ -1,0 +1,117 @@
+#include "autograd/gated_mlp.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace uv::ag {
+
+int GatedMlpFilterSize(int d_in, int d_hidden) {
+  return d_in * d_hidden + 2 * d_hidden + 1;
+}
+
+VarPtr GatedMlp(const VarPtr& x, const VarPtr& filter, const VarPtr& w1,
+                const VarPtr& b1, const VarPtr& w2, const VarPtr& b2) {
+  const int n = x->rows();
+  const int d_in = x->cols();
+  const int d_hidden = w1->cols();
+  UV_CHECK_EQ(w1->rows(), d_in);
+  UV_CHECK_EQ(b1->rows(), 1);
+  UV_CHECK_EQ(b1->cols(), d_hidden);
+  UV_CHECK_EQ(w2->rows(), d_hidden);
+  UV_CHECK_EQ(w2->cols(), 1);
+  UV_CHECK_EQ(b2->rows(), 1);
+  UV_CHECK_EQ(b2->cols(), 1);
+  UV_CHECK_EQ(filter->rows(), n);
+  UV_CHECK_EQ(filter->cols(), GatedMlpFilterSize(d_in, d_hidden));
+
+  // Filter row offsets for each parameter block.
+  const int off_w1 = 0;
+  const int off_b1 = d_in * d_hidden;
+  const int off_w2 = off_b1 + d_hidden;
+  const int off_b2 = off_w2 + d_hidden;
+
+  Tensor out(n, 1);
+  // Cache the hidden activations for the backward pass.
+  Tensor hidden(n, d_hidden);
+  for (int i = 0; i < n; ++i) {
+    const float* xi = x->value.row(i);
+    const float* fi = filter->value.row(i);
+    float* hi = hidden.row(i);
+    for (int c = 0; c < d_hidden; ++c) {
+      float z = b1->value.at(0, c) * fi[off_b1 + c];
+      for (int r = 0; r < d_in; ++r) {
+        z += xi[r] * w1->value.at(r, c) * fi[off_w1 + r * d_hidden + c];
+      }
+      hi[c] = z > 0.0f ? z : 0.0f;
+    }
+    float logit = b2->value.at(0, 0) * fi[off_b2];
+    for (int c = 0; c < d_hidden; ++c) {
+      logit += hi[c] * w2->value.at(c, 0) * fi[off_w2 + c];
+    }
+    out.at(i, 0) = logit;
+  }
+
+  VarPtr xv = x, fv = filter, w1v = w1, b1v = b1, w2v = w2, b2v = b2;
+  return MakeOp(
+      std::move(out), {x, filter, w1, b1, w2, b2},
+      [xv, fv, w1v, b1v, w2v, b2v, hidden = std::move(hidden), d_in, d_hidden,
+       off_w1, off_b1, off_w2, off_b2](Variable* self) {
+        const int n = xv->rows();
+        Tensor* gx = xv->requires_grad ? &xv->EnsureGrad() : nullptr;
+        Tensor* gf = fv->requires_grad ? &fv->EnsureGrad() : nullptr;
+        Tensor* gw1 = w1v->requires_grad ? &w1v->EnsureGrad() : nullptr;
+        Tensor* gb1 = b1v->requires_grad ? &b1v->EnsureGrad() : nullptr;
+        Tensor* gw2 = w2v->requires_grad ? &w2v->EnsureGrad() : nullptr;
+        Tensor* gb2 = b2v->requires_grad ? &b2v->EnsureGrad() : nullptr;
+        std::vector<float> dz(d_hidden);
+        for (int i = 0; i < n; ++i) {
+          const float d = self->grad.at(i, 0);
+          if (d == 0.0f) continue;
+          const float* xi = xv->value.row(i);
+          const float* fi = fv->value.row(i);
+          const float* hi = hidden.row(i);
+          float* gfi = gf ? gf->row(i) : nullptr;
+
+          // Output layer.
+          if (gb2 != nullptr) gb2->at(0, 0) += d * fi[off_b2];
+          if (gfi != nullptr) gfi[off_b2] += d * b2v->value.at(0, 0);
+          for (int c = 0; c < d_hidden; ++c) {
+            const float w2c = w2v->value.at(c, 0);
+            const float f2c = fi[off_w2 + c];
+            if (gw2 != nullptr) gw2->at(c, 0) += d * hi[c] * f2c;
+            if (gfi != nullptr) gfi[off_w2 + c] += d * hi[c] * w2c;
+            // relu': hidden stores relu(z), positive iff z > 0.
+            const float da1 = d * w2c * f2c;
+            dz[c] = hi[c] > 0.0f ? da1 : 0.0f;
+          }
+
+          // Hidden layer.
+          for (int c = 0; c < d_hidden; ++c) {
+            const float dzc = dz[c];
+            if (dzc == 0.0f) continue;
+            if (gb1 != nullptr) gb1->at(0, c) += dzc * fi[off_b1 + c];
+            if (gfi != nullptr) gfi[off_b1 + c] += dzc * b1v->value.at(0, c);
+          }
+          for (int r = 0; r < d_in; ++r) {
+            const float xr = xi[r];
+            float dx_acc = 0.0f;
+            const float* w1row = w1v->value.row(r);
+            const float* firow = fi + off_w1 + r * d_hidden;
+            float* gw1row = gw1 ? gw1->row(r) : nullptr;
+            float* gfirow = gfi ? gfi + off_w1 + r * d_hidden : nullptr;
+            for (int c = 0; c < d_hidden; ++c) {
+              const float dzc = dz[c];
+              if (dzc == 0.0f) continue;
+              if (gw1row != nullptr) gw1row[c] += dzc * xr * firow[c];
+              if (gfirow != nullptr) gfirow[c] += dzc * xr * w1row[c];
+              dx_acc += dzc * w1row[c] * firow[c];
+            }
+            if (gx != nullptr) gx->row(i)[r] += dx_acc;
+          }
+        }
+      },
+      "gated_mlp");
+}
+
+}  // namespace uv::ag

@@ -1,0 +1,60 @@
+#include "autograd/grad_check.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace uv::ag {
+
+GradCheckResult CheckGradients(const std::vector<VarPtr>& params,
+                               const std::function<VarPtr()>& build_loss,
+                               double epsilon, double tolerance) {
+  GradCheckResult result;
+  result.ok = true;
+
+  // Analytic pass.
+  ZeroGrads(params);
+  VarPtr loss = build_loss();
+  Backward(loss);
+  std::vector<Tensor> analytic;
+  analytic.reserve(params.size());
+  for (const auto& p : params) {
+    analytic.push_back(p->grad.empty()
+                           ? Tensor(p->value.rows(), p->value.cols())
+                           : p->grad);
+  }
+
+  // Numeric pass: central differences, element by element.
+  for (size_t k = 0; k < params.size(); ++k) {
+    Tensor& w = params[k]->value;
+    for (int64_t i = 0; i < w.size(); ++i) {
+      const float saved = w[i];
+      w[i] = saved + static_cast<float>(epsilon);
+      const double up = build_loss()->value.at(0, 0);
+      w[i] = saved - static_cast<float>(epsilon);
+      const double down = build_loss()->value.at(0, 0);
+      w[i] = saved;
+      const double numeric = (up - down) / (2.0 * epsilon);
+      const double exact = analytic[k][i];
+      const double abs_err = std::fabs(numeric - exact);
+      const double denom = std::max(1.0, std::max(std::fabs(numeric),
+                                                  std::fabs(exact)));
+      const double rel_err = abs_err / denom;
+      result.max_abs_error = std::max(result.max_abs_error, abs_err);
+      result.max_rel_error = std::max(result.max_rel_error, rel_err);
+      if (rel_err > tolerance && abs_err > tolerance) {
+        result.ok = false;
+        if (result.detail.empty()) {
+          char buf[160];
+          std::snprintf(buf, sizeof(buf),
+                        "param[%zu] flat index %lld: analytic=%.6g "
+                        "numeric=%.6g",
+                        k, static_cast<long long>(i), exact, numeric);
+          result.detail = buf;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace uv::ag

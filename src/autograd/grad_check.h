@@ -1,0 +1,33 @@
+#ifndef UV_AUTOGRAD_GRAD_CHECK_H_
+#define UV_AUTOGRAD_GRAD_CHECK_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace uv::ag {
+
+// Result of a finite-difference gradient verification.
+struct GradCheckResult {
+  bool ok = false;
+  double max_abs_error = 0.0;
+  double max_rel_error = 0.0;
+  std::string detail;  // "param[2](1,3): analytic=.. numeric=.." on failure.
+};
+
+// Verifies analytic gradients of a scalar-valued computation against central
+// finite differences. `build_loss` must rebuild the graph from the current
+// parameter values and return a 1x1 loss node each time it is called.
+//
+// Every element of every parameter is perturbed, so keep the tensors small
+// in tests. `tolerance` bounds max(abs_err, rel_err) per element.
+GradCheckResult CheckGradients(
+    const std::vector<VarPtr>& params,
+    const std::function<VarPtr()>& build_loss, double epsilon = 1e-3,
+    double tolerance = 2e-2);
+
+}  // namespace uv::ag
+
+#endif  // UV_AUTOGRAD_GRAD_CHECK_H_

@@ -1,0 +1,226 @@
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "autograd/ops.h"
+#include "tensor/tensor_ops.h"
+#include "util/check.h"
+
+namespace uv::ag {
+namespace {
+
+// Unpacks one CHW image row into the im2col matrix: (in_c*k*k) x (oh*ow).
+void Im2Col(const float* img, const Conv2dSpec& s, Tensor* col) {
+  const int oh = s.out_h(), ow = s.out_w();
+  for (int c = 0; c < s.in_channels; ++c) {
+    const float* plane = img + static_cast<size_t>(c) * s.in_h * s.in_w;
+    for (int ky = 0; ky < s.kernel; ++ky) {
+      for (int kx = 0; kx < s.kernel; ++kx) {
+        const int row = (c * s.kernel + ky) * s.kernel + kx;
+        float* dst = col->row(row);
+        for (int oy = 0; oy < oh; ++oy) {
+          const int iy = oy * s.stride + ky - s.pad;
+          for (int ox = 0; ox < ow; ++ox) {
+            const int ix = ox * s.stride + kx - s.pad;
+            const int out_idx = oy * ow + ox;
+            dst[out_idx] = (iy >= 0 && iy < s.in_h && ix >= 0 && ix < s.in_w)
+                               ? plane[iy * s.in_w + ix]
+                               : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+// Scatter-adds the im2col gradient back to the image gradient.
+void Col2ImAccum(const Tensor& col, const Conv2dSpec& s, float* img_grad) {
+  const int oh = s.out_h(), ow = s.out_w();
+  for (int c = 0; c < s.in_channels; ++c) {
+    float* plane = img_grad + static_cast<size_t>(c) * s.in_h * s.in_w;
+    for (int ky = 0; ky < s.kernel; ++ky) {
+      for (int kx = 0; kx < s.kernel; ++kx) {
+        const int row = (c * s.kernel + ky) * s.kernel + kx;
+        const float* src = col.row(row);
+        for (int oy = 0; oy < oh; ++oy) {
+          const int iy = oy * s.stride + ky - s.pad;
+          if (iy < 0 || iy >= s.in_h) continue;
+          for (int ox = 0; ox < ow; ++ox) {
+            const int ix = ox * s.stride + kx - s.pad;
+            if (ix < 0 || ix >= s.in_w) continue;
+            plane[iy * s.in_w + ix] += src[oy * ow + ox];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+VarPtr Conv2d(const VarPtr& x, const VarPtr& w, const VarPtr& b,
+              const Conv2dSpec& spec) {
+  const int patch = spec.in_channels * spec.kernel * spec.kernel;
+  const int oh = spec.out_h(), ow = spec.out_w();
+  UV_CHECK_EQ(x->cols(), spec.in_channels * spec.in_h * spec.in_w);
+  UV_CHECK_EQ(w->rows(), spec.out_channels);
+  UV_CHECK_EQ(w->cols(), patch);
+  UV_CHECK_EQ(b->rows(), 1);
+  UV_CHECK_EQ(b->cols(), spec.out_channels);
+  UV_CHECK_GT(oh, 0);
+  UV_CHECK_GT(ow, 0);
+
+  const int n = x->rows();
+  Tensor out(n, spec.out_channels * oh * ow);
+  Tensor col(patch, oh * ow);
+  Tensor prod(spec.out_channels, oh * ow);
+  for (int i = 0; i < n; ++i) {
+    Im2Col(x->value.row(i), spec, &col);
+    Gemm(false, false, 1.0f, w->value, col, 0.0f, &prod);
+    float* dst = out.row(i);
+    for (int c = 0; c < spec.out_channels; ++c) {
+      const float bias = b->value.at(0, c);
+      const float* src = prod.row(c);
+      float* plane = dst + static_cast<size_t>(c) * oh * ow;
+      for (int p = 0; p < oh * ow; ++p) plane[p] = src[p] + bias;
+    }
+  }
+
+  VarPtr xv = x, wv = w, bv = b;
+  return MakeOp(
+      std::move(out), {x, w, b},
+      [xv, wv, bv, spec, patch, oh, ow](Variable* self) {
+        const int n = xv->rows();
+        Tensor col(patch, oh * ow);
+        Tensor gout(spec.out_channels, oh * ow);
+        Tensor gcol(patch, oh * ow);
+        Tensor* gx = xv->requires_grad ? &xv->EnsureGrad() : nullptr;
+        Tensor* gw = wv->requires_grad ? &wv->EnsureGrad() : nullptr;
+        Tensor* gb = bv->requires_grad ? &bv->EnsureGrad() : nullptr;
+        for (int i = 0; i < n; ++i) {
+          // Reinterpret this sample's output gradient as (out_c x oh*ow).
+          const float* g = self->grad.row(i);
+          for (int c = 0; c < spec.out_channels; ++c) {
+            std::copy(g + static_cast<size_t>(c) * oh * ow,
+                      g + static_cast<size_t>(c + 1) * oh * ow, gout.row(c));
+          }
+          if (gb != nullptr) {
+            for (int c = 0; c < spec.out_channels; ++c) {
+              float acc = 0.0f;
+              const float* row = gout.row(c);
+              for (int p = 0; p < oh * ow; ++p) acc += row[p];
+              gb->at(0, c) += acc;
+            }
+          }
+          if (gw != nullptr || gx != nullptr) {
+            Im2Col(xv->value.row(i), spec, &col);
+          }
+          if (gw != nullptr) {
+            Gemm(false, true, 1.0f, gout, col, 1.0f, gw);
+          }
+          if (gx != nullptr) {
+            gcol.Zero();
+            Gemm(true, false, 1.0f, wv->value, gout, 1.0f, &gcol);
+            Col2ImAccum(gcol, spec, gx->row(i));
+          }
+        }
+      },
+      "conv2d");
+}
+
+VarPtr MaxPool2d(const VarPtr& x, int channels, int h, int w, int kernel,
+                 int stride) {
+  UV_CHECK_EQ(x->cols(), channels * h * w);
+  const int oh = (h - kernel) / stride + 1;
+  const int ow = (w - kernel) / stride + 1;
+  UV_CHECK_GT(oh, 0);
+  UV_CHECK_GT(ow, 0);
+  const int n = x->rows();
+
+  Tensor out(n, channels * oh * ow);
+  // argmax[i][o] = flat input index within the row that won the max.
+  auto argmax = std::make_shared<std::vector<int>>(
+      static_cast<size_t>(n) * channels * oh * ow);
+  for (int i = 0; i < n; ++i) {
+    const float* img = x->value.row(i);
+    float* dst = out.row(i);
+    int* am = argmax->data() + static_cast<size_t>(i) * channels * oh * ow;
+    for (int c = 0; c < channels; ++c) {
+      const float* plane = img + static_cast<size_t>(c) * h * w;
+      for (int oy = 0; oy < oh; ++oy) {
+        for (int ox = 0; ox < ow; ++ox) {
+          float best = -std::numeric_limits<float>::infinity();
+          int best_idx = 0;
+          for (int ky = 0; ky < kernel; ++ky) {
+            for (int kx = 0; kx < kernel; ++kx) {
+              const int iy = oy * stride + ky;
+              const int ix = ox * stride + kx;
+              const float v = plane[iy * w + ix];
+              if (v > best) {
+                best = v;
+                best_idx = c * h * w + iy * w + ix;
+              }
+            }
+          }
+          const int o = (c * oh + oy) * ow + ox;
+          dst[o] = best;
+          am[o] = best_idx;
+        }
+      }
+    }
+  }
+
+  VarPtr xv = x;
+  const int out_cols = channels * oh * ow;
+  return MakeOp(
+      std::move(out), {x},
+      [xv, argmax, out_cols](Variable* self) {
+        if (!xv->requires_grad) return;
+        Tensor& gx = xv->EnsureGrad();
+        for (int i = 0; i < self->grad.rows(); ++i) {
+          const float* g = self->grad.row(i);
+          const int* am =
+              argmax->data() + static_cast<size_t>(i) * out_cols;
+          float* dst = gx.row(i);
+          for (int o = 0; o < out_cols; ++o) dst[am[o]] += g[o];
+        }
+      },
+      "max_pool2d");
+}
+
+VarPtr GlobalAvgPool(const VarPtr& x, int channels, int h, int w) {
+  UV_CHECK_EQ(x->cols(), channels * h * w);
+  const int n = x->rows();
+  const int plane = h * w;
+  Tensor out(n, channels);
+  for (int i = 0; i < n; ++i) {
+    const float* img = x->value.row(i);
+    float* dst = out.row(i);
+    for (int c = 0; c < channels; ++c) {
+      const float* p = img + static_cast<size_t>(c) * plane;
+      float acc = 0.0f;
+      for (int q = 0; q < plane; ++q) acc += p[q];
+      dst[c] = acc / static_cast<float>(plane);
+    }
+  }
+  VarPtr xv = x;
+  return MakeOp(
+      std::move(out), {x},
+      [xv, channels, plane](Variable* self) {
+        if (!xv->requires_grad) return;
+        Tensor& gx = xv->EnsureGrad();
+        const float inv = 1.0f / static_cast<float>(plane);
+        for (int i = 0; i < self->grad.rows(); ++i) {
+          const float* g = self->grad.row(i);
+          float* dst = gx.row(i);
+          for (int c = 0; c < channels; ++c) {
+            const float gv = g[c] * inv;
+            float* p = dst + static_cast<size_t>(c) * plane;
+            for (int q = 0; q < plane; ++q) p[q] += gv;
+          }
+        }
+      },
+      "global_avg_pool");
+}
+
+}  // namespace uv::ag

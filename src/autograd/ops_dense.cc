@@ -1,0 +1,359 @@
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "tensor/tensor_ops.h"
+#include "util/check.h"
+
+namespace uv::ag {
+
+VarPtr MatMul(const VarPtr& a, const VarPtr& b) {
+  UV_CHECK_EQ(a->cols(), b->rows());
+  Tensor out = uv::MatMul(a->value, b->value);
+  VarPtr av = a, bv = b;
+  return MakeOp(
+      std::move(out), {a, b},
+      [av, bv](Variable* self) {
+        // dA = dC * B^T ; dB = A^T * dC.
+        if (av->requires_grad) {
+          Tensor& ga = av->EnsureGrad();
+          Gemm(false, true, 1.0f, self->grad, bv->value, 1.0f, &ga);
+        }
+        if (bv->requires_grad) {
+          Tensor& gb = bv->EnsureGrad();
+          Gemm(true, false, 1.0f, av->value, self->grad, 1.0f, &gb);
+        }
+      },
+      "matmul");
+}
+
+VarPtr Add(const VarPtr& a, const VarPtr& b) {
+  Tensor out = uv::Add(a->value, b->value);
+  VarPtr av = a, bv = b;
+  return MakeOp(
+      std::move(out), {a, b},
+      [av, bv](Variable* self) {
+        if (av->requires_grad) av->AccumGrad(self->grad);
+        if (bv->requires_grad) bv->AccumGrad(self->grad);
+      },
+      "add");
+}
+
+VarPtr Sub(const VarPtr& a, const VarPtr& b) {
+  Tensor out = uv::Sub(a->value, b->value);
+  VarPtr av = a, bv = b;
+  return MakeOp(
+      std::move(out), {a, b},
+      [av, bv](Variable* self) {
+        if (av->requires_grad) av->AccumGrad(self->grad);
+        if (bv->requires_grad) {
+          Tensor& gb = bv->EnsureGrad();
+          Axpy(-1.0f, self->grad, &gb);
+        }
+      },
+      "sub");
+}
+
+VarPtr Mul(const VarPtr& a, const VarPtr& b) {
+  Tensor out = uv::Mul(a->value, b->value);
+  VarPtr av = a, bv = b;
+  return MakeOp(
+      std::move(out), {a, b},
+      [av, bv](Variable* self) {
+        if (av->requires_grad) av->AccumGrad(uv::Mul(self->grad, bv->value));
+        if (bv->requires_grad) bv->AccumGrad(uv::Mul(self->grad, av->value));
+      },
+      "mul");
+}
+
+VarPtr ScalarMul(const VarPtr& a, float s) {
+  Tensor out = uv::Scale(a->value, s);
+  VarPtr av = a;
+  return MakeOp(
+      std::move(out), {a},
+      [av, s](Variable* self) {
+        if (av->requires_grad) av->AccumGrad(uv::Scale(self->grad, s));
+      },
+      "scalar_mul");
+}
+
+VarPtr AddRowBroadcast(const VarPtr& x, const VarPtr& bias) {
+  UV_CHECK_EQ(bias->rows(), 1);
+  UV_CHECK_EQ(bias->cols(), x->cols());
+  Tensor out = x->value;
+  AddRowVectorInPlace(bias->value, &out);
+  VarPtr xv = x, bv = bias;
+  return MakeOp(
+      std::move(out), {x, bias},
+      [xv, bv](Variable* self) {
+        if (xv->requires_grad) xv->AccumGrad(self->grad);
+        if (bv->requires_grad) {
+          Tensor& gb = bv->EnsureGrad();
+          for (int r = 0; r < self->grad.rows(); ++r) {
+            const float* g = self->grad.row(r);
+            for (int c = 0; c < self->grad.cols(); ++c) gb.at(0, c) += g[c];
+          }
+        }
+      },
+      "add_row_broadcast");
+}
+
+VarPtr MulColBroadcast(const VarPtr& x, const VarPtr& scale) {
+  UV_CHECK_EQ(scale->rows(), x->rows());
+  UV_CHECK_EQ(scale->cols(), 1);
+  Tensor out = x->value;
+  for (int r = 0; r < out.rows(); ++r) {
+    const float s = scale->value.at(r, 0);
+    float* row = out.row(r);
+    for (int c = 0; c < out.cols(); ++c) row[c] *= s;
+  }
+  VarPtr xv = x, sv = scale;
+  return MakeOp(
+      std::move(out), {x, scale},
+      [xv, sv](Variable* self) {
+        if (xv->requires_grad) {
+          Tensor gx = self->grad;
+          for (int r = 0; r < gx.rows(); ++r) {
+            const float s = sv->value.at(r, 0);
+            float* row = gx.row(r);
+            for (int c = 0; c < gx.cols(); ++c) row[c] *= s;
+          }
+          xv->AccumGrad(gx);
+        }
+        if (sv->requires_grad) {
+          Tensor& gs = sv->EnsureGrad();
+          for (int r = 0; r < self->grad.rows(); ++r) {
+            const float* g = self->grad.row(r);
+            const float* xr = xv->value.row(r);
+            float acc = 0.0f;
+            for (int c = 0; c < self->grad.cols(); ++c) acc += g[c] * xr[c];
+            gs.at(r, 0) += acc;
+          }
+        }
+      },
+      "mul_col_broadcast");
+}
+
+VarPtr MulRowVector(const VarPtr& x, const VarPtr& v) {
+  UV_CHECK_EQ(v->rows(), 1);
+  UV_CHECK_EQ(v->cols(), x->cols());
+  Tensor out = x->value;
+  const float* vd = v->value.data();
+  for (int r = 0; r < out.rows(); ++r) {
+    float* row = out.row(r);
+    for (int c = 0; c < out.cols(); ++c) row[c] *= vd[c];
+  }
+  VarPtr xv = x, vv = v;
+  return MakeOp(
+      std::move(out), {x, v},
+      [xv, vv](Variable* self) {
+        if (xv->requires_grad) {
+          Tensor gx = self->grad;
+          const float* vd = vv->value.data();
+          for (int r = 0; r < gx.rows(); ++r) {
+            float* row = gx.row(r);
+            for (int c = 0; c < gx.cols(); ++c) row[c] *= vd[c];
+          }
+          xv->AccumGrad(gx);
+        }
+        if (vv->requires_grad) {
+          Tensor& gv = vv->EnsureGrad();
+          for (int r = 0; r < self->grad.rows(); ++r) {
+            const float* g = self->grad.row(r);
+            const float* xr = xv->value.row(r);
+            for (int c = 0; c < self->grad.cols(); ++c) {
+              gv.at(0, c) += g[c] * xr[c];
+            }
+          }
+        }
+      },
+      "mul_row_vector");
+}
+
+VarPtr Transpose(const VarPtr& a) {
+  Tensor out = uv::Transpose(a->value);
+  VarPtr av = a;
+  return MakeOp(
+      std::move(out), {a},
+      [av](Variable* self) {
+        if (av->requires_grad) av->AccumGrad(uv::Transpose(self->grad));
+      },
+      "transpose");
+}
+
+VarPtr ConcatCols(const VarPtr& a, const VarPtr& b) {
+  Tensor out = uv::ConcatCols(a->value, b->value);
+  VarPtr av = a, bv = b;
+  const int ac = a->cols();
+  const int bc = b->cols();
+  return MakeOp(
+      std::move(out), {a, b},
+      [av, bv, ac, bc](Variable* self) {
+        if (av->requires_grad) av->AccumGrad(uv::SliceCols(self->grad, 0, ac));
+        if (bv->requires_grad) {
+          bv->AccumGrad(uv::SliceCols(self->grad, ac, ac + bc));
+        }
+      },
+      "concat_cols");
+}
+
+VarPtr ConcatRows(const VarPtr& a, const VarPtr& b) {
+  UV_CHECK_EQ(a->cols(), b->cols());
+  Tensor out(a->rows() + b->rows(), a->cols());
+  for (int r = 0; r < a->rows(); ++r) {
+    std::copy(a->value.row(r), a->value.row(r) + a->cols(), out.row(r));
+  }
+  for (int r = 0; r < b->rows(); ++r) {
+    std::copy(b->value.row(r), b->value.row(r) + b->cols(),
+              out.row(a->rows() + r));
+  }
+  VarPtr av = a, bv = b;
+  const int ar = a->rows();
+  return MakeOp(
+      std::move(out), {a, b},
+      [av, bv, ar](Variable* self) {
+        if (av->requires_grad) {
+          Tensor ga(ar, self->grad.cols());
+          for (int r = 0; r < ar; ++r) {
+            std::copy(self->grad.row(r), self->grad.row(r) + ga.cols(),
+                      ga.row(r));
+          }
+          av->AccumGrad(ga);
+        }
+        if (bv->requires_grad) {
+          Tensor gb(self->grad.rows() - ar, self->grad.cols());
+          for (int r = 0; r < gb.rows(); ++r) {
+            std::copy(self->grad.row(ar + r),
+                      self->grad.row(ar + r) + gb.cols(), gb.row(r));
+          }
+          bv->AccumGrad(gb);
+        }
+      },
+      "concat_rows");
+}
+
+VarPtr SliceCols(const VarPtr& a, int col_begin, int col_end) {
+  Tensor out = uv::SliceCols(a->value, col_begin, col_end);
+  VarPtr av = a;
+  return MakeOp(
+      std::move(out), {a},
+      [av, col_begin](Variable* self) {
+        if (!av->requires_grad) return;
+        Tensor& ga = av->EnsureGrad();
+        for (int r = 0; r < self->grad.rows(); ++r) {
+          const float* g = self->grad.row(r);
+          float* dst = ga.row(r) + col_begin;
+          for (int c = 0; c < self->grad.cols(); ++c) dst[c] += g[c];
+        }
+      },
+      "slice_cols");
+}
+
+VarPtr RowSoftmax(const VarPtr& a, float temperature) {
+  Tensor out = uv::RowSoftmax(a->value, temperature);
+  VarPtr av = a;
+  // Capture the softmax output by value for the backward pass.
+  Tensor soft = out;
+  return MakeOp(
+      std::move(out), {a},
+      [av, soft = std::move(soft), temperature](Variable* self) {
+        if (!av->requires_grad) return;
+        Tensor ga(soft.rows(), soft.cols());
+        for (int r = 0; r < soft.rows(); ++r) {
+          const float* p = soft.row(r);
+          const float* g = self->grad.row(r);
+          float dot = 0.0f;
+          for (int c = 0; c < soft.cols(); ++c) dot += p[c] * g[c];
+          float* gr = ga.row(r);
+          for (int c = 0; c < soft.cols(); ++c) {
+            gr[c] = p[c] * (g[c] - dot) / temperature;
+          }
+        }
+        av->AccumGrad(ga);
+      },
+      "row_softmax");
+}
+
+namespace {
+
+// Shared implementation for pointwise activations: fwd maps x -> y, dfn maps
+// (x, y) -> dy/dx.
+template <typename Fwd, typename Dfn>
+VarPtr Pointwise(const VarPtr& a, Fwd fwd, Dfn dfn, const char* name) {
+  Tensor out(a->rows(), a->cols());
+  const float* in = a->value.data();
+  float* o = out.data();
+  for (int64_t i = 0; i < out.size(); ++i) o[i] = fwd(in[i]);
+  VarPtr av = a;
+  Tensor saved = out;
+  return MakeOp(
+      std::move(out), {a},
+      [av, saved = std::move(saved), dfn](Variable* self) {
+        if (!av->requires_grad) return;
+        Tensor ga(self->grad.rows(), self->grad.cols());
+        const float* x = av->value.data();
+        const float* y = saved.data();
+        const float* g = self->grad.data();
+        float* gd = ga.data();
+        for (int64_t i = 0; i < ga.size(); ++i) gd[i] = g[i] * dfn(x[i], y[i]);
+        av->AccumGrad(ga);
+      },
+      name);
+}
+
+}  // namespace
+
+VarPtr Relu(const VarPtr& a) {
+  return Pointwise(
+      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; }, "relu");
+}
+
+VarPtr LeakyRelu(const VarPtr& a, float negative_slope) {
+  return Pointwise(
+      a,
+      [negative_slope](float x) { return x > 0.0f ? x : negative_slope * x; },
+      [negative_slope](float x, float) {
+        return x > 0.0f ? 1.0f : negative_slope;
+      },
+      "leaky_relu");
+}
+
+VarPtr Sigmoid(const VarPtr& a) {
+  return Pointwise(
+      a,
+      [](float x) {
+        return x >= 0.0f ? 1.0f / (1.0f + std::exp(-x))
+                         : std::exp(x) / (1.0f + std::exp(x));
+      },
+      [](float, float y) { return y * (1.0f - y); }, "sigmoid");
+}
+
+VarPtr Tanh(const VarPtr& a) {
+  return Pointwise(
+      a, [](float x) { return std::tanh(x); },
+      [](float, float y) { return 1.0f - y * y; }, "tanh");
+}
+
+VarPtr SumAll(const VarPtr& a) {
+  Tensor out(1, 1);
+  out.at(0, 0) = static_cast<float>(a->value.Sum());
+  VarPtr av = a;
+  return MakeOp(
+      std::move(out), {a},
+      [av](Variable* self) {
+        if (!av->requires_grad) return;
+        const float g = self->grad.at(0, 0);
+        Tensor ga(av->rows(), av->cols());
+        ga.Fill(g);
+        av->AccumGrad(ga);
+      },
+      "sum_all");
+}
+
+VarPtr MeanAll(const VarPtr& a) {
+  const int64_t n = a->value.size();
+  UV_CHECK_GT(n, 0);
+  return ScalarMul(SumAll(a), 1.0f / static_cast<float>(n));
+}
+
+}  // namespace uv::ag

@@ -1,0 +1,157 @@
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "tensor/tensor_ops.h"
+#include "util/check.h"
+
+namespace uv::ag {
+
+VarPtr GatherRows(const VarPtr& x,
+                  const std::shared_ptr<const std::vector<int>>& indices) {
+  Tensor out = uv::GatherRows(x->value, *indices);
+  VarPtr xv = x;
+  return MakeOp(
+      std::move(out), {x},
+      [xv, indices](Variable* self) {
+        if (!xv->requires_grad) return;
+        Tensor& gx = xv->EnsureGrad();
+        const auto& idx = *indices;
+        for (size_t e = 0; e < idx.size(); ++e) {
+          const float* g = self->grad.row(static_cast<int>(e));
+          float* dst = gx.row(idx[e]);
+          for (int c = 0; c < self->grad.cols(); ++c) dst[c] += g[c];
+        }
+      },
+      "gather_rows");
+}
+
+VarPtr SegmentSoftmax(const VarPtr& scores,
+                      const std::shared_ptr<const std::vector<int>>& offsets) {
+  UV_CHECK_EQ(scores->cols(), 1);
+  const auto& off = *offsets;
+  const int num_segments = static_cast<int>(off.size()) - 1;
+  UV_CHECK_EQ(off.back(), scores->rows());
+
+  Tensor out(scores->rows(), 1);
+  const float* s = scores->value.data();
+  float* o = out.data();
+  for (int i = 0; i < num_segments; ++i) {
+    const int lo = off[i], hi = off[i + 1];
+    if (lo == hi) continue;
+    float mx = -1e30f;
+    for (int e = lo; e < hi; ++e) mx = std::max(mx, s[e]);
+    double total = 0.0;
+    for (int e = lo; e < hi; ++e) {
+      o[e] = std::exp(s[e] - mx);
+      total += o[e];
+    }
+    const float inv = total > 0.0 ? static_cast<float>(1.0 / total) : 0.0f;
+    for (int e = lo; e < hi; ++e) o[e] *= inv;
+  }
+
+  VarPtr sv = scores;
+  Tensor soft = out;
+  return MakeOp(
+      std::move(out), {scores},
+      [sv, offsets, soft = std::move(soft)](Variable* self) {
+        if (!sv->requires_grad) return;
+        const auto& off = *offsets;
+        Tensor gs(soft.rows(), 1);
+        const float* p = soft.data();
+        const float* g = self->grad.data();
+        float* gd = gs.data();
+        for (size_t i = 0; i + 1 < off.size(); ++i) {
+          const int lo = off[i], hi = off[i + 1];
+          float dot = 0.0f;
+          for (int e = lo; e < hi; ++e) dot += p[e] * g[e];
+          for (int e = lo; e < hi; ++e) gd[e] = p[e] * (g[e] - dot);
+        }
+        sv->AccumGrad(gs);
+      },
+      "segment_softmax");
+}
+
+VarPtr SegmentWeightedSum(
+    const VarPtr& alpha, const VarPtr& feats,
+    const std::shared_ptr<const std::vector<int>>& offsets) {
+  UV_CHECK_EQ(alpha->cols(), 1);
+  UV_CHECK_EQ(alpha->rows(), feats->rows());
+  const auto& off = *offsets;
+  const int num_segments = static_cast<int>(off.size()) - 1;
+  UV_CHECK_EQ(off.back(), feats->rows());
+  const int d = feats->cols();
+
+  Tensor out(num_segments, d);
+  const float* a = alpha->value.data();
+  for (int i = 0; i < num_segments; ++i) {
+    float* dst = out.row(i);
+    for (int e = off[i]; e < off[i + 1]; ++e) {
+      const float w = a[e];
+      const float* f = feats->value.row(e);
+      for (int c = 0; c < d; ++c) dst[c] += w * f[c];
+    }
+  }
+
+  VarPtr av = alpha, fv = feats;
+  return MakeOp(
+      std::move(out), {alpha, feats},
+      [av, fv, offsets, d](Variable* self) {
+        const auto& off = *offsets;
+        const bool need_a = av->requires_grad;
+        const bool need_f = fv->requires_grad;
+        Tensor* ga = need_a ? &av->EnsureGrad() : nullptr;
+        Tensor* gf = need_f ? &fv->EnsureGrad() : nullptr;
+        for (size_t i = 0; i + 1 < off.size(); ++i) {
+          const float* gout = self->grad.row(static_cast<int>(i));
+          for (int e = off[i]; e < off[i + 1]; ++e) {
+            const float* f = fv->value.row(e);
+            if (need_a) {
+              float acc = 0.0f;
+              for (int c = 0; c < d; ++c) acc += gout[c] * f[c];
+              ga->at(e, 0) += acc;
+            }
+            if (need_f) {
+              const float w = av->value.at(e, 0);
+              float* gfe = gf->row(e);
+              for (int c = 0; c < d; ++c) gfe[c] += w * gout[c];
+            }
+          }
+        }
+      },
+      "segment_weighted_sum");
+}
+
+VarPtr SegmentSumByIds(const VarPtr& x,
+                       const std::shared_ptr<const std::vector<int>>& seg_ids,
+                       int num_segments) {
+  UV_CHECK_EQ(static_cast<long long>(seg_ids->size()),
+              static_cast<long long>(x->rows()));
+  Tensor out(num_segments, x->cols());
+  const auto& ids = *seg_ids;
+  for (int r = 0; r < x->rows(); ++r) {
+    const int k = ids[r];
+    if (k < 0) continue;
+    UV_CHECK_LT(k, num_segments);
+    const float* src = x->value.row(r);
+    float* dst = out.row(k);
+    for (int c = 0; c < x->cols(); ++c) dst[c] += src[c];
+  }
+  VarPtr xv = x;
+  return MakeOp(
+      std::move(out), {x},
+      [xv, seg_ids](Variable* self) {
+        if (!xv->requires_grad) return;
+        Tensor& gx = xv->EnsureGrad();
+        const auto& ids = *seg_ids;
+        for (int r = 0; r < gx.rows(); ++r) {
+          const int k = ids[r];
+          if (k < 0) continue;
+          const float* g = self->grad.row(k);
+          float* dst = gx.row(r);
+          for (int c = 0; c < gx.cols(); ++c) dst[c] += g[c];
+        }
+      },
+      "segment_sum_by_ids");
+}
+
+}  // namespace uv::ag

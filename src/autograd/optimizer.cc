@@ -1,0 +1,79 @@
+#include "autograd/optimizer.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace uv::ag {
+
+int64_t Optimizer::NumParameters() const {
+  int64_t total = 0;
+  for (const auto& p : params_) total += p->value.size();
+  return total;
+}
+
+AdamOptimizer::AdamOptimizer(std::vector<VarPtr> params,
+                             const Options& options)
+    : Optimizer(std::move(params)),
+      options_(options),
+      lr_(options.learning_rate) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void AdamOptimizer::Step() {
+  ++step_count_;
+  double scale = 1.0;
+  if (options_.clip_norm > 0.0) {
+    double norm_sq = 0.0;
+    for (const auto& p : params_) {
+      if (p->grad.empty()) continue;
+      const double n = p->grad.Norm();
+      norm_sq += n * n;
+    }
+    const double norm = std::sqrt(norm_sq);
+    if (norm > options_.clip_norm) scale = options_.clip_norm / norm;
+  }
+  const double bias1 = 1.0 - std::pow(options_.beta1, step_count_);
+  const double bias2 = 1.0 - std::pow(options_.beta2, step_count_);
+  const float b1 = static_cast<float>(options_.beta1);
+  const float b2 = static_cast<float>(options_.beta2);
+  for (size_t k = 0; k < params_.size(); ++k) {
+    Variable* p = params_[k].get();
+    if (p->grad.empty()) continue;
+    float* w = p->value.data();
+    const float* g = p->grad.data();
+    float* m = m_[k].data();
+    float* v = v_[k].data();
+    const float sc = static_cast<float>(scale);
+    for (int64_t i = 0; i < p->value.size(); ++i) {
+      const float gi = g[i] * sc;
+      m[i] = b1 * m[i] + (1.0f - b1) * gi;
+      v[i] = b2 * v[i] + (1.0f - b2) * gi * gi;
+      const double mhat = m[i] / bias1;
+      const double vhat = v[i] / bias2;
+      w[i] -= static_cast<float>(lr_ * mhat /
+                                 (std::sqrt(vhat) + options_.epsilon));
+    }
+  }
+}
+
+SgdOptimizer::SgdOptimizer(std::vector<VarPtr> params, double learning_rate)
+    : Optimizer(std::move(params)), lr_(learning_rate) {}
+
+void SgdOptimizer::Step() {
+  for (const auto& p : params_) {
+    if (p->grad.empty()) continue;
+    float* w = p->value.data();
+    const float* g = p->grad.data();
+    for (int64_t i = 0; i < p->value.size(); ++i) {
+      w[i] -= static_cast<float>(lr_) * g[i];
+    }
+  }
+}
+
+}  // namespace uv::ag

@@ -1,0 +1,79 @@
+#ifndef UV_AUTOGRAD_OPTIMIZER_H_
+#define UV_AUTOGRAD_OPTIMIZER_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace uv::ag {
+
+// First-order optimizer interface over a fixed parameter list.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<VarPtr> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  // Applies one update using the accumulated gradients, then the caller
+  // typically calls ZeroGradients() before the next backward pass.
+  virtual void Step() = 0;
+
+  void ZeroGradients() { ZeroGrads(params_); }
+
+  const std::vector<VarPtr>& params() const { return params_; }
+
+  // Total number of scalar parameters (for Table III model-size rows).
+  int64_t NumParameters() const;
+
+  // Multiplies the learning rate by `factor` (exponential decay schedule;
+  // the paper decays 0.1% per epoch).
+  virtual void DecayLearningRate(double factor) = 0;
+  virtual double learning_rate() const = 0;
+
+ protected:
+  std::vector<VarPtr> params_;
+};
+
+// Adam (Kingma & Ba) with optional gradient clipping by global norm.
+class AdamOptimizer : public Optimizer {
+ public:
+  struct Options {
+    double learning_rate = 1e-4;  // Paper: initial LR 0.0001.
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double epsilon = 1e-8;
+    double clip_norm = 0.0;  // 0 disables clipping.
+  };
+
+  AdamOptimizer(std::vector<VarPtr> params, const Options& options);
+
+  void Step() override;
+  void DecayLearningRate(double factor) override { lr_ *= factor; }
+  double learning_rate() const override { return lr_; }
+
+ private:
+  Options options_;
+  double lr_;
+  int64_t step_count_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+// Plain SGD (used by the baselines' ablation and tests).
+class SgdOptimizer : public Optimizer {
+ public:
+  SgdOptimizer(std::vector<VarPtr> params, double learning_rate);
+
+  void Step() override;
+  void DecayLearningRate(double factor) override { lr_ *= factor; }
+  double learning_rate() const override { return lr_; }
+
+ private:
+  double lr_;
+};
+
+}  // namespace uv::ag
+
+#endif  // UV_AUTOGRAD_OPTIMIZER_H_

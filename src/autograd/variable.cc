@@ -1,0 +1,103 @@
+#include "autograd/variable.h"
+
+#include <unordered_set>
+
+#include "tensor/tensor_ops.h"
+#include "util/check.h"
+
+namespace uv::ag {
+
+void Variable::AccumGrad(const Tensor& g) {
+  UV_CHECK(g.rows() == value.rows() && g.cols() == value.cols());
+  if (grad.empty() && g.size() > 0) {
+    grad = Tensor(value.rows(), value.cols());
+  }
+  Axpy(1.0f, g, &grad);
+}
+
+Tensor& Variable::EnsureGrad() {
+  if (grad.empty() && value.size() > 0) {
+    grad = Tensor(value.rows(), value.cols());
+  }
+  return grad;
+}
+
+VarPtr MakeParam(Tensor value) {
+  return std::make_shared<Variable>(std::move(value), /*requires_grad_in=*/true);
+}
+
+VarPtr MakeConst(Tensor value) {
+  return std::make_shared<Variable>(std::move(value),
+                                    /*requires_grad_in=*/false);
+}
+
+VarPtr MakeOp(Tensor value, std::vector<VarPtr> inputs,
+              std::function<void(Variable*)> backward_fn, const char* name) {
+  bool needs_grad = false;
+  for (const auto& in : inputs) {
+    if (in && in->requires_grad) {
+      needs_grad = true;
+      break;
+    }
+  }
+  auto out = std::make_shared<Variable>(std::move(value), needs_grad);
+  if (needs_grad) {
+    out->inputs = std::move(inputs);
+    out->backward_fn = std::move(backward_fn);
+  }
+  out->op_name = name;
+  return out;
+}
+
+void Backward(const VarPtr& loss) {
+  UV_CHECK(loss != nullptr);
+  UV_CHECK_EQ(loss->value.rows(), 1);
+  UV_CHECK_EQ(loss->value.cols(), 1);
+
+  // Iterative post-order DFS to get a topological order of the subgraph of
+  // nodes that require gradients.
+  std::vector<Variable*> topo;
+  std::unordered_set<Variable*> visited;
+  struct Frame {
+    Variable* node;
+    size_t next_child;
+  };
+  std::vector<Frame> stack;
+  if (loss->requires_grad) {
+    stack.push_back({loss.get(), 0});
+    visited.insert(loss.get());
+  }
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next_child < frame.node->inputs.size()) {
+      Variable* child = frame.node->inputs[frame.next_child++].get();
+      if (child != nullptr && child->requires_grad &&
+          visited.insert(child).second) {
+        stack.push_back({child, 0});
+      }
+    } else {
+      topo.push_back(frame.node);
+      stack.pop_back();
+    }
+  }
+
+  Tensor seed(1, 1);
+  seed.at(0, 0) = 1.0f;
+  loss->AccumGrad(seed);
+
+  // topo is post-order (children first); iterate in reverse for backward.
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    Variable* node = *it;
+    if (node->backward_fn && !node->grad.empty()) {
+      node->backward_fn(node);
+    }
+  }
+}
+
+void ZeroGrads(const std::vector<VarPtr>& vars) {
+  for (const auto& v : vars) {
+    if (v && !v->grad.empty()) v->grad.Zero();
+  }
+}
+
+}  // namespace uv::ag

@@ -1,0 +1,67 @@
+#ifndef UV_AUTOGRAD_VARIABLE_H_
+#define UV_AUTOGRAD_VARIABLE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace uv::ag {
+
+class Variable;
+using VarPtr = std::shared_ptr<Variable>;
+
+// A node in the reverse-mode autodiff graph. Holds a value tensor, the
+// (lazily allocated) gradient accumulator, the input edges, and a backward
+// function that reads this node's gradient and accumulates into the inputs'
+// gradients. Graphs are built eagerly by the op constructors in ops.h.
+class Variable {
+ public:
+  Variable(Tensor value_in, bool requires_grad_in)
+      : value(std::move(value_in)), requires_grad(requires_grad_in) {}
+
+  Variable(const Variable&) = delete;
+  Variable& operator=(const Variable&) = delete;
+
+  Tensor value;
+  Tensor grad;  // Empty until the first accumulation.
+  bool requires_grad;
+  std::vector<VarPtr> inputs;
+  // Invoked once during Backward with this node as argument; must only
+  // accumulate into inputs that have requires_grad set.
+  std::function<void(Variable*)> backward_fn;
+  const char* op_name = "leaf";
+
+  int rows() const { return value.rows(); }
+  int cols() const { return value.cols(); }
+
+  // Adds g into the gradient accumulator (allocating zeros on first use).
+  void AccumGrad(const Tensor& g);
+
+  // Returns the gradient, allocating a zero tensor if none accumulated yet.
+  Tensor& EnsureGrad();
+};
+
+// Creates a trainable leaf (requires_grad = true).
+VarPtr MakeParam(Tensor value);
+
+// Creates a constant leaf (requires_grad = false).
+VarPtr MakeConst(Tensor value);
+
+// Internal helper for op implementations: creates a non-leaf node whose
+// requires_grad is inherited from the inputs.
+VarPtr MakeOp(Tensor value, std::vector<VarPtr> inputs,
+              std::function<void(Variable*)> backward_fn, const char* name);
+
+// Runs reverse-mode differentiation from a scalar (1x1) loss node. Gradients
+// accumulate into every reachable node with requires_grad.
+void Backward(const VarPtr& loss);
+
+// Clears gradients on the given variables (typically the parameter list).
+void ZeroGrads(const std::vector<VarPtr>& vars);
+
+}  // namespace uv::ag
+
+#endif  // UV_AUTOGRAD_VARIABLE_H_

@@ -1,0 +1,53 @@
+#include "baselines/common.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace uv::baselines {
+
+double TrainLoop(ag::Optimizer* optimizer, int epochs,
+                 double lr_decay_per_epoch,
+                 const std::function<ag::VarPtr()>& build_loss) {
+  WallTimer timer;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    optimizer->ZeroGradients();
+    ag::VarPtr loss = build_loss();
+    ag::Backward(loss);
+    optimizer->Step();
+    optimizer->DecayLearningRate(lr_decay_per_epoch);
+  }
+  return epochs > 0 ? timer.Seconds() / epochs : 0.0;
+}
+
+ag::VarPtr GatherConstRows(const Tensor& features,
+                           const std::vector<int>& ids) {
+  Tensor out(static_cast<int>(ids.size()), features.cols());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const int src = ids[i];
+    UV_CHECK_GE(src, 0);
+    UV_CHECK_LT(src, features.rows());
+    std::copy(features.row(src), features.row(src) + features.cols(),
+              out.row(static_cast<int>(i)));
+  }
+  return ag::MakeConst(std::move(out));
+}
+
+std::vector<float> SigmoidRows(const Tensor& logits,
+                               const std::vector<int>& ids) {
+  std::vector<float> out(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const float z = logits.at(ids[i], 0);
+    out[i] = 1.0f / (1.0f + std::exp(-z));
+  }
+  return out;
+}
+
+int64_t CountParams(const std::vector<ag::VarPtr>& params) {
+  int64_t total = 0;
+  for (const auto& p : params) total += p->value.size();
+  return total;
+}
+
+}  // namespace uv::baselines

@@ -1,0 +1,45 @@
+#ifndef UV_BASELINES_COMMON_H_
+#define UV_BASELINES_COMMON_H_
+
+#include <functional>
+#include <vector>
+
+#include "autograd/optimizer.h"
+#include "autograd/variable.h"
+#include "eval/detector.h"
+#include "tensor/tensor.h"
+
+namespace uv::baselines {
+
+// Hyper-parameters shared by every baseline (Section VI-A: Adam, initial
+// learning rate 1e-4, hidden size 64; we default to the same faster rate as
+// CmsfConfig for single-core budgets).
+struct TrainOptions {
+  int epochs = 120;
+  double learning_rate = 2e-3;
+  double lr_decay_per_epoch = 0.999;
+  double pos_weight = 0.0;  // 0 = auto class balancing (num_neg/num_pos).
+  double clip_norm = 5.0;
+  uint64_t seed = 1;
+};
+
+// Runs a standard epoch loop: zero grads -> build_loss -> backward -> step.
+// Returns mean wall-clock seconds per epoch.
+double TrainLoop(ag::Optimizer* optimizer, int epochs,
+                 double lr_decay_per_epoch,
+                 const std::function<ag::VarPtr()>& build_loss);
+
+// Copies the given rows of a feature matrix into a constant variable.
+ag::VarPtr GatherConstRows(const Tensor& features,
+                           const std::vector<int>& ids);
+
+// Sigmoid over the given rows of a logit column (N x 1).
+std::vector<float> SigmoidRows(const Tensor& logits,
+                               const std::vector<int>& ids);
+
+// Total scalar parameter count.
+int64_t CountParams(const std::vector<ag::VarPtr>& params);
+
+}  // namespace uv::baselines
+
+#endif  // UV_BASELINES_COMMON_H_

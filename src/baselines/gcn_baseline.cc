@@ -1,0 +1,86 @@
+#include "baselines/gcn_baseline.h"
+
+#include "autograd/ops.h"
+#include "core/cmsf_model.h"
+#include "util/timer.h"
+
+namespace uv::baselines {
+
+namespace {
+constexpr int kHidden = 64;
+constexpr int kImageReduce = 128;
+}  // namespace
+
+ag::VarPtr GcnBaseline::ForwardAll() const {
+  ag::VarPtr p = ag::Relu(poi_g1_->Forward(poi_const_, *ctx_));
+  p = ag::Relu(poi_g2_->Forward(p, *ctx_));
+  ag::VarPtr i = ag::Relu(img_reduce_->Forward(img_const_));
+  i = ag::Relu(img_g1_->Forward(i, *ctx_));
+  i = ag::Relu(img_g2_->Forward(i, *ctx_));
+  ag::VarPtr fused = ag::Relu(fuse_->Forward(ag::ConcatCols(p, i)));
+  return head_->Forward(fused);
+}
+
+std::vector<ag::VarPtr> GcnBaseline::Params() const {
+  std::vector<ag::VarPtr> params;
+  auto add = [&params](std::vector<ag::VarPtr> p) {
+    params.insert(params.end(), p.begin(), p.end());
+  };
+  add(img_reduce_->Params());
+  add(poi_g1_->Params());
+  add(poi_g2_->Params());
+  add(img_g1_->Params());
+  add(img_g2_->Params());
+  add(fuse_->Params());
+  add(head_->Params());
+  return params;
+}
+
+void GcnBaseline::Train(const urg::UrbanRegionGraph& urg,
+                        const std::vector<int>& train_ids,
+                        const std::vector<int>& train_labels) {
+  Rng rng(options_.seed);
+  ctx_ = nn::GraphContext::FromCsr(urg.adjacency);
+  poi_const_ = ag::MakeConst(urg.poi_features);
+  img_const_ = ag::MakeConst(urg.image_features);
+  img_reduce_ = std::make_unique<nn::Linear>(urg.image_features.cols(),
+                                             kImageReduce, &rng);
+  poi_g1_ = std::make_unique<nn::GcnLayer>(urg.poi_features.cols(), kHidden,
+                                           &rng);
+  poi_g2_ = std::make_unique<nn::GcnLayer>(kHidden, kHidden, &rng);
+  img_g1_ = std::make_unique<nn::GcnLayer>(kImageReduce, kHidden, &rng);
+  img_g2_ = std::make_unique<nn::GcnLayer>(kHidden, kHidden, &rng);
+  fuse_ = std::make_unique<nn::Linear>(2 * kHidden, kHidden, &rng);
+  head_ = std::make_unique<nn::Linear>(kHidden, 1, &rng);
+
+  const Tensor labels = core::MakeLabelTensor(train_labels);
+  const Tensor weights =
+      core::MakeBceWeights(train_labels, options_.pos_weight);
+  auto ids = std::make_shared<const std::vector<int>>(train_ids);
+
+  ag::AdamOptimizer::Options aopt;
+  aopt.learning_rate = options_.learning_rate;
+  aopt.clip_norm = options_.clip_norm;
+  ag::AdamOptimizer opt(Params(), aopt);
+  epoch_seconds_ =
+      TrainLoop(&opt, options_.epochs, options_.lr_decay_per_epoch, [&]() {
+        return ag::BceWithLogits(ag::GatherRows(ForwardAll(), ids), labels,
+                                 &weights);
+      });
+}
+
+std::vector<float> GcnBaseline::Score(const urg::UrbanRegionGraph& urg,
+                                      const std::vector<int>& eval_ids) {
+  (void)urg;
+  WallTimer timer;
+  ag::VarPtr logits = ForwardAll();
+  auto out = SigmoidRows(logits->value, eval_ids);
+  inference_seconds_ = timer.Seconds();
+  return out;
+}
+
+int64_t GcnBaseline::NumParameters() const {
+  return img_reduce_ ? CountParams(Params()) : 0;
+}
+
+}  // namespace uv::baselines

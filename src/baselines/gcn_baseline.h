@@ -1,0 +1,49 @@
+#ifndef UV_BASELINES_GCN_BASELINE_H_
+#define UV_BASELINES_GCN_BASELINE_H_
+
+#include <memory>
+#include <optional>
+
+#include "baselines/common.h"
+#include "nn/gcn.h"
+#include "nn/graph_context.h"
+#include "nn/linear.h"
+
+namespace uv::baselines {
+
+// GCN baseline (paper Appendix I-A): image features linearly reduced, one
+// 2-layer GCN per modality on the URG, linear multi-modal fusion, logistic
+// head. Full-graph training.
+class GcnBaseline : public eval::Detector {
+ public:
+  explicit GcnBaseline(const TrainOptions& options) : options_(options) {}
+
+  std::string name() const override { return "GCN"; }
+
+  void Train(const urg::UrbanRegionGraph& urg,
+             const std::vector<int>& train_ids,
+             const std::vector<int>& train_labels) override;
+  std::vector<float> Score(const urg::UrbanRegionGraph& urg,
+                           const std::vector<int>& eval_ids) override;
+  int64_t NumParameters() const override;
+  double TrainSecondsPerEpoch() const override { return epoch_seconds_; }
+  double LastInferenceSeconds() const override { return inference_seconds_; }
+
+ private:
+  ag::VarPtr ForwardAll() const;
+  std::vector<ag::VarPtr> Params() const;
+
+  TrainOptions options_;
+  std::optional<nn::GraphContext> ctx_;
+  ag::VarPtr poi_const_, img_const_;
+  std::unique_ptr<nn::Linear> img_reduce_;
+  std::unique_ptr<nn::GcnLayer> poi_g1_, poi_g2_, img_g1_, img_g2_;
+  std::unique_ptr<nn::Linear> fuse_;
+  std::unique_ptr<nn::Linear> head_;
+  double epoch_seconds_ = 0.0;
+  double inference_seconds_ = 0.0;
+};
+
+}  // namespace uv::baselines
+
+#endif  // UV_BASELINES_GCN_BASELINE_H_

@@ -1,0 +1,49 @@
+#ifndef UV_BASELINES_IMGAGN_BASELINE_H_
+#define UV_BASELINES_IMGAGN_BASELINE_H_
+
+#include <memory>
+#include <optional>
+
+#include "baselines/common.h"
+#include "nn/gcn.h"
+#include "nn/linear.h"
+
+namespace uv::baselines {
+
+// ImGAGN baseline (paper Appendix I-A): imbalanced network embedding via a
+// generative adversarial graph network. A 3-layer MLP generator synthesizes
+// minority (UV) nodes as convex combinations of the real minority nodes and
+// links them into the graph; a GCN discriminator jointly classifies
+// real-vs-fake and UV-vs-non-UV. Training alternates discriminator and
+// generator steps (the paper's lambda1 = 1.0 fake/minority ratio).
+class ImGagnBaseline : public eval::Detector {
+ public:
+  explicit ImGagnBaseline(const TrainOptions& options) : options_(options) {}
+
+  std::string name() const override { return "ImGAGN"; }
+
+  void Train(const urg::UrbanRegionGraph& urg,
+             const std::vector<int>& train_ids,
+             const std::vector<int>& train_labels) override;
+  std::vector<float> Score(const urg::UrbanRegionGraph& urg,
+                           const std::vector<int>& eval_ids) override;
+  int64_t NumParameters() const override;
+  double TrainSecondsPerEpoch() const override { return epoch_seconds_; }
+  double LastInferenceSeconds() const override { return inference_seconds_; }
+
+ private:
+  TrainOptions options_;
+  // Combined [poi | image] features of the real regions.
+  Tensor features_;
+  std::unique_ptr<nn::Linear> gen1_, gen2_, gen3_;
+  std::unique_ptr<nn::GcnLayer> disc_g1_, disc_g2_;
+  std::unique_ptr<nn::Linear> head_uv_, head_fake_;
+  // Final scores on all real regions after training.
+  std::vector<float> scores_all_;
+  double epoch_seconds_ = 0.0;
+  double inference_seconds_ = 0.0;
+};
+
+}  // namespace uv::baselines
+
+#endif  // UV_BASELINES_IMGAGN_BASELINE_H_

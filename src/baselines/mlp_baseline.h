@@ -1,0 +1,43 @@
+#ifndef UV_BASELINES_MLP_BASELINE_H_
+#define UV_BASELINES_MLP_BASELINE_H_
+
+#include <memory>
+
+#include "baselines/common.h"
+#include "nn/linear.h"
+
+namespace uv::baselines {
+
+// MLP baseline (paper Appendix I-A): one fully connected layer per modality,
+// concatenated and fed to a logistic-regression head. Regions are treated
+// independently, so training/inference touch only the requested rows.
+class MlpBaseline : public eval::Detector {
+ public:
+  explicit MlpBaseline(const TrainOptions& options) : options_(options) {}
+
+  std::string name() const override { return "MLP"; }
+
+  void Train(const urg::UrbanRegionGraph& urg,
+             const std::vector<int>& train_ids,
+             const std::vector<int>& train_labels) override;
+  std::vector<float> Score(const urg::UrbanRegionGraph& urg,
+                           const std::vector<int>& eval_ids) override;
+  int64_t NumParameters() const override;
+  double TrainSecondsPerEpoch() const override { return epoch_seconds_; }
+  double LastInferenceSeconds() const override { return inference_seconds_; }
+
+ private:
+  ag::VarPtr ForwardRows(const urg::UrbanRegionGraph& urg,
+                         const std::vector<int>& ids) const;
+
+  TrainOptions options_;
+  std::unique_ptr<nn::Linear> poi_fc_;
+  std::unique_ptr<nn::Linear> img_fc_;
+  std::unique_ptr<nn::Linear> head_;
+  double epoch_seconds_ = 0.0;
+  double inference_seconds_ = 0.0;
+};
+
+}  // namespace uv::baselines
+
+#endif  // UV_BASELINES_MLP_BASELINE_H_

@@ -1,0 +1,56 @@
+#include "baselines/registry.h"
+
+#include "baselines/gat_baseline.h"
+#include "baselines/gcn_baseline.h"
+#include "baselines/imgagn_baseline.h"
+#include "baselines/mlp_baseline.h"
+#include "baselines/mmre_baseline.h"
+#include "baselines/muvfcn_baseline.h"
+#include "baselines/uvlens_baseline.h"
+#include "core/cmsf_detector.h"
+#include "util/check.h"
+
+namespace uv::baselines {
+
+std::vector<std::string> AllDetectorNames() {
+  return {"MLP",    "GCN",    "GAT",    "MMRE",
+          "UVLens", "MUVFCN", "ImGAGN", "CMSF"};
+}
+
+std::unique_ptr<eval::Detector> MakeDetector(
+    const std::string& name, const TrainOptions& options,
+    const core::CmsfConfig& cmsf_config) {
+  if (name == "MLP") return std::make_unique<MlpBaseline>(options);
+  if (name == "GCN") return std::make_unique<GcnBaseline>(options);
+  if (name == "GAT") return std::make_unique<GatBaseline>(options);
+  if (name == "MMRE") return std::make_unique<MmreBaseline>(options);
+  if (name == "UVLens") return std::make_unique<UvLensBaseline>(options);
+  if (name == "MUVFCN") return std::make_unique<MuvfcnBaseline>(options);
+  if (name == "ImGAGN") return std::make_unique<ImGagnBaseline>(options);
+
+  core::CmsfConfig cfg = cmsf_config;
+  cfg.learning_rate = options.learning_rate;
+  cfg.master_epochs = options.epochs;
+  cfg.pos_weight = options.pos_weight;
+  cfg.seed = options.seed;
+  if (name == "CMSF") {
+    return std::make_unique<core::CmsfDetector>(cfg, "CMSF");
+  }
+  if (name == "CMSF-M") {
+    cfg.use_maga = false;
+    return std::make_unique<core::CmsfDetector>(cfg, "CMSF-M");
+  }
+  if (name == "CMSF-G") {
+    cfg.use_gate = false;
+    return std::make_unique<core::CmsfDetector>(cfg, "CMSF-G");
+  }
+  if (name == "CMSF-H") {
+    cfg.use_hierarchy = false;
+    cfg.use_gate = false;
+    return std::make_unique<core::CmsfDetector>(cfg, "CMSF-H");
+  }
+  UV_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace uv::baselines

@@ -1,0 +1,26 @@
+#ifndef UV_BASELINES_REGISTRY_H_
+#define UV_BASELINES_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/common.h"
+#include "core/cmsf_config.h"
+#include "eval/detector.h"
+
+namespace uv::baselines {
+
+// Detector names in the row order of the paper's Table II.
+std::vector<std::string> AllDetectorNames();
+
+// Builds a detector by name. Baselines take `options`; "CMSF" and its
+// Fig. 5(a) variants ("CMSF-M", "CMSF-G", "CMSF-H") take `cmsf_config`
+// (epochs/lr/seed are copied from `options` for uniformity).
+std::unique_ptr<eval::Detector> MakeDetector(const std::string& name,
+                                             const TrainOptions& options,
+                                             const core::CmsfConfig& cmsf_config);
+
+}  // namespace uv::baselines
+
+#endif  // UV_BASELINES_REGISTRY_H_

@@ -1,0 +1,96 @@
+#include "core/cmsf_detector.h"
+
+#include "io/serialize.h"
+#include "util/timer.h"
+
+namespace uv::core {
+
+void CmsfDetector::Train(const urg::UrbanRegionGraph& urg,
+                         const std::vector<int>& train_ids,
+                         const std::vector<int>& train_labels) {
+  Rng rng(config_.seed);
+  inputs_ = CmsfInputs::FromUrg(urg);
+  model_ = std::make_unique<CmsfModel>(config_, urg.poi_features.cols(),
+                                       urg.image_features.cols(), &rng);
+  MasterTrainResult master =
+      TrainMaster(model_.get(), *inputs_, train_ids, train_labels);
+  frozen_ = std::move(master.frozen);
+  // Table III reports the master stage as the training time: it dominates,
+  // and the slave stage "only needs very few iterations" (paper VI-G).
+  train_epoch_seconds_ = master.seconds_per_epoch;
+  TrainSlave(model_.get(), *inputs_, frozen_, train_ids, train_labels);
+}
+
+std::vector<float> CmsfDetector::Score(const urg::UrbanRegionGraph& urg,
+                                       const std::vector<int>& eval_ids) {
+  (void)urg;  // Inputs were captured at Train time.
+  WallTimer timer;
+  const CmsfModel::FrozenAssignment* frozen =
+      config_.use_hierarchy ? &frozen_ : nullptr;
+  auto scores = PredictCmsf(*model_, *inputs_, frozen, eval_ids);
+  inference_seconds_ = timer.Seconds();
+  return scores;
+}
+
+Status CmsfDetector::SaveModel(const std::string& path) const {
+  if (!model_) return Status::FailedPrecondition("detector is not trained");
+  std::vector<Tensor> tensors;
+  for (const auto& p : model_->AllParams()) tensors.push_back(p->value);
+  // Frozen stage-one assignment rides along as three extra tensors.
+  tensors.push_back(frozen_.soft);
+  Tensor hard(1, static_cast<int>(frozen_.hard.size()));
+  for (size_t i = 0; i < frozen_.hard.size(); ++i) {
+    hard.at(0, static_cast<int>(i)) = static_cast<float>(frozen_.hard[i]);
+  }
+  tensors.push_back(std::move(hard));
+  Tensor pseudo(1, static_cast<int>(frozen_.pseudo_labels.size()));
+  for (size_t i = 0; i < frozen_.pseudo_labels.size(); ++i) {
+    pseudo.at(0, static_cast<int>(i)) =
+        static_cast<float>(frozen_.pseudo_labels[i]);
+  }
+  tensors.push_back(std::move(pseudo));
+  return io::SaveTensors(path, tensors);
+}
+
+Status CmsfDetector::LoadModel(const urg::UrbanRegionGraph& urg,
+                               const std::string& path) {
+  auto loaded = io::LoadTensors(path);
+  if (!loaded.ok()) return loaded.status();
+  std::vector<Tensor>& tensors = loaded.value();
+
+  Rng rng(config_.seed);
+  inputs_ = CmsfInputs::FromUrg(urg);
+  model_ = std::make_unique<CmsfModel>(config_, urg.poi_features.cols(),
+                                       urg.image_features.cols(), &rng);
+  auto params = model_->AllParams();
+  if (tensors.size() != params.size() + 3) {
+    return Status::InvalidArgument("checkpoint layout mismatch");
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (!tensors[i].SameShape(params[i]->value)) {
+      return Status::InvalidArgument("parameter shape mismatch");
+    }
+    params[i]->value = std::move(tensors[i]);
+  }
+  frozen_.soft = std::move(tensors[params.size()]);
+  const Tensor& hard = tensors[params.size() + 1];
+  frozen_.hard.resize(hard.cols());
+  for (int i = 0; i < hard.cols(); ++i) {
+    frozen_.hard[i] = static_cast<int>(hard.at(0, i));
+  }
+  const Tensor& pseudo = tensors[params.size() + 2];
+  frozen_.pseudo_labels.resize(pseudo.cols());
+  for (int i = 0; i < pseudo.cols(); ++i) {
+    frozen_.pseudo_labels[i] = static_cast<int>(pseudo.at(0, i));
+  }
+  return Status::Ok();
+}
+
+int64_t CmsfDetector::NumParameters() const {
+  if (!model_) return 0;
+  int64_t total = 0;
+  for (const auto& p : model_->AllParams()) total += p->value.size();
+  return total;
+}
+
+}  // namespace uv::core

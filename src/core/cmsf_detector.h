@@ -1,0 +1,55 @@
+#ifndef UV_CORE_CMSF_DETECTOR_H_
+#define UV_CORE_CMSF_DETECTOR_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/cmsf_model.h"
+#include "eval/detector.h"
+#include "util/status.h"
+
+namespace uv::core {
+
+// eval::Detector adapter for CMSF and its Fig. 5(a) ablation variants.
+// Constructed per fold; Train runs both stages (Algorithms 1 and 2).
+class CmsfDetector : public eval::Detector {
+ public:
+  CmsfDetector(const CmsfConfig& config, std::string name = "CMSF")
+      : config_(config), name_(std::move(name)) {}
+
+  std::string name() const override { return name_; }
+
+  void Train(const urg::UrbanRegionGraph& urg,
+             const std::vector<int>& train_ids,
+             const std::vector<int>& train_labels) override;
+
+  std::vector<float> Score(const urg::UrbanRegionGraph& urg,
+                           const std::vector<int>& eval_ids) override;
+
+  int64_t NumParameters() const override;
+  double TrainSecondsPerEpoch() const override { return train_epoch_seconds_; }
+  double LastInferenceSeconds() const override { return inference_seconds_; }
+
+  const CmsfModel* model() const { return model_.get(); }
+  const CmsfModel::FrozenAssignment& frozen() const { return frozen_; }
+
+  // Persists the trained model (all parameters plus the frozen stage-one
+  // assignment) so a detector can be reloaded without retraining.
+  Status SaveModel(const std::string& path) const;
+  // Rebuilds the model for the given URG and restores a saved checkpoint.
+  Status LoadModel(const urg::UrbanRegionGraph& urg, const std::string& path);
+
+ private:
+  CmsfConfig config_;
+  std::string name_;
+  std::unique_ptr<CmsfModel> model_;
+  std::optional<CmsfInputs> inputs_;
+  CmsfModel::FrozenAssignment frozen_;
+  double train_epoch_seconds_ = 0.0;
+  double inference_seconds_ = 0.0;
+};
+
+}  // namespace uv::core
+
+#endif  // UV_CORE_CMSF_DETECTOR_H_

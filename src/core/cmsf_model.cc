@@ -1,0 +1,288 @@
+#include "core/cmsf_model.h"
+
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "autograd/optimizer.h"
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace uv::core {
+
+CmsfInputs CmsfInputs::FromUrg(const urg::UrbanRegionGraph& urg) {
+  CmsfInputs inputs;
+  inputs.poi = ag::MakeConst(urg.poi_features);
+  inputs.image = ag::MakeConst(urg.image_features);
+  inputs.ctx = nn::GraphContext::FromCsr(urg.adjacency);
+  return inputs;
+}
+
+CmsfModel::CmsfModel(const CmsfConfig& config, int poi_dim, int image_dim,
+                     Rng* rng)
+    : config_(config) {
+  UV_CHECK_GT(config.maga_layers, 0);
+  image_reduce_ = std::make_unique<nn::Linear>(
+      image_dim, config.image_reduce_dim, rng);
+
+  int width = 0;
+  if (config.use_maga) {
+    int in_p = poi_dim;
+    int in_i = config.image_reduce_dim;
+    for (int l = 0; l < config.maga_layers; ++l) {
+      maga_.emplace_back(in_p, in_i, config.hidden_dim, config.maga_heads,
+                         config.maga_agg, rng);
+      in_p = in_i = maga_.back().out_width();
+    }
+    width = maga_.back().out_width();
+  } else {
+    // CMSF-M: vanilla GAT stacks per modality, no inter-modal context.
+    int in_p = poi_dim;
+    int in_i = config.image_reduce_dim;
+    for (int l = 0; l < config.maga_layers; ++l) {
+      gat_p_.emplace_back(in_p, config.hidden_dim, config.maga_heads, rng);
+      gat_i_.emplace_back(in_i, config.hidden_dim, config.maga_heads, rng);
+      in_p = in_i = config.hidden_dim;
+    }
+    width = config.hidden_dim;
+  }
+  gscm_in_dim_ = 2 * width;  // x^ = x^P ⊕ x^I.
+
+  if (config.use_hierarchy) {
+    nn::Gscm::Options gopt;
+    gopt.in_dim = gscm_in_dim_;
+    gopt.num_clusters = config.num_clusters;
+    gopt.temperature = config.temperature;
+    gopt.agg = config.gscm_agg;
+    gscm_ = std::make_unique<nn::Gscm>(gopt, rng);
+    classifier_in_ = gscm_->out_width();
+  } else {
+    classifier_in_ = gscm_in_dim_;
+  }
+
+  classifier_ = std::make_unique<nn::Mlp>(classifier_in_,
+                                          config.classifier_hidden, 1, rng);
+
+  if (config.use_hierarchy && config.use_gate) {
+    nn::MsGate::Options mopt;
+    mopt.num_clusters = config.num_clusters;
+    mopt.cluster_repr_dim = gscm_in_dim_;
+    mopt.context_dim = config.context_dim;
+    mopt.classifier_in = classifier_in_;
+    mopt.classifier_hidden = config.classifier_hidden;
+    gate_ = std::make_unique<nn::MsGate>(mopt, rng);
+  }
+}
+
+ag::VarPtr CmsfModel::Trunk(const CmsfInputs& inputs) const {
+  ag::VarPtr p = inputs.poi;
+  ag::VarPtr i = ag::Relu(image_reduce_->Forward(inputs.image));
+  if (config_.use_maga) {
+    for (const auto& layer : maga_) {
+      auto out = layer.Forward(p, i, inputs.ctx);
+      p = out.p;
+      i = out.i;
+    }
+  } else {
+    for (size_t l = 0; l < gat_p_.size(); ++l) {
+      p = ag::Relu(gat_p_[l].Forward(p, inputs.ctx));
+      i = ag::Relu(gat_i_[l].Forward(i, inputs.ctx));
+    }
+  }
+  return ag::ConcatCols(p, i);
+}
+
+CmsfModel::ForwardResult CmsfModel::Forward(
+    const CmsfInputs& inputs, const FrozenAssignment* frozen) const {
+  ForwardResult result;
+  ag::VarPtr fused = Trunk(inputs);
+  if (config_.use_hierarchy) {
+    nn::Gscm::Output g =
+        frozen != nullptr
+            ? gscm_->ForwardFrozen(fused, frozen->soft, frozen->hard)
+            : gscm_->Forward(fused);
+    result.region_repr = g.region_repr;
+    result.assignment = g.assignment;
+    result.hard_assignment = std::move(g.hard_assignment);
+    result.cluster_repr = g.cluster_repr;
+  } else {
+    result.region_repr = fused;
+  }
+  result.master_logits = classifier_->Forward(result.region_repr);
+  return result;
+}
+
+ag::VarPtr CmsfModel::SlaveLogits(const ForwardResult& master,
+                                  ag::VarPtr* out_inclusion) const {
+  UV_CHECK(gate_ != nullptr);
+  UV_CHECK(master.cluster_repr != nullptr);
+  ag::VarPtr inclusion = gate_->EstimateInclusion(master.cluster_repr);
+  if (out_inclusion != nullptr) *out_inclusion = inclusion;
+  return gate_->Forward(master.region_repr, master.assignment, inclusion,
+                        *classifier_);
+}
+
+std::vector<ag::VarPtr> CmsfModel::MasterParams() const {
+  std::vector<ag::VarPtr> params = image_reduce_->Params();
+  auto absorb = [&params](std::vector<ag::VarPtr> p) {
+    params.insert(params.end(), p.begin(), p.end());
+  };
+  for (const auto& l : maga_) absorb(l.Params());
+  for (const auto& l : gat_p_) absorb(l.Params());
+  for (const auto& l : gat_i_) absorb(l.Params());
+  if (gscm_) absorb(gscm_->Params());
+  absorb(classifier_->Params());
+  return params;
+}
+
+std::vector<ag::VarPtr> CmsfModel::GateParams() const {
+  return gate_ ? gate_->Params() : std::vector<ag::VarPtr>{};
+}
+
+std::vector<ag::VarPtr> CmsfModel::AllParams() const {
+  std::vector<ag::VarPtr> params = MasterParams();
+  auto gate = GateParams();
+  params.insert(params.end(), gate.begin(), gate.end());
+  return params;
+}
+
+Tensor MakeLabelTensor(const std::vector<int>& labels) {
+  Tensor out(static_cast<int>(labels.size()), 1);
+  for (size_t i = 0; i < labels.size(); ++i) {
+    out.at(static_cast<int>(i), 0) = labels[i] > 0 ? 1.0f : 0.0f;
+  }
+  return out;
+}
+
+Tensor MakeBceWeights(const std::vector<int>& labels, double pos_weight) {
+  int num_pos = 0;
+  for (int l : labels) num_pos += (l > 0);
+  const int num_neg = static_cast<int>(labels.size()) - num_pos;
+  double w = pos_weight;
+  if (w <= 0.0) {
+    w = num_pos > 0 ? static_cast<double>(num_neg) /
+                          std::max(1, num_pos)
+                    : 1.0;
+  }
+  Tensor out(static_cast<int>(labels.size()), 1);
+  for (size_t i = 0; i < labels.size(); ++i) {
+    out.at(static_cast<int>(i), 0) =
+        labels[i] > 0 ? static_cast<float>(w) : 1.0f;
+  }
+  return out;
+}
+
+MasterTrainResult TrainMaster(CmsfModel* model, const CmsfInputs& inputs,
+                              const std::vector<int>& train_ids,
+                              const std::vector<int>& train_labels) {
+  UV_CHECK_EQ(train_ids.size(), train_labels.size());
+  const CmsfConfig& cfg = model->config();
+  auto ids = std::make_shared<const std::vector<int>>(train_ids);
+  const Tensor labels = MakeLabelTensor(train_labels);
+  const Tensor weights = MakeBceWeights(train_labels, cfg.pos_weight);
+
+  ag::AdamOptimizer::Options aopt;
+  aopt.learning_rate = cfg.learning_rate;
+  aopt.clip_norm = cfg.clip_norm;
+  ag::AdamOptimizer opt(model->MasterParams(), aopt);
+
+  MasterTrainResult result;
+  WallTimer timer;
+  double last_loss = 0.0;
+  for (int epoch = 0; epoch < cfg.master_epochs; ++epoch) {
+    opt.ZeroGradients();
+    auto fwd = model->Forward(inputs, nullptr);
+    ag::VarPtr logits = ag::GatherRows(fwd.master_logits, ids);
+    ag::VarPtr loss = ag::BceWithLogits(logits, labels, &weights);
+    last_loss = loss->value.at(0, 0);
+    ag::Backward(loss);
+    opt.Step();
+    opt.DecayLearningRate(cfg.lr_decay_per_epoch);
+  }
+  result.seconds_per_epoch =
+      cfg.master_epochs > 0 ? timer.Seconds() / cfg.master_epochs : 0.0;
+  result.final_loss = last_loss;
+
+  if (cfg.use_hierarchy) {
+    // Freeze the learned membership and derive pseudo labels (eq. 16) from
+    // the labels of *training* regions only (test labels stay unseen).
+    auto fwd = model->Forward(inputs, nullptr);
+    result.frozen.soft = fwd.assignment->value;
+    result.frozen.hard = fwd.hard_assignment;
+    std::vector<int> full_labels(fwd.master_logits->rows(), -1);
+    for (size_t i = 0; i < train_ids.size(); ++i) {
+      full_labels[train_ids[i]] = train_labels[i];
+    }
+    result.frozen.pseudo_labels = nn::ComputeClusterPseudoLabels(
+        result.frozen.hard, full_labels, cfg.num_clusters);
+  }
+  return result;
+}
+
+SlaveTrainResult TrainSlave(CmsfModel* model, const CmsfInputs& inputs,
+                            const CmsfModel::FrozenAssignment& frozen,
+                            const std::vector<int>& train_ids,
+                            const std::vector<int>& train_labels) {
+  SlaveTrainResult result;
+  const CmsfConfig& cfg = model->config();
+  if (!cfg.use_hierarchy || !cfg.use_gate) return result;
+  UV_CHECK_EQ(frozen.pseudo_labels.size(),
+              static_cast<size_t>(cfg.num_clusters));
+
+  auto ids = std::make_shared<const std::vector<int>>(train_ids);
+  const Tensor labels = MakeLabelTensor(train_labels);
+  const Tensor weights = MakeBceWeights(train_labels, cfg.pos_weight);
+
+  // Clusters with known UVs (C1) vs the rest (C0) for the PU rank loss.
+  std::vector<int> positive, unlabeled;
+  for (int k = 0; k < cfg.num_clusters; ++k) {
+    (frozen.pseudo_labels[k] == 1 ? positive : unlabeled).push_back(k);
+  }
+
+  ag::AdamOptimizer::Options aopt;
+  aopt.learning_rate = cfg.learning_rate * 0.1;  // Gentle fine-tuning stage.
+  aopt.clip_norm = cfg.clip_norm;
+  ag::AdamOptimizer opt(model->AllParams(), aopt);
+
+  WallTimer timer;
+  double last_loss = 0.0;
+  for (int epoch = 0; epoch < cfg.slave_epochs; ++epoch) {
+    opt.ZeroGradients();
+    auto fwd = model->Forward(inputs, &frozen);
+    ag::VarPtr inclusion;
+    ag::VarPtr slave_logits = model->SlaveLogits(fwd, &inclusion);
+    ag::VarPtr loss_c = ag::BceWithLogits(ag::GatherRows(slave_logits, ids),
+                                          labels, &weights);
+    ag::VarPtr loss_p = ag::PuRankLoss(inclusion, positive, unlabeled);
+    ag::VarPtr loss =
+        ag::Add(loss_c, ag::ScalarMul(loss_p, static_cast<float>(cfg.lambda)));
+    last_loss = loss->value.at(0, 0);
+    ag::Backward(loss);
+    opt.Step();
+    opt.DecayLearningRate(cfg.lr_decay_per_epoch);
+  }
+  result.seconds_per_epoch =
+      cfg.slave_epochs > 0 ? timer.Seconds() / cfg.slave_epochs : 0.0;
+  result.final_loss = last_loss;
+  return result;
+}
+
+std::vector<float> PredictCmsf(const CmsfModel& model,
+                               const CmsfInputs& inputs,
+                               const CmsfModel::FrozenAssignment* frozen,
+                               const std::vector<int>& eval_ids) {
+  const CmsfConfig& cfg = model.config();
+  const bool use_slave =
+      cfg.use_hierarchy && cfg.use_gate && frozen != nullptr;
+  auto fwd = model.Forward(inputs, use_slave ? frozen : nullptr);
+  ag::VarPtr logits =
+      use_slave ? model.SlaveLogits(fwd, nullptr) : fwd.master_logits;
+  std::vector<float> out(eval_ids.size());
+  for (size_t i = 0; i < eval_ids.size(); ++i) {
+    const float z = logits->value.at(eval_ids[i], 0);
+    out[i] = 1.0f / (1.0f + std::exp(-z));
+  }
+  return out;
+}
+
+}  // namespace uv::core

@@ -1,0 +1,126 @@
+#ifndef UV_CORE_CMSF_MODEL_H_
+#define UV_CORE_CMSF_MODEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/cmsf_config.h"
+#include "nn/gat.h"
+#include "nn/graph_context.h"
+#include "nn/gscm.h"
+#include "nn/linear.h"
+#include "nn/ms_gate.h"
+#include "urg/urban_region_graph.h"
+
+namespace uv::core {
+
+// Constant model inputs derived once per URG: the two feature modalities
+// and the shared edge-index structures.
+struct CmsfInputs {
+  ag::VarPtr poi;    // (N x d_poi) constant.
+  ag::VarPtr image;  // (N x d_img) constant.
+  nn::GraphContext ctx;
+
+  static CmsfInputs FromUrg(const urg::UrbanRegionGraph& urg);
+};
+
+// The Contextual Master-Slave Framework (paper Section V): a hierarchical
+// GNN master model (MAGA + GSCM + MLP classifier) trained in stage one, and
+// the MS-Gate slave derivation trained in stage two.
+class CmsfModel {
+ public:
+  CmsfModel(const CmsfConfig& config, int poi_dim, int image_dim, Rng* rng);
+
+  struct ForwardResult {
+    ag::VarPtr region_repr;   // x~' fed to the classifier.
+    ag::VarPtr master_logits; // (N x 1) master-model logits.
+    ag::VarPtr assignment;    // Soft B (null when hierarchy disabled).
+    std::vector<int> hard_assignment;
+    ag::VarPtr cluster_repr;  // H' (null when hierarchy disabled).
+  };
+
+  // Full forward pass of the master path. When `frozen` is non-null the
+  // GSCM membership is pinned to the given stage-one assignment (slave
+  // stage semantics).
+  struct FrozenAssignment {
+    Tensor soft;             // B at the end of master training.
+    std::vector<int> hard;   // B~ (argmax) at the end of master training.
+    std::vector<int> pseudo_labels;  // Cluster pseudo labels y^h (eq. 16).
+  };
+  ForwardResult Forward(const CmsfInputs& inputs,
+                        const FrozenAssignment* frozen) const;
+
+  // Slave-path logits (eq. 22) given a master forward result; requires the
+  // hierarchy and gate to be enabled.
+  ag::VarPtr SlaveLogits(const ForwardResult& master,
+                         ag::VarPtr* out_inclusion) const;
+
+  // Parameter sets: theta_1 (master) and theta_2 \ theta_1 (gate + pseudo
+  // predictor), mirroring Algorithms 1 and 2.
+  std::vector<ag::VarPtr> MasterParams() const;
+  std::vector<ag::VarPtr> GateParams() const;
+  std::vector<ag::VarPtr> AllParams() const;
+
+  const CmsfConfig& config() const { return config_; }
+  const nn::Mlp& classifier() const { return *classifier_; }
+  const nn::MsGate& gate() const { return *gate_; }
+  int gscm_in_dim() const { return gscm_in_dim_; }
+
+ private:
+  // Representation trunk shared by all variants: returns x^ (the fused
+  // multi-modal representation entering GSCM).
+  ag::VarPtr Trunk(const CmsfInputs& inputs) const;
+
+  CmsfConfig config_;
+  int gscm_in_dim_ = 0;      // Width of x^.
+  int classifier_in_ = 0;    // Width of x~'.
+
+  std::unique_ptr<nn::Linear> image_reduce_;
+  std::vector<nn::MagaLayer> maga_;
+  // CMSF-M replacement trunk: per-modality vanilla GAT stacks.
+  std::vector<nn::GatLayer> gat_p_;
+  std::vector<nn::GatLayer> gat_i_;
+  std::unique_ptr<nn::Gscm> gscm_;
+  std::unique_ptr<nn::Mlp> classifier_;
+  std::unique_ptr<nn::MsGate> gate_;
+};
+
+// Stage-one training (Algorithm 1): optimizes the master model with BCE on
+// the labeled training regions and returns the frozen assignment + pseudo
+// labels used by stage two. Also reports mean seconds per epoch.
+struct MasterTrainResult {
+  CmsfModel::FrozenAssignment frozen;
+  double seconds_per_epoch = 0.0;
+  double final_loss = 0.0;
+};
+MasterTrainResult TrainMaster(CmsfModel* model, const CmsfInputs& inputs,
+                              const std::vector<int>& train_ids,
+                              const std::vector<int>& train_labels);
+
+// Stage-two training (Algorithm 2): optimizes theta_2 with the joint loss
+// L'_c + lambda * L_p. No-op when the gate is disabled.
+struct SlaveTrainResult {
+  double seconds_per_epoch = 0.0;
+  double final_loss = 0.0;
+};
+SlaveTrainResult TrainSlave(CmsfModel* model, const CmsfInputs& inputs,
+                            const CmsfModel::FrozenAssignment& frozen,
+                            const std::vector<int>& train_ids,
+                            const std::vector<int>& train_labels);
+
+// Per-sample BCE weights implementing CmsfConfig::pos_weight (shared by the
+// baselines so class balancing is uniform across methods).
+Tensor MakeBceWeights(const std::vector<int>& labels, double pos_weight);
+// Labels as an (n x 1) float tensor.
+Tensor MakeLabelTensor(const std::vector<int>& labels);
+
+// Inference (Section V-C): probabilities for eval_ids using the slave path
+// when enabled, the master path otherwise.
+std::vector<float> PredictCmsf(const CmsfModel& model,
+                               const CmsfInputs& inputs,
+                               const CmsfModel::FrozenAssignment* frozen,
+                               const std::vector<int>& eval_ids);
+
+}  // namespace uv::core
+
+#endif  // UV_CORE_CMSF_MODEL_H_

@@ -1,0 +1,90 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace uv::eval {
+
+double Auc(const std::vector<float>& scores, const std::vector<int>& labels) {
+  UV_CHECK_EQ(scores.size(), labels.size());
+  const int n = static_cast<int>(scores.size());
+  int64_t num_pos = 0;
+  for (int l : labels) num_pos += (l != 0);
+  const int64_t num_neg = n - num_pos;
+  if (num_pos == 0 || num_neg == 0) return 0.5;
+
+  // Rank-sum formulation with midranks for ties.
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return scores[a] < scores[b]; });
+  double pos_rank_sum = 0.0;
+  int i = 0;
+  while (i < n) {
+    int j = i;
+    while (j < n && scores[order[j]] == scores[order[i]]) ++j;
+    const double midrank = 0.5 * (i + 1 + j);  // Ranks are 1-based.
+    for (int k = i; k < j; ++k) {
+      if (labels[order[k]] != 0) pos_rank_sum += midrank;
+    }
+    i = j;
+  }
+  const double u = pos_rank_sum - 0.5 * num_pos * (num_pos + 1);
+  return u / (static_cast<double>(num_pos) * num_neg);
+}
+
+TopPercentMetrics TopPercent(const std::vector<float>& scores,
+                             const std::vector<int>& labels, double percent) {
+  UV_CHECK_EQ(scores.size(), labels.size());
+  UV_CHECK(percent > 0.0 && percent <= 100.0);
+  TopPercentMetrics out;
+  const int n = static_cast<int>(scores.size());
+  if (n == 0) return out;
+  const int k = std::max(
+      1, static_cast<int>(std::ceil(percent / 100.0 * n)));
+  out.num_predicted = k;
+
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::nth_element(order.begin(), order.begin() + (k - 1), order.end(),
+                   [&](int a, int b) { return scores[a] > scores[b]; });
+  int64_t true_pos = 0;
+  for (int i = 0; i < k; ++i) true_pos += (labels[order[i]] != 0);
+  int64_t total_pos = 0;
+  for (int l : labels) total_pos += (l != 0);
+
+  out.precision = static_cast<double>(true_pos) / k;
+  out.recall =
+      total_pos > 0 ? static_cast<double>(true_pos) / total_pos : 0.0;
+  out.f1 = (out.precision + out.recall) > 0.0
+               ? 2.0 * out.precision * out.recall /
+                     (out.precision + out.recall)
+               : 0.0;
+  return out;
+}
+
+DetectionMetrics ComputeDetectionMetrics(const std::vector<float>& scores,
+                                         const std::vector<int>& labels) {
+  DetectionMetrics m;
+  m.auc = Auc(scores, labels);
+  m.at3 = TopPercent(scores, labels, 3.0);
+  m.at5 = TopPercent(scores, labels, 5.0);
+  return m;
+}
+
+MeanStd Aggregate(const std::vector<double>& values) {
+  MeanStd out;
+  if (values.empty()) return out;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  out.mean = sum / values.size();
+  double var = 0.0;
+  for (double v : values) var += (v - out.mean) * (v - out.mean);
+  out.std = std::sqrt(var / values.size());
+  return out;
+}
+
+}  // namespace uv::eval

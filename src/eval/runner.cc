@@ -1,0 +1,72 @@
+#include "eval/runner.h"
+
+#include "util/logging.h"
+
+namespace uv::eval {
+
+RunStats RunCrossValidation(const urg::UrbanRegionGraph& urg,
+                            const DetectorFactory& factory,
+                            const RunnerOptions& options) {
+  std::vector<double> aucs, r3, p3, f3, r5, p5, f5;
+  double train_time = 0.0, infer_time = 0.0;
+  int64_t params = 0;
+  int measured = 0;
+
+  const std::vector<int> labeled = urg.LabeledIds();
+  for (int run = 0; run < options.num_runs; ++run) {
+    Rng rng(options.seed + 7919ull * run);
+    const auto folds = BlockKFold(urg.grid, labeled, options.num_folds,
+                                  options.block_size, &rng);
+    for (size_t f = 0; f < folds.size(); ++f) {
+      std::vector<int> train_ids = folds[f].train_ids;
+      if (options.label_ratio < 1.0) {
+        train_ids =
+            MaskLabeledRatio(train_ids, urg.labels, options.label_ratio, &rng);
+      }
+      std::vector<int> train_labels(train_ids.size());
+      for (size_t i = 0; i < train_ids.size(); ++i) {
+        train_labels[i] = urg.labels[train_ids[i]];
+      }
+      std::vector<int> test_labels(folds[f].test_ids.size());
+      for (size_t i = 0; i < folds[f].test_ids.size(); ++i) {
+        test_labels[i] = urg.labels[folds[f].test_ids[i]];
+      }
+
+      auto detector = factory(options.seed + 104729ull * run + 31ull * f);
+      detector->Train(urg, train_ids, train_labels);
+      const std::vector<float> scores =
+          detector->Score(urg, folds[f].test_ids);
+      const DetectionMetrics m = ComputeDetectionMetrics(scores, test_labels);
+      aucs.push_back(m.auc);
+      r3.push_back(m.at3.recall);
+      p3.push_back(m.at3.precision);
+      f3.push_back(m.at3.f1);
+      r5.push_back(m.at5.recall);
+      p5.push_back(m.at5.precision);
+      f5.push_back(m.at5.f1);
+      train_time += detector->TrainSecondsPerEpoch();
+      infer_time += detector->LastInferenceSeconds();
+      params = detector->NumParameters();
+      ++measured;
+      UV_LOG_DEBUG("run %d fold %zu: auc=%.3f r3=%.3f p3=%.3f", run, f, m.auc,
+                   m.at3.recall, m.at3.precision);
+    }
+  }
+
+  RunStats stats;
+  stats.auc = Aggregate(aucs);
+  stats.recall3 = Aggregate(r3);
+  stats.precision3 = Aggregate(p3);
+  stats.f13 = Aggregate(f3);
+  stats.recall5 = Aggregate(r5);
+  stats.precision5 = Aggregate(p5);
+  stats.f15 = Aggregate(f5);
+  if (measured > 0) {
+    stats.train_seconds_per_epoch = train_time / measured;
+    stats.inference_seconds = infer_time / measured;
+  }
+  stats.num_parameters = params;
+  return stats;
+}
+
+}  // namespace uv::eval

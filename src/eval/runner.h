@@ -1,0 +1,45 @@
+#ifndef UV_EVAL_RUNNER_H_
+#define UV_EVAL_RUNNER_H_
+
+#include <functional>
+#include <memory>
+
+#include "eval/detector.h"
+#include "eval/metrics.h"
+#include "eval/splits.h"
+
+namespace uv::eval {
+
+// Builds a fresh detector for one (run, fold); the seed decorrelates
+// repeated runs.
+using DetectorFactory =
+    std::function<std::unique_ptr<Detector>(uint64_t seed)>;
+
+struct RunnerOptions {
+  int num_folds = 3;    // Paper: 3-fold cross validation.
+  int num_runs = 1;     // Paper reports mean/std over 5 random runs.
+  int block_size = 10;  // Paper: 10x10-grid blocks as CV units.
+  uint64_t seed = 1234;
+  double label_ratio = 1.0;  // < 1 applies the Fig. 6(c) training mask.
+};
+
+// Aggregated cross-validation result for one detector on one dataset.
+struct RunStats {
+  MeanStd auc;
+  MeanStd recall3, precision3, f13;
+  MeanStd recall5, precision5, f15;
+  double train_seconds_per_epoch = 0.0;
+  double inference_seconds = 0.0;
+  int64_t num_parameters = 0;
+};
+
+// Runs the paper's evaluation protocol: block-level k-fold CV repeated
+// num_runs times; metrics are computed on each test fold and aggregated
+// over all (run, fold) pairs.
+RunStats RunCrossValidation(const urg::UrbanRegionGraph& urg,
+                            const DetectorFactory& factory,
+                            const RunnerOptions& options);
+
+}  // namespace uv::eval
+
+#endif  // UV_EVAL_RUNNER_H_

@@ -1,0 +1,80 @@
+#include "eval/splits.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace uv::eval {
+
+std::vector<Fold> BlockKFold(const graph::GridSpec& grid,
+                             const std::vector<int>& labeled_ids, int k,
+                             int block_size, Rng* rng) {
+  UV_CHECK_GT(k, 1);
+  UV_CHECK_GT(block_size, 0);
+  const int blocks_per_row = (grid.width + block_size - 1) / block_size;
+
+  auto block_of = [&](int id) {
+    const int br = grid.RowOf(id) / block_size;
+    const int bc = grid.ColOf(id) / block_size;
+    return br * blocks_per_row + bc;
+  };
+
+  // Collect the blocks that actually contain labeled regions and shuffle
+  // them into k folds.
+  std::unordered_map<int, std::vector<int>> ids_by_block;
+  for (int id : labeled_ids) ids_by_block[block_of(id)].push_back(id);
+  std::vector<int> blocks;
+  blocks.reserve(ids_by_block.size());
+  for (const auto& [block, ids] : ids_by_block) blocks.push_back(block);
+  std::sort(blocks.begin(), blocks.end());  // Determinism before shuffling.
+  rng->Shuffle(&blocks);
+
+  std::vector<int> fold_of_block(blocks.size());
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    fold_of_block[i] = static_cast<int>(i % k);
+  }
+
+  std::unordered_map<int, int> fold_by_block;
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    fold_by_block[blocks[i]] = fold_of_block[i];
+  }
+
+  std::vector<Fold> folds(k);
+  for (int id : labeled_ids) {
+    const int f = fold_by_block.at(block_of(id));
+    for (int j = 0; j < k; ++j) {
+      if (j == f) {
+        folds[j].test_ids.push_back(id);
+      } else {
+        folds[j].train_ids.push_back(id);
+      }
+    }
+  }
+  return folds;
+}
+
+std::vector<int> MaskLabeledRatio(const std::vector<int>& ids,
+                                  const std::vector<int>& labels_full,
+                                  double ratio, Rng* rng) {
+  UV_CHECK(ratio > 0.0 && ratio <= 1.0);
+  std::vector<int> shuffled = ids;
+  rng->Shuffle(&shuffled);
+  const int keep = std::max(1, static_cast<int>(ratio * shuffled.size()));
+  std::vector<int> out(shuffled.begin(), shuffled.begin() + keep);
+  // Keep at least one positive so BCE training stays well posed.
+  bool has_pos = false;
+  for (int id : out) has_pos |= (labels_full[id] == 1);
+  if (!has_pos) {
+    for (int id : shuffled) {
+      if (labels_full[id] == 1) {
+        out.push_back(id);
+        break;
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace uv::eval

@@ -1,0 +1,33 @@
+#ifndef UV_EVAL_SPLITS_H_
+#define UV_EVAL_SPLITS_H_
+
+#include <vector>
+
+#include "graph/grid.h"
+#include "util/rng.h"
+
+namespace uv::eval {
+
+// One cross-validation fold over labeled region ids.
+struct Fold {
+  std::vector<int> train_ids;
+  std::vector<int> test_ids;
+};
+
+// Coarse block-level k-fold split (paper Section VI-A): every 10x10 block of
+// grids is an indivisible unit assigned to one fold, so labeled and
+// unlabeled grids of the same patch never mix across train/test. Only
+// labeled ids appear in the folds.
+std::vector<Fold> BlockKFold(const graph::GridSpec& grid,
+                             const std::vector<int>& labeled_ids, int k,
+                             int block_size, Rng* rng);
+
+// Keeps a random `ratio` fraction of the ids (Fig. 6(c) label-ratio masks);
+// guarantees at least one positive survives when one exists.
+std::vector<int> MaskLabeledRatio(const std::vector<int>& ids,
+                                  const std::vector<int>& labels_full,
+                                  double ratio, Rng* rng);
+
+}  // namespace uv::eval
+
+#endif  // UV_EVAL_SPLITS_H_

@@ -1,0 +1,112 @@
+#include "features/image_encoder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace uv::features {
+
+ConvEncoder::ConvEncoder(const Options& options) : options_(options) {
+  UV_CHECK_GE(options.image_size, 8);
+  Rng rng(options.seed);
+  const int s = options.image_size;
+
+  spec1_ = {/*in_channels=*/3, s, s, /*out_channels=*/8, /*kernel=*/3,
+            /*stride=*/1, /*pad=*/1};
+  const int s2 = s / 2;
+  spec2_ = {8, s2, s2, 16, 3, 1, 1};
+  const int s4 = s2 / 2;
+  spec3_ = {16, s4, s4, 32, 3, 1, 1};
+  const int s8 = s4 / 2;
+  flat_dim_ = 32 * s8 * s8;
+
+  auto init_conv = [&rng](Tensor* w, Tensor* b, int out_c, int in_c, int k) {
+    *w = Tensor(out_c, in_c * k * k);
+    // He-style init keeps activation magnitudes stable through the stack.
+    w->RandomNormal(&rng, std::sqrt(2.0f / (in_c * k * k)));
+    *b = Tensor(1, out_c);
+  };
+  init_conv(&w1_, &b1_, 8, 3, 3);
+  init_conv(&w2_, &b2_, 16, 8, 3);
+  init_conv(&w3_, &b3_, 32, 16, 3);
+  proj_ = Tensor(flat_dim_, options.out_dim);
+  proj_.GlorotUniform(&rng);
+}
+
+Tensor ConvEncoder::Encode(const Tensor& images) const {
+  UV_CHECK_EQ(images.cols(), 3 * options_.image_size * options_.image_size);
+  const int n = images.rows();
+  Tensor out(n, options_.out_dim);
+  const int batch = std::max(1, options_.batch_size);
+
+  const auto w1 = ag::MakeConst(w1_), b1 = ag::MakeConst(b1_);
+  const auto w2 = ag::MakeConst(w2_), b2 = ag::MakeConst(b2_);
+  const auto w3 = ag::MakeConst(w3_), b3 = ag::MakeConst(b3_);
+  const auto proj = ag::MakeConst(proj_);
+
+  for (int begin = 0; begin < n; begin += batch) {
+    const int end = std::min(n, begin + batch);
+    Tensor chunk(end - begin, images.cols());
+    for (int i = begin; i < end; ++i) {
+      std::copy(images.row(i), images.row(i) + images.cols(),
+                chunk.row(i - begin));
+    }
+    auto x = ag::MakeConst(std::move(chunk));
+    x = ag::Relu(ag::Conv2d(x, w1, b1, spec1_));
+    x = ag::MaxPool2d(x, 8, spec1_.out_h(), spec1_.out_w(), 2, 2);
+    x = ag::Relu(ag::Conv2d(x, w2, b2, spec2_));
+    x = ag::MaxPool2d(x, 16, spec2_.out_h(), spec2_.out_w(), 2, 2);
+    x = ag::Relu(ag::Conv2d(x, w3, b3, spec3_));
+    x = ag::MaxPool2d(x, 32, spec3_.out_h(), spec3_.out_w(), 2, 2);
+    x = ag::MatMul(x, proj);
+    for (int i = begin; i < end; ++i) {
+      std::copy(x->value.row(i - begin),
+                x->value.row(i - begin) + options_.out_dim, out.row(i));
+    }
+  }
+  return out;
+}
+
+Tensor HistogramEqualize(const Tensor& images, int channels) {
+  UV_CHECK_GT(channels, 0);
+  UV_CHECK_EQ(images.cols() % channels, 0);
+  const int plane = images.cols() / channels;
+  constexpr int kBins = 64;
+  Tensor out(images.rows(), images.cols());
+  std::vector<int> hist(kBins);
+  for (int i = 0; i < images.rows(); ++i) {
+    const float* src = images.row(i);
+    float* dst = out.row(i);
+    for (int c = 0; c < channels; ++c) {
+      const float* p = src + static_cast<size_t>(c) * plane;
+      float* q = dst + static_cast<size_t>(c) * plane;
+      std::fill(hist.begin(), hist.end(), 0);
+      for (int k = 0; k < plane; ++k) {
+        const int bin = std::min(
+            kBins - 1, static_cast<int>(std::clamp(p[k], 0.0f, 1.0f) *
+                                        kBins));
+        ++hist[bin];
+      }
+      // Cumulative distribution -> equalized intensity.
+      std::vector<float> cdf(kBins);
+      int acc = 0;
+      for (int b = 0; b < kBins; ++b) {
+        acc += hist[b];
+        cdf[b] = static_cast<float>(acc) / plane;
+      }
+      for (int k = 0; k < plane; ++k) {
+        const int bin = std::min(
+            kBins - 1, static_cast<int>(std::clamp(p[k], 0.0f, 1.0f) *
+                                        kBins));
+        q[k] = cdf[bin];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace uv::features

@@ -1,0 +1,50 @@
+#ifndef UV_FEATURES_IMAGE_ENCODER_H_
+#define UV_FEATURES_IMAGE_ENCODER_H_
+
+#include <cstdint>
+
+#include "autograd/ops.h"
+#include "tensor/tensor.h"
+
+namespace uv::features {
+
+// Frozen convolutional feature extractor standing in for the paper's
+// ImageNet-pretrained VGG16 (with top FC layers removed). Like VGG16 in the
+// paper, it is *not* trained with the detector: it is seeded once,
+// independent of any city, and used purely as a fixed feature map.
+//
+// Architecture: [conv3x3 -> relu -> maxpool2]x3 over 3 x S x S tiles, then a
+// fixed random projection of the flattened activation to `out_dim`.
+// The paper's 4096-d output is reachable via out_dim=4096; the default 256
+// keeps laptop-scale runtime (see DESIGN.md section 1).
+class ConvEncoder {
+ public:
+  struct Options {
+    int image_size = 32;
+    int out_dim = 256;
+    uint64_t seed = 7;   // Plays the role of "ImageNet pretraining".
+    int batch_size = 256;  // Images encoded per forward chunk.
+  };
+
+  explicit ConvEncoder(const Options& options);
+
+  // Encodes (N x 3*S*S) raw tiles into (N x out_dim) features.
+  Tensor Encode(const Tensor& images) const;
+
+  int out_dim() const { return options_.out_dim; }
+
+ private:
+  Options options_;
+  Tensor w1_, b1_, w2_, b2_, w3_, b3_;
+  Tensor proj_;
+  ag::Conv2dSpec spec1_, spec2_, spec3_;
+  int flat_dim_ = 0;
+};
+
+// Per-channel histogram equalization, the preprocessing UVLens applies to
+// satellite imagery before its CNN backbone (paper Appendix I-A).
+Tensor HistogramEqualize(const Tensor& images, int channels);
+
+}  // namespace uv::features
+
+#endif  // UV_FEATURES_IMAGE_ENCODER_H_

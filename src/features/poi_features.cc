@@ -1,0 +1,156 @@
+#include "features/poi_features.h"
+
+#include <cmath>
+#include <deque>
+#include <functional>
+#include <limits>
+
+#include "graph/grid.h"
+#include "util/check.h"
+
+namespace uv::features {
+namespace {
+
+using synth::City;
+using synth::Poi;
+
+// Multi-source BFS over the 4-connected grid from all cells containing an
+// anchor; returns distance in metres (cell hops * cell size).
+std::vector<float> GridBfsDistance(const City& city,
+                                   const std::vector<uint8_t>& is_seed) {
+  const auto& grid = city.grid;
+  const int n = grid.num_regions();
+  std::vector<float> dist(n, std::numeric_limits<float>::infinity());
+  std::deque<int> queue;
+  for (int id = 0; id < n; ++id) {
+    if (is_seed[id]) {
+      dist[id] = 0.0f;
+      queue.push_back(id);
+    }
+  }
+  const int drs[] = {-1, 1, 0, 0};
+  const int dcs[] = {0, 0, -1, 1};
+  while (!queue.empty()) {
+    const int cur = queue.front();
+    queue.pop_front();
+    const int row = grid.RowOf(cur), col = grid.ColOf(cur);
+    for (int k = 0; k < 4; ++k) {
+      const int nr = row + drs[k], nc = col + dcs[k];
+      if (!grid.InBounds(nr, nc)) continue;
+      const int nxt = grid.RegionId(nr, nc);
+      const float cand = dist[cur] + static_cast<float>(grid.cell_meters);
+      if (cand < dist[nxt]) {
+        dist[nxt] = cand;
+        queue.push_back(nxt);
+      }
+    }
+  }
+  return dist;
+}
+
+// Paper's radius discretization: <0.5km, 0.5-1.5km, 1.5-3km, >3km.
+float RadiusBucketValue(float meters) {
+  if (meters < 500.0f) return 0.0f;
+  if (meters < 1500.0f) return 1.0f / 3.0f;
+  if (meters < 3000.0f) return 2.0f / 3.0f;
+  return 1.0f;
+}
+
+float LogCount(int count) {
+  // log-scaled count, roughly in [0, 1] for realistic POI densities.
+  return std::log1p(static_cast<float>(count)) / std::log(64.0f);
+}
+
+}  // namespace
+
+std::vector<float> NearestAnchorDistance(
+    const City& city, const std::function<bool(const Poi&)>& is_anchor) {
+  std::vector<uint8_t> seeds(city.num_regions(), 0);
+  for (const Poi& poi : city.pois) {
+    if (is_anchor(poi)) {
+      seeds[city.grid.RegionAt(poi.x, poi.y)] = 1;
+    }
+  }
+  return GridBfsDistance(city, seeds);
+}
+
+Tensor BuildPoiFeatures(const City& city) {
+  const auto& grid = city.grid;
+  const int n = city.num_regions();
+  Tensor out(n, kPoiFeatureDim);
+
+  // Per-region category counts.
+  std::vector<std::vector<int>> cat_counts(
+      n, std::vector<int>(synth::kNumPoiCategories, 0));
+  for (int id = 0; id < n; ++id) {
+    for (int pid : city.pois_by_region[id]) {
+      ++cat_counts[id][static_cast<int>(city.pois[pid].category)];
+    }
+  }
+
+  // Radius features per type.
+  std::vector<std::vector<float>> radius_dist(synth::kNumRadiusTypes);
+  for (int t = 0; t < synth::kNumRadiusTypes; ++t) {
+    radius_dist[t] = NearestAnchorDistance(city, [t](const Poi& p) {
+      return static_cast<int>(p.radius_type) == t;
+    });
+  }
+
+  // Facility distances per facility type (for the binary index).
+  std::vector<std::vector<float>> facility_dist(synth::kNumFacilityTypes);
+  for (int t = 0; t < synth::kNumFacilityTypes; ++t) {
+    facility_dist[t] = NearestAnchorDistance(city, [t](const Poi& p) {
+      return static_cast<int>(p.facility_type) == t;
+    });
+  }
+
+  for (int id = 0; id < n; ++id) {
+    float* f = out.row(id);
+    // Own-cell distribution + count.
+    int own_total = 0;
+    for (int c = 0; c < synth::kNumPoiCategories; ++c) {
+      own_total += cat_counts[id][c];
+    }
+    if (own_total > 0) {
+      for (int c = 0; c < synth::kNumPoiCategories; ++c) {
+        f[c] = static_cast<float>(cat_counts[id][c]) / own_total;
+      }
+    }
+    f[23] = LogCount(own_total);
+
+    // 3x3-window distribution + count (paper: "additionally calculate the
+    // category distribution in the 3x3 grids centred by the given region").
+    int win_total = 0;
+    std::vector<int> win_counts(synth::kNumPoiCategories, 0);
+    for (int w : graph::WindowRegions(grid, id, 1)) {
+      for (int c = 0; c < synth::kNumPoiCategories; ++c) {
+        win_counts[c] += cat_counts[w][c];
+      }
+    }
+    for (int c = 0; c < synth::kNumPoiCategories; ++c) win_total += win_counts[c];
+    if (win_total > 0) {
+      for (int c = 0; c < synth::kNumPoiCategories; ++c) {
+        f[24 + c] = static_cast<float>(win_counts[c]) / win_total;
+      }
+    }
+    f[47] = LogCount(win_total);
+
+    // Radius buckets.
+    for (int t = 0; t < synth::kNumRadiusTypes; ++t) {
+      f[48 + t] = RadiusBucketValue(radius_dist[t][id]);
+    }
+
+    // Basic-living-facility index: all 9 within 1 km.
+    bool all_close = true;
+    for (int t = 0; t < synth::kNumFacilityTypes; ++t) {
+      if (facility_dist[t][id] > 1000.0f) {
+        all_close = false;
+        break;
+      }
+    }
+    f[63] = all_close ? 1.0f : 0.0f;
+  }
+  return out;
+}
+
+}  // namespace uv::features

@@ -1,0 +1,46 @@
+#ifndef UV_FEATURES_POI_FEATURES_H_
+#define UV_FEATURES_POI_FEATURES_H_
+
+#include <functional>
+#include <vector>
+
+#include "synth/city.h"
+#include "tensor/tensor.h"
+
+namespace uv::features {
+
+// Column layout of the 64-d POI feature vector (paper Section IV-B + the
+// "64-dimension POI features" of Section VI-A):
+//   [0, 23)   own-cell category distribution (ratios over 23 categories)
+//   [23]      own-cell POI count, log-scaled
+//   [24, 47)  3x3-window category distribution
+//   [47]      3x3-window POI count, log-scaled
+//   [48, 63)  radius features: discretized shortest distance to each of the
+//             15 radius POI types, buckets {<0.5km, 0.5-1.5, 1.5-3, >3km}
+//             encoded as {0, 1/3, 2/3, 1}
+//   [63]      index of basic living facility (1 iff all 9 facility types
+//             are within 1 km)
+inline constexpr int kPoiFeatureDim = 64;
+
+// Feature-group column ranges, used by the Fig. 5(b) data ablations.
+struct PoiFeatureGroups {
+  static constexpr int kCategoryBegin = 0;
+  static constexpr int kCategoryEnd = 48;  // Both windows + counts.
+  static constexpr int kRadiusBegin = 48;
+  static constexpr int kRadiusEnd = 63;
+  static constexpr int kIndexBegin = 63;
+  static constexpr int kIndexEnd = 64;
+};
+
+// Builds the (N x 64) POI feature matrix for a generated city.
+Tensor BuildPoiFeatures(const synth::City& city);
+
+// Shortest cell-BFS distance (in metres, 4-connected grid) from every region
+// to the nearest POI satisfying `is_anchor(poi)`; unreachable = +inf.
+// Exposed for tests and for the facility-index computation.
+std::vector<float> NearestAnchorDistance(
+    const synth::City& city, const std::function<bool(const synth::Poi&)>& is_anchor);
+
+}  // namespace uv::features
+
+#endif  // UV_FEATURES_POI_FEATURES_H_

@@ -1,0 +1,74 @@
+#include "graph/csr_graph.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace uv::graph {
+
+CsrGraph CsrGraph::FromEdges(int num_nodes, const std::vector<Edge>& edges,
+                             bool symmetrize, bool add_self_loops) {
+  UV_CHECK_GE(num_nodes, 0);
+  std::vector<Edge> all;
+  all.reserve(edges.size() * (symmetrize ? 2 : 1) +
+              (add_self_loops ? num_nodes : 0));
+  for (const Edge& e : edges) {
+    UV_CHECK_GE(e.first, 0);
+    UV_CHECK_LT(e.first, num_nodes);
+    UV_CHECK_GE(e.second, 0);
+    UV_CHECK_LT(e.second, num_nodes);
+    all.push_back(e);
+    if (symmetrize && e.first != e.second) {
+      all.emplace_back(e.second, e.first);
+    }
+  }
+  if (add_self_loops) {
+    for (int i = 0; i < num_nodes; ++i) all.emplace_back(i, i);
+  }
+  // Group by destination, then by source; drop duplicates.
+  std::sort(all.begin(), all.end(),
+            [](const Edge& a, const Edge& b) {
+              return a.second != b.second ? a.second < b.second
+                                          : a.first < b.first;
+            });
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+
+  auto offsets = std::make_shared<std::vector<int>>(num_nodes + 1, 0);
+  auto neighbors = std::make_shared<std::vector<int>>();
+  neighbors->reserve(all.size());
+  int current = 0;
+  for (const Edge& e : all) {
+    while (current < e.second) {
+      (*offsets)[++current] = static_cast<int>(neighbors->size());
+    }
+    neighbors->push_back(e.first);
+  }
+  while (current < num_nodes) {
+    (*offsets)[++current] = static_cast<int>(neighbors->size());
+  }
+
+  CsrGraph g;
+  g.num_nodes_ = num_nodes;
+  g.offsets_ = std::move(offsets);
+  g.neighbors_ = std::move(neighbors);
+  return g;
+}
+
+bool CsrGraph::HasEdge(int src, int dst) const {
+  UV_CHECK_GE(dst, 0);
+  UV_CHECK_LT(dst, num_nodes_);
+  const auto& off = *offsets_;
+  const auto begin = neighbors_->begin() + off[dst];
+  const auto end = neighbors_->begin() + off[dst + 1];
+  return std::binary_search(begin, end, src);
+}
+
+std::vector<int> CsrGraph::InNeighbors(int dst) const {
+  UV_CHECK_GE(dst, 0);
+  UV_CHECK_LT(dst, num_nodes_);
+  const auto& off = *offsets_;
+  return std::vector<int>(neighbors_->begin() + off[dst],
+                          neighbors_->begin() + off[dst + 1]);
+}
+
+}  // namespace uv::graph

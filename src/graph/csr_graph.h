@@ -1,0 +1,59 @@
+#ifndef UV_GRAPH_CSR_GRAPH_H_
+#define UV_GRAPH_CSR_GRAPH_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace uv::graph {
+
+using Edge = std::pair<int, int>;  // (src, dst)
+
+// Compressed-sparse-row graph grouped by destination node: for node i, the
+// sources of its incoming edges are neighbors()[offsets()[i] ..
+// offsets()[i+1]). This is exactly the layout the autograd segment ops
+// consume, so a CsrGraph can be handed to the GNN layers without copying.
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  // Builds from an edge list. If `symmetrize` is set, every edge is inserted
+  // in both directions. If `add_self_loops` is set, (i, i) is added for every
+  // node. Duplicate edges are removed.
+  static CsrGraph FromEdges(int num_nodes, const std::vector<Edge>& edges,
+                            bool symmetrize, bool add_self_loops);
+
+  int num_nodes() const { return num_nodes_; }
+  int64_t num_edges() const {
+    return neighbors_ ? static_cast<int64_t>(neighbors_->size()) : 0;
+  }
+
+  // Shared so the autograd ops can hold references without copying.
+  const std::shared_ptr<const std::vector<int>>& offsets() const {
+    return offsets_;
+  }
+  const std::shared_ptr<const std::vector<int>>& neighbors() const {
+    return neighbors_;
+  }
+
+  // In-degree of node i.
+  int Degree(int i) const {
+    return (*offsets_)[i + 1] - (*offsets_)[i];
+  }
+
+  // Whether an edge src -> dst exists (binary search in the dst segment).
+  bool HasEdge(int src, int dst) const;
+
+  // Sources of edges into `dst`.
+  std::vector<int> InNeighbors(int dst) const;
+
+ private:
+  int num_nodes_ = 0;
+  std::shared_ptr<const std::vector<int>> offsets_;
+  std::shared_ptr<const std::vector<int>> neighbors_;
+};
+
+}  // namespace uv::graph
+
+#endif  // UV_GRAPH_CSR_GRAPH_H_

@@ -1,0 +1,59 @@
+#include "graph/grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace uv::graph {
+
+double GridSpec::CenterDistanceMeters(int a, int b) const {
+  const double dx = CenterX(a) - CenterX(b);
+  const double dy = CenterY(a) - CenterY(b);
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+int GridSpec::RegionAt(double x, double y) const {
+  int col = static_cast<int>(x / cell_meters);
+  int row = static_cast<int>(y / cell_meters);
+  col = std::clamp(col, 0, width - 1);
+  row = std::clamp(row, 0, height - 1);
+  return RegionId(row, col);
+}
+
+std::vector<Edge> BuildSpatialProximityEdges(const GridSpec& grid) {
+  UV_CHECK_GT(grid.height, 0);
+  UV_CHECK_GT(grid.width, 0);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(grid.num_regions()) * 8);
+  for (int r = 0; r < grid.height; ++r) {
+    for (int c = 0; c < grid.width; ++c) {
+      const int id = grid.RegionId(r, c);
+      for (int dr = -1; dr <= 1; ++dr) {
+        for (int dc = -1; dc <= 1; ++dc) {
+          if (dr == 0 && dc == 0) continue;
+          if (!grid.InBounds(r + dr, c + dc)) continue;
+          edges.emplace_back(grid.RegionId(r + dr, c + dc), id);
+        }
+      }
+    }
+  }
+  return edges;
+}
+
+std::vector<int> WindowRegions(const GridSpec& grid, int id, int radius) {
+  const int row = grid.RowOf(id);
+  const int col = grid.ColOf(id);
+  std::vector<int> out;
+  out.reserve((2 * radius + 1) * (2 * radius + 1));
+  for (int dr = -radius; dr <= radius; ++dr) {
+    for (int dc = -radius; dc <= radius; ++dc) {
+      if (grid.InBounds(row + dr, col + dc)) {
+        out.push_back(grid.RegionId(row + dr, col + dc));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace uv::graph

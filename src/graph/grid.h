@@ -1,0 +1,48 @@
+#ifndef UV_GRAPH_GRID_H_
+#define UV_GRAPH_GRID_H_
+
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace uv::graph {
+
+// Geometry of the H x W region-grid partition of an urban area (paper
+// Section III: N = H*W non-overlapping 128m x 128m grids). Region ids are
+// row-major: id = row * width + col.
+struct GridSpec {
+  int height = 0;
+  int width = 0;
+  double cell_meters = 128.0;  // Paper: 128m x 128m grids.
+
+  int num_regions() const { return height * width; }
+  int RegionId(int row, int col) const { return row * width + col; }
+  int RowOf(int id) const { return id / width; }
+  int ColOf(int id) const { return id % width; }
+  bool InBounds(int row, int col) const {
+    return row >= 0 && row < height && col >= 0 && col < width;
+  }
+
+  // Centre coordinates of a region in metres from the grid origin.
+  double CenterX(int id) const { return (ColOf(id) + 0.5) * cell_meters; }
+  double CenterY(int id) const { return (RowOf(id) + 0.5) * cell_meters; }
+
+  // Euclidean distance between region centres, in metres.
+  double CenterDistanceMeters(int a, int b) const;
+
+  // Region containing the point (x, y) in metres, clamped to bounds.
+  int RegionAt(double x, double y) const;
+};
+
+// Spatial-proximity edges: each region is connected to its (up to) eight
+// neighbours in the 3x3 window (paper Fig. 1a). Returns directed edges in
+// both directions.
+std::vector<Edge> BuildSpatialProximityEdges(const GridSpec& grid);
+
+// Ids of the regions in the (2*radius+1)^2 window centred on `id`,
+// including `id` itself, clipped to the grid bounds.
+std::vector<int> WindowRegions(const GridSpec& grid, int id, int radius);
+
+}  // namespace uv::graph
+
+#endif  // UV_GRAPH_GRID_H_

@@ -1,0 +1,109 @@
+#include "graph/road_network.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace uv::graph {
+
+int RoadNetwork::AddIntersection(double x, double y) {
+  intersections_.push_back({x, y});
+  adjacency_.emplace_back();
+  return static_cast<int>(intersections_.size()) - 1;
+}
+
+void RoadNetwork::AddSegment(int a, int b) {
+  UV_CHECK_GE(a, 0);
+  UV_CHECK_LT(a, num_intersections());
+  UV_CHECK_GE(b, 0);
+  UV_CHECK_LT(b, num_intersections());
+  UV_CHECK_NE(a, b);
+  // Keep adjacency duplicate-free.
+  if (std::find(adjacency_[a].begin(), adjacency_[a].end(), b) !=
+      adjacency_[a].end()) {
+    return;
+  }
+  adjacency_[a].push_back(b);
+  adjacency_[b].push_back(a);
+  ++num_segments_;
+}
+
+std::vector<Edge> RoadNetwork::BuildRegionConnectivityEdges(
+    const GridSpec& grid, int max_hops) const {
+  UV_CHECK_GT(max_hops, 0);
+  const int n = num_intersections();
+  // Region that each intersection falls in.
+  std::vector<int> region_of(n);
+  for (int i = 0; i < n; ++i) {
+    region_of[i] = grid.RegionAt(intersections_[i].x, intersections_[i].y);
+  }
+
+  std::unordered_set<int64_t> pair_keys;
+  std::vector<int> depth(n, -1);
+  std::vector<int> touched;
+  std::deque<int> queue;
+  for (int start = 0; start < n; ++start) {
+    const int ra = region_of[start];
+    // Bounded BFS from this intersection.
+    queue.clear();
+    queue.push_back(start);
+    depth[start] = 0;
+    touched.push_back(start);
+    while (!queue.empty()) {
+      const int u = queue.front();
+      queue.pop_front();
+      if (depth[u] == max_hops) continue;
+      for (int v : adjacency_[u]) {
+        if (depth[v] != -1) continue;
+        depth[v] = depth[u] + 1;
+        touched.push_back(v);
+        queue.push_back(v);
+        const int rb = region_of[v];
+        if (rb != ra) {
+          const int lo = std::min(ra, rb);
+          const int hi = std::max(ra, rb);
+          pair_keys.insert(static_cast<int64_t>(lo) * grid.num_regions() + hi);
+        }
+      }
+    }
+    for (int t : touched) depth[t] = -1;
+    touched.clear();
+  }
+
+  std::vector<Edge> edges;
+  edges.reserve(pair_keys.size() * 2);
+  for (int64_t key : pair_keys) {
+    const int lo = static_cast<int>(key / grid.num_regions());
+    const int hi = static_cast<int>(key % grid.num_regions());
+    edges.emplace_back(lo, hi);
+    edges.emplace_back(hi, lo);
+  }
+  return edges;
+}
+
+int RoadNetwork::HopDistance(int from, int to) const {
+  UV_CHECK_GE(from, 0);
+  UV_CHECK_LT(from, num_intersections());
+  UV_CHECK_GE(to, 0);
+  UV_CHECK_LT(to, num_intersections());
+  if (from == to) return 0;
+  std::vector<int> depth(num_intersections(), -1);
+  std::deque<int> queue;
+  depth[from] = 0;
+  queue.push_back(from);
+  while (!queue.empty()) {
+    const int u = queue.front();
+    queue.pop_front();
+    for (int v : adjacency_[u]) {
+      if (depth[v] != -1) continue;
+      depth[v] = depth[u] + 1;
+      if (v == to) return depth[v];
+      queue.push_back(v);
+    }
+  }
+  return -1;
+}
+
+}  // namespace uv::graph

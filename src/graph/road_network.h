@@ -1,0 +1,50 @@
+#ifndef UV_GRAPH_ROAD_NETWORK_H_
+#define UV_GRAPH_ROAD_NETWORK_H_
+
+#include <vector>
+
+#include "graph/grid.h"
+
+namespace uv::graph {
+
+// Road-network graph in the representation of the paper's data source
+// (Karduni et al.): nodes are intersections with planar coordinates in
+// metres, edges are road segments connecting intersections.
+class RoadNetwork {
+ public:
+  struct Intersection {
+    double x = 0.0;
+    double y = 0.0;
+  };
+
+  int AddIntersection(double x, double y);
+  // Adds an undirected road segment between two intersections.
+  void AddSegment(int a, int b);
+
+  int num_intersections() const {
+    return static_cast<int>(intersections_.size());
+  }
+  int64_t num_segments() const { return num_segments_; }
+  const Intersection& intersection(int i) const { return intersections_[i]; }
+  const std::vector<int>& Neighbors(int i) const { return adjacency_[i]; }
+
+  // Region-connectivity rule of paper Section IV-A: regions v_i and v_j are
+  // "mutually connected by roads" if some intersection located in v_i can
+  // reach some intersection located in v_j within `max_hops` road segments.
+  // Returns undirected region pairs as directed edges in both directions;
+  // self pairs are skipped.
+  std::vector<Edge> BuildRegionConnectivityEdges(const GridSpec& grid,
+                                                 int max_hops) const;
+
+  // Hop distance between two intersections (BFS), or -1 if unreachable.
+  int HopDistance(int from, int to) const;
+
+ private:
+  std::vector<Intersection> intersections_;
+  std::vector<std::vector<int>> adjacency_;
+  int64_t num_segments_ = 0;
+};
+
+}  // namespace uv::graph
+
+#endif  // UV_GRAPH_ROAD_NETWORK_H_

@@ -1,0 +1,110 @@
+#include "io/serialize.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace uv::io {
+namespace {
+
+constexpr char kMagic[4] = {'U', 'V', 'T', '1'};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+Status SaveTensors(const std::string& path,
+                   const std::vector<Tensor>& tensors) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IoError("cannot open for write: " + path);
+  if (std::fwrite(kMagic, 1, 4, f.get()) != 4) {
+    return Status::IoError("write failed: " + path);
+  }
+  const int32_t count = static_cast<int32_t>(tensors.size());
+  std::fwrite(&count, sizeof(count), 1, f.get());
+  for (const Tensor& t : tensors) {
+    const int32_t rows = t.rows(), cols = t.cols();
+    std::fwrite(&rows, sizeof(rows), 1, f.get());
+    std::fwrite(&cols, sizeof(cols), 1, f.get());
+    const size_t n = static_cast<size_t>(t.size());
+    if (n > 0 && std::fwrite(t.data(), sizeof(float), n, f.get()) != n) {
+      return Status::IoError("write failed: " + path);
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::vector<Tensor>> LoadTensors(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IoError("cannot open for read: " + path);
+  char magic[4];
+  if (std::fread(magic, 1, 4, f.get()) != 4 ||
+      std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::IoError("bad magic in " + path);
+  }
+  int32_t count = 0;
+  if (std::fread(&count, sizeof(count), 1, f.get()) != 1 || count < 0) {
+    return Status::IoError("bad tensor count in " + path);
+  }
+  std::vector<Tensor> tensors;
+  tensors.reserve(count);
+  for (int32_t i = 0; i < count; ++i) {
+    int32_t rows = 0, cols = 0;
+    if (std::fread(&rows, sizeof(rows), 1, f.get()) != 1 ||
+        std::fread(&cols, sizeof(cols), 1, f.get()) != 1 || rows < 0 ||
+        cols < 0) {
+      return Status::IoError("bad tensor header in " + path);
+    }
+    Tensor t(rows, cols);
+    const size_t n = static_cast<size_t>(t.size());
+    if (n > 0 && std::fread(t.data(), sizeof(float), n, f.get()) != n) {
+      return Status::IoError("truncated tensor data in " + path);
+    }
+    tensors.push_back(std::move(t));
+  }
+  return tensors;
+}
+
+Status SaveParams(const std::string& path,
+                  const std::vector<ag::VarPtr>& params) {
+  std::vector<Tensor> tensors;
+  tensors.reserve(params.size());
+  for (const auto& p : params) tensors.push_back(p->value);
+  return SaveTensors(path, tensors);
+}
+
+Status LoadParams(const std::string& path,
+                  const std::vector<ag::VarPtr>& params) {
+  auto loaded = LoadTensors(path);
+  if (!loaded.ok()) return loaded.status();
+  const auto& tensors = loaded.value();
+  if (tensors.size() != params.size()) {
+    return Status::InvalidArgument("parameter count mismatch for " + path);
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (!tensors[i].SameShape(params[i]->value)) {
+      return Status::InvalidArgument("parameter shape mismatch for " + path);
+    }
+    params[i]->value = tensors[i];
+  }
+  return Status::Ok();
+}
+
+Status SaveTensorCsv(const std::string& path, const Tensor& tensor) {
+  FilePtr f(std::fopen(path.c_str(), "w"));
+  if (!f) return Status::IoError("cannot open for write: " + path);
+  for (int r = 0; r < tensor.rows(); ++r) {
+    for (int c = 0; c < tensor.cols(); ++c) {
+      std::fprintf(f.get(), c ? ",%g" : "%g", tensor.at(r, c));
+    }
+    std::fputc('\n', f.get());
+  }
+  return Status::Ok();
+}
+
+}  // namespace uv::io

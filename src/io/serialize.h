@@ -1,0 +1,30 @@
+#ifndef UV_IO_SERIALIZE_H_
+#define UV_IO_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace uv::io {
+
+// Binary tensor-list container ("UVT1" magic). Used for model checkpoints:
+// parameters are written/read in their canonical Params() order.
+Status SaveTensors(const std::string& path, const std::vector<Tensor>& tensors);
+StatusOr<std::vector<Tensor>> LoadTensors(const std::string& path);
+
+// Convenience wrappers over a parameter list. Loading requires the shapes
+// on disk to match the existing parameters exactly.
+Status SaveParams(const std::string& path,
+                  const std::vector<ag::VarPtr>& params);
+Status LoadParams(const std::string& path,
+                  const std::vector<ag::VarPtr>& params);
+
+// Writes a tensor as CSV (one row per line), for external analysis.
+Status SaveTensorCsv(const std::string& path, const Tensor& tensor);
+
+}  // namespace uv::io
+
+#endif  // UV_IO_SERIALIZE_H_

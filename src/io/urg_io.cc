@@ -1,0 +1,172 @@
+#include "io/urg_io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace uv::io {
+namespace {
+
+constexpr char kMagic[4] = {'U', 'V', 'G', '1'};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+bool WriteI32(std::FILE* f, int32_t v) {
+  return std::fwrite(&v, sizeof(v), 1, f) == 1;
+}
+bool WriteI64(std::FILE* f, int64_t v) {
+  return std::fwrite(&v, sizeof(v), 1, f) == 1;
+}
+bool WriteF64(std::FILE* f, double v) {
+  return std::fwrite(&v, sizeof(v), 1, f) == 1;
+}
+bool ReadI32(std::FILE* f, int32_t* v) {
+  return std::fread(v, sizeof(*v), 1, f) == 1;
+}
+bool ReadI64(std::FILE* f, int64_t* v) {
+  return std::fread(v, sizeof(*v), 1, f) == 1;
+}
+bool ReadF64(std::FILE* f, double* v) {
+  return std::fread(v, sizeof(*v), 1, f) == 1;
+}
+
+bool WriteIntVector(std::FILE* f, const std::vector<int>& v) {
+  if (!WriteI64(f, static_cast<int64_t>(v.size()))) return false;
+  return v.empty() ||
+         std::fwrite(v.data(), sizeof(int), v.size(), f) == v.size();
+}
+
+bool ReadIntVector(std::FILE* f, std::vector<int>* v) {
+  int64_t n = 0;
+  if (!ReadI64(f, &n) || n < 0) return false;
+  v->resize(n);
+  return n == 0 ||
+         std::fread(v->data(), sizeof(int), v->size(), f) == v->size();
+}
+
+bool WriteTensor(std::FILE* f, const Tensor& t) {
+  if (!WriteI32(f, t.rows()) || !WriteI32(f, t.cols())) return false;
+  const size_t n = static_cast<size_t>(t.size());
+  return n == 0 || std::fwrite(t.data(), sizeof(float), n, f) == n;
+}
+
+bool ReadTensor(std::FILE* f, Tensor* t) {
+  int32_t rows = 0, cols = 0;
+  if (!ReadI32(f, &rows) || !ReadI32(f, &cols) || rows < 0 || cols < 0) {
+    return false;
+  }
+  *t = Tensor(rows, cols);
+  const size_t n = static_cast<size_t>(t->size());
+  return n == 0 || std::fread(t->data(), sizeof(float), n, f) == n;
+}
+
+}  // namespace
+
+Status SaveUrg(const std::string& path, const urg::UrbanRegionGraph& urg) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IoError("cannot open for write: " + path);
+  std::FILE* fp = f.get();
+
+  bool ok = std::fwrite(kMagic, 1, 4, fp) == 4;
+  // City metadata.
+  ok = ok && WriteI32(fp, static_cast<int32_t>(urg.city_name.size()));
+  ok = ok && (urg.city_name.empty() ||
+              std::fwrite(urg.city_name.data(), 1, urg.city_name.size(),
+                          fp) == urg.city_name.size());
+  ok = ok && WriteI32(fp, urg.grid.height) && WriteI32(fp, urg.grid.width) &&
+       WriteF64(fp, urg.grid.cell_meters);
+  // Adjacency (CSR by destination).
+  ok = ok && WriteIntVector(fp, *urg.adjacency.offsets());
+  ok = ok && WriteIntVector(fp, *urg.adjacency.neighbors());
+  // Features.
+  ok = ok && WriteTensor(fp, urg.poi_features);
+  ok = ok && WriteTensor(fp, urg.image_features);
+  // Labels + ground truth.
+  ok = ok && WriteIntVector(fp, urg.labels);
+  std::vector<int> is_uv(urg.is_uv.begin(), urg.is_uv.end());
+  ok = ok && WriteIntVector(fp, is_uv);
+  // Edge statistics.
+  ok = ok && WriteI64(fp, urg.num_spatial_edges) &&
+       WriteI64(fp, urg.num_road_edges) && WriteI64(fp, urg.num_edges);
+  // Raw tiles (optional).
+  ok = ok && WriteI32(fp, urg.image_size);
+  ok = ok && WriteI32(fp, urg.images != nullptr ? 1 : 0);
+  if (urg.images != nullptr) ok = ok && WriteTensor(fp, *urg.images);
+  return ok ? Status::Ok() : Status::IoError("write failed: " + path);
+}
+
+StatusOr<urg::UrbanRegionGraph> LoadUrg(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IoError("cannot open for read: " + path);
+  std::FILE* fp = f.get();
+
+  char magic[4];
+  if (std::fread(magic, 1, 4, fp) != 4 ||
+      std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::IoError("bad magic in " + path);
+  }
+  urg::UrbanRegionGraph urg;
+  int32_t name_len = 0;
+  if (!ReadI32(fp, &name_len) || name_len < 0 || name_len > 4096) {
+    return Status::IoError("bad header in " + path);
+  }
+  urg.city_name.resize(name_len);
+  if (name_len > 0 && std::fread(urg.city_name.data(), 1, name_len, fp) !=
+                          static_cast<size_t>(name_len)) {
+    return Status::IoError("truncated header in " + path);
+  }
+  if (!ReadI32(fp, &urg.grid.height) || !ReadI32(fp, &urg.grid.width) ||
+      !ReadF64(fp, &urg.grid.cell_meters)) {
+    return Status::IoError("truncated grid in " + path);
+  }
+
+  std::vector<int> offsets, neighbors;
+  if (!ReadIntVector(fp, &offsets) || !ReadIntVector(fp, &neighbors)) {
+    return Status::IoError("truncated adjacency in " + path);
+  }
+  const int n = urg.grid.num_regions();
+  if (static_cast<int>(offsets.size()) != n + 1 ||
+      (offsets.empty() ? 0 : offsets.back()) !=
+          static_cast<int>(neighbors.size())) {
+    return Status::InvalidArgument("inconsistent adjacency in " + path);
+  }
+  // Rebuild the CSR graph through its public constructor path.
+  std::vector<graph::Edge> edges;
+  edges.reserve(neighbors.size());
+  for (int dst = 0; dst < n; ++dst) {
+    for (int e = offsets[dst]; e < offsets[dst + 1]; ++e) {
+      edges.emplace_back(neighbors[e], dst);
+    }
+  }
+  urg.adjacency = graph::CsrGraph::FromEdges(n, edges, /*symmetrize=*/false,
+                                             /*add_self_loops=*/false);
+
+  std::vector<int> is_uv;
+  bool ok = ReadTensor(fp, &urg.poi_features) &&
+            ReadTensor(fp, &urg.image_features) &&
+            ReadIntVector(fp, &urg.labels) && ReadIntVector(fp, &is_uv);
+  urg.is_uv.assign(is_uv.begin(), is_uv.end());
+  ok = ok && ReadI64(fp, &urg.num_spatial_edges) &&
+       ReadI64(fp, &urg.num_road_edges) && ReadI64(fp, &urg.num_edges);
+  int32_t image_size = 0, has_images = 0;
+  ok = ok && ReadI32(fp, &image_size) && ReadI32(fp, &has_images);
+  urg.image_size = image_size;
+  if (ok && has_images == 1) {
+    auto images = std::make_shared<Tensor>();
+    ok = ReadTensor(fp, images.get());
+    urg.images = std::move(images);
+  }
+  if (!ok) return Status::IoError("truncated payload in " + path);
+  if (urg.poi_features.rows() != n ||
+      static_cast<int>(urg.labels.size()) != n) {
+    return Status::InvalidArgument("inconsistent payload in " + path);
+  }
+  return urg;
+}
+
+}  // namespace uv::io

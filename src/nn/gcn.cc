@@ -1,0 +1,13 @@
+#include "nn/gcn.h"
+
+namespace uv::nn {
+
+ag::VarPtr GcnLayer::Forward(const ag::VarPtr& x,
+                             const GraphContext& ctx) const {
+  // Transform first (cheaper when out_dim <= in_dim), then aggregate.
+  ag::VarPtr h = lin_.Forward(x);
+  ag::VarPtr gathered = ag::GatherRows(h, ctx.src_ids);
+  return ag::SegmentWeightedSum(ctx.gcn_norm, gathered, ctx.offsets);
+}
+
+}  // namespace uv::nn

@@ -1,0 +1,36 @@
+#include "nn/graph_context.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace uv::nn {
+
+GraphContext GraphContext::FromCsr(const graph::CsrGraph& g) {
+  GraphContext ctx;
+  ctx.num_nodes = g.num_nodes();
+  ctx.offsets = g.offsets();
+  ctx.src_ids = g.neighbors();
+
+  auto dst = std::make_shared<std::vector<int>>();
+  dst->reserve(g.num_edges());
+  const auto& off = *ctx.offsets;
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    for (int e = off[i]; e < off[i + 1]; ++e) dst->push_back(i);
+  }
+  ctx.dst_ids = std::move(dst);
+
+  Tensor norm(static_cast<int>(g.num_edges()), 1);
+  const auto& src = *ctx.src_ids;
+  const auto& dsts = *ctx.dst_ids;
+  for (int64_t e = 0; e < g.num_edges(); ++e) {
+    const double d1 = std::max(1, g.Degree(dsts[e]));
+    const double d2 = std::max(1, g.Degree(src[e]));
+    norm.at(static_cast<int>(e), 0) =
+        static_cast<float>(1.0 / std::sqrt(d1 * d2));
+  }
+  ctx.gcn_norm = ag::MakeConst(std::move(norm));
+  return ctx;
+}
+
+}  // namespace uv::nn

@@ -1,0 +1,29 @@
+#ifndef UV_NN_GRAPH_CONTEXT_H_
+#define UV_NN_GRAPH_CONTEXT_H_
+
+#include <memory>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "graph/csr_graph.h"
+
+namespace uv::nn {
+
+// Constant per-graph index structures shared by every message-passing layer
+// operating on one URG: destination-grouped edge offsets, per-edge source
+// ids and per-edge destination ids, plus symmetric-normalized edge weights
+// for GCN-style aggregation. Built once per graph, reused across layers and
+// epochs.
+struct GraphContext {
+  std::shared_ptr<const std::vector<int>> offsets;  // Size N+1.
+  std::shared_ptr<const std::vector<int>> src_ids;  // Size E.
+  std::shared_ptr<const std::vector<int>> dst_ids;  // Size E.
+  ag::VarPtr gcn_norm;  // (E x 1) constant: 1/sqrt(deg_dst * deg_src).
+  int num_nodes = 0;
+
+  static GraphContext FromCsr(const graph::CsrGraph& g);
+};
+
+}  // namespace uv::nn
+
+#endif  // UV_NN_GRAPH_CONTEXT_H_

@@ -1,0 +1,174 @@
+#include "synth/archetype.h"
+
+#include "util/check.h"
+
+namespace uv::synth {
+
+const char* ArchetypeName(Archetype a) {
+  switch (a) {
+    case Archetype::kDowntownCore: return "DowntownCore";
+    case Archetype::kCommercial: return "Commercial";
+    case Archetype::kFormalResidential: return "FormalResidential";
+    case Archetype::kSuburbResidential: return "SuburbResidential";
+    case Archetype::kIndustrial: return "Industrial";
+    case Archetype::kGreenland: return "Greenland";
+    case Archetype::kUrbanVillage: return "UrbanVillage";
+    case Archetype::kOldTown: return "OldTown";
+  }
+  return "Unknown";
+}
+
+namespace {
+
+// Category weight order follows PoiCategory:
+//  0 FoodService, 1 Hotel, 2 ShoppingPlace, 3 LifeService, 4 BeautyIndustry,
+//  5 ScenicSpot, 6 LeisureEntertainment, 7 SportsFitness, 8 Education,
+//  9 CulturalMedia, 10 Medicine, 11 AutoService, 12 TransportationFacility,
+// 13 FinancialService, 14 RealEstate, 15 Company, 16 GovernmentApparatus,
+// 17 EntranceExit, 18 TopographicalObject, 19 Road, 20 Railway,
+// 21 Greenland, 22 BusRoute.
+//
+// Radius rate order follows RadiusType:
+//  0 Hospital, 1 Clinic, 2 College, 3 School, 4 BusStop, 5 SubwayStation,
+//  6 Airport, 7 TrainStation, 8 CoachStation, 9 ShoppingMall,
+// 10 Supermarket, 11 Market, 12 Shop, 13 PoliceStation, 14 ScenicSpot.
+
+const ArchetypeProfile kDowntown = {
+    /*poi_intensity=*/26.0,
+    {8, 4, 9, 6, 4, 1, 6, 2.5, 2, 3, 2, 1.5, 4, 6, 3, 12, 2, 2, 0.5, 2, 0.5,
+     0.5, 3},
+    {0.035, 0.10, 0.02, 0.05, 0.55, 0.12, 0.0004, 0.004, 0.004, 0.06, 0.11,
+     0.05, 0.85, 0.035, 0.012},
+    {0.32f, 0.31f, 0.33f},
+    {0.72f, 0.70f, 0.68f},
+    0.52f, 8.5f, 0.72f, 0.05f,
+};
+
+const ArchetypeProfile kCommercial = {
+    /*poi_intensity=*/18.0,
+    {9, 2.5, 10, 7, 4, 0.8, 5, 2, 2, 2, 2, 2, 3, 4, 3, 7, 1.2, 1.5, 0.5, 2,
+     0.4, 0.6, 2.5},
+    {0.02, 0.08, 0.008, 0.04, 0.42, 0.06, 0.0003, 0.002, 0.003, 0.045, 0.10,
+     0.06, 0.75, 0.025, 0.006},
+    {0.36f, 0.34f, 0.34f},
+    {0.66f, 0.63f, 0.60f},
+    0.45f, 7.0f, 0.68f, 0.05f,
+};
+
+const ArchetypeProfile kFormalResidential = {
+    /*poi_intensity=*/11.0,
+    {6, 0.8, 5.5, 7, 3, 0.4, 2.5, 2.2, 3.5, 1.5, 2.5, 1.5, 2.5, 2.5, 4, 1.5,
+     1, 2.5, 0.6, 1.8, 0.3, 1.8, 2.2},
+    {0.016, 0.075, 0.006, 0.05, 0.38, 0.035, 0.0002, 0.001, 0.002, 0.02,
+     0.085, 0.055, 0.45, 0.02, 0.004},
+    {0.40f, 0.40f, 0.38f},
+    {0.62f, 0.58f, 0.55f},
+    0.34f, 6.0f, 0.90f, 0.04f,
+};
+
+const ArchetypeProfile kSuburbResidential = {
+    /*poi_intensity=*/3.2,
+    {4, 0.4, 2.5, 4, 1, 0.5, 1, 0.8, 1.2, 0.4, 0.9, 1.5, 1.2, 0.6, 1.2, 0.8,
+     0.6, 1, 1.5, 2, 0.5, 2.5, 1},
+    {0.002, 0.015, 0.001, 0.012, 0.10, 0.004, 0.0002, 0.0008, 0.002, 0.002,
+     0.015, 0.015, 0.10, 0.005, 0.004},
+    {0.42f, 0.44f, 0.36f},
+    {0.58f, 0.54f, 0.50f},
+    0.16f, 4.5f, 0.62f, 0.05f,
+};
+
+const ArchetypeProfile kIndustrial = {
+    /*poi_intensity=*/4.5,
+    {1.5, 0.3, 0.8, 1.5, 0.2, 0.1, 0.3, 0.3, 0.3, 0.3, 0.3, 4, 2, 0.5, 0.5,
+     8, 0.5, 2, 0.8, 2.5, 1.2, 0.5, 1},
+    {0.001, 0.01, 0.001, 0.004, 0.10, 0.006, 0.0006, 0.002, 0.004, 0.001,
+     0.01, 0.008, 0.06, 0.006, 0.001},
+    {0.45f, 0.44f, 0.44f},
+    {0.70f, 0.69f, 0.70f},
+    0.38f, 12.0f, 0.82f, 0.04f,
+};
+
+const ArchetypeProfile kGreenland = {
+    /*poi_intensity=*/0.5,
+    {0.2, 0.05, 0.1, 0.1, 0.02, 1.5, 0.3, 0.2, 0.02, 0.05, 0.02, 0.05, 0.3,
+     0.02, 0.05, 0.05, 0.1, 0.3, 2, 0.8, 0.2, 5, 0.2},
+    {0.0002, 0.001, 0.0002, 0.001, 0.02, 0.001, 0.0001, 0.0002, 0.0005,
+     0.0002, 0.001, 0.001, 0.008, 0.001, 0.012},
+    {0.22f, 0.42f, 0.22f},
+    {0.35f, 0.48f, 0.32f},
+    0.03f, 3.0f, 0.30f, 0.05f,
+};
+
+// Urban villages: crowded low-end service POIs (food stalls, small shops,
+// life services), under-provisioned public facilities (hospitals, schools,
+// sports, finance), and a dense-irregular building texture. The profile is
+// deliberately a *moderate* shift from formal residential: with per-region
+// sampling noise the classes overlap, as in the real task.
+const ArchetypeProfile kUrbanVillage = {
+    /*poi_intensity=*/13.0,
+    {8.5, 1.0, 6.5, 8, 2.8, 0.2, 2.0, 0.9, 1.8, 0.8, 1.4, 1.2, 1.8, 1.2,
+     2.0, 1.0, 0.6, 1.8, 0.5, 1.5, 0.25, 0.8, 1.7},
+    {0.004, 0.04, 0.003, 0.025, 0.26, 0.015, 0.0001, 0.0007, 0.0015, 0.008,
+     0.045, 0.05, 0.50, 0.010, 0.002},
+    {0.38f, 0.36f, 0.33f},
+    {0.55f, 0.50f, 0.45f},
+    0.68f, 3.0f, 0.22f, 0.07f,
+};
+
+// Old town: dense historic-but-formal neighbourhoods. Close to the urban
+// village in every marginal statistic; the separating signal is contextual
+// (location band, surroundings), which is what the URG models exploit.
+const ArchetypeProfile kOldTown = {
+    /*poi_intensity=*/12.0,
+    {7.5, 1.2, 6.0, 7.5, 2.6, 0.6, 2.2, 1.4, 2.6, 1.2, 2.0, 1.2, 2.2, 1.8,
+     2.2, 1.6, 0.9, 2.0, 0.5, 1.6, 0.3, 1.2, 2.0},
+    {0.012, 0.06, 0.005, 0.04, 0.30, 0.028, 0.0002, 0.001, 0.002, 0.016,
+     0.07, 0.05, 0.40, 0.016, 0.003},
+    {0.39f, 0.38f, 0.36f},
+    {0.58f, 0.53f, 0.48f},
+    0.62f, 3.8f, 0.42f, 0.06f,
+};
+
+}  // namespace
+
+const ArchetypeProfile& GetProfile(Archetype a) {
+  switch (a) {
+    case Archetype::kDowntownCore: return kDowntown;
+    case Archetype::kCommercial: return kCommercial;
+    case Archetype::kFormalResidential: return kFormalResidential;
+    case Archetype::kSuburbResidential: return kSuburbResidential;
+    case Archetype::kIndustrial: return kIndustrial;
+    case Archetype::kGreenland: return kGreenland;
+    case Archetype::kUrbanVillage: return kUrbanVillage;
+    case Archetype::kOldTown: return kOldTown;
+  }
+  UV_CHECK(false);
+  return kSuburbResidential;
+}
+
+ArchetypeProfile MixProfiles(const ArchetypeProfile& a,
+                             const ArchetypeProfile& b, float t) {
+  UV_CHECK(t >= 0.0f && t <= 1.0f);
+  auto mix = [t](double x, double y) { return (1.0 - t) * x + t * y; };
+  ArchetypeProfile out;
+  out.poi_intensity = mix(a.poi_intensity, b.poi_intensity);
+  for (int c = 0; c < kNumPoiCategories; ++c) {
+    out.category_weights[c] = mix(a.category_weights[c], b.category_weights[c]);
+  }
+  for (int r = 0; r < kNumRadiusTypes; ++r) {
+    out.radius_rate[r] = mix(a.radius_rate[r], b.radius_rate[r]);
+  }
+  for (int k = 0; k < 3; ++k) {
+    out.base_rgb[k] = static_cast<float>(mix(a.base_rgb[k], b.base_rgb[k]));
+    out.building_rgb[k] =
+        static_cast<float>(mix(a.building_rgb[k], b.building_rgb[k]));
+  }
+  out.building_density =
+      static_cast<float>(mix(a.building_density, b.building_density));
+  out.building_size = static_cast<float>(mix(a.building_size, b.building_size));
+  out.regularity = static_cast<float>(mix(a.regularity, b.regularity));
+  out.noise_level = static_cast<float>(mix(a.noise_level, b.noise_level));
+  return out;
+}
+
+}  // namespace uv::synth

@@ -1,0 +1,58 @@
+#ifndef UV_SYNTH_ARCHETYPE_H_
+#define UV_SYNTH_ARCHETYPE_H_
+
+#include "synth/poi_types.h"
+
+namespace uv::synth {
+
+// Latent land-use archetype of a region grid. The generator assigns one per
+// region; archetypes drive POI intensity/mix, image texture, and where urban
+// villages can be planted (the downtown-suburb transition ring).
+enum class Archetype {
+  kDowntownCore = 0,
+  kCommercial,
+  kFormalResidential,
+  kSuburbResidential,
+  kIndustrial,
+  kGreenland,
+  kUrbanVillage,
+  // Dense historic neighbourhoods: visually and functionally close to urban
+  // villages but formally planned (labeled non-UV). These confusers keep
+  // the detection task from being linearly separable from raw features,
+  // mirroring the difficulty the paper reports.
+  kOldTown,
+};
+inline constexpr int kNumArchetypes = 8;
+
+const char* ArchetypeName(Archetype a);
+
+// Generation profile for one archetype. POI weights are unnormalized;
+// radius_rate are expected counts per region of the 15 radius-anchor POI
+// types (hospitals etc. are sparse and concentrated in developed areas,
+// which is what makes the paper's radius features discriminative).
+struct ArchetypeProfile {
+  double poi_intensity;  // Expected plain POIs per region grid.
+  double category_weights[kNumPoiCategories];
+  double radius_rate[kNumRadiusTypes];
+
+  // Satellite-tile texture parameters.
+  float base_rgb[3];
+  float building_rgb[3];
+  float building_density;  // Fraction of tile area covered by buildings.
+  float building_size;     // Mean building footprint edge, in pixels.
+  float regularity;        // 1 = regular grid layout, 0 = chaotic infill.
+  float noise_level;       // Per-pixel brightness noise amplitude.
+};
+
+const ArchetypeProfile& GetProfile(Archetype a);
+
+// Linear interpolation of two generation profiles: t = 0 returns `a`,
+// t = 1 returns `b`. Used to give every urban-village / old-town blob its
+// own degree of informality so the classes genuinely overlap in feature
+// space (villages at different stages of urbanization).
+ArchetypeProfile MixProfiles(const ArchetypeProfile& a,
+                             const ArchetypeProfile& b, float t);
+
+}  // namespace uv::synth
+
+#endif  // UV_SYNTH_ARCHETYPE_H_

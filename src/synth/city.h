@@ -1,0 +1,70 @@
+#ifndef UV_SYNTH_CITY_H_
+#define UV_SYNTH_CITY_H_
+
+#include <memory>
+#include <vector>
+
+#include "graph/grid.h"
+#include "graph/road_network.h"
+#include "synth/archetype.h"
+#include "synth/city_config.h"
+#include "tensor/tensor.h"
+
+namespace uv::synth {
+
+// One point of interest on the map.
+struct Poi {
+  double x = 0.0;  // Metres from the grid origin.
+  double y = 0.0;
+  PoiCategory category = PoiCategory::kLifeService;
+  RadiusType radius_type = RadiusType::kNone;
+  FacilityType facility_type = FacilityType::kNone;
+};
+
+// A generated city: the raw multi-source urban data the paper collects from
+// Baidu Maps, in synthetic form. Feature construction (src/features) and URG
+// assembly (src/urg) consume this.
+struct City {
+  CityConfig config;
+  graph::GridSpec grid;
+
+  // Per-region latent state.
+  std::vector<Archetype> archetypes;
+  std::vector<int> district;       // District id per region.
+  std::vector<float> uv_overlap;   // Fraction of cell covered by a UV blob.
+  std::vector<uint8_t> is_uv;      // Ground truth: overlap > 20% (paper rule).
+  // Style coefficient in [0,1] for UV and old-town cells: how far the
+  // cell's generation profile is blended toward the full urban-village
+  // profile (urbanization stage). 0 elsewhere.
+  std::vector<float> informality;
+
+  // Labels as released to the models: -1 unlabeled, 0 non-UV, 1 UV.
+  std::vector<int> labels;
+
+  // POI data.
+  std::vector<Poi> pois;
+  // POI ids per region (indices into `pois`).
+  std::vector<std::vector<int>> pois_by_region;
+
+  // Road network data.
+  graph::RoadNetwork roads;
+
+  // Satellite tiles: one row per region, 3 * image_size^2 floats in [0,1],
+  // CHW order. Shared so downstream holders avoid copying ~100MB at scale.
+  std::shared_ptr<Tensor> images;
+
+  int num_regions() const { return grid.num_regions(); }
+
+  // Counts for the Table I statistics.
+  int NumLabeledUv() const;
+  int NumLabeledNonUv() const;
+  int NumTrueUv() const;
+};
+
+// Generates a complete synthetic city from the config (deterministic in
+// config.seed). See DESIGN.md section 1 for the fidelity argument.
+City GenerateCity(const CityConfig& config);
+
+}  // namespace uv::synth
+
+#endif  // UV_SYNTH_CITY_H_

@@ -1,0 +1,89 @@
+#include "synth/city_config.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace uv::synth {
+namespace {
+
+int ScaledDim(int full, double scale) {
+  return std::max(24, static_cast<int>(std::lround(full * std::sqrt(scale))));
+}
+
+int ScaledLabels(int full, double scale, int floor_count) {
+  return std::max(floor_count,
+                  static_cast<int>(std::lround(full * std::sqrt(scale))));
+}
+
+}  // namespace
+
+CityConfig ShenzhenLike(double scale, uint64_t seed) {
+  UV_CHECK(scale > 0.0);
+  CityConfig c;
+  c.name = "Shenzhen";
+  c.seed = seed;
+  // Full size 312 x 300 = 93,600 regions (Table I).
+  c.height = ScaledDim(312, scale);
+  c.width = ScaledDim(300, scale);
+  c.num_centers = 2;
+  c.num_districts = 4;
+  c.downtown_radius = 0.30;
+  c.industrial_patches = 7.0 * std::sqrt(scale * 25);
+  c.green_patches = 5.0 * std::sqrt(scale * 25);
+  c.labeled_uv_target = ScaledLabels(295, scale, 24);
+  c.labeled_nonuv_target = ScaledLabels(6867, scale, 300);
+  // Plant roughly 2x the labeled-UV count in true UV cells.
+  c.num_uv_blobs =
+      std::max(6, static_cast<int>(std::lround(2.2 * c.labeled_uv_target / 12.0)));
+  c.arterial_spacing_cells = 9.0;
+  c.local_road_density = 0.5;
+  return c;
+}
+
+CityConfig FuzhouLike(double scale, uint64_t seed) {
+  UV_CHECK(scale > 0.0);
+  CityConfig c;
+  c.name = "Fuzhou";
+  c.seed = seed;
+  // Full size 272 x 220 = 59,840 regions (~Table I's 59,872).
+  c.height = ScaledDim(272, scale);
+  c.width = ScaledDim(220, scale);
+  c.num_centers = 1;
+  c.num_districts = 3;
+  c.downtown_radius = 0.33;
+  c.industrial_patches = 4.0 * std::sqrt(scale * 25);
+  c.green_patches = 6.0 * std::sqrt(scale * 25);
+  c.labeled_uv_target = ScaledLabels(276, scale, 24);
+  c.labeled_nonuv_target = ScaledLabels(3685, scale, 200);
+  c.num_uv_blobs =
+      std::max(6, static_cast<int>(std::lround(2.2 * c.labeled_uv_target / 12.0)));
+  c.arterial_spacing_cells = 10.0;
+  c.local_road_density = 0.42;
+  return c;
+}
+
+CityConfig BeijingLike(double scale, uint64_t seed) {
+  UV_CHECK(scale > 0.0);
+  CityConfig c;
+  c.name = "Beijing";
+  c.seed = seed;
+  // Full size 644 x 550 = 354,200 regions (~Table I's 354,316).
+  c.height = ScaledDim(644, scale);
+  c.width = ScaledDim(550, scale);
+  c.num_centers = 3;
+  c.num_districts = 6;
+  c.downtown_radius = 0.24;
+  c.industrial_patches = 9.0 * std::sqrt(scale * 25);
+  c.green_patches = 10.0 * std::sqrt(scale * 25);
+  c.labeled_uv_target = ScaledLabels(204, scale, 24);
+  c.labeled_nonuv_target = ScaledLabels(10861, scale, 450);
+  c.num_uv_blobs =
+      std::max(6, static_cast<int>(std::lround(2.2 * c.labeled_uv_target / 12.0)));
+  c.arterial_spacing_cells = 8.0;
+  c.local_road_density = 0.48;
+  return c;
+}
+
+}  // namespace uv::synth

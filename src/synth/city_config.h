@@ -1,0 +1,67 @@
+#ifndef UV_SYNTH_CITY_CONFIG_H_
+#define UV_SYNTH_CITY_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace uv::synth {
+
+// Parameters of the procedural city generator. The three presets mimic the
+// paper's datasets (Table I) at a configurable scale: label-class ratios and
+// urban-morphology knobs differ per city, the grid size shrinks by `scale`.
+struct CityConfig {
+  std::string name = "city";
+  uint64_t seed = 42;
+
+  // Grid geometry (paper: 128m cells).
+  int height = 64;
+  int width = 64;
+  double cell_meters = 128.0;
+
+  // Urban morphology.
+  int num_centers = 1;        // Downtown cores (polycentric cities > 1).
+  int num_districts = 4;      // Districts with distinct UV/POI styles.
+  double downtown_radius = 0.28;   // Fraction of the city diagonal.
+  double industrial_patches = 5.0; // Expected industrial patches.
+  double green_patches = 6.0;      // Expected greenland patches.
+
+  // Urban villages. Blobs are planted in the downtown-suburb transition
+  // ring; each blob covers a contiguous group of grids.
+  int num_uv_blobs = 24;
+  int uv_blob_min_cells = 4;
+  int uv_blob_max_cells = 26;
+  // Range of each blob's informality (how strongly its generation profile
+  // leans toward the full urban-village signature). Narrow, high ranges
+  // make the task easier; the default range creates genuine class overlap.
+  double uv_informality_min = 0.4;
+  double uv_informality_max = 1.0;
+
+  // Labeling (the crowdsourced ground-truth substitution). Counts are
+  // *targets*; the generator labels min(target, available) regions.
+  int labeled_uv_target = 60;
+  int labeled_nonuv_target = 1380;
+
+  // Road network.
+  double arterial_spacing_cells = 9.0;  // Mean spacing between arterials.
+  double local_road_density = 0.45;     // Probability of local street per cell edge.
+
+  // Satellite tiles.
+  int image_size = 32;  // Pixels per side (3 channels).
+  // Tile rasterization can be skipped for statistics-only workloads (e.g.
+  // full-scale Table I runs where N x 3 x 32 x 32 floats would not fit).
+  bool generate_images = true;
+
+  int num_regions() const { return height * width; }
+};
+
+// Presets mirroring the paper's three cities. `scale` multiplies the region
+// count (linear dimensions scale by sqrt(scale)); scale = 1 approximates the
+// paper's full Table I sizes. Label targets scale with sqrt(scale) so that
+// scarcity stays severe while keeping enough positives for stable folds.
+CityConfig ShenzhenLike(double scale, uint64_t seed);
+CityConfig FuzhouLike(double scale, uint64_t seed);
+CityConfig BeijingLike(double scale, uint64_t seed);
+
+}  // namespace uv::synth
+
+#endif  // UV_SYNTH_CITY_CONFIG_H_

@@ -1,0 +1,482 @@
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "synth/city.h"
+#include "synth/image_renderer.h"
+#include "synth/road_generator.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace uv::synth {
+namespace {
+
+// Smooth value noise in [-1, 1]: Gaussians on a coarse lattice, bilinearly
+// interpolated. Gives archetype boundaries an organic shape.
+class ValueNoise {
+ public:
+  ValueNoise(int height, int width, int cell, Rng* rng)
+      : cell_(cell),
+        gh_(height / cell + 2),
+        gw_(width / cell + 2),
+        values_(static_cast<size_t>(gh_) * gw_) {
+    for (auto& v : values_) {
+      v = static_cast<float>(std::tanh(rng->Gaussian(0.0, 0.7)));
+    }
+  }
+
+  float At(int row, int col) const {
+    const float fr = static_cast<float>(row) / cell_;
+    const float fc = static_cast<float>(col) / cell_;
+    const int r0 = static_cast<int>(fr);
+    const int c0 = static_cast<int>(fc);
+    const float tr = fr - r0;
+    const float tc = fc - c0;
+    const float v00 = values_[r0 * gw_ + c0];
+    const float v01 = values_[r0 * gw_ + c0 + 1];
+    const float v10 = values_[(r0 + 1) * gw_ + c0];
+    const float v11 = values_[(r0 + 1) * gw_ + c0 + 1];
+    return (1 - tr) * ((1 - tc) * v00 + tc * v01) +
+           tr * ((1 - tc) * v10 + tc * v11);
+  }
+
+ private:
+  int cell_;
+  int gh_;
+  int gw_;
+  std::vector<float> values_;
+};
+
+// Grows a contiguous blob of roughly `target` cells from `seed` by randomly
+// expanding the frontier; `eligible` filters growable cells.
+std::vector<int> GrowBlob(const graph::GridSpec& grid, int seed, int target,
+                          const std::function<bool(int)>& eligible,
+                          Rng* rng) {
+  std::vector<int> blob;
+  std::vector<uint8_t> in_blob(grid.num_regions(), 0);
+  std::vector<int> frontier;
+  blob.push_back(seed);
+  in_blob[seed] = 1;
+  frontier.push_back(seed);
+  while (static_cast<int>(blob.size()) < target && !frontier.empty()) {
+    const int pick = rng->UniformInt(static_cast<int>(frontier.size()));
+    const int cur = frontier[pick];
+    const int row = grid.RowOf(cur);
+    const int col = grid.ColOf(cur);
+    // Collect unvisited 4-neighbours.
+    std::vector<int> options;
+    const int drs[] = {-1, 1, 0, 0};
+    const int dcs[] = {0, 0, -1, 1};
+    for (int k = 0; k < 4; ++k) {
+      const int nr = row + drs[k];
+      const int nc = col + dcs[k];
+      if (!grid.InBounds(nr, nc)) continue;
+      const int id = grid.RegionId(nr, nc);
+      if (!in_blob[id] && eligible(id)) options.push_back(id);
+    }
+    if (options.empty()) {
+      frontier[pick] = frontier.back();
+      frontier.pop_back();
+      continue;
+    }
+    const int chosen = options[rng->UniformInt(static_cast<int>(options.size()))];
+    in_blob[chosen] = 1;
+    blob.push_back(chosen);
+    frontier.push_back(chosen);
+  }
+  return blob;
+}
+
+float DevelopmentWeight(Archetype a) {
+  switch (a) {
+    case Archetype::kDowntownCore: return 1.0f;
+    case Archetype::kCommercial: return 0.9f;
+    case Archetype::kFormalResidential: return 0.7f;
+    case Archetype::kUrbanVillage: return 0.8f;
+    case Archetype::kIndustrial: return 0.5f;
+    case Archetype::kSuburbResidential: return 0.3f;
+    case Archetype::kGreenland: return 0.05f;
+    case Archetype::kOldTown: return 0.75f;
+  }
+  return 0.3f;
+}
+
+}  // namespace
+
+int City::NumLabeledUv() const {
+  int n = 0;
+  for (int l : labels) n += (l == 1);
+  return n;
+}
+int City::NumLabeledNonUv() const {
+  int n = 0;
+  for (int l : labels) n += (l == 0);
+  return n;
+}
+int City::NumTrueUv() const {
+  int n = 0;
+  for (uint8_t u : is_uv) n += (u != 0);
+  return n;
+}
+
+City GenerateCity(const CityConfig& config) {
+  City city;
+  city.config = config;
+  city.grid = {config.height, config.width, config.cell_meters};
+  const graph::GridSpec& grid = city.grid;
+  const int n = grid.num_regions();
+  UV_CHECK_GT(n, 0);
+
+  Rng master(config.seed);
+  Rng rng_layout = master.Fork();
+  Rng rng_uv = master.Fork();
+  Rng rng_poi = master.Fork();
+  Rng rng_road = master.Fork();
+  Rng rng_img = master.Fork();
+  Rng rng_label = master.Fork();
+
+  // --- Districts: Voronoi around random centres. -------------------------
+  city.district.assign(n, 0);
+  std::vector<std::pair<double, double>> district_centers;
+  for (int d = 0; d < config.num_districts; ++d) {
+    district_centers.emplace_back(rng_layout.Uniform(0, grid.height),
+                                  rng_layout.Uniform(0, grid.width));
+  }
+  for (int id = 0; id < n; ++id) {
+    const double r = grid.RowOf(id), c = grid.ColOf(id);
+    int best = 0;
+    double best_d = 1e30;
+    for (int d = 0; d < config.num_districts; ++d) {
+      const double dr = r - district_centers[d].first;
+      const double dc = c - district_centers[d].second;
+      const double dist = dr * dr + dc * dc;
+      if (dist < best_d) {
+        best_d = dist;
+        best = d;
+      }
+    }
+    city.district[id] = best;
+  }
+
+  // --- Downtown score field + base archetypes. ---------------------------
+  std::vector<std::pair<double, double>> centers;
+  for (int k = 0; k < config.num_centers; ++k) {
+    centers.emplace_back(
+        grid.height * rng_layout.Uniform(0.30, 0.70),
+        grid.width * rng_layout.Uniform(0.30, 0.70));
+  }
+  const double diag = std::sqrt(static_cast<double>(grid.height) * grid.height +
+                                static_cast<double>(grid.width) * grid.width);
+  const double sigma = config.downtown_radius * diag * 0.55;
+  ValueNoise noise(grid.height, grid.width,
+                   std::max(4, static_cast<int>(diag / 14)), &rng_layout);
+
+  std::vector<float> score(n);
+  city.archetypes.assign(n, Archetype::kSuburbResidential);
+  for (int id = 0; id < n; ++id) {
+    const double r = grid.RowOf(id), c = grid.ColOf(id);
+    double s = 0.0;
+    for (const auto& ctr : centers) {
+      const double dr = r - ctr.first;
+      const double dc = c - ctr.second;
+      s = std::max(s, std::exp(-(dr * dr + dc * dc) / (2 * sigma * sigma)));
+    }
+    s += 0.16 * noise.At(grid.RowOf(id), grid.ColOf(id));
+    score[id] = static_cast<float>(s);
+    if (s > 0.78) {
+      city.archetypes[id] = Archetype::kDowntownCore;
+    } else if (s > 0.58) {
+      city.archetypes[id] = Archetype::kCommercial;
+    } else if (s > 0.32) {
+      city.archetypes[id] = Archetype::kFormalResidential;
+    } else {
+      city.archetypes[id] = Archetype::kSuburbResidential;
+    }
+  }
+
+  // --- Industrial and greenland patches. ---------------------------------
+  auto plant_patches = [&](double expected, Archetype kind, double lo,
+                           double hi, int min_sz, int max_sz) {
+    const int count = rng_layout.Poisson(expected);
+    for (int k = 0; k < count; ++k) {
+      // Rejection-sample a seed in the score band.
+      int seed = -1;
+      for (int tries = 0; tries < 200; ++tries) {
+        const int cand = rng_layout.UniformInt(n);
+        if (score[cand] >= lo && score[cand] <= hi &&
+            city.archetypes[cand] != Archetype::kDowntownCore) {
+          seed = cand;
+          break;
+        }
+      }
+      if (seed < 0) continue;
+      const int target = min_sz + rng_layout.UniformInt(max_sz - min_sz + 1);
+      const auto blob = GrowBlob(
+          grid, seed, target,
+          [&](int id) {
+            return city.archetypes[id] != Archetype::kDowntownCore;
+          },
+          &rng_layout);
+      for (int id : blob) city.archetypes[id] = kind;
+    }
+  };
+  plant_patches(config.industrial_patches, Archetype::kIndustrial, 0.10, 0.45,
+                12, 50);
+  plant_patches(config.green_patches, Archetype::kGreenland, 0.0, 0.6, 15,
+                70);
+
+  city.informality.assign(n, 0.0f);
+
+  // Old-town confusers: dense historic neighbourhoods whose band overlaps
+  // the urban-village transition ring towards the centre. Roughly as many
+  // blobs as urban villages so the non-UV labeled set contains hard cases;
+  // each blob gets its own degree of UV-likeness.
+  {
+    const int count = rng_uv.Poisson(config.num_uv_blobs * 0.8);
+    for (int b = 0; b < count; ++b) {
+      int seed = -1;
+      for (int tries = 0; tries < 300; ++tries) {
+        const int cand = rng_uv.UniformInt(n);
+        const Archetype a = city.archetypes[cand];
+        if (score[cand] >= 0.35 && score[cand] <= 0.80 &&
+            (a == Archetype::kFormalResidential ||
+             a == Archetype::kCommercial)) {
+          seed = cand;
+          break;
+        }
+      }
+      if (seed < 0) continue;
+      const float uv_likeness = static_cast<float>(rng_uv.Uniform(0.2, 0.7));
+      const int target = 4 + rng_uv.UniformInt(15);
+      auto blob = GrowBlob(
+          grid, seed, target,
+          [&](int id) {
+            const Archetype a = city.archetypes[id];
+            return a != Archetype::kGreenland &&
+                   a != Archetype::kDowntownCore &&
+                   a != Archetype::kOldTown;
+          },
+          &rng_uv);
+      for (int id : blob) {
+        city.archetypes[id] = Archetype::kOldTown;
+        city.informality[id] = uv_likeness;
+      }
+    }
+  }
+
+  // --- Urban village blobs in the transition ring. -----------------------
+  // Each district leans toward a different village style; each blob draws
+  // its own informality level around that lean. This is the region
+  // diversity the paper's master-slave gate is designed to absorb.
+  std::vector<double> district_uv_bias(config.num_districts);
+  for (auto& bias : district_uv_bias) bias = rng_uv.Uniform(-0.18, 0.18);
+  city.uv_overlap.assign(n, 0.0f);
+  city.is_uv.assign(n, 0);
+  std::vector<std::vector<int>> uv_blobs;
+  for (int b = 0; b < config.num_uv_blobs; ++b) {
+    int seed = -1;
+    for (int tries = 0; tries < 400; ++tries) {
+      const int cand = rng_uv.UniformInt(n);
+      const Archetype a = city.archetypes[cand];
+      if (score[cand] >= 0.24 && score[cand] <= 0.62 && !city.is_uv[cand] &&
+          (a == Archetype::kFormalResidential ||
+           a == Archetype::kSuburbResidential)) {
+        seed = cand;
+        break;
+      }
+    }
+    if (seed < 0) continue;
+    const float informality = static_cast<float>(std::clamp(
+        rng_uv.Uniform(config.uv_informality_min, config.uv_informality_max) +
+            district_uv_bias[city.district[seed]],
+        config.uv_informality_min, 1.0));
+    const int target =
+        config.uv_blob_min_cells +
+        rng_uv.UniformInt(config.uv_blob_max_cells - config.uv_blob_min_cells +
+                          1);
+    auto blob = GrowBlob(
+        grid, seed, target,
+        [&](int id) {
+          const Archetype a = city.archetypes[id];
+          return !city.is_uv[id] && a != Archetype::kGreenland &&
+                 a != Archetype::kDowntownCore;
+        },
+        &rng_uv);
+    std::vector<int> uv_cells;
+    for (size_t i = 0; i < blob.size(); ++i) {
+      const int id = blob[i];
+      // Interior cells are fully covered; the blob fringe gets partial
+      // overlap, which exercises the paper's ">20% overlap" labeling rule.
+      const bool fringe = i + std::max<size_t>(2, blob.size() / 3) >= blob.size();
+      const float overlap =
+          fringe ? static_cast<float>(rng_uv.Uniform(0.05, 0.8)) : 1.0f;
+      city.uv_overlap[id] = std::max(city.uv_overlap[id], overlap);
+      if (overlap > 0.2f) {
+        city.is_uv[id] = 1;
+        city.archetypes[id] = Archetype::kUrbanVillage;
+        city.informality[id] = informality;
+        uv_cells.push_back(id);
+      }
+    }
+    if (!uv_cells.empty()) uv_blobs.push_back(std::move(uv_cells));
+  }
+
+  // --- Roads. -------------------------------------------------------------
+  std::vector<float> development(n);
+  for (int id = 0; id < n; ++id) {
+    development[id] = DevelopmentWeight(city.archetypes[id]);
+  }
+  RoadGenResult roads =
+      GenerateRoadNetwork(config, grid, development, &rng_road);
+  city.roads = std::move(roads.network);
+
+  // --- POIs. ---------------------------------------------------------------
+  // District-level taste perturbation: each district scales each category's
+  // weight log-normally, so the same archetype looks slightly different
+  // across districts (the diversity the MS-Gate is designed to absorb).
+  std::vector<std::vector<double>> district_factor(
+      config.num_districts, std::vector<double>(kNumPoiCategories, 1.0));
+  for (auto& row : district_factor) {
+    for (auto& f : row) f = std::exp(rng_poi.Gaussian(0.0, 0.45));
+  }
+
+  // Per-region generation profile with the blob-level informality blend:
+  // urban villages interpolate FormalResidential -> UrbanVillage, old towns
+  // interpolate OldTown -> UrbanVillage.
+  auto effective_profile = [&city](int id) {
+    const Archetype a = city.archetypes[id];
+    if (a == Archetype::kUrbanVillage) {
+      return MixProfiles(GetProfile(Archetype::kFormalResidential),
+                         GetProfile(Archetype::kUrbanVillage),
+                         city.informality[id]);
+    }
+    if (a == Archetype::kOldTown) {
+      return MixProfiles(GetProfile(Archetype::kOldTown),
+                         GetProfile(Archetype::kUrbanVillage),
+                         city.informality[id]);
+    }
+    return GetProfile(a);
+  };
+
+  city.pois_by_region.assign(n, {});
+  std::vector<double> weights(kNumPoiCategories);
+  for (int id = 0; id < n; ++id) {
+    const ArchetypeProfile prof = effective_profile(id);
+    const int d = city.district[id];
+    const double x0 = grid.ColOf(id) * grid.cell_meters;
+    const double y0 = grid.RowOf(id) * grid.cell_meters;
+    // Plain category POIs.
+    const double intensity =
+        prof.poi_intensity * std::exp(rng_poi.Gaussian(0.0, 0.35));
+    const int count = rng_poi.Poisson(intensity);
+    for (int c = 0; c < kNumPoiCategories; ++c) {
+      weights[c] = prof.category_weights[c] * district_factor[d][c];
+    }
+    for (int k = 0; k < count; ++k) {
+      Poi poi;
+      poi.category = static_cast<PoiCategory>(rng_poi.Categorical(weights));
+      poi.radius_type = RadiusType::kNone;
+      poi.facility_type = FacilityOfCategory(poi.category);
+      poi.x = x0 + rng_poi.Uniform(0.0, grid.cell_meters);
+      poi.y = y0 + rng_poi.Uniform(0.0, grid.cell_meters);
+      city.pois_by_region[id].push_back(static_cast<int>(city.pois.size()));
+      city.pois.push_back(poi);
+    }
+    // Radius-anchor POIs (hospitals, schools, stations, ...).
+    for (int t = 0; t < kNumRadiusTypes; ++t) {
+      const int anchors = rng_poi.Poisson(prof.radius_rate[t]);
+      for (int k = 0; k < anchors; ++k) {
+        Poi poi;
+        poi.radius_type = static_cast<RadiusType>(t);
+        poi.category = HostCategory(poi.radius_type);
+        poi.facility_type = FacilityOf(poi.radius_type);
+        poi.x = x0 + rng_poi.Uniform(0.0, grid.cell_meters);
+        poi.y = y0 + rng_poi.Uniform(0.0, grid.cell_meters);
+        city.pois_by_region[id].push_back(static_cast<int>(city.pois.size()));
+        city.pois.push_back(poi);
+      }
+    }
+  }
+
+  // --- Satellite tiles. ----------------------------------------------------
+  if (config.generate_images) {
+    const int s = config.image_size;
+    city.images = std::make_shared<Tensor>(n, 3 * s * s);
+    std::vector<std::array<float, 3>> tints;
+    // District tints reuse the layout stream deterministically.
+    for (int d = 0; d < config.num_districts; ++d) {
+      tints.push_back({static_cast<float>(rng_img.Uniform(-0.04, 0.04)),
+                       static_cast<float>(rng_img.Uniform(-0.04, 0.04)),
+                       static_cast<float>(rng_img.Uniform(-0.04, 0.04))});
+    }
+    for (int id = 0; id < n; ++id) {
+      RenderTile(effective_profile(id), tints[city.district[id]].data(),
+                 roads.has_arterial_h[id] != 0, roads.has_arterial_v[id] != 0,
+                 s, &rng_img, city.images->row(id));
+    }
+  }
+
+  // --- Labels (crowdsourced ground truth substitution). --------------------
+  city.labels.assign(n, -1);
+  // Known UVs: whole blobs become known until the target is reached,
+  // mimicking renovation plans / news reports that reveal entire villages.
+  {
+    std::vector<int> order(uv_blobs.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+    rng_label.Shuffle(&order);
+    int labeled = 0;
+    for (int bi : order) {
+      if (labeled >= config.labeled_uv_target) break;
+      for (int id : uv_blobs[bi]) {
+        if (labeled >= config.labeled_uv_target) break;
+        city.labels[id] = 1;
+        ++labeled;
+      }
+    }
+    if (labeled < config.labeled_uv_target) {
+      UV_LOG_WARN("city %s: only %d of %d target labeled UVs available",
+                  config.name.c_str(), labeled, config.labeled_uv_target);
+    }
+  }
+  // Non-UV labels: sampled residential/commercial areas verified by the
+  // crowd (paper Appendix I-C). Old-town cells are over-sampled: they are
+  // exactly the UV-lookalikes a renovation survey would double-check, and
+  // they keep the labeled classes from being trivially separable.
+  {
+    std::vector<int> candidates;
+    for (int id = 0; id < n; ++id) {
+      if (city.is_uv[id] || city.labels[id] != -1) continue;
+      const Archetype a = city.archetypes[id];
+      if (a == Archetype::kFormalResidential ||
+          a == Archetype::kSuburbResidential ||
+          a == Archetype::kCommercial || a == Archetype::kDowntownCore ||
+          a == Archetype::kIndustrial) {
+        candidates.push_back(id);
+      } else if (a == Archetype::kOldTown) {
+        candidates.push_back(id);
+        candidates.push_back(id);  // Double weight in the shuffle draw.
+      }
+    }
+    rng_label.Shuffle(&candidates);
+    int taken = 0;
+    for (int id : candidates) {
+      if (taken >= config.labeled_nonuv_target) break;
+      if (city.labels[id] != -1) continue;
+      city.labels[id] = 0;
+      ++taken;
+    }
+  }
+
+  UV_LOG_INFO(
+      "generated city %s: %dx%d=%d regions, %zu POIs, %d road nodes, "
+      "%d true UV cells, %d labeled UV, %d labeled non-UV",
+      config.name.c_str(), grid.height, grid.width, n, city.pois.size(),
+      city.roads.num_intersections(), city.NumTrueUv(), city.NumLabeledUv(),
+      city.NumLabeledNonUv());
+  return city;
+}
+
+}  // namespace uv::synth

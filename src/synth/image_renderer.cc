@@ -1,0 +1,102 @@
+#include "synth/image_renderer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace uv::synth {
+namespace {
+
+inline float Clamp01(float v) { return std::min(1.0f, std::max(0.0f, v)); }
+
+struct Canvas {
+  float* data;  // CHW.
+  int size;
+
+  void Set(int x, int y, float r, float g, float b) {
+    if (x < 0 || x >= size || y < 0 || y >= size) return;
+    const int plane = size * size;
+    const int idx = y * size + x;
+    data[idx] = Clamp01(r);
+    data[plane + idx] = Clamp01(g);
+    data[2 * plane + idx] = Clamp01(b);
+  }
+
+  void FillRect(int x0, int y0, int w, int h, float r, float g, float b) {
+    for (int y = y0; y < y0 + h; ++y) {
+      for (int x = x0; x < x0 + w; ++x) Set(x, y, r, g, b);
+    }
+  }
+};
+
+}  // namespace
+
+void RenderTile(const ArchetypeProfile& profile, const float district_tint[3],
+                bool road_h, bool road_v, int size, Rng* rng,
+                float* out_chw) {
+  UV_CHECK_GT(size, 7);
+  Canvas canvas{out_chw, size};
+  const int plane = size * size;
+
+  // Background with per-pixel noise and the district tint.
+  for (int i = 0; i < plane; ++i) {
+    const float n =
+        static_cast<float>(rng->Gaussian(0.0, profile.noise_level));
+    out_chw[i] = Clamp01(profile.base_rgb[0] + district_tint[0] + n);
+    out_chw[plane + i] = Clamp01(profile.base_rgb[1] + district_tint[1] + n);
+    out_chw[2 * plane + i] =
+        Clamp01(profile.base_rgb[2] + district_tint[2] + n);
+  }
+
+  // Buildings until target coverage. Regular layouts snap positions to a
+  // grid with aligned sizes; irregular layouts scatter random footprints.
+  const float target_px = profile.building_density * plane;
+  const float mean_edge = profile.building_size;
+  const float reg = profile.regularity;
+  const int pitch = std::max(2, static_cast<int>(mean_edge + 2.0f));
+  float covered = 0.0f;
+  int guard = 0;
+  while (covered < target_px && guard++ < 4 * plane) {
+    int w = std::max(
+        1, static_cast<int>(mean_edge * rng->Uniform(0.7, 1.4)));
+    int h = std::max(
+        1, static_cast<int>(mean_edge * rng->Uniform(0.7, 1.4)));
+    if (reg > 0.5f) {
+      // Regular blocks share the same footprint.
+      w = std::max(2, static_cast<int>(mean_edge));
+      h = w;
+    }
+    const int free_x = std::max(1, size - w);
+    const int free_y = std::max(1, size - h);
+    int x = rng->UniformInt(free_x);
+    int y = rng->UniformInt(free_y);
+    // Snap toward the lattice proportionally to the regularity.
+    const int sx = (x / pitch) * pitch + 1;
+    const int sy = (y / pitch) * pitch + 1;
+    x = static_cast<int>(reg * sx + (1.0f - reg) * x);
+    y = static_cast<int>(reg * sy + (1.0f - reg) * y);
+    const float shade = static_cast<float>(rng->Uniform(0.85, 1.1));
+    canvas.FillRect(x, y, w, h, profile.building_rgb[0] * shade,
+                    profile.building_rgb[1] * shade,
+                    profile.building_rgb[2] * shade);
+    // One-pixel shadow along the bottom edge (sun from the north-west).
+    canvas.FillRect(x, y + h, w, 1, profile.building_rgb[0] * 0.4f,
+                    profile.building_rgb[1] * 0.4f,
+                    profile.building_rgb[2] * 0.4f);
+    covered += static_cast<float>(w) * h;
+  }
+
+  // Arterial road bands.
+  const float road_tone = 0.55f;
+  if (road_h) {
+    const int y = size / 2 + rng->UniformInt(5) - 2;
+    canvas.FillRect(0, y - 1, size, 3, road_tone, road_tone, road_tone);
+  }
+  if (road_v) {
+    const int x = size / 2 + rng->UniformInt(5) - 2;
+    canvas.FillRect(x - 1, 0, 3, size, road_tone, road_tone, road_tone);
+  }
+}
+
+}  // namespace uv::synth

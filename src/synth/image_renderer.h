@@ -1,0 +1,22 @@
+#ifndef UV_SYNTH_IMAGE_RENDERER_H_
+#define UV_SYNTH_IMAGE_RENDERER_H_
+
+#include "synth/archetype.h"
+#include "util/rng.h"
+
+namespace uv::synth {
+
+// Rasterizes one synthetic satellite tile (CHW float, 3 x size x size,
+// values in [0,1]) for a region of the given archetype. The renderer
+// reproduces the visual cues the paper's VGG features pick up: building
+// density, footprint size, layout regularity (urban villages = dense,
+// small, irregular), vegetation tone, and road strokes.
+//
+// `district_tint` is an RGB offset (about +-0.05) giving each district a
+// slightly different look; `road_h` / `road_v` draw arterial bands.
+void RenderTile(const ArchetypeProfile& profile, const float district_tint[3],
+                bool road_h, bool road_v, int size, Rng* rng, float* out_chw);
+
+}  // namespace uv::synth
+
+#endif  // UV_SYNTH_IMAGE_RENDERER_H_

@@ -1,0 +1,145 @@
+#include "synth/poi_types.h"
+
+namespace uv::synth {
+
+const char* PoiCategoryName(PoiCategory c) {
+  switch (c) {
+    case PoiCategory::kFoodService: return "FoodService";
+    case PoiCategory::kHotel: return "Hotel";
+    case PoiCategory::kShoppingPlace: return "ShoppingPlace";
+    case PoiCategory::kLifeService: return "LifeService";
+    case PoiCategory::kBeautyIndustry: return "BeautyIndustry";
+    case PoiCategory::kScenicSpot: return "ScenicSpot";
+    case PoiCategory::kLeisureEntertainment: return "LeisureEntertainment";
+    case PoiCategory::kSportsFitness: return "SportsFitness";
+    case PoiCategory::kEducation: return "Education";
+    case PoiCategory::kCulturalMedia: return "CulturalMedia";
+    case PoiCategory::kMedicine: return "Medicine";
+    case PoiCategory::kAutoService: return "AutoService";
+    case PoiCategory::kTransportationFacility: return "TransportationFacility";
+    case PoiCategory::kFinancialService: return "FinancialService";
+    case PoiCategory::kRealEstate: return "RealEstate";
+    case PoiCategory::kCompany: return "Company";
+    case PoiCategory::kGovernmentApparatus: return "GovernmentApparatus";
+    case PoiCategory::kEntranceExit: return "EntranceExit";
+    case PoiCategory::kTopographicalObject: return "TopographicalObject";
+    case PoiCategory::kRoad: return "Road";
+    case PoiCategory::kRailway: return "Railway";
+    case PoiCategory::kGreenland: return "Greenland";
+    case PoiCategory::kBusRoute: return "BusRoute";
+  }
+  return "Unknown";
+}
+
+const char* RadiusTypeName(RadiusType t) {
+  switch (t) {
+    case RadiusType::kNone: return "None";
+    case RadiusType::kHospital: return "Hospital";
+    case RadiusType::kClinic: return "Clinic";
+    case RadiusType::kCollege: return "College";
+    case RadiusType::kSchool: return "School";
+    case RadiusType::kBusStop: return "BusStop";
+    case RadiusType::kSubwayStation: return "SubwayStation";
+    case RadiusType::kAirport: return "Airport";
+    case RadiusType::kTrainStation: return "TrainStation";
+    case RadiusType::kCoachStation: return "CoachStation";
+    case RadiusType::kShoppingMall: return "ShoppingMall";
+    case RadiusType::kSupermarket: return "Supermarket";
+    case RadiusType::kMarket: return "Market";
+    case RadiusType::kShop: return "Shop";
+    case RadiusType::kPoliceStation: return "PoliceStation";
+    case RadiusType::kScenicSpot: return "ScenicSpot";
+  }
+  return "Unknown";
+}
+
+const char* FacilityTypeName(FacilityType t) {
+  switch (t) {
+    case FacilityType::kNone: return "None";
+    case FacilityType::kMedicalService: return "MedicalService";
+    case FacilityType::kShoppingPlace: return "ShoppingPlace";
+    case FacilityType::kSportsVenue: return "SportsVenue";
+    case FacilityType::kEducationService: return "EducationService";
+    case FacilityType::kFoodService: return "FoodService";
+    case FacilityType::kFinancialService: return "FinancialService";
+    case FacilityType::kCommunicationService: return "CommunicationService";
+    case FacilityType::kPublicSecurityOrgan: return "PublicSecurityOrgan";
+    case FacilityType::kTransportationFacility: return "TransportationFacility";
+  }
+  return "Unknown";
+}
+
+PoiCategory HostCategory(RadiusType t) {
+  switch (t) {
+    case RadiusType::kHospital:
+    case RadiusType::kClinic:
+      return PoiCategory::kMedicine;
+    case RadiusType::kCollege:
+    case RadiusType::kSchool:
+      return PoiCategory::kEducation;
+    case RadiusType::kBusStop:
+    case RadiusType::kSubwayStation:
+    case RadiusType::kAirport:
+    case RadiusType::kTrainStation:
+    case RadiusType::kCoachStation:
+      return PoiCategory::kTransportationFacility;
+    case RadiusType::kShoppingMall:
+    case RadiusType::kSupermarket:
+    case RadiusType::kMarket:
+    case RadiusType::kShop:
+      return PoiCategory::kShoppingPlace;
+    case RadiusType::kPoliceStation:
+      return PoiCategory::kGovernmentApparatus;
+    case RadiusType::kScenicSpot:
+      return PoiCategory::kScenicSpot;
+    case RadiusType::kNone:
+      break;
+  }
+  return PoiCategory::kLifeService;
+}
+
+FacilityType FacilityOf(RadiusType t) {
+  switch (t) {
+    case RadiusType::kHospital:
+    case RadiusType::kClinic:
+      return FacilityType::kMedicalService;
+    case RadiusType::kCollege:
+    case RadiusType::kSchool:
+      return FacilityType::kEducationService;
+    case RadiusType::kBusStop:
+    case RadiusType::kSubwayStation:
+    case RadiusType::kTrainStation:
+    case RadiusType::kCoachStation:
+      return FacilityType::kTransportationFacility;
+    case RadiusType::kShoppingMall:
+    case RadiusType::kSupermarket:
+    case RadiusType::kMarket:
+    case RadiusType::kShop:
+      return FacilityType::kShoppingPlace;
+    case RadiusType::kPoliceStation:
+      return FacilityType::kPublicSecurityOrgan;
+    case RadiusType::kAirport:
+    case RadiusType::kScenicSpot:
+    case RadiusType::kNone:
+      break;
+  }
+  return FacilityType::kNone;
+}
+
+FacilityType FacilityOfCategory(PoiCategory c) {
+  switch (c) {
+    case PoiCategory::kFoodService:
+      return FacilityType::kFoodService;
+    case PoiCategory::kFinancialService:
+      return FacilityType::kFinancialService;
+    case PoiCategory::kCulturalMedia:
+      return FacilityType::kCommunicationService;
+    case PoiCategory::kSportsFitness:
+      return FacilityType::kSportsVenue;
+    default:
+      break;
+  }
+  return FacilityType::kNone;
+}
+
+}  // namespace uv::synth

@@ -1,0 +1,92 @@
+#ifndef UV_SYNTH_POI_TYPES_H_
+#define UV_SYNTH_POI_TYPES_H_
+
+namespace uv::synth {
+
+// The 23 POI categories of the paper's Appendix Table IV (category
+// distribution features are ratios over these).
+enum class PoiCategory {
+  kFoodService = 0,
+  kHotel,
+  kShoppingPlace,
+  kLifeService,
+  kBeautyIndustry,
+  kScenicSpot,
+  kLeisureEntertainment,
+  kSportsFitness,
+  kEducation,
+  kCulturalMedia,
+  kMedicine,
+  kAutoService,
+  kTransportationFacility,
+  kFinancialService,
+  kRealEstate,
+  kCompany,
+  kGovernmentApparatus,
+  kEntranceExit,
+  kTopographicalObject,
+  kRoad,
+  kRailway,
+  kGreenland,
+  kBusRoute,
+};
+inline constexpr int kNumPoiCategories = 23;
+
+// The 15 POI types whose shortest distance defines the radius features
+// (paper Appendix Table IV, middle row).
+enum class RadiusType {
+  kNone = -1,
+  kHospital = 0,
+  kClinic,
+  kCollege,
+  kSchool,
+  kBusStop,
+  kSubwayStation,
+  kAirport,
+  kTrainStation,
+  kCoachStation,
+  kShoppingMall,
+  kSupermarket,
+  kMarket,
+  kShop,
+  kPoliceStation,
+  kScenicSpot,
+};
+inline constexpr int kNumRadiusTypes = 15;
+
+// The 9 basic-living-facility types for the binary index feature (paper
+// Appendix Table IV, bottom row): the index is 1 iff all 9 are within 1 km.
+enum class FacilityType {
+  kNone = -1,
+  kMedicalService = 0,
+  kShoppingPlace,
+  kSportsVenue,
+  kEducationService,
+  kFoodService,
+  kFinancialService,
+  kCommunicationService,
+  kPublicSecurityOrgan,
+  kTransportationFacility,
+};
+inline constexpr int kNumFacilityTypes = 9;
+
+const char* PoiCategoryName(PoiCategory c);
+const char* RadiusTypeName(RadiusType t);
+const char* FacilityTypeName(FacilityType t);
+
+// Category that naturally hosts a given radius type (e.g. Hospital POIs are
+// Medicine-category POIs). Used by the generator so radius-type POIs also
+// contribute to the category histogram.
+PoiCategory HostCategory(RadiusType t);
+
+// Facility type satisfied by a POI of the given radius type, if any
+// (e.g. Hospital satisfies MedicalService).
+FacilityType FacilityOf(RadiusType t);
+
+// Facility type satisfied directly by a plain category POI (for the
+// facilities that are not one of the 15 radius types, e.g. FoodService).
+FacilityType FacilityOfCategory(PoiCategory c);
+
+}  // namespace uv::synth
+
+#endif  // UV_SYNTH_POI_TYPES_H_

@@ -1,0 +1,112 @@
+#include "synth/road_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "util/check.h"
+
+namespace uv::synth {
+namespace {
+
+// Chooses jittered arterial line positions along one axis.
+std::vector<int> ArterialPositions(int extent, double spacing, Rng* rng) {
+  std::vector<int> out;
+  double pos = rng->Uniform(1.0, spacing);
+  while (pos < extent - 1) {
+    out.push_back(static_cast<int>(pos));
+    pos += spacing * rng->Uniform(0.7, 1.3);
+  }
+  if (out.empty()) out.push_back(extent / 2);
+  return out;
+}
+
+}  // namespace
+
+RoadGenResult GenerateRoadNetwork(const CityConfig& config,
+                                  const graph::GridSpec& grid,
+                                  const std::vector<float>& development,
+                                  Rng* rng) {
+  UV_CHECK_EQ(static_cast<long long>(development.size()),
+              static_cast<long long>(grid.num_regions()));
+  RoadGenResult result;
+  result.has_arterial_h.assign(grid.num_regions(), 0);
+  result.has_arterial_v.assign(grid.num_regions(), 0);
+  graph::RoadNetwork& net = result.network;
+  // node id registered per cell, -1 if none (at most one hub node per cell).
+  std::vector<int> node_of_cell(grid.num_regions(), -1);
+
+  auto node_at_cell = [&](int row, int col) {
+    const int cell = grid.RegionId(row, col);
+    if (node_of_cell[cell] >= 0) return node_of_cell[cell];
+    const double jitter = 0.30;
+    const double x =
+        (col + 0.5 + rng->Uniform(-jitter, jitter)) * grid.cell_meters;
+    const double y =
+        (row + 0.5 + rng->Uniform(-jitter, jitter)) * grid.cell_meters;
+    const int id = net.AddIntersection(x, y);
+    node_of_cell[cell] = id;
+    return id;
+  };
+
+  const std::vector<int> arterial_rows =
+      ArterialPositions(grid.height, config.arterial_spacing_cells, rng);
+  const std::vector<int> arterial_cols =
+      ArterialPositions(grid.width, config.arterial_spacing_cells, rng);
+
+  // Arterials carry a node every other cell; consecutive nodes are linked.
+  constexpr int kArterialStep = 2;
+  for (int r : arterial_rows) {
+    int prev = -1;
+    for (int c = 0; c < grid.width; c += kArterialStep) {
+      const int node = node_at_cell(r, c);
+      if (prev >= 0 && prev != node) net.AddSegment(prev, node);
+      prev = node;
+    }
+    for (int c = 0; c < grid.width; ++c) {
+      result.has_arterial_h[grid.RegionId(r, c)] = 1;
+    }
+  }
+  for (int c : arterial_cols) {
+    int prev = -1;
+    for (int r = 0; r < grid.height; r += kArterialStep) {
+      const int node = node_at_cell(r, c);
+      if (prev >= 0 && prev != node) net.AddSegment(prev, node);
+      prev = node;
+    }
+    for (int r = 0; r < grid.height; ++r) {
+      result.has_arterial_v[grid.RegionId(r, c)] = 1;
+    }
+  }
+
+  // Local streets densify developed areas: each developed cell may get a
+  // node linked to the nearest existing nodes within a 2-cell window.
+  for (int r = 0; r < grid.height; ++r) {
+    for (int c = 0; c < grid.width; ++c) {
+      const int cell = grid.RegionId(r, c);
+      if (node_of_cell[cell] >= 0) continue;
+      const double p = config.local_road_density * development[cell];
+      if (!rng->Bernoulli(p)) continue;
+      const int node = node_at_cell(r, c);
+      // Connect to up to three nearby nodes (prefer the closest cells).
+      int connected = 0;
+      for (int radius = 1; radius <= 2 && connected < 3; ++radius) {
+        for (int dr = -radius; dr <= radius && connected < 3; ++dr) {
+          for (int dc = -radius; dc <= radius && connected < 3; ++dc) {
+            if (std::max(std::abs(dr), std::abs(dc)) != radius) continue;
+            if (!grid.InBounds(r + dr, c + dc)) continue;
+            const int other = node_of_cell[grid.RegionId(r + dr, c + dc)];
+            if (other >= 0 && other != node) {
+              net.AddSegment(node, other);
+              ++connected;
+            }
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace uv::synth

@@ -1,0 +1,34 @@
+#ifndef UV_SYNTH_ROAD_GENERATOR_H_
+#define UV_SYNTH_ROAD_GENERATOR_H_
+
+#include <vector>
+
+#include "graph/grid.h"
+#include "graph/road_network.h"
+#include "synth/city_config.h"
+#include "util/rng.h"
+
+namespace uv::synth {
+
+// Road synthesis output: the intersection graph plus per-cell arterial
+// flags used by the tile renderer.
+struct RoadGenResult {
+  graph::RoadNetwork network;
+  std::vector<uint8_t> has_arterial_h;  // Cell lies on a horizontal arterial.
+  std::vector<uint8_t> has_arterial_v;  // Cell lies on a vertical arterial.
+};
+
+// Synthesizes a road network for the city: a jittered arterial grid whose
+// spacing follows config.arterial_spacing_cells, densified with local
+// streets near developed areas (controlled by `development`, a per-region
+// weight in [0,1]; downtown ~1, empty suburb ~0). Intersections carry planar
+// coordinates so graph::RoadNetwork::BuildRegionConnectivityEdges can apply
+// the paper's 5-hop rule.
+RoadGenResult GenerateRoadNetwork(const CityConfig& config,
+                                  const graph::GridSpec& grid,
+                                  const std::vector<float>& development,
+                                  Rng* rng);
+
+}  // namespace uv::synth
+
+#endif  // UV_SYNTH_ROAD_GENERATOR_H_

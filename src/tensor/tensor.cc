@@ -1,0 +1,59 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace uv {
+
+void Tensor::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::RandomNormal(Rng* rng, float stddev) {
+  for (auto& x : data_) x = static_cast<float>(rng->Gaussian(0.0, stddev));
+}
+
+void Tensor::RandomUniform(Rng* rng, float limit) {
+  for (auto& x : data_) x = static_cast<float>(rng->Uniform(-limit, limit));
+}
+
+void Tensor::GlorotUniform(Rng* rng) {
+  const double fan_sum = rows_ + cols_;
+  const float limit =
+      fan_sum > 0 ? static_cast<float>(std::sqrt(6.0 / fan_sum)) : 0.0f;
+  RandomUniform(rng, limit);
+}
+
+bool Tensor::HasNonFinite() const {
+  for (float x : data_) {
+    if (!std::isfinite(x)) return true;
+  }
+  return false;
+}
+
+double Tensor::Norm() const {
+  double acc = 0.0;
+  for (float x : data_) acc += static_cast<double>(x) * x;
+  return std::sqrt(acc);
+}
+
+double Tensor::Sum() const {
+  double acc = 0.0;
+  for (float x : data_) acc += x;
+  return acc;
+}
+
+float Tensor::MaxAbs() const {
+  float m = 0.0f;
+  for (float x : data_) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+std::string Tensor::ShapeString() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "Tensor(%dx%d)", rows_, cols_);
+  return buf;
+}
+
+}  // namespace uv

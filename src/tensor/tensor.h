@@ -1,0 +1,100 @@
+#ifndef UV_TENSOR_TENSOR_H_
+#define UV_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace uv {
+
+// Dense row-major float matrix. Rank-2 is the native shape of everything in
+// this library (N regions x d features, E edges x d, K clusters x d);
+// vectors are represented as Nx1 or 1xd matrices.
+class Tensor {
+ public:
+  Tensor() : rows_(0), cols_(0) {}
+  Tensor(int rows, int cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows) * cols, 0.0f) {
+    UV_CHECK_GE(rows, 0);
+    UV_CHECK_GE(cols, 0);
+  }
+  Tensor(int rows, int cols, std::vector<float> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    UV_CHECK_EQ(static_cast<long long>(rows) * cols,
+                static_cast<long long>(data_.size()));
+  }
+
+  Tensor(const Tensor&) = default;
+  Tensor& operator=(const Tensor&) = default;
+  Tensor(Tensor&&) = default;
+  Tensor& operator=(Tensor&&) = default;
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int64_t size() const { return static_cast<int64_t>(rows_) * cols_; }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float* row(int r) { return data_.data() + static_cast<size_t>(r) * cols_; }
+  const float* row(int r) const {
+    return data_.data() + static_cast<size_t>(r) * cols_;
+  }
+
+  float& at(int r, int c) {
+    UV_CHECK_GE(r, 0);
+    UV_CHECK_LT(r, rows_);
+    UV_CHECK_GE(c, 0);
+    UV_CHECK_LT(c, cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  float at(int r, int c) const {
+    UV_CHECK_GE(r, 0);
+    UV_CHECK_LT(r, rows_);
+    UV_CHECK_GE(c, 0);
+    UV_CHECK_LT(c, cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  // Unchecked flat accessors (hot loops).
+  float& operator[](int64_t i) { return data_[i]; }
+  float operator[](int64_t i) const { return data_[i]; }
+
+  void Fill(float value);
+  void Zero() { Fill(0.0f); }
+
+  // Gaussian init with the given stddev.
+  void RandomNormal(Rng* rng, float stddev);
+  // Uniform init in [-limit, limit].
+  void RandomUniform(Rng* rng, float limit);
+  // Glorot/Xavier uniform init based on (fan_in, fan_out) = (rows, cols).
+  void GlorotUniform(Rng* rng);
+
+  // True if any element is NaN or infinite.
+  bool HasNonFinite() const;
+
+  // Frobenius norm.
+  double Norm() const;
+  double Sum() const;
+  float MaxAbs() const;
+
+  // Short debug description "Tensor(3x4)".
+  std::string ShapeString() const;
+
+  bool SameShape(const Tensor& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<float> data_;
+};
+
+}  // namespace uv
+
+#endif  // UV_TENSOR_TENSOR_H_

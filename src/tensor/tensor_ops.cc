@@ -1,0 +1,275 @@
+#include "tensor/tensor_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace uv {
+
+void Gemm(bool transpose_a, bool transpose_b, float alpha, const Tensor& a,
+          const Tensor& b, float beta, Tensor* c) {
+  const int m = transpose_a ? a.cols() : a.rows();
+  const int k = transpose_a ? a.rows() : a.cols();
+  const int kb = transpose_b ? b.cols() : b.rows();
+  const int n = transpose_b ? b.rows() : b.cols();
+  UV_CHECK_EQ(k, kb);
+  UV_CHECK_EQ(c->rows(), m);
+  UV_CHECK_EQ(c->cols(), n);
+
+  if (beta == 0.0f) {
+    c->Zero();
+  } else if (beta != 1.0f) {
+    float* cd = c->data();
+    for (int64_t i = 0; i < c->size(); ++i) cd[i] *= beta;
+  }
+
+  float* cd = c->data();
+  const float* ad = a.data();
+  const float* bd = b.data();
+  if (!transpose_a && !transpose_b) {
+    // ikj loop order: streams B and C rows for cache friendliness.
+    for (int i = 0; i < m; ++i) {
+      const float* arow = ad + static_cast<size_t>(i) * k;
+      float* crow = cd + static_cast<size_t>(i) * n;
+      for (int p = 0; p < k; ++p) {
+        const float av = alpha * arow[p];
+        if (av == 0.0f) continue;
+        const float* brow = bd + static_cast<size_t>(p) * n;
+        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  } else if (transpose_a && !transpose_b) {
+    // A is k x m stored row-major; A^T(i,p) = A(p,i).
+    for (int p = 0; p < k; ++p) {
+      const float* arow = ad + static_cast<size_t>(p) * m;
+      const float* brow = bd + static_cast<size_t>(p) * n;
+      for (int i = 0; i < m; ++i) {
+        const float av = alpha * arow[i];
+        if (av == 0.0f) continue;
+        float* crow = cd + static_cast<size_t>(i) * n;
+        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  } else if (!transpose_a && transpose_b) {
+    // B is n x k stored row-major; B^T(p,j) = B(j,p): dot products.
+    for (int i = 0; i < m; ++i) {
+      const float* arow = ad + static_cast<size_t>(i) * k;
+      float* crow = cd + static_cast<size_t>(i) * n;
+      for (int j = 0; j < n; ++j) {
+        const float* brow = bd + static_cast<size_t>(j) * k;
+        float acc = 0.0f;
+        for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
+        crow[j] += alpha * acc;
+      }
+    }
+  } else {
+    for (int i = 0; i < m; ++i) {
+      float* crow = cd + static_cast<size_t>(i) * n;
+      for (int j = 0; j < n; ++j) {
+        float acc = 0.0f;
+        for (int p = 0; p < k; ++p) acc += a.at(p, i) * b.at(j, p);
+        crow[j] += alpha * acc;
+      }
+    }
+  }
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  Tensor c(a.rows(), b.cols());
+  Gemm(false, false, 1.0f, a, b, 0.0f, &c);
+  return c;
+}
+
+void Axpy(float alpha, const Tensor& x, Tensor* y) {
+  UV_CHECK(x.SameShape(*y));
+  float* yd = y->data();
+  const float* xd = x.data();
+  for (int64_t i = 0; i < x.size(); ++i) yd[i] += alpha * xd[i];
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  UV_CHECK(a.SameShape(b));
+  Tensor out = a;
+  Axpy(1.0f, b, &out);
+  return out;
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  UV_CHECK(a.SameShape(b));
+  Tensor out = a;
+  Axpy(-1.0f, b, &out);
+  return out;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  UV_CHECK(a.SameShape(b));
+  Tensor out(a.rows(), a.cols());
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* od = out.data();
+  for (int64_t i = 0; i < a.size(); ++i) od[i] = ad[i] * bd[i];
+  return out;
+}
+
+Tensor Scale(const Tensor& a, float s) {
+  Tensor out = a;
+  float* od = out.data();
+  for (int64_t i = 0; i < out.size(); ++i) od[i] *= s;
+  return out;
+}
+
+void AddRowVectorInPlace(const Tensor& row_vec, Tensor* a) {
+  UV_CHECK_EQ(row_vec.rows(), 1);
+  UV_CHECK_EQ(row_vec.cols(), a->cols());
+  const float* v = row_vec.data();
+  for (int r = 0; r < a->rows(); ++r) {
+    float* arow = a->row(r);
+    for (int c = 0; c < a->cols(); ++c) arow[c] += v[c];
+  }
+}
+
+Tensor Transpose(const Tensor& a) {
+  Tensor out(a.cols(), a.rows());
+  for (int r = 0; r < a.rows(); ++r) {
+    const float* arow = a.row(r);
+    for (int c = 0; c < a.cols(); ++c) out.at(c, r) = arow[c];
+  }
+  return out;
+}
+
+Tensor RowSoftmax(const Tensor& a, float temperature) {
+  UV_CHECK(temperature > 0.0f);
+  Tensor out(a.rows(), a.cols());
+  for (int r = 0; r < a.rows(); ++r) {
+    const float* in = a.row(r);
+    float* o = out.row(r);
+    float mx = -1e30f;
+    for (int c = 0; c < a.cols(); ++c) mx = std::max(mx, in[c] / temperature);
+    double total = 0.0;
+    for (int c = 0; c < a.cols(); ++c) {
+      o[c] = std::exp(in[c] / temperature - mx);
+      total += o[c];
+    }
+    const float inv = total > 0.0 ? static_cast<float>(1.0 / total) : 0.0f;
+    for (int c = 0; c < a.cols(); ++c) o[c] *= inv;
+  }
+  return out;
+}
+
+std::vector<int> RowArgmax(const Tensor& a) {
+  std::vector<int> out(a.rows(), 0);
+  for (int r = 0; r < a.rows(); ++r) {
+    const float* in = a.row(r);
+    int best = 0;
+    for (int c = 1; c < a.cols(); ++c) {
+      if (in[c] > in[best]) best = c;
+    }
+    out[r] = best;
+  }
+  return out;
+}
+
+Tensor RowL2Normalize(const Tensor& a) {
+  Tensor out = a;
+  for (int r = 0; r < out.rows(); ++r) {
+    float* row = out.row(r);
+    double norm = 0.0;
+    for (int c = 0; c < out.cols(); ++c) norm += static_cast<double>(row[c]) * row[c];
+    norm = std::sqrt(norm);
+    if (norm < 1e-12) continue;
+    const float inv = static_cast<float>(1.0 / norm);
+    for (int c = 0; c < out.cols(); ++c) row[c] *= inv;
+  }
+  return out;
+}
+
+Tensor ColumnMean(const Tensor& a) {
+  Tensor out(1, a.cols());
+  if (a.rows() == 0) return out;
+  std::vector<double> acc(a.cols(), 0.0);
+  for (int r = 0; r < a.rows(); ++r) {
+    const float* row = a.row(r);
+    for (int c = 0; c < a.cols(); ++c) acc[c] += row[c];
+  }
+  for (int c = 0; c < a.cols(); ++c) {
+    out.at(0, c) = static_cast<float>(acc[c] / a.rows());
+  }
+  return out;
+}
+
+Tensor ColumnStd(const Tensor& a, const Tensor& mean) {
+  UV_CHECK_EQ(mean.rows(), 1);
+  UV_CHECK_EQ(mean.cols(), a.cols());
+  Tensor out(1, a.cols());
+  if (a.rows() == 0) return out;
+  std::vector<double> acc(a.cols(), 0.0);
+  for (int r = 0; r < a.rows(); ++r) {
+    const float* row = a.row(r);
+    for (int c = 0; c < a.cols(); ++c) {
+      const double d = row[c] - mean.at(0, c);
+      acc[c] += d * d;
+    }
+  }
+  for (int c = 0; c < a.cols(); ++c) {
+    out.at(0, c) = static_cast<float>(std::sqrt(acc[c] / a.rows()));
+  }
+  return out;
+}
+
+void StandardizeColumnsInPlace(Tensor* a) {
+  const Tensor mean = ColumnMean(*a);
+  const Tensor std = ColumnStd(*a, mean);
+  for (int r = 0; r < a->rows(); ++r) {
+    float* row = a->row(r);
+    for (int c = 0; c < a->cols(); ++c) {
+      const float s = std.at(0, c);
+      row[c] = (row[c] - mean.at(0, c)) / (s > 1e-6f ? s : 1.0f);
+    }
+  }
+}
+
+Tensor ConcatCols(const Tensor& a, const Tensor& b) {
+  UV_CHECK_EQ(a.rows(), b.rows());
+  Tensor out(a.rows(), a.cols() + b.cols());
+  for (int r = 0; r < a.rows(); ++r) {
+    float* o = out.row(r);
+    std::copy(a.row(r), a.row(r) + a.cols(), o);
+    std::copy(b.row(r), b.row(r) + b.cols(), o + a.cols());
+  }
+  return out;
+}
+
+Tensor SliceCols(const Tensor& a, int col_begin, int col_end) {
+  UV_CHECK_GE(col_begin, 0);
+  UV_CHECK_LE(col_end, a.cols());
+  UV_CHECK_LE(col_begin, col_end);
+  Tensor out(a.rows(), col_end - col_begin);
+  for (int r = 0; r < a.rows(); ++r) {
+    std::copy(a.row(r) + col_begin, a.row(r) + col_end, out.row(r));
+  }
+  return out;
+}
+
+Tensor GatherRows(const Tensor& a, const std::vector<int>& indices) {
+  Tensor out(static_cast<int>(indices.size()), a.cols());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const int src = indices[i];
+    UV_CHECK_GE(src, 0);
+    UV_CHECK_LT(src, a.rows());
+    std::copy(a.row(src), a.row(src) + a.cols(),
+              out.row(static_cast<int>(i)));
+  }
+  return out;
+}
+
+float MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  UV_CHECK(a.SameShape(b));
+  float m = 0.0f;
+  const float* ad = a.data();
+  const float* bd = b.data();
+  for (int64_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::fabs(ad[i] - bd[i]));
+  }
+  return m;
+}
+
+}  // namespace uv

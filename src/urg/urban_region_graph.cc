@@ -1,0 +1,154 @@
+#include "urg/urban_region_graph.h"
+
+#include <algorithm>
+#include <array>
+
+#include "features/image_encoder.h"
+#include "features/poi_features.h"
+#include "tensor/tensor_ops.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace uv::urg {
+
+std::vector<int> UrbanRegionGraph::LabeledIds() const {
+  std::vector<int> ids;
+  for (int i = 0; i < static_cast<int>(labels.size()); ++i) {
+    if (labels[i] >= 0) ids.push_back(i);
+  }
+  return ids;
+}
+
+UrbanRegionGraph BuildUrg(const synth::City& city, const UrgOptions& options) {
+  UrbanRegionGraph urg;
+  urg.city_name = city.config.name;
+  urg.grid = city.grid;
+  urg.labels = city.labels;
+  urg.is_uv = std::vector<uint8_t>(city.is_uv.begin(), city.is_uv.end());
+  urg.images = city.images;
+  urg.image_size = city.config.image_size;
+
+  // --- Region relations (Section IV-A). ----------------------------------
+  std::vector<graph::Edge> edges;
+  if (options.use_spatial_edges) {
+    auto spatial = graph::BuildSpatialProximityEdges(city.grid);
+    urg.num_spatial_edges = static_cast<int64_t>(spatial.size());
+    edges.insert(edges.end(), spatial.begin(), spatial.end());
+  }
+  if (options.use_road_edges) {
+    auto road = city.roads.BuildRegionConnectivityEdges(city.grid,
+                                                        options.road_max_hops);
+    urg.num_road_edges = static_cast<int64_t>(road.size());
+    edges.insert(edges.end(), road.begin(), road.end());
+  }
+  // Attention layers let a region attend to itself via a self loop.
+  urg.adjacency = graph::CsrGraph::FromEdges(city.grid.num_regions(), edges,
+                                             /*symmetrize=*/false,
+                                             /*add_self_loops=*/true);
+  urg.num_edges = urg.adjacency.num_edges() - city.grid.num_regions();
+
+  // --- Region features (Section IV-B). -----------------------------------
+  urg.poi_features = features::BuildPoiFeatures(city);
+  switch (options.feature_ablation) {
+    case FeatureAblation::kNone:
+      break;
+    case FeatureAblation::kNoCate:
+      for (int r = 0; r < urg.poi_features.rows(); ++r) {
+        for (int c = features::PoiFeatureGroups::kCategoryBegin;
+             c < features::PoiFeatureGroups::kCategoryEnd; ++c) {
+          urg.poi_features.at(r, c) = 0.0f;
+        }
+      }
+      break;
+    case FeatureAblation::kNoRad:
+      for (int r = 0; r < urg.poi_features.rows(); ++r) {
+        for (int c = features::PoiFeatureGroups::kRadiusBegin;
+             c < features::PoiFeatureGroups::kRadiusEnd; ++c) {
+          urg.poi_features.at(r, c) = 0.0f;
+        }
+      }
+      break;
+    case FeatureAblation::kNoIndex:
+      for (int r = 0; r < urg.poi_features.rows(); ++r) {
+        urg.poi_features.at(r, features::PoiFeatureGroups::kIndexBegin) = 0.0f;
+      }
+      break;
+    case FeatureAblation::kNoImage:
+      break;  // Handled below.
+  }
+
+  if (options.feature_ablation == FeatureAblation::kNoImage ||
+      city.images == nullptr) {
+    // Regions characterized by POI features only; keep a minimal zero block
+    // so every model sees the same two-modality interface.
+    urg.image_features = Tensor(city.grid.num_regions(),
+                                std::max(8, options.image_feature_dim / 8));
+  } else {
+    features::ConvEncoder::Options enc;
+    enc.image_size = city.config.image_size;
+    enc.out_dim = options.image_feature_dim;
+    enc.seed = options.encoder_seed;
+    features::ConvEncoder encoder(enc);
+    urg.image_features = encoder.Encode(*city.images);
+  }
+
+  if (options.standardize_features) {
+    StandardizeColumnsInPlace(&urg.poi_features);
+    if (options.feature_ablation != FeatureAblation::kNoImage &&
+        city.images != nullptr) {
+      StandardizeColumnsInPlace(&urg.image_features);
+    }
+  }
+
+  UV_LOG_INFO("URG %s: %d regions, %lld edges (%lld spatial, %lld road)",
+              urg.city_name.c_str(), urg.num_regions(),
+              static_cast<long long>(urg.num_edges),
+              static_cast<long long>(urg.num_spatial_edges),
+              static_cast<long long>(urg.num_road_edges));
+  return urg;
+}
+
+std::array<int, 4> MainUrbanAreaBounds(const synth::City& city,
+                                       double fraction) {
+  UV_CHECK(fraction > 0.0 && fraction <= 1.0);
+  const auto& grid = city.grid;
+  const int64_t total = static_cast<int64_t>(city.pois.size());
+  if (total == 0) return {0, 0, grid.height - 1, grid.width - 1};
+
+  // Count POIs per row and per column, then shrink a centred frame greedily
+  // from whichever side loses the fewest POIs until just before the kept
+  // fraction would drop below the target.
+  std::vector<int64_t> row_count(grid.height, 0), col_count(grid.width, 0);
+  for (const auto& poi : city.pois) {
+    const int id = grid.RegionAt(poi.x, poi.y);
+    ++row_count[grid.RowOf(id)];
+    ++col_count[grid.ColOf(id)];
+  }
+  int r0 = 0, r1 = grid.height - 1, c0 = 0, c1 = grid.width - 1;
+  int64_t kept = total;
+  const int64_t min_keep =
+      static_cast<int64_t>(fraction * static_cast<double>(total));
+  while (true) {
+    // Candidate trims and their POI cost.
+    int64_t best_cost = -1;
+    int which = -1;
+    const int64_t costs[4] = {row_count[r0], row_count[r1], col_count[c0],
+                              col_count[c1]};
+    for (int k = 0; k < 4; ++k) {
+      if ((k < 2 && r1 - r0 < 2) || (k >= 2 && c1 - c0 < 2)) continue;
+      if (best_cost < 0 || costs[k] < best_cost) {
+        best_cost = costs[k];
+        which = k;
+      }
+    }
+    if (which < 0 || kept - best_cost < min_keep) break;
+    kept -= best_cost;
+    if (which == 0) ++r0;
+    else if (which == 1) --r1;
+    else if (which == 2) ++c0;
+    else --c1;
+  }
+  return {r0, c0, r1, c1};
+}
+
+}  // namespace uv::urg

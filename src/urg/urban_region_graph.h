@@ -1,0 +1,89 @@
+#ifndef UV_URG_URBAN_REGION_GRAPH_H_
+#define UV_URG_URBAN_REGION_GRAPH_H_
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "graph/grid.h"
+#include "synth/city.h"
+#include "tensor/tensor.h"
+
+namespace uv::urg {
+
+// Feature groups that can be removed from the URG, matching the Fig. 5(b)
+// data ablations of the paper.
+enum class FeatureAblation {
+  kNone = 0,
+  kNoImage,  // Remove satellite-image features.
+  kNoCate,   // Remove POI category-distribution features.
+  kNoRad,    // Remove POI radius features.
+  kNoIndex,  // Remove the basic-living-facility index.
+};
+
+// URG construction options (paper Section IV).
+struct UrgOptions {
+  bool use_spatial_edges = true;  // Disable for the noProx ablation.
+  bool use_road_edges = true;     // Disable for the noRoad ablation.
+  int road_max_hops = 5;          // Paper: regions connected within 5 hops.
+  FeatureAblation feature_ablation = FeatureAblation::kNone;
+
+  // Image feature extraction (frozen VGG16 stand-in).
+  int image_feature_dim = 256;
+  uint64_t encoder_seed = 7;
+
+  // Column-standardize both feature blocks.
+  bool standardize_features = true;
+};
+
+// The Urban Region Graph G(V, E, A, X): fine-grained regions as nodes,
+// spatial-proximity plus road-connectivity edges, and multi-modal region
+// features. Also carries the labels and raw tiles so that a single object
+// is a complete dataset for every detector.
+struct UrbanRegionGraph {
+  std::string city_name;
+  graph::GridSpec grid;
+
+  // Combined adjacency with self loops (grouped by destination, the layout
+  // the attention layers consume).
+  graph::CsrGraph adjacency;
+
+  // Multi-modal region features.
+  Tensor poi_features;    // N x 64.
+  Tensor image_features;  // N x image_feature_dim.
+
+  // Supervision: -1 unlabeled, 0 non-UV, 1 UV; plus full ground truth for
+  // the Fig. 7 case study.
+  std::vector<int> labels;
+  std::vector<uint8_t> is_uv;
+
+  // Raw tiles (shared with the generating City) for the image-based
+  // baselines (UVLens, MUVFCN). May be null if tiles were not generated.
+  std::shared_ptr<Tensor> images;
+  int image_size = 32;
+
+  // Edge statistics (directed counts, self loops excluded) for Table I.
+  int64_t num_spatial_edges = 0;
+  int64_t num_road_edges = 0;
+  int64_t num_edges = 0;  // Union of the two relations.
+
+  int num_regions() const { return grid.num_regions(); }
+
+  // Ids of labeled regions, in ascending order.
+  std::vector<int> LabeledIds() const;
+};
+
+// Assembles the URG from generated city data.
+UrbanRegionGraph BuildUrg(const synth::City& city, const UrgOptions& options);
+
+// Returns the subgrid covering `fraction` of the city's POIs with a centred
+// rectangle (the paper's "main urban area" rule). The result is a pair of
+// inclusive row/col bounds {row0, col0, row1, col1}.
+std::array<int, 4> MainUrbanAreaBounds(const synth::City& city,
+                                       double fraction);
+
+}  // namespace uv::urg
+
+#endif  // UV_URG_URBAN_REGION_GRAPH_H_

@@ -1,0 +1,38 @@
+#ifndef UV_UTIL_CHECK_H_
+#define UV_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Invariant-checking macros. A failed check is a programming error inside
+// this library (not a recoverable condition), so it prints the location and
+// aborts. Recoverable conditions use uv::Status instead.
+
+#define UV_CHECK(cond)                                                    \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "UV_CHECK failed at %s:%d: %s\n", __FILE__,    \
+                   __LINE__, #cond);                                      \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#define UV_CHECK_OP(a, b, op)                                             \
+  do {                                                                    \
+    if (!((a)op(b))) {                                                    \
+      std::fprintf(stderr,                                                \
+                   "UV_CHECK failed at %s:%d: %s %s %s (%lld vs %lld)\n", \
+                   __FILE__, __LINE__, #a, #op, #b,                       \
+                   static_cast<long long>(a), static_cast<long long>(b)); \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#define UV_CHECK_EQ(a, b) UV_CHECK_OP(a, b, ==)
+#define UV_CHECK_NE(a, b) UV_CHECK_OP(a, b, !=)
+#define UV_CHECK_LT(a, b) UV_CHECK_OP(a, b, <)
+#define UV_CHECK_LE(a, b) UV_CHECK_OP(a, b, <=)
+#define UV_CHECK_GT(a, b) UV_CHECK_OP(a, b, >)
+#define UV_CHECK_GE(a, b) UV_CHECK_OP(a, b, >=)
+
+#endif  // UV_UTIL_CHECK_H_

@@ -1,0 +1,39 @@
+#include "util/logging.h"
+
+#include <cstdio>
+
+namespace uv {
+namespace {
+
+LogLevel g_min_level = LogLevel::kInfo;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_min_level = level; }
+LogLevel GetLogLevel() { return g_min_level; }
+
+void Logf(LogLevel level, const char* fmt, ...) {
+  if (static_cast<int>(level) < static_cast<int>(g_min_level)) return;
+  std::fprintf(stderr, "[%s] ", LevelTag(level));
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace uv

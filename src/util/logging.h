@@ -1,0 +1,25 @@
+#ifndef UV_UTIL_LOGGING_H_
+#define UV_UTIL_LOGGING_H_
+
+#include <cstdarg>
+
+namespace uv {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Sets the minimum level that is emitted (default kInfo). Thread-compatible.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// printf-style logging to stderr with a level prefix.
+void Logf(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace uv
+
+#define UV_LOG_DEBUG(...) ::uv::Logf(::uv::LogLevel::kDebug, __VA_ARGS__)
+#define UV_LOG_INFO(...) ::uv::Logf(::uv::LogLevel::kInfo, __VA_ARGS__)
+#define UV_LOG_WARN(...) ::uv::Logf(::uv::LogLevel::kWarning, __VA_ARGS__)
+#define UV_LOG_ERROR(...) ::uv::Logf(::uv::LogLevel::kError, __VA_ARGS__)
+
+#endif  // UV_UTIL_LOGGING_H_

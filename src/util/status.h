@@ -1,0 +1,104 @@
+#ifndef UV_UTIL_STATUS_H_
+#define UV_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace uv {
+
+// Error codes for recoverable failures crossing public API boundaries.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kOutOfRange,
+  kInternal,
+  kIoError,
+};
+
+// Lightweight status object: OK or (code, message). The library does not use
+// exceptions; fallible public entry points return Status or StatusOr<T>.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Human-readable "CODE: message" string.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Holds either a value of type T or an error Status. Accessing the value of
+// a non-OK StatusOr is a checked programming error.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status)  // NOLINT: implicit from error status is idiomatic.
+      : status_(std::move(status)) {
+    UV_CHECK(!status_.ok());
+  }
+  StatusOr(T value)  // NOLINT: implicit from value is idiomatic.
+      : status_(Status::Ok()), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    UV_CHECK(status_.ok());
+    return value_;
+  }
+  T& value() & {
+    UV_CHECK(status_.ok());
+    return value_;
+  }
+  T&& value() && {
+    UV_CHECK(status_.ok());
+    return std::move(value_);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace uv
+
+// Propagates a non-OK status from an expression to the caller.
+#define UV_RETURN_IF_ERROR(expr)              \
+  do {                                        \
+    ::uv::Status uv_status_ = (expr);         \
+    if (!uv_status_.ok()) return uv_status_;  \
+  } while (0)
+
+#endif  // UV_UTIL_STATUS_H_

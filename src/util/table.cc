@@ -1,0 +1,81 @@
+#include "util/table.h"
+
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace uv {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  UV_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > widths[c]) widths[c] = row[c].size();
+    }
+  }
+  auto append_row = [&](std::string* out, const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out->append(row[c]);
+      out->append(widths[c] - row[c].size() + 2, ' ');
+    }
+    // Trim trailing spaces on the line.
+    while (!out->empty() && out->back() == ' ') out->pop_back();
+    out->push_back('\n');
+  };
+  std::string out;
+  append_row(&out, header_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  out.append(total >= 2 ? total - 2 : total, '-');
+  out.push_back('\n');
+  for (const auto& row : rows_) append_row(&out, row);
+  return out;
+}
+
+std::string TextTable::ToCsv() const {
+  std::string out;
+  auto append_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c) out.push_back(',');
+      out.append(row[c]);
+    }
+    out.push_back('\n');
+  };
+  append_row(header_);
+  for (const auto& row : rows_) append_row(row);
+  return out;
+}
+
+void TextTable::Print() const {
+  const std::string s = ToString();
+  std::fwrite(s.data(), 1, s.size(), stdout);
+  std::fflush(stdout);
+}
+
+std::string FormatDouble(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string FormatMeanStd(double mean, double std) {
+  char buf[96];
+  char stdbuf[32];
+  std::snprintf(stdbuf, sizeof(stdbuf), "%.3f", std);
+  // Paper style drops the leading zero on the std: "0.837 (.001)".
+  const char* stds = stdbuf;
+  if (stdbuf[0] == '0') stds = stdbuf + 1;
+  std::snprintf(buf, sizeof(buf), "%.3f (%s)", mean, stds);
+  return buf;
+}
+
+}  // namespace uv

@@ -1,0 +1,40 @@
+#ifndef UV_UTIL_TABLE_H_
+#define UV_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace uv {
+
+// Fixed-width text table used by the benchmark harness to print paper-style
+// result tables, with an optional CSV dump for post-processing.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  // Renders the table with aligned columns and a header separator.
+  std::string ToString() const;
+  // Renders as comma-separated values (no escaping; cells must be simple).
+  std::string ToCsv() const;
+
+  // Convenience: prints ToString() to stdout.
+  void Print() const;
+
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with the given number of decimals (e.g. 0.837).
+std::string FormatDouble(double value, int decimals);
+
+// Formats "mean (.std)" in the paper's Table II style, e.g. "0.837 (.001)".
+std::string FormatMeanStd(double mean, double std);
+
+}  // namespace uv
+
+#endif  // UV_UTIL_TABLE_H_

@@ -1,0 +1,28 @@
+#ifndef UV_UTIL_TIMER_H_
+#define UV_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace uv {
+
+// Monotonic wall-clock stopwatch used by the efficiency benchmarks
+// (Table III) and the experiment runner.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  // Elapsed time since construction or the last Reset, in seconds.
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace uv
+
+#endif  // UV_UTIL_TIMER_H_

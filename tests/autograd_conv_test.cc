@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "autograd/grad_check.h"
+#include "autograd/ops.h"
+#include "util/rng.h"
+
+namespace uv::ag {
+namespace {
+
+Tensor RandomTensor(int r, int c, uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(r, c);
+  t.RandomNormal(&rng, 1.0f);
+  return t;
+}
+
+// Direct convolution reference (no im2col) for one sample.
+float NaiveConvAt(const Tensor& x, const Tensor& w, const Tensor& b, int img,
+                  const Conv2dSpec& s, int oc, int oy, int ox) {
+  float acc = b.at(0, oc);
+  const float* image = x.row(img);
+  for (int c = 0; c < s.in_channels; ++c) {
+    for (int ky = 0; ky < s.kernel; ++ky) {
+      for (int kx = 0; kx < s.kernel; ++kx) {
+        const int iy = oy * s.stride + ky - s.pad;
+        const int ix = ox * s.stride + kx - s.pad;
+        if (iy < 0 || iy >= s.in_h || ix < 0 || ix >= s.in_w) continue;
+        const float xv = image[(c * s.in_h + iy) * s.in_w + ix];
+        const float wv = w.at(oc, (c * s.kernel + ky) * s.kernel + kx);
+        acc += xv * wv;
+      }
+    }
+  }
+  return acc;
+}
+
+TEST(Conv2dTest, OutputShape) {
+  Conv2dSpec s{3, 8, 8, 4, 3, 1, 1};
+  EXPECT_EQ(s.out_h(), 8);
+  EXPECT_EQ(s.out_w(), 8);
+  Conv2dSpec s2{3, 8, 8, 4, 3, 2, 0};
+  EXPECT_EQ(s2.out_h(), 3);
+}
+
+class Conv2dForwardTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(Conv2dForwardTest, MatchesNaiveReference) {
+  const auto [stride, pad, out_c] = GetParam();
+  Conv2dSpec s{2, 6, 6, out_c, 3, stride, pad};
+  if (s.out_h() <= 0 || s.out_w() <= 0) GTEST_SKIP();
+  auto x = MakeConst(RandomTensor(2, 2 * 6 * 6, 1));
+  auto w = MakeConst(RandomTensor(out_c, 2 * 9, 2));
+  auto b = MakeConst(RandomTensor(1, out_c, 3));
+  auto y = Conv2d(x, w, b, s);
+  ASSERT_EQ(y->cols(), out_c * s.out_h() * s.out_w());
+  for (int img = 0; img < 2; ++img) {
+    for (int oc = 0; oc < out_c; ++oc) {
+      for (int oy = 0; oy < s.out_h(); ++oy) {
+        for (int ox = 0; ox < s.out_w(); ++ox) {
+          const float expected =
+              NaiveConvAt(x->value, w->value, b->value, img, s, oc, oy, ox);
+          const float got =
+              y->value.at(img, (oc * s.out_h() + oy) * s.out_w() + ox);
+          ASSERT_NEAR(got, expected, 1e-4f)
+              << "img=" << img << " oc=" << oc << " oy=" << oy
+              << " ox=" << ox;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometry, Conv2dForwardTest,
+                         ::testing::Combine(::testing::Values(1, 2),
+                                            ::testing::Values(0, 1),
+                                            ::testing::Values(1, 3)));
+
+TEST(Conv2dTest, GradCheckSmall) {
+  Conv2dSpec s{1, 4, 4, 2, 3, 1, 1};
+  auto x = MakeParam(RandomTensor(2, 16, 10));
+  auto w = MakeParam(RandomTensor(2, 9, 11));
+  auto b = MakeParam(RandomTensor(1, 2, 12));
+  auto result = CheckGradients({x, w, b}, [&]() {
+    auto y = Conv2d(x, w, b, s);
+    return SumAll(Mul(y, y));
+  });
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(MaxPool2dTest, ForwardPicksMaximum) {
+  // One 4x4 single-channel image.
+  Tensor img(1, 16, {1, 2, 3, 4,
+                     5, 6, 7, 8,
+                     9, 10, 11, 12,
+                     13, 14, 15, 16});
+  auto y = MaxPool2d(MakeConst(img), 1, 4, 4, 2, 2);
+  EXPECT_EQ(y->cols(), 4);
+  EXPECT_FLOAT_EQ(y->value.at(0, 0), 6.0f);
+  EXPECT_FLOAT_EQ(y->value.at(0, 1), 8.0f);
+  EXPECT_FLOAT_EQ(y->value.at(0, 3), 16.0f);
+}
+
+TEST(MaxPool2dTest, BackwardRoutesToArgmax) {
+  Tensor img(1, 16);
+  img.at(0, 5) = 10.0f;  // Winner of the top-left window.
+  auto x = MakeParam(img);
+  auto loss = SumAll(MaxPool2d(x, 1, 4, 4, 2, 2));
+  Backward(loss);
+  EXPECT_FLOAT_EQ(x->grad.at(0, 5), 1.0f);
+  EXPECT_FLOAT_EQ(x->grad.at(0, 0), 0.0f);
+}
+
+TEST(MaxPool2dTest, GradCheck) {
+  // Distinct values avoid argmax ties that would break differentiability.
+  Tensor img(1, 2 * 16);
+  Rng rng(13);
+  std::vector<int> perm(32);
+  for (int i = 0; i < 32; ++i) perm[i] = i;
+  rng.Shuffle(&perm);
+  for (int i = 0; i < 32; ++i) img[i] = perm[i] * 0.37f;
+  auto x = MakeParam(img);
+  auto result = CheckGradients({x}, [&]() {
+    auto y = MaxPool2d(x, 2, 4, 4, 2, 2);
+    return SumAll(Mul(y, y));
+  });
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(GlobalAvgPoolTest, Forward) {
+  Tensor img(1, 2 * 4, {1, 2, 3, 4, 10, 10, 10, 10});
+  auto y = GlobalAvgPool(MakeConst(img), 2, 2, 2);
+  EXPECT_EQ(y->cols(), 2);
+  EXPECT_FLOAT_EQ(y->value.at(0, 0), 2.5f);
+  EXPECT_FLOAT_EQ(y->value.at(0, 1), 10.0f);
+}
+
+TEST(GlobalAvgPoolTest, GradCheck) {
+  auto x = MakeParam(RandomTensor(3, 2 * 9, 14));
+  auto result = CheckGradients({x}, [&]() {
+    auto y = GlobalAvgPool(x, 2, 3, 3);
+    return SumAll(Mul(y, y));
+  });
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(ConvStackTest, EndToEndGradCheck) {
+  // conv -> relu -> pool -> gap -> squared sum, the MUVFCN-style path.
+  Conv2dSpec s{1, 6, 6, 2, 3, 1, 1};
+  auto x = MakeConst(RandomTensor(2, 36, 20));
+  auto w = MakeParam(RandomTensor(2, 9, 21));
+  auto b = MakeParam(RandomTensor(1, 2, 22));
+  auto result = CheckGradients({w, b}, [&]() {
+    auto y = Relu(Conv2d(x, w, b, s));
+    y = MaxPool2d(y, 2, 6, 6, 2, 2);
+    y = GlobalAvgPool(y, 2, 3, 3);
+    return SumAll(Mul(y, y));
+  });
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+}  // namespace
+}  // namespace uv::ag

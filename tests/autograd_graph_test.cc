@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "autograd/grad_check.h"
+#include "autograd/ops.h"
+#include "util/rng.h"
+
+namespace uv::ag {
+namespace {
+
+Tensor RandomTensor(int r, int c, uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(r, c);
+  t.RandomNormal(&rng, 1.0f);
+  return t;
+}
+
+std::shared_ptr<const std::vector<int>> Ids(std::vector<int> v) {
+  return std::make_shared<const std::vector<int>>(std::move(v));
+}
+
+VarPtr SquaredReadout(const VarPtr& x) { return SumAll(Mul(x, x)); }
+
+// A small 3-node graph grouped by destination:
+//   node0 <- {1, 2}; node1 <- {0}; node2 <- {} (empty segment).
+struct TinyGraph {
+  std::shared_ptr<const std::vector<int>> offsets = Ids({0, 2, 3, 3});
+  std::shared_ptr<const std::vector<int>> src = Ids({1, 2, 0});
+};
+
+TEST(GatherRowsTest, Forward) {
+  auto x = MakeConst(Tensor(3, 2, {1, 2, 3, 4, 5, 6}));
+  auto g = GatherRows(x, Ids({2, 2, 0}));
+  EXPECT_EQ(g->rows(), 3);
+  EXPECT_FLOAT_EQ(g->value.at(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(g->value.at(2, 1), 2.0f);
+}
+
+TEST(GatherRowsTest, BackwardScatterAdds) {
+  auto x = MakeParam(Tensor(3, 1, {1, 2, 3}));
+  // Row 2 gathered twice: its gradient doubles.
+  auto loss = SumAll(GatherRows(x, Ids({2, 2, 0})));
+  Backward(loss);
+  EXPECT_FLOAT_EQ(x->grad.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(x->grad.at(1, 0), 0.0f);
+  EXPECT_FLOAT_EQ(x->grad.at(2, 0), 2.0f);
+}
+
+TEST(GatherRowsTest, GradCheck) {
+  auto x = MakeParam(RandomTensor(4, 3, 5));
+  auto idx = Ids({1, 3, 3, 0, 2});
+  auto result = CheckGradients(
+      {x}, [&]() { return SquaredReadout(GatherRows(x, idx)); });
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(SegmentSoftmaxTest, SegmentsSumToOne) {
+  TinyGraph g;
+  auto scores = MakeConst(Tensor(3, 1, {1.0f, -2.0f, 0.5f}));
+  auto alpha = SegmentSoftmax(scores, g.offsets);
+  EXPECT_NEAR(alpha->value.at(0, 0) + alpha->value.at(1, 0), 1.0f, 1e-6f);
+  EXPECT_NEAR(alpha->value.at(2, 0), 1.0f, 1e-6f);  // Singleton segment.
+}
+
+TEST(SegmentSoftmaxTest, LargeScoresStable) {
+  TinyGraph g;
+  auto scores = MakeConst(Tensor(3, 1, {500.0f, -500.0f, 900.0f}));
+  auto alpha = SegmentSoftmax(scores, g.offsets);
+  EXPECT_FALSE(alpha->value.HasNonFinite());
+  EXPECT_NEAR(alpha->value.at(0, 0), 1.0f, 1e-5f);
+}
+
+TEST(SegmentSoftmaxTest, GradCheck) {
+  TinyGraph g;
+  auto scores = MakeParam(RandomTensor(3, 1, 6));
+  auto result = CheckGradients({scores}, [&]() {
+    return SquaredReadout(SegmentSoftmax(scores, g.offsets));
+  });
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(SegmentWeightedSumTest, Forward) {
+  TinyGraph g;
+  auto alpha = MakeConst(Tensor(3, 1, {0.25f, 0.75f, 1.0f}));
+  auto feats = MakeConst(Tensor(3, 2, {4, 0, 0, 8, 2, 2}));
+  auto out = SegmentWeightedSum(alpha, feats, g.offsets);
+  EXPECT_EQ(out->rows(), 3);
+  EXPECT_FLOAT_EQ(out->value.at(0, 0), 1.0f);   // 0.25*4.
+  EXPECT_FLOAT_EQ(out->value.at(0, 1), 6.0f);   // 0.75*8.
+  EXPECT_FLOAT_EQ(out->value.at(1, 0), 2.0f);   // 1.0*2.
+  EXPECT_FLOAT_EQ(out->value.at(2, 0), 0.0f);   // Empty segment.
+}
+
+TEST(SegmentWeightedSumTest, GradCheckBothInputs) {
+  TinyGraph g;
+  auto alpha = MakeParam(RandomTensor(3, 1, 7));
+  auto feats = MakeParam(RandomTensor(3, 2, 8));
+  auto result = CheckGradients({alpha, feats}, [&]() {
+    return SquaredReadout(SegmentWeightedSum(alpha, feats, g.offsets));
+  });
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(SegmentSumByIdsTest, ForwardDropsNegativeIds) {
+  auto x = MakeConst(Tensor(4, 2, {1, 1, 2, 2, 3, 3, 4, 4}));
+  auto ids = Ids({0, 1, 0, -1});
+  auto out = SegmentSumByIds(x, ids, 2);
+  EXPECT_FLOAT_EQ(out->value.at(0, 0), 4.0f);  // rows 0 + 2.
+  EXPECT_FLOAT_EQ(out->value.at(1, 1), 2.0f);  // row 1.
+}
+
+TEST(SegmentSumByIdsTest, GradCheck) {
+  auto x = MakeParam(RandomTensor(5, 3, 9));
+  auto ids = Ids({0, 2, 1, 2, 0});
+  auto result = CheckGradients({x}, [&]() {
+    return SquaredReadout(SegmentSumByIds(x, ids, 3));
+  });
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+// Attention-style composition over a random graph: the full per-edge score
+// -> segment softmax -> weighted aggregation path used by GAT/MAGA.
+class AttentionPathTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AttentionPathTest, GradCheckOnRandomGraph) {
+  const int n = 5;
+  Rng rng(GetParam());
+  // Random edges grouped by destination.
+  std::vector<int> offsets = {0};
+  std::vector<int> src;
+  for (int i = 0; i < n; ++i) {
+    const int deg = 1 + rng.UniformInt(3);
+    for (int e = 0; e < deg; ++e) src.push_back(rng.UniformInt(n));
+    offsets.push_back(static_cast<int>(src.size()));
+  }
+  auto off = Ids(offsets);
+  auto src_ids = Ids(src);
+  std::vector<int> dst;
+  for (int i = 0; i < n; ++i) {
+    for (int e = offsets[i]; e < offsets[i + 1]; ++e) dst.push_back(i);
+  }
+  auto dst_ids = Ids(dst);
+
+  auto x = MakeConst(RandomTensor(n, 3, 50 + GetParam()));
+  auto w = MakeParam(RandomTensor(3, 2, 60 + GetParam()));
+  auto a_src = MakeParam(RandomTensor(2, 1, 70 + GetParam()));
+  auto a_dst = MakeParam(RandomTensor(2, 1, 80 + GetParam()));
+
+  auto build = [&]() {
+    auto h = MatMul(x, w);
+    auto s = Add(GatherRows(MatMul(h, a_dst), dst_ids),
+                 GatherRows(MatMul(h, a_src), src_ids));
+    auto alpha = SegmentSoftmax(LeakyRelu(s, 0.2f), off);
+    auto out = SegmentWeightedSum(alpha, GatherRows(h, src_ids), off);
+    return SquaredReadout(out);
+  };
+  auto result = CheckGradients({w, a_src, a_dst}, build, 1e-3, 3e-2);
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AttentionPathTest, ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace uv::ag

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/gated_mlp.h"
+#include "autograd/grad_check.h"
+#include "autograd/ops.h"
+#include "util/rng.h"
+
+namespace uv::ag {
+namespace {
+
+Tensor RandomTensor(int r, int c, uint64_t seed, float scale = 1.0f) {
+  Rng rng(seed);
+  Tensor t(r, c);
+  t.RandomNormal(&rng, scale);
+  return t;
+}
+
+// ------------------------------ BCE ----------------------------------------
+
+TEST(BceTest, MatchesClosedForm) {
+  // loss(z, y) = max(z,0) - z*y + log(1+exp(-|z|)).
+  auto z = MakeConst(Tensor(2, 1, {0.8f, -1.2f}));
+  Tensor y(2, 1, {1.0f, 0.0f});
+  auto loss = BceWithLogits(z, y, nullptr);
+  const double l0 = 0.8 - 0.8 + std::log1p(std::exp(-0.8));
+  const double l1 = 0.0 - 0.0 + std::log1p(std::exp(-1.2));
+  EXPECT_NEAR(loss->value.at(0, 0), (l0 + l1) / 2.0, 1e-6);
+}
+
+TEST(BceTest, PerfectPredictionNearZero) {
+  auto z = MakeConst(Tensor(2, 1, {30.0f, -30.0f}));
+  Tensor y(2, 1, {1.0f, 0.0f});
+  EXPECT_NEAR(BceWithLogits(z, y, nullptr)->value.at(0, 0), 0.0, 1e-6);
+}
+
+TEST(BceTest, ExtremeLogitsStayFinite) {
+  auto z = MakeParam(Tensor(2, 1, {2000.0f, -2000.0f}));
+  Tensor y(2, 1, {0.0f, 1.0f});
+  auto loss = BceWithLogits(z, y, nullptr);
+  EXPECT_FALSE(loss->value.HasNonFinite());
+  Backward(loss);
+  EXPECT_FALSE(z->grad.HasNonFinite());
+}
+
+TEST(BceTest, GradientIsSigmoidMinusLabel) {
+  auto z = MakeParam(Tensor(1, 1, {0.5f}));
+  Tensor y(1, 1, {1.0f});
+  Backward(BceWithLogits(z, y, nullptr));
+  const double p = 1.0 / (1.0 + std::exp(-0.5));
+  EXPECT_NEAR(z->grad.at(0, 0), p - 1.0, 1e-6);
+}
+
+TEST(BceTest, SampleWeightsShiftTheLoss) {
+  auto z = MakeConst(Tensor(2, 1, {1.0f, 1.0f}));
+  Tensor y(2, 1, {1.0f, 0.0f});
+  Tensor w_pos(2, 1, {10.0f, 1.0f});
+  // Up-weighting the already-correct positive lowers the weighted mean loss.
+  const float plain = BceWithLogits(z, y, nullptr)->value.at(0, 0);
+  const float weighted = BceWithLogits(z, y, &w_pos)->value.at(0, 0);
+  EXPECT_LT(weighted, plain);
+}
+
+TEST(BceTest, GradCheck) {
+  auto z = MakeParam(RandomTensor(6, 1, 31));
+  Tensor y(6, 1);
+  for (int i = 0; i < 6; ++i) y.at(i, 0) = i % 2 ? 1.0f : 0.0f;
+  Tensor w(6, 1);
+  for (int i = 0; i < 6; ++i) w.at(i, 0) = 1.0f + i * 0.5f;
+  auto result =
+      CheckGradients({z}, [&]() { return BceWithLogits(z, y, &w); });
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+// --------------------------- PU rank loss ----------------------------------
+
+TEST(PuRankLossTest, PerfectSeparationByMarginOne) {
+  // s_pos - s_neg = 1 makes every pair term (1 - 1)^2 = 0.
+  auto s = MakeConst(Tensor(3, 1, {1.0f, 0.0f, 0.0f}));
+  auto loss = PuRankLoss(s, {0}, {1, 2});
+  EXPECT_NEAR(loss->value.at(0, 0), 0.0, 1e-8);
+}
+
+TEST(PuRankLossTest, EqualScoresGiveUnitLoss) {
+  auto s = MakeConst(Tensor(2, 1, {0.5f, 0.5f}));
+  auto loss = PuRankLoss(s, {0}, {1});
+  EXPECT_NEAR(loss->value.at(0, 0), 1.0, 1e-6);
+}
+
+TEST(PuRankLossTest, EmptyPositivesIsZeroWithNoGrad) {
+  auto s = MakeParam(Tensor(3, 1, {0.1f, 0.2f, 0.3f}));
+  auto loss = PuRankLoss(s, {}, {0, 1, 2});
+  EXPECT_FLOAT_EQ(loss->value.at(0, 0), 0.0f);
+  Backward(loss);
+  // No pairs -> no gradient contribution.
+  if (!s->grad.empty()) {
+    EXPECT_FLOAT_EQ(static_cast<float>(s->grad.Norm()), 0.0f);
+  }
+}
+
+TEST(PuRankLossTest, GradCheck) {
+  auto s = MakeParam(RandomTensor(5, 1, 33));
+  auto result = CheckGradients(
+      {s}, [&]() { return PuRankLoss(s, {0, 2}, {1, 3, 4}); });
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(PuRankLossTest, DescendingOnLossSeparatesScores) {
+  // A few SGD steps should push positive scores above unlabeled ones.
+  auto s = MakeParam(Tensor(4, 1, {0.0f, 0.0f, 0.0f, 0.0f}));
+  for (int it = 0; it < 200; ++it) {
+    ZeroGrads({s});
+    auto loss = PuRankLoss(s, {0, 1}, {2, 3});
+    Backward(loss);
+    for (int i = 0; i < 4; ++i) {
+      s->value.at(i, 0) -= 0.05f * s->grad.at(i, 0);
+    }
+  }
+  EXPECT_GT(s->value.at(0, 0), s->value.at(2, 0) + 0.5f);
+  EXPECT_GT(s->value.at(1, 0), s->value.at(3, 0) + 0.5f);
+}
+
+// ----------------------------- GatedMlp -------------------------------------
+
+TEST(GatedMlpTest, FilterSize) {
+  EXPECT_EQ(GatedMlpFilterSize(4, 3), 4 * 3 + 3 + 3 + 1);
+}
+
+// With an all-ones filter the gated MLP must equal the plain master MLP.
+TEST(GatedMlpTest, UnitFilterEqualsMasterMlp) {
+  const int n = 5, d_in = 4, d_h = 3;
+  auto x = MakeConst(RandomTensor(n, d_in, 40));
+  auto w1 = MakeConst(RandomTensor(d_in, d_h, 41));
+  auto b1 = MakeConst(RandomTensor(1, d_h, 42));
+  auto w2 = MakeConst(RandomTensor(d_h, 1, 43));
+  auto b2 = MakeConst(RandomTensor(1, 1, 44));
+  Tensor ones(n, GatedMlpFilterSize(d_in, d_h));
+  ones.Fill(1.0f);
+  auto gated = GatedMlp(x, MakeConst(ones), w1, b1, w2, b2);
+  auto plain = AddRowBroadcast(
+      MatMul(Relu(AddRowBroadcast(MatMul(x, w1), b1)), w2), b2);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(gated->value.at(i, 0), plain->value.at(i, 0), 1e-5f);
+  }
+}
+
+// A zero filter wipes every parameter: all logits are exactly zero.
+TEST(GatedMlpTest, ZeroFilterGivesZeroLogits) {
+  const int n = 3, d_in = 4, d_h = 2;
+  auto x = MakeConst(RandomTensor(n, d_in, 45));
+  auto w1 = MakeConst(RandomTensor(d_in, d_h, 46));
+  auto b1 = MakeConst(RandomTensor(1, d_h, 47));
+  auto w2 = MakeConst(RandomTensor(d_h, 1, 48));
+  auto b2 = MakeConst(RandomTensor(1, 1, 49));
+  auto gated = GatedMlp(x, MakeConst(Tensor(n, GatedMlpFilterSize(d_in, d_h))),
+                        w1, b1, w2, b2);
+  for (int i = 0; i < n; ++i) EXPECT_FLOAT_EQ(gated->value.at(i, 0), 0.0f);
+}
+
+// Different rows of the filter derive genuinely different slave models.
+TEST(GatedMlpTest, PerRegionFiltersDiffer) {
+  const int d_in = 3, d_h = 2;
+  const int p = GatedMlpFilterSize(d_in, d_h);
+  Tensor x(2, d_in, {1, 1, 1, 1, 1, 1});  // Identical inputs.
+  Tensor filt(2, p);
+  for (int c = 0; c < p; ++c) {
+    filt.at(0, c) = 1.0f;
+    filt.at(1, c) = 0.5f;
+  }
+  auto w1 = MakeConst(RandomTensor(d_in, d_h, 50));
+  auto b1 = MakeConst(RandomTensor(1, d_h, 51));
+  auto w2 = MakeConst(RandomTensor(d_h, 1, 52));
+  auto b2 = MakeConst(RandomTensor(1, 1, 53));
+  auto out = GatedMlp(MakeConst(x), MakeConst(filt), w1, b1, w2, b2);
+  EXPECT_NE(out->value.at(0, 0), out->value.at(1, 0));
+}
+
+TEST(GatedMlpTest, GradCheckAllInputs) {
+  const int n = 3, d_in = 3, d_h = 2;
+  const int p = GatedMlpFilterSize(d_in, d_h);
+  auto x = MakeParam(RandomTensor(n, d_in, 60));
+  // Keep the filter strictly inside (0,1) and away from ReLU kinks.
+  Tensor f(n, p);
+  Rng rng(61);
+  for (int64_t i = 0; i < f.size(); ++i) {
+    f[i] = 0.3f + 0.4f * static_cast<float>(rng.Uniform());
+  }
+  auto filt = MakeParam(std::move(f));
+  auto w1 = MakeParam(RandomTensor(d_in, d_h, 62));
+  auto b1 = MakeParam(RandomTensor(1, d_h, 63));
+  auto w2 = MakeParam(RandomTensor(d_h, 1, 64));
+  auto b2 = MakeParam(RandomTensor(1, 1, 65));
+  auto result = CheckGradients({x, filt, w1, b1, w2, b2}, [&]() {
+    auto y = GatedMlp(x, filt, w1, b1, w2, b2);
+    return SumAll(Mul(y, y));
+  });
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+}  // namespace
+}  // namespace uv::ag

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "graph/csr_graph.h"
+#include "graph/grid.h"
+#include "graph/road_network.h"
+
+namespace uv::graph {
+namespace {
+
+TEST(CsrGraphTest, EmptyGraph) {
+  CsrGraph g = CsrGraph::FromEdges(3, {}, false, false);
+  EXPECT_EQ(g.num_nodes(), 3);
+  EXPECT_EQ(g.num_edges(), 0);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(g.Degree(i), 0);
+}
+
+TEST(CsrGraphTest, GroupsByDestination) {
+  CsrGraph g = CsrGraph::FromEdges(3, {{0, 1}, {2, 1}, {1, 0}}, false, false);
+  EXPECT_EQ(g.Degree(1), 2);
+  EXPECT_EQ(g.Degree(0), 1);
+  EXPECT_EQ(g.Degree(2), 0);
+  auto in1 = g.InNeighbors(1);
+  EXPECT_EQ(in1.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(in1.begin(), in1.end()));
+}
+
+TEST(CsrGraphTest, DeduplicatesEdges) {
+  CsrGraph g = CsrGraph::FromEdges(2, {{0, 1}, {0, 1}, {0, 1}}, false, false);
+  EXPECT_EQ(g.num_edges(), 1);
+}
+
+TEST(CsrGraphTest, Symmetrize) {
+  CsrGraph g = CsrGraph::FromEdges(3, {{0, 1}, {1, 2}}, true, false);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.HasEdge(2, 1));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+}
+
+TEST(CsrGraphTest, SelfLoops) {
+  CsrGraph g = CsrGraph::FromEdges(3, {{0, 1}}, false, true);
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(g.HasEdge(i, i));
+  EXPECT_EQ(g.num_edges(), 4);
+}
+
+TEST(CsrGraphTest, OffsetsAreMonotone) {
+  CsrGraph g =
+      CsrGraph::FromEdges(5, {{0, 4}, {1, 4}, {3, 2}, {2, 0}}, true, true);
+  const auto& off = *g.offsets();
+  ASSERT_EQ(off.size(), 6u);
+  for (size_t i = 1; i < off.size(); ++i) EXPECT_LE(off[i - 1], off[i]);
+  EXPECT_EQ(off.back(), g.num_edges());
+}
+
+TEST(CsrGraphTest, SurvivesMoveWithoutDangling) {
+  CsrGraph g = CsrGraph::FromEdges(4, {{0, 1}, {2, 3}}, true, false);
+  CsrGraph moved = std::move(g);
+  EXPECT_EQ(moved.num_edges(), 4);
+  EXPECT_TRUE(moved.HasEdge(3, 2));
+  // The shared offsets pointer must still be valid after the move.
+  EXPECT_EQ(moved.offsets()->back(), 4);
+}
+
+// ------------------------------- Grid --------------------------------------
+
+TEST(GridTest, IdRoundTrip) {
+  GridSpec grid{5, 7, 128.0};
+  for (int r = 0; r < 5; ++r) {
+    for (int c = 0; c < 7; ++c) {
+      const int id = grid.RegionId(r, c);
+      EXPECT_EQ(grid.RowOf(id), r);
+      EXPECT_EQ(grid.ColOf(id), c);
+    }
+  }
+  EXPECT_EQ(grid.num_regions(), 35);
+}
+
+TEST(GridTest, RegionAtClampsToBounds) {
+  GridSpec grid{4, 4, 100.0};
+  EXPECT_EQ(grid.RegionAt(-50.0, -50.0), grid.RegionId(0, 0));
+  EXPECT_EQ(grid.RegionAt(1e9, 1e9), grid.RegionId(3, 3));
+  EXPECT_EQ(grid.RegionAt(150.0, 250.0), grid.RegionId(2, 1));
+}
+
+TEST(GridTest, CenterDistance) {
+  GridSpec grid{3, 3, 128.0};
+  EXPECT_DOUBLE_EQ(
+      grid.CenterDistanceMeters(grid.RegionId(0, 0), grid.RegionId(0, 1)),
+      128.0);
+  EXPECT_NEAR(
+      grid.CenterDistanceMeters(grid.RegionId(0, 0), grid.RegionId(1, 1)),
+      128.0 * std::sqrt(2.0), 1e-9);
+}
+
+TEST(GridTest, SpatialProximityDegreeByPosition) {
+  GridSpec grid{4, 4, 128.0};
+  CsrGraph g = CsrGraph::FromEdges(grid.num_regions(),
+                                   BuildSpatialProximityEdges(grid), false,
+                                   false);
+  // Corner: 3 neighbours; edge: 5; interior: 8.
+  EXPECT_EQ(g.Degree(grid.RegionId(0, 0)), 3);
+  EXPECT_EQ(g.Degree(grid.RegionId(0, 1)), 5);
+  EXPECT_EQ(g.Degree(grid.RegionId(1, 1)), 8);
+}
+
+TEST(GridTest, SpatialProximityIsSymmetric) {
+  GridSpec grid{3, 5, 128.0};
+  CsrGraph g = CsrGraph::FromEdges(grid.num_regions(),
+                                   BuildSpatialProximityEdges(grid), false,
+                                   false);
+  for (int a = 0; a < grid.num_regions(); ++a) {
+    for (int b : g.InNeighbors(a)) {
+      EXPECT_TRUE(g.HasEdge(a, b)) << a << "<->" << b;
+    }
+  }
+}
+
+TEST(GridTest, WindowRegions) {
+  GridSpec grid{5, 5, 128.0};
+  EXPECT_EQ(WindowRegions(grid, grid.RegionId(2, 2), 1).size(), 9u);
+  EXPECT_EQ(WindowRegions(grid, grid.RegionId(0, 0), 1).size(), 4u);
+  EXPECT_EQ(WindowRegions(grid, grid.RegionId(2, 2), 2).size(), 25u);
+  // The window contains the centre itself.
+  auto w = WindowRegions(grid, 12, 1);
+  EXPECT_NE(std::find(w.begin(), w.end(), 12), w.end());
+}
+
+// ---------------------------- Road network ---------------------------------
+
+TEST(RoadNetworkTest, AddAndQuery) {
+  RoadNetwork net;
+  const int a = net.AddIntersection(10, 10);
+  const int b = net.AddIntersection(20, 10);
+  net.AddSegment(a, b);
+  EXPECT_EQ(net.num_intersections(), 2);
+  EXPECT_EQ(net.num_segments(), 1);
+  EXPECT_EQ(net.Neighbors(a).size(), 1u);
+}
+
+TEST(RoadNetworkTest, DuplicateSegmentIgnored) {
+  RoadNetwork net;
+  const int a = net.AddIntersection(0, 0);
+  const int b = net.AddIntersection(1, 1);
+  net.AddSegment(a, b);
+  net.AddSegment(a, b);
+  net.AddSegment(b, a);
+  EXPECT_EQ(net.num_segments(), 1);
+}
+
+TEST(RoadNetworkTest, HopDistanceOnPath) {
+  RoadNetwork net;
+  std::vector<int> nodes;
+  for (int i = 0; i < 6; ++i) nodes.push_back(net.AddIntersection(i, 0));
+  for (int i = 0; i + 1 < 6; ++i) net.AddSegment(nodes[i], nodes[i + 1]);
+  EXPECT_EQ(net.HopDistance(nodes[0], nodes[5]), 5);
+  EXPECT_EQ(net.HopDistance(nodes[2], nodes[2]), 0);
+}
+
+TEST(RoadNetworkTest, HopDistanceUnreachable) {
+  RoadNetwork net;
+  const int a = net.AddIntersection(0, 0);
+  const int b = net.AddIntersection(5, 5);
+  EXPECT_EQ(net.HopDistance(a, b), -1);
+}
+
+// The paper's rule: regions are road-connected iff intersections in them are
+// within 5 road hops. Build a 7-node path spanning 7 cells and verify the
+// 5-hop cutoff exactly (paper Fig. 1(b) semantics).
+TEST(RoadNetworkTest, FiveHopConnectivityRule) {
+  GridSpec grid{1, 7, 100.0};
+  RoadNetwork net;
+  std::vector<int> nodes;
+  for (int c = 0; c < 7; ++c) {
+    nodes.push_back(net.AddIntersection(c * 100.0 + 50.0, 50.0));
+  }
+  for (int c = 0; c + 1 < 7; ++c) net.AddSegment(nodes[c], nodes[c + 1]);
+
+  auto edges = net.BuildRegionConnectivityEdges(grid, 5);
+  CsrGraph g = CsrGraph::FromEdges(grid.num_regions(), edges, false, false);
+  // Cell 0 and cell 5 are 5 hops apart -> connected.
+  EXPECT_TRUE(g.HasEdge(0, 5));
+  // Cell 0 and cell 6 are 6 hops apart -> NOT connected.
+  EXPECT_FALSE(g.HasEdge(0, 6));
+  // Symmetry.
+  EXPECT_TRUE(g.HasEdge(5, 0));
+}
+
+TEST(RoadNetworkTest, ConnectivitySkipsSameRegionPairs) {
+  GridSpec grid{1, 2, 100.0};
+  RoadNetwork net;
+  const int a = net.AddIntersection(10, 50);
+  const int b = net.AddIntersection(30, 50);  // Same cell as a.
+  net.AddSegment(a, b);
+  auto edges = net.BuildRegionConnectivityEdges(grid, 5);
+  EXPECT_TRUE(edges.empty());
+}
+
+TEST(RoadNetworkTest, ConnectivityProducesBothDirections) {
+  GridSpec grid{1, 3, 100.0};
+  RoadNetwork net;
+  const int a = net.AddIntersection(50, 50);
+  const int b = net.AddIntersection(250, 50);
+  net.AddSegment(a, b);
+  auto edges = net.BuildRegionConnectivityEdges(grid, 5);
+  EXPECT_EQ(edges.size(), 2u);
+}
+
+}  // namespace
+}  // namespace uv::graph

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "baselines/registry.h"
+#include "eval/runner.h"
+#include "test_helpers.h"
+
+namespace uv {
+namespace {
+
+// Full-pipeline tests: city generation -> URG -> cross-validated training
+// and evaluation through the experiment runner, exactly the path the
+// benchmark harness uses.
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    urg_ = new urg::UrbanRegionGraph(uv::testing::TinyUrg());
+  }
+
+  static eval::DetectorFactory Factory(const std::string& name, int epochs) {
+    return [name, epochs](uint64_t seed) {
+      baselines::TrainOptions options;
+      options.epochs = epochs;
+      options.learning_rate = 5e-3;
+      options.seed = seed;
+      core::CmsfConfig cmsf;
+      cmsf.hidden_dim = 16;
+      cmsf.image_reduce_dim = 16;
+      cmsf.num_clusters = 8;
+      cmsf.classifier_hidden = 8;
+      cmsf.context_dim = 4;
+      cmsf.slave_epochs = 5;
+      return baselines::MakeDetector(name, options, cmsf);
+    };
+  }
+
+  static urg::UrbanRegionGraph* urg_;
+};
+
+urg::UrbanRegionGraph* IntegrationTest::urg_ = nullptr;
+
+TEST_F(IntegrationTest, RunnerProducesCompleteStats) {
+  eval::RunnerOptions options;
+  options.num_folds = 3;
+  options.num_runs = 1;
+  options.block_size = 8;
+  auto stats =
+      eval::RunCrossValidation(*urg_, Factory("MLP", 30), options);
+  EXPECT_GT(stats.auc.mean, 0.5);
+  EXPECT_GE(stats.auc.std, 0.0);
+  EXPECT_GE(stats.recall3.mean, 0.0);
+  EXPECT_LE(stats.recall3.mean, 1.0);
+  EXPECT_GE(stats.precision5.mean, 0.0);
+  EXPECT_GT(stats.num_parameters, 0);
+  EXPECT_GT(stats.train_seconds_per_epoch, 0.0);
+}
+
+TEST_F(IntegrationTest, MultipleRunsReduceToMoreSamples) {
+  eval::RunnerOptions one;
+  one.num_folds = 2;
+  one.num_runs = 1;
+  one.block_size = 8;
+  eval::RunnerOptions two = one;
+  two.num_runs = 2;
+  auto s1 = eval::RunCrossValidation(*urg_, Factory("MLP", 10), one);
+  auto s2 = eval::RunCrossValidation(*urg_, Factory("MLP", 10), two);
+  // Same protocol, more samples: both valid; just check determinism of the
+  // one-run case across invocations.
+  auto s1b = eval::RunCrossValidation(*urg_, Factory("MLP", 10), one);
+  EXPECT_DOUBLE_EQ(s1.auc.mean, s1b.auc.mean);
+  EXPECT_GE(s2.auc.std, 0.0);
+}
+
+TEST_F(IntegrationTest, LabelRatioMaskLowersTrainingData) {
+  eval::RunnerOptions full;
+  full.num_folds = 2;
+  full.block_size = 8;
+  eval::RunnerOptions masked = full;
+  masked.label_ratio = 0.25;
+  // Both must complete and produce sane metrics.
+  auto sf = eval::RunCrossValidation(*urg_, Factory("MLP", 20), full);
+  auto sm = eval::RunCrossValidation(*urg_, Factory("MLP", 20), masked);
+  EXPECT_GE(sf.auc.mean, 0.4);
+  EXPECT_GE(sm.auc.mean, 0.4);
+}
+
+TEST_F(IntegrationTest, CmsfThroughRunner) {
+  // CMSF needs ~80 epochs to converge on the tiny city (see the epoch
+  // probes in the repo history); the runner path must match direct use.
+  eval::RunnerOptions options;
+  options.num_folds = 2;
+  options.block_size = 8;
+  auto stats = eval::RunCrossValidation(*urg_, Factory("CMSF", 90), options);
+  EXPECT_GT(stats.auc.mean, 0.6);
+  EXPECT_GT(stats.num_parameters, 0);
+}
+
+TEST_F(IntegrationTest, AblationOrderingIsComputable) {
+  // The Fig. 5(a) harness path: all variants must run under the same
+  // protocol and yield well-formed metrics. (Quality orderings need full
+  // bench-scale training; this checks the plumbing, not the ordering.)
+  eval::RunnerOptions options;
+  options.num_folds = 2;
+  options.block_size = 8;
+  for (const char* name : {"CMSF", "CMSF-M", "CMSF-G", "CMSF-H"}) {
+    auto stats = eval::RunCrossValidation(*urg_, Factory(name, 15), options);
+    EXPECT_GE(stats.auc.mean, 0.0) << name;
+    EXPECT_LE(stats.auc.mean, 1.0) << name;
+    EXPECT_GE(stats.f13.mean, 0.0) << name;
+    EXPECT_LE(stats.f13.mean, 1.0) << name;
+  }
+}
+
+}  // namespace
+}  // namespace uv

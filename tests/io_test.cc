@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <unistd.h>
+
+#include "io/serialize.h"
+#include "io/urg_io.h"
+#include "nn/linear.h"
+#include "tensor/tensor_ops.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+
+namespace uv::io {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+Tensor RandomTensor(int r, int c, uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(r, c);
+  t.RandomNormal(&rng, 1.0f);
+  return t;
+}
+
+TEST(SerializeTest, TensorsRoundTrip) {
+  const std::string path = TempPath("tensors.bin");
+  std::vector<Tensor> tensors = {RandomTensor(3, 4, 1), RandomTensor(1, 1, 2),
+                                 Tensor(0, 5)};
+  ASSERT_TRUE(SaveTensors(path, tensors).ok());
+  auto loaded = LoadTensors(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const auto& got = loaded.value();
+  ASSERT_EQ(got.size(), 3u);
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].rows(), tensors[i].rows());
+    EXPECT_EQ(got[i].cols(), tensors[i].cols());
+    if (got[i].size() > 0) {
+      EXPECT_LT(MaxAbsDiff(got[i], tensors[i]), 1e-9f);
+    }
+  }
+}
+
+TEST(SerializeTest, EmptyList) {
+  const std::string path = TempPath("empty.bin");
+  ASSERT_TRUE(SaveTensors(path, {}).ok());
+  auto loaded = LoadTensors(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded.value().empty());
+}
+
+TEST(SerializeTest, MissingFileIsIoError) {
+  auto loaded = LoadTensors(TempPath("does_not_exist.bin"));
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(SerializeTest, BadMagicRejected) {
+  const std::string path = TempPath("bad_magic.bin");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fwrite("JUNKJUNK", 1, 8, f);
+  std::fclose(f);
+  auto loaded = LoadTensors(path);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(SerializeTest, TruncatedFileRejected) {
+  const std::string path = TempPath("trunc.bin");
+  ASSERT_TRUE(SaveTensors(path, {RandomTensor(10, 10, 3)}).ok());
+  // Truncate the payload.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+  auto loaded = LoadTensors(path);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(SerializeTest, ParamsRoundTrip) {
+  Rng rng(5);
+  nn::Linear layer(4, 3, &rng);
+  const std::string path = TempPath("params.bin");
+  ASSERT_TRUE(SaveParams(path, layer.Params()).ok());
+
+  Rng rng2(99);
+  nn::Linear other(4, 3, &rng2);
+  ASSERT_TRUE(LoadParams(path, other.Params()).ok());
+  EXPECT_LT(MaxAbsDiff(layer.w()->value, other.w()->value), 1e-9f);
+  EXPECT_LT(MaxAbsDiff(layer.b()->value, other.b()->value), 1e-9f);
+}
+
+TEST(SerializeTest, ParamCountMismatchRejected) {
+  Rng rng(6);
+  nn::Linear layer(4, 3, &rng);
+  const std::string path = TempPath("mismatch.bin");
+  ASSERT_TRUE(SaveParams(path, layer.Params()).ok());
+  nn::Mlp mlp(4, 3, 1, &rng);
+  Status status = LoadParams(path, mlp.Params());
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SerializeTest, ParamShapeMismatchRejected) {
+  Rng rng(7);
+  nn::Linear a(4, 3, &rng);
+  nn::Linear b(3, 4, &rng);
+  const std::string path = TempPath("shape_mismatch.bin");
+  ASSERT_TRUE(SaveParams(path, a.Params()).ok());
+  Status status = LoadParams(path, b.Params());
+  EXPECT_FALSE(status.ok());
+}
+
+TEST(UrgIoTest, RoundTripPreservesEverything) {
+  auto urg = uv::testing::TinyUrg();
+  const std::string path = TempPath("urg.bin");
+  ASSERT_TRUE(SaveUrg(path, urg).ok());
+  auto loaded_or = LoadUrg(path);
+  ASSERT_TRUE(loaded_or.ok()) << loaded_or.status().ToString();
+  const auto& loaded = loaded_or.value();
+
+  EXPECT_EQ(loaded.city_name, urg.city_name);
+  EXPECT_EQ(loaded.grid.height, urg.grid.height);
+  EXPECT_EQ(loaded.grid.width, urg.grid.width);
+  EXPECT_DOUBLE_EQ(loaded.grid.cell_meters, urg.grid.cell_meters);
+  EXPECT_EQ(loaded.labels, urg.labels);
+  EXPECT_EQ(loaded.is_uv, urg.is_uv);
+  EXPECT_EQ(loaded.num_edges, urg.num_edges);
+  EXPECT_EQ(loaded.num_spatial_edges, urg.num_spatial_edges);
+  EXPECT_EQ(loaded.num_road_edges, urg.num_road_edges);
+  EXPECT_LT(MaxAbsDiff(loaded.poi_features, urg.poi_features), 1e-9f);
+  EXPECT_LT(MaxAbsDiff(loaded.image_features, urg.image_features), 1e-9f);
+  // Adjacency structure preserved exactly.
+  ASSERT_EQ(loaded.adjacency.num_edges(), urg.adjacency.num_edges());
+  EXPECT_EQ(*loaded.adjacency.offsets(), *urg.adjacency.offsets());
+  EXPECT_EQ(*loaded.adjacency.neighbors(), *urg.adjacency.neighbors());
+  // Raw tiles preserved.
+  ASSERT_NE(loaded.images, nullptr);
+  EXPECT_LT(MaxAbsDiff(*loaded.images, *urg.images), 1e-9f);
+  EXPECT_EQ(loaded.image_size, urg.image_size);
+}
+
+TEST(UrgIoTest, RoundTripWithoutImages) {
+  auto urg = uv::testing::TinyUrg();
+  urg.images = nullptr;
+  const std::string path = TempPath("urg_noimg.bin");
+  ASSERT_TRUE(SaveUrg(path, urg).ok());
+  auto loaded = LoadUrg(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().images, nullptr);
+}
+
+TEST(UrgIoTest, RejectsGarbage) {
+  const std::string path = TempPath("urg_garbage.bin");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fwrite("NOPE", 1, 4, f);
+  std::fclose(f);
+  EXPECT_FALSE(LoadUrg(path).ok());
+  EXPECT_FALSE(LoadUrg(TempPath("urg_missing.bin")).ok());
+}
+
+TEST(UrgIoTest, LoadedUrgKeepsLabeledIds) {
+  auto urg = uv::testing::TinyUrg();
+  const std::string path = TempPath("urg_train.bin");
+  ASSERT_TRUE(SaveUrg(path, urg).ok());
+  auto loaded = LoadUrg(path).value();
+  EXPECT_EQ(loaded.LabeledIds(), urg.LabeledIds());
+}
+
+TEST(SerializeTest, CsvOutput) {
+  const std::string path = TempPath("matrix.csv");
+  Tensor t(2, 2, {1.5f, 2.0f, 3.0f, 4.25f});
+  ASSERT_TRUE(SaveTensorCsv(path, t).ok());
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[256];
+  size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  buf[n] = '\0';
+  std::fclose(f);
+  EXPECT_STREQ(buf, "1.5,2\n3,4.25\n");
+}
+
+}  // namespace
+}  // namespace uv::io

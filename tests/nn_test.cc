@@ -1,0 +1,416 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/grad_check.h"
+#include "nn/gat.h"
+#include "nn/gcn.h"
+#include "nn/graph_context.h"
+#include "nn/gscm.h"
+#include "nn/linear.h"
+#include "nn/maga.h"
+#include "nn/ms_gate.h"
+#include "tensor/tensor_ops.h"
+
+namespace uv::nn {
+namespace {
+
+Tensor RandomTensor(int r, int c, uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(r, c);
+  t.RandomNormal(&rng, 1.0f);
+  return t;
+}
+
+// A fixed 4-node graph: 0-1, 1-2, 2-3 (sym) + self loops.
+GraphContext PathGraph() {
+  auto g = graph::CsrGraph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}},
+                                      /*symmetrize=*/true,
+                                      /*add_self_loops=*/true);
+  return GraphContext::FromCsr(g);
+}
+
+TEST(GraphContextTest, IndicesConsistent) {
+  GraphContext ctx = PathGraph();
+  EXPECT_EQ(ctx.num_nodes, 4);
+  ASSERT_EQ(ctx.offsets->size(), 5u);
+  EXPECT_EQ(ctx.src_ids->size(), ctx.dst_ids->size());
+  // dst ids are segment-consistent.
+  for (int i = 0; i < 4; ++i) {
+    for (int e = (*ctx.offsets)[i]; e < (*ctx.offsets)[i + 1]; ++e) {
+      EXPECT_EQ((*ctx.dst_ids)[e], i);
+    }
+  }
+}
+
+TEST(GraphContextTest, GcnNormSymmetric) {
+  GraphContext ctx = PathGraph();
+  // Edge weight for (i, j) must be 1/sqrt(deg_i deg_j) and symmetric.
+  const auto& off = *ctx.offsets;
+  const auto& src = *ctx.src_ids;
+  auto weight_of = [&](int s, int d) -> float {
+    for (int e = off[d]; e < off[d + 1]; ++e) {
+      if (src[e] == s) return ctx.gcn_norm->value.at(e, 0);
+    }
+    return -1.0f;
+  };
+  EXPECT_FLOAT_EQ(weight_of(0, 1), weight_of(1, 0));
+  EXPECT_GT(weight_of(0, 0), 0.0f);
+}
+
+TEST(LinearTest, ForwardShapeAndBias) {
+  Rng rng(1);
+  Linear lin(3, 2, &rng);
+  auto x = ag::MakeConst(RandomTensor(5, 3, 2));
+  auto y = lin.Forward(x);
+  EXPECT_EQ(y->rows(), 5);
+  EXPECT_EQ(y->cols(), 2);
+  EXPECT_EQ(lin.Params().size(), 2u);
+}
+
+TEST(LinearTest, GradCheck) {
+  Rng rng(2);
+  Linear lin(3, 2, &rng);
+  auto x = ag::MakeConst(RandomTensor(4, 3, 3));
+  auto result = ag::CheckGradients(lin.Params(), [&]() {
+    auto y = lin.Forward(x);
+    return ag::SumAll(ag::Mul(y, y));
+  });
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(MlpTest, TwoLayerShape) {
+  Rng rng(3);
+  Mlp mlp(6, 4, 1, &rng);
+  auto x = ag::MakeConst(RandomTensor(7, 6, 4));
+  auto y = mlp.Forward(x);
+  EXPECT_EQ(y->cols(), 1);
+  EXPECT_EQ(mlp.Params().size(), 4u);
+}
+
+TEST(GcnLayerTest, MatchesDenseReference) {
+  Rng rng(4);
+  GcnLayer layer(3, 2, &rng);
+  GraphContext ctx = PathGraph();
+  auto x = ag::MakeConst(RandomTensor(4, 3, 5));
+  auto y = layer.Forward(x, ctx);
+
+  // Dense reference: A_hat X W + broadcast bias, A_hat = D^-1/2 (A+I) D^-1/2.
+  const auto params = layer.Params();
+  const Tensor& w = params[0]->value;
+  const Tensor& b = params[1]->value;
+  Tensor xw = MatMul(x->value, w);
+  Tensor expected(4, 2);
+  auto g = graph::CsrGraph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}}, true, true);
+  for (int i = 0; i < 4; ++i) {
+    for (int j : g.InNeighbors(i)) {
+      const float norm = 1.0f / std::sqrt(static_cast<float>(g.Degree(i)) *
+                                          g.Degree(j));
+      for (int c = 0; c < 2; ++c) {
+        expected.at(i, c) += norm * (xw.at(j, c) + b.at(0, c));
+      }
+    }
+  }
+  // GcnLayer adds bias before aggregation (bias rides through the norm), so
+  // compare against the same formulation.
+  EXPECT_LT(MaxAbsDiff(y->value, expected), 1e-4f);
+}
+
+TEST(AttentionHeadTest, SharedTransformReusesWeights) {
+  Rng rng(5);
+  AttentionHead shared(3, 3, 2, /*share_transform=*/true, &rng);
+  EXPECT_EQ(shared.Params().size(), 3u);  // W, a_dst, a_src.
+  AttentionHead split(3, 4, 2, /*share_transform=*/false, &rng);
+  EXPECT_EQ(split.Params().size(), 4u);
+}
+
+TEST(AttentionHeadTest, OutputShapeAndGradCheck) {
+  Rng rng(6);
+  AttentionHead head(3, 3, 2, true, &rng);
+  GraphContext ctx = PathGraph();
+  auto x = ag::MakeConst(RandomTensor(4, 3, 7));
+  auto y = head.Forward(x, x, ctx);
+  EXPECT_EQ(y->rows(), 4);
+  EXPECT_EQ(y->cols(), 2);
+  auto result = ag::CheckGradients(head.Params(), [&]() {
+    auto out = head.Forward(x, x, ctx);
+    return ag::SumAll(ag::Mul(out, out));
+  }, 1e-3, 3e-2);
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(GatLayerTest, MultiHeadConcatWidth) {
+  Rng rng(7);
+  GatLayer layer(5, 6, 3, &rng);
+  GraphContext ctx = PathGraph();
+  auto x = ag::MakeConst(RandomTensor(4, 5, 8));
+  auto y = layer.Forward(x, ctx);
+  EXPECT_EQ(y->cols(), 6);
+}
+
+TEST(AggregatePairTest, SumAndConcat) {
+  auto u = ag::MakeConst(Tensor(2, 2, {1, 2, 3, 4}));
+  auto v = ag::MakeConst(Tensor(2, 2, {10, 20, 30, 40}));
+  auto s = AggregatePair(AggKind::kSum, u, v, nullptr);
+  EXPECT_FLOAT_EQ(s->value.at(1, 1), 44.0f);
+  auto c = AggregatePair(AggKind::kConcat, u, v, nullptr);
+  EXPECT_EQ(c->cols(), 4);
+}
+
+TEST(AggregatePairTest, AttentionIsConvexCombination) {
+  auto u = ag::MakeConst(Tensor(1, 2, {0.0f, 0.0f}));
+  auto v = ag::MakeConst(Tensor(1, 2, {1.0f, 1.0f}));
+  auto q = ag::MakeConst(RandomTensor(2, 1, 9));
+  auto out = AggregatePair(AggKind::kAttention, u, v, q);
+  // Result lies between u and v elementwise.
+  for (int c = 0; c < 2; ++c) {
+    EXPECT_GE(out->value.at(0, c), 0.0f);
+    EXPECT_LE(out->value.at(0, c), 1.0f);
+  }
+}
+
+class MagaAggTest : public ::testing::TestWithParam<AggKind> {};
+
+TEST_P(MagaAggTest, OutputWidthsAndFinite) {
+  Rng rng(10);
+  MagaLayer layer(5, 4, 6, 2, GetParam(), &rng);
+  GraphContext ctx = PathGraph();
+  auto p = ag::MakeConst(RandomTensor(4, 5, 11));
+  auto i = ag::MakeConst(RandomTensor(4, 4, 12));
+  auto out = layer.Forward(p, i, ctx);
+  EXPECT_EQ(out.p->cols(), layer.out_width());
+  EXPECT_EQ(out.i->cols(), layer.out_width());
+  EXPECT_FALSE(out.p->value.HasNonFinite());
+  EXPECT_FALSE(out.i->value.HasNonFinite());
+  const int expected =
+      GetParam() == AggKind::kConcat ? 12 : 6;
+  EXPECT_EQ(layer.out_width(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Aggs, MagaAggTest,
+                         ::testing::Values(AggKind::kSum, AggKind::kConcat,
+                                           AggKind::kAttention));
+
+TEST(MagaLayerTest, GradCheckSmall) {
+  Rng rng(13);
+  MagaLayer layer(2, 2, 2, 1, AggKind::kSum, &rng);
+  GraphContext ctx = PathGraph();
+  auto p = ag::MakeConst(RandomTensor(4, 2, 14));
+  auto i = ag::MakeConst(RandomTensor(4, 2, 15));
+  auto result = ag::CheckGradients(layer.Params(), [&]() {
+    auto out = layer.Forward(p, i, ctx);
+    return ag::SumAll(ag::Add(ag::Mul(out.p, out.p), ag::Mul(out.i, out.i)));
+  }, 1e-3, 4e-2);
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(MagaLayerTest, InterModalContextMatters) {
+  // Changing only the image features must change the POI-side output
+  // (the inter-modal path) even with frozen parameters.
+  Rng rng(16);
+  MagaLayer layer(3, 3, 4, 1, AggKind::kSum, &rng);
+  GraphContext ctx = PathGraph();
+  auto p = ag::MakeConst(RandomTensor(4, 3, 17));
+  auto i1 = ag::MakeConst(RandomTensor(4, 3, 18));
+  auto i2 = ag::MakeConst(RandomTensor(4, 3, 19));
+  auto out1 = layer.Forward(p, i1, ctx);
+  auto out2 = layer.Forward(p, i2, ctx);
+  EXPECT_GT(MaxAbsDiff(out1.p->value, out2.p->value), 1e-5f);
+}
+
+// ------------------------------- GSCM ---------------------------------------
+
+TEST(GscmTest, AssignmentRowsSumToOne) {
+  Rng rng(20);
+  Gscm::Options options;
+  options.in_dim = 4;
+  options.num_clusters = 3;
+  options.temperature = 0.5f;
+  Gscm gscm(options, &rng);
+  auto x = ag::MakeConst(RandomTensor(6, 4, 21));
+  auto out = gscm.Forward(x);
+  for (int r = 0; r < 6; ++r) {
+    double total = 0.0;
+    for (int k = 0; k < 3; ++k) total += out.assignment->value.at(r, k);
+    EXPECT_NEAR(total, 1.0, 1e-5);
+  }
+  EXPECT_EQ(out.hard_assignment.size(), 6u);
+  for (int k : out.hard_assignment) {
+    EXPECT_GE(k, 0);
+    EXPECT_LT(k, 3);
+  }
+}
+
+TEST(GscmTest, HardAssignmentIsArgmaxOfSoft) {
+  Rng rng(22);
+  Gscm::Options options;
+  options.in_dim = 4;
+  options.num_clusters = 5;
+  options.temperature = 1.0f;
+  Gscm gscm(options, &rng);
+  auto x = ag::MakeConst(RandomTensor(8, 4, 23));
+  auto out = gscm.Forward(x);
+  for (int r = 0; r < 8; ++r) {
+    int best = 0;
+    for (int k = 1; k < 5; ++k) {
+      if (out.assignment->value.at(r, k) >
+          out.assignment->value.at(r, best)) {
+        best = k;
+      }
+    }
+    EXPECT_EQ(out.hard_assignment[r], best);
+  }
+}
+
+TEST(GscmTest, OutputWidths) {
+  Rng rng(24);
+  Gscm::Options options;
+  options.in_dim = 4;
+  options.num_clusters = 3;
+  options.agg = AggKind::kSum;
+  Gscm sum_gscm(options, &rng);
+  EXPECT_EQ(sum_gscm.out_width(), 4);
+  options.agg = AggKind::kConcat;
+  Gscm cat_gscm(options, &rng);
+  EXPECT_EQ(cat_gscm.out_width(), 8);
+}
+
+TEST(GscmTest, FrozenForwardUsesGivenAssignment) {
+  Rng rng(25);
+  Gscm::Options options;
+  options.in_dim = 3;
+  options.num_clusters = 2;
+  Gscm gscm(options, &rng);
+  auto x = ag::MakeConst(RandomTensor(5, 3, 26));
+  Tensor soft(5, 2);
+  for (int r = 0; r < 5; ++r) {
+    soft.at(r, r % 2) = 1.0f;
+  }
+  std::vector<int> hard = {0, 1, 0, 1, 0};
+  auto out = gscm.ForwardFrozen(x, soft, hard);
+  EXPECT_EQ(out.hard_assignment, hard);
+  EXPECT_LT(MaxAbsDiff(out.assignment->value, soft), 1e-9f);
+}
+
+TEST(GscmTest, GradCheck) {
+  Rng rng(27);
+  Gscm::Options options;
+  options.in_dim = 3;
+  options.num_clusters = 2;
+  options.temperature = 1.0f;
+  Gscm gscm(options, &rng);
+  auto x = ag::MakeConst(RandomTensor(5, 3, 28));
+  // The hard argmax is non-differentiable; at a generic point the argmax is
+  // locally constant, so finite differences remain valid.
+  auto result = ag::CheckGradients(gscm.Params(), [&]() {
+    auto out = gscm.Forward(x);
+    return ag::SumAll(ag::Mul(out.region_repr, out.region_repr));
+  }, 1e-3, 4e-2);
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(PseudoLabelTest, FlagsClustersWithKnownUvs) {
+  std::vector<int> hard = {0, 0, 1, 2, 2};
+  std::vector<int> labels = {1, 0, -1, 0, -1};
+  auto pseudo = ComputeClusterPseudoLabels(hard, labels, 3);
+  EXPECT_EQ(pseudo, (std::vector<int>{1, 0, 0}));
+}
+
+TEST(PseudoLabelTest, UnlabeledNeverCounts) {
+  std::vector<int> hard = {0, 1};
+  std::vector<int> labels = {-1, -1};
+  auto pseudo = ComputeClusterPseudoLabels(hard, labels, 2);
+  EXPECT_EQ(pseudo, (std::vector<int>{0, 0}));
+}
+
+// ------------------------------ MS-Gate -------------------------------------
+
+MsGate::Options GateOptions() {
+  MsGate::Options options;
+  options.num_clusters = 3;
+  options.cluster_repr_dim = 4;
+  options.context_dim = 2;
+  options.classifier_in = 4;
+  options.classifier_hidden = 3;
+  return options;
+}
+
+TEST(MsGateTest, InclusionProbabilitiesInUnitInterval) {
+  Rng rng(30);
+  MsGate gate(GateOptions(), &rng);
+  auto h = ag::MakeConst(RandomTensor(3, 4, 31));
+  auto inc = gate.EstimateInclusion(h);
+  EXPECT_EQ(inc->rows(), 3);
+  EXPECT_EQ(inc->cols(), 1);
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_GT(inc->value.at(k, 0), 0.0f);
+    EXPECT_LT(inc->value.at(k, 0), 1.0f);
+  }
+}
+
+TEST(MsGateTest, ContextVectorShape) {
+  Rng rng(32);
+  MsGate gate(GateOptions(), &rng);
+  auto b = ag::MakeConst(RowSoftmax(RandomTensor(6, 3, 33), 1.0f));
+  auto inc = ag::MakeConst(Tensor(3, 1, {0.9f, 0.1f, 0.5f}));
+  auto q = gate.ContextVector(b, inc);
+  EXPECT_EQ(q->rows(), 6);
+  EXPECT_EQ(q->cols(), 2);
+  for (int64_t i = 0; i < q->value.size(); ++i) {
+    EXPECT_GT(q->value[i], 0.0f);
+    EXPECT_LT(q->value[i], 1.0f);
+  }
+}
+
+TEST(MsGateTest, ForwardProducesPerRegionLogits) {
+  Rng rng(34);
+  MsGate gate(GateOptions(), &rng);
+  Mlp master(4, 3, 1, &rng);
+  auto x = ag::MakeConst(RandomTensor(6, 4, 35));
+  auto b = ag::MakeConst(RowSoftmax(RandomTensor(6, 3, 36), 1.0f));
+  auto h = ag::MakeConst(RandomTensor(3, 4, 37));
+  auto inc = gate.EstimateInclusion(h);
+  auto logits = gate.Forward(x, b, inc, master);
+  EXPECT_EQ(logits->rows(), 6);
+  EXPECT_EQ(logits->cols(), 1);
+  EXPECT_FALSE(logits->value.HasNonFinite());
+}
+
+TEST(MsGateTest, DifferentContextsDeriveDifferentSlaves) {
+  Rng rng(38);
+  MsGate gate(GateOptions(), &rng);
+  Mlp master(4, 3, 1, &rng);
+  // Keep the hidden layer active (zero-initialized biases plus unlucky
+  // weights could otherwise yield all-dead ReLUs and identical 0 logits).
+  master.layer1().b()->value.Fill(1.0f);
+  master.layer2().b()->value.Fill(0.2f);
+  Tensor x(2, 4);
+  x.Fill(1.0f);  // Identical region representations.
+  Tensor b(2, 3);
+  b.at(0, 0) = 1.0f;  // Region 0 fully in cluster 0.
+  b.at(1, 2) = 1.0f;  // Region 1 fully in cluster 2.
+  auto inc = ag::MakeConst(Tensor(3, 1, {0.95f, 0.5f, 0.05f}));
+  auto logits = gate.Forward(ag::MakeConst(x), ag::MakeConst(b), inc, master);
+  EXPECT_NE(logits->value.at(0, 0), logits->value.at(1, 0));
+}
+
+TEST(MsGateTest, EndToEndGradCheck) {
+  Rng rng(39);
+  MsGate gate(GateOptions(), &rng);
+  Mlp master(4, 3, 1, &rng);
+  auto x = ag::MakeConst(RandomTensor(4, 4, 40));
+  auto b = ag::MakeConst(RowSoftmax(RandomTensor(4, 3, 41), 1.0f));
+  auto h = ag::MakeConst(RandomTensor(3, 4, 42));
+  std::vector<ag::VarPtr> params = gate.Params();
+  auto mparams = master.Params();
+  params.insert(params.end(), mparams.begin(), mparams.end());
+  auto result = ag::CheckGradients(params, [&]() {
+    auto inc = gate.EstimateInclusion(h);
+    auto logits = gate.Forward(x, b, inc, master);
+    return ag::SumAll(ag::Mul(logits, logits));
+  }, 1e-3, 4e-2);
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+}  // namespace
+}  // namespace uv::nn

@@ -1,0 +1,356 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <cmath>
+
+#include "synth/city.h"
+#include "synth/image_renderer.h"
+#include "synth/road_generator.h"
+#include "synth/poi_types.h"
+#include "test_helpers.h"
+
+namespace uv::synth {
+namespace {
+
+City MakeTestCity(uint64_t seed = 11) {
+  return GenerateCity(uv::testing::TinyCityConfig(seed));
+}
+
+TEST(PoiTypesTest, NamesAreDistinct) {
+  std::set<std::string> names;
+  for (int c = 0; c < kNumPoiCategories; ++c) {
+    names.insert(PoiCategoryName(static_cast<PoiCategory>(c)));
+  }
+  EXPECT_EQ(names.size(), static_cast<size_t>(kNumPoiCategories));
+}
+
+TEST(PoiTypesTest, HostCategoryMapping) {
+  EXPECT_EQ(HostCategory(RadiusType::kHospital), PoiCategory::kMedicine);
+  EXPECT_EQ(HostCategory(RadiusType::kBusStop),
+            PoiCategory::kTransportationFacility);
+  EXPECT_EQ(HostCategory(RadiusType::kShop), PoiCategory::kShoppingPlace);
+}
+
+TEST(PoiTypesTest, FacilityMapping) {
+  EXPECT_EQ(FacilityOf(RadiusType::kHospital), FacilityType::kMedicalService);
+  EXPECT_EQ(FacilityOf(RadiusType::kAirport), FacilityType::kNone);
+  EXPECT_EQ(FacilityOfCategory(PoiCategory::kFoodService),
+            FacilityType::kFoodService);
+  EXPECT_EQ(FacilityOfCategory(PoiCategory::kHotel), FacilityType::kNone);
+}
+
+TEST(ArchetypeTest, ProfilesAreSane) {
+  for (int a = 0; a < kNumArchetypes; ++a) {
+    const auto& prof = GetProfile(static_cast<Archetype>(a));
+    EXPECT_GT(prof.poi_intensity, 0.0);
+    EXPECT_GE(prof.building_density, 0.0f);
+    EXPECT_LE(prof.building_density, 1.0f);
+    EXPECT_GE(prof.regularity, 0.0f);
+    EXPECT_LE(prof.regularity, 1.0f);
+    double total = 0.0;
+    for (double w : prof.category_weights) {
+      EXPECT_GE(w, 0.0);
+      total += w;
+    }
+    EXPECT_GT(total, 0.0);
+  }
+}
+
+TEST(ArchetypeTest, UrbanVillageSignatureVsFormal) {
+  const auto& uv = GetProfile(Archetype::kUrbanVillage);
+  const auto& formal = GetProfile(Archetype::kFormalResidential);
+  // Denser, smaller, more chaotic buildings.
+  EXPECT_GT(uv.building_density, formal.building_density);
+  EXPECT_LT(uv.building_size, formal.building_size);
+  EXPECT_LT(uv.regularity, formal.regularity);
+  // Fewer hospitals/schools per cell, more food stalls.
+  EXPECT_LT(uv.radius_rate[static_cast<int>(RadiusType::kHospital)],
+            formal.radius_rate[static_cast<int>(RadiusType::kHospital)]);
+  EXPECT_GT(uv.category_weights[static_cast<int>(PoiCategory::kFoodService)],
+            formal.category_weights[static_cast<int>(PoiCategory::kFoodService)]);
+}
+
+TEST(CityConfigTest, PresetsScaleWithArea) {
+  auto small = ShenzhenLike(0.01, 1);
+  auto large = ShenzhenLike(0.04, 1);
+  EXPECT_LT(small.num_regions(), large.num_regions());
+  EXPECT_LE(small.labeled_uv_target, large.labeled_uv_target);
+  // Area scales linearly with `scale` (quadratic in the linear dims).
+  EXPECT_NEAR(static_cast<double>(large.num_regions()) / small.num_regions(),
+              4.0, 1.2);
+}
+
+TEST(CityConfigTest, PresetClassRatiosFollowTableI) {
+  // Shenzhen 1:23, Fuzhou 1:13, Beijing 1:53 (approximately).
+  auto sz = ShenzhenLike(0.05, 1);
+  auto fz = FuzhouLike(0.05, 1);
+  auto bj = BeijingLike(0.05, 1);
+  EXPECT_NEAR(static_cast<double>(sz.labeled_nonuv_target) /
+                  sz.labeled_uv_target, 23.0, 4.0);
+  EXPECT_NEAR(static_cast<double>(fz.labeled_nonuv_target) /
+                  fz.labeled_uv_target, 13.0, 3.0);
+  EXPECT_NEAR(static_cast<double>(bj.labeled_nonuv_target) /
+                  bj.labeled_uv_target, 53.0, 10.0);
+}
+
+TEST(CityGeneratorTest, DeterministicForSeed) {
+  City a = MakeTestCity(5);
+  City b = MakeTestCity(5);
+  EXPECT_EQ(a.pois.size(), b.pois.size());
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.is_uv, b.is_uv);
+  ASSERT_EQ(a.images->size(), b.images->size());
+  EXPECT_EQ((*a.images)[100], (*b.images)[100]);
+}
+
+TEST(CityGeneratorTest, SeedsChangeTheCity) {
+  City a = MakeTestCity(5);
+  City b = MakeTestCity(6);
+  EXPECT_NE(a.labels, b.labels);
+}
+
+TEST(CityGeneratorTest, ShapesConsistent) {
+  City city = MakeTestCity();
+  const int n = city.num_regions();
+  EXPECT_EQ(static_cast<int>(city.archetypes.size()), n);
+  EXPECT_EQ(static_cast<int>(city.district.size()), n);
+  EXPECT_EQ(static_cast<int>(city.labels.size()), n);
+  EXPECT_EQ(static_cast<int>(city.is_uv.size()), n);
+  EXPECT_EQ(static_cast<int>(city.pois_by_region.size()), n);
+  ASSERT_NE(city.images, nullptr);
+  EXPECT_EQ(city.images->rows(), n);
+  EXPECT_EQ(city.images->cols(), 3 * 16 * 16);
+}
+
+TEST(CityGeneratorTest, OverlapRuleMatchesGroundTruth) {
+  City city = MakeTestCity();
+  for (int i = 0; i < city.num_regions(); ++i) {
+    EXPECT_EQ(city.is_uv[i] != 0, city.uv_overlap[i] > 0.2f) << "region " << i;
+    if (city.is_uv[i]) {
+      EXPECT_EQ(city.archetypes[i], Archetype::kUrbanVillage);
+    }
+  }
+}
+
+TEST(CityGeneratorTest, LabelsConsistentWithGroundTruth) {
+  City city = MakeTestCity();
+  int uv_labels = 0, nonuv_labels = 0;
+  for (int i = 0; i < city.num_regions(); ++i) {
+    if (city.labels[i] == 1) {
+      EXPECT_TRUE(city.is_uv[i]) << "labeled UV must be a true UV";
+      ++uv_labels;
+    } else if (city.labels[i] == 0) {
+      EXPECT_FALSE(city.is_uv[i]) << "labeled non-UV must not be a true UV";
+      ++nonuv_labels;
+    }
+  }
+  EXPECT_EQ(uv_labels, city.NumLabeledUv());
+  EXPECT_EQ(nonuv_labels, city.NumLabeledNonUv());
+  EXPECT_GT(uv_labels, 0);
+  EXPECT_LE(uv_labels, city.config.labeled_uv_target);
+  EXPECT_LE(nonuv_labels, city.config.labeled_nonuv_target);
+  // Labels are scarce relative to the whole city.
+  EXPECT_LT(uv_labels + nonuv_labels, city.num_regions());
+}
+
+TEST(CityGeneratorTest, SomeUvsRemainUndiscovered) {
+  // The detection task needs true UVs beyond the labeled ones.
+  City city = MakeTestCity();
+  EXPECT_GT(city.NumTrueUv(), city.NumLabeledUv());
+}
+
+TEST(CityGeneratorTest, PoisLieInTheirRegion) {
+  City city = MakeTestCity();
+  for (int id = 0; id < city.num_regions(); ++id) {
+    for (int pid : city.pois_by_region[id]) {
+      const Poi& poi = city.pois[pid];
+      EXPECT_EQ(city.grid.RegionAt(poi.x, poi.y), id);
+    }
+  }
+}
+
+TEST(CityGeneratorTest, DistrictIdsInRange) {
+  City city = MakeTestCity();
+  for (int d : city.district) {
+    EXPECT_GE(d, 0);
+    EXPECT_LT(d, city.config.num_districts);
+  }
+}
+
+TEST(CityGeneratorTest, ImagesInUnitRange) {
+  City city = MakeTestCity();
+  for (int64_t i = 0; i < city.images->size(); ++i) {
+    ASSERT_GE((*city.images)[i], 0.0f);
+    ASSERT_LE((*city.images)[i], 1.0f);
+  }
+}
+
+TEST(CityGeneratorTest, SkipImagesFlag) {
+  auto config = uv::testing::TinyCityConfig();
+  config.generate_images = false;
+  City city = GenerateCity(config);
+  EXPECT_EQ(city.images, nullptr);
+}
+
+TEST(CityGeneratorTest, RoadNetworkNonTrivial) {
+  City city = MakeTestCity();
+  EXPECT_GT(city.roads.num_intersections(), 10);
+  EXPECT_GT(city.roads.num_segments(), 10);
+}
+
+TEST(CityGeneratorTest, UvCellsFormBlobs) {
+  // Each true-UV cell has at least one UV 4-neighbour in all but
+  // pathological cases (planted as contiguous blobs of >= 3 cells).
+  City city = MakeTestCity();
+  int isolated = 0, total = 0;
+  for (int id = 0; id < city.num_regions(); ++id) {
+    if (!city.is_uv[id]) continue;
+    ++total;
+    const int r = city.grid.RowOf(id), c = city.grid.ColOf(id);
+    bool has_uv_neighbor = false;
+    const int drs[] = {-1, 1, 0, 0}, dcs[] = {0, 0, -1, 1};
+    for (int k = 0; k < 4; ++k) {
+      if (city.grid.InBounds(r + drs[k], c + dcs[k]) &&
+          city.is_uv[city.grid.RegionId(r + drs[k], c + dcs[k])]) {
+        has_uv_neighbor = true;
+      }
+    }
+    isolated += !has_uv_neighbor;
+  }
+  ASSERT_GT(total, 0);
+  EXPECT_LT(static_cast<double>(isolated) / total, 0.2);
+}
+
+TEST(RoadGeneratorTest, ArterialsSpanTheGridAndCarryNodes) {
+  auto config = uv::testing::TinyCityConfig();
+  graph::GridSpec grid{config.height, config.width, config.cell_meters};
+  std::vector<float> development(grid.num_regions(), 0.5f);
+  Rng rng(7);
+  auto result = GenerateRoadNetwork(config, grid, development, &rng);
+  // At least one horizontal and one vertical arterial.
+  int h_cells = 0, v_cells = 0;
+  for (int id = 0; id < grid.num_regions(); ++id) {
+    h_cells += result.has_arterial_h[id];
+    v_cells += result.has_arterial_v[id];
+  }
+  EXPECT_GE(h_cells, grid.width);   // A full row at minimum.
+  EXPECT_GE(v_cells, grid.height);  // A full column at minimum.
+  // Arterial rows are complete spans.
+  EXPECT_EQ(h_cells % grid.width, 0);
+  EXPECT_EQ(v_cells % grid.height, 0);
+  // The network is non-trivial and intersections sit inside the grid.
+  EXPECT_GT(result.network.num_intersections(), 0);
+  for (int i = 0; i < result.network.num_intersections(); ++i) {
+    const auto& node = result.network.intersection(i);
+    EXPECT_GE(node.x, 0.0);
+    EXPECT_LE(node.x, grid.width * grid.cell_meters);
+    EXPECT_GE(node.y, 0.0);
+    EXPECT_LE(node.y, grid.height * grid.cell_meters);
+  }
+}
+
+TEST(RoadGeneratorTest, DevelopmentDensifiesLocalStreets) {
+  auto config = uv::testing::TinyCityConfig();
+  graph::GridSpec grid{config.height, config.width, config.cell_meters};
+  Rng rng1(7), rng2(7);
+  std::vector<float> empty(grid.num_regions(), 0.0f);
+  std::vector<float> dense(grid.num_regions(), 1.0f);
+  auto sparse_net = GenerateRoadNetwork(config, grid, empty, &rng1);
+  auto dense_net = GenerateRoadNetwork(config, grid, dense, &rng2);
+  EXPECT_GT(dense_net.network.num_intersections(),
+            sparse_net.network.num_intersections());
+}
+
+TEST(MixProfilesTest, EndpointsAndMidpoint) {
+  const auto& a = GetProfile(Archetype::kFormalResidential);
+  const auto& b = GetProfile(Archetype::kUrbanVillage);
+  const auto at0 = MixProfiles(a, b, 0.0f);
+  EXPECT_DOUBLE_EQ(at0.poi_intensity, a.poi_intensity);
+  EXPECT_FLOAT_EQ(at0.regularity, a.regularity);
+  const auto at1 = MixProfiles(a, b, 1.0f);
+  EXPECT_DOUBLE_EQ(at1.poi_intensity, b.poi_intensity);
+  const auto mid = MixProfiles(a, b, 0.5f);
+  EXPECT_NEAR(mid.building_density,
+              0.5 * (a.building_density + b.building_density), 1e-6);
+  EXPECT_NEAR(mid.category_weights[0],
+              0.5 * (a.category_weights[0] + b.category_weights[0]), 1e-9);
+  EXPECT_NEAR(mid.radius_rate[0],
+              0.5 * (a.radius_rate[0] + b.radius_rate[0]), 1e-9);
+}
+
+TEST(CityGeneratorTest, InformalityAssignedToUvAndOldTownOnly) {
+  City city = MakeTestCity();
+  int uv_with_style = 0, uv_total = 0;
+  for (int id = 0; id < city.num_regions(); ++id) {
+    const Archetype a = city.archetypes[id];
+    if (a == Archetype::kUrbanVillage) {
+      ++uv_total;
+      uv_with_style += (city.informality[id] > 0.0f);
+      EXPECT_LE(city.informality[id], 1.0f);
+    } else if (a != Archetype::kOldTown) {
+      EXPECT_FLOAT_EQ(city.informality[id], 0.0f) << "region " << id;
+    }
+  }
+  ASSERT_GT(uv_total, 0);
+  EXPECT_EQ(uv_with_style, uv_total);
+}
+
+TEST(CityGeneratorTest, InformalityRangeRespectsConfig) {
+  auto config = uv::testing::TinyCityConfig();
+  config.uv_informality_min = 0.9;
+  City city = GenerateCity(config);
+  for (int id = 0; id < city.num_regions(); ++id) {
+    if (city.archetypes[id] == Archetype::kUrbanVillage) {
+      EXPECT_GE(city.informality[id], 0.9f);
+    }
+  }
+}
+
+TEST(CityGeneratorTest, OldTownConfusersExistAndAreNonUv) {
+  City city = MakeTestCity();
+  int old_town = 0, labeled_old_town = 0;
+  for (int id = 0; id < city.num_regions(); ++id) {
+    if (city.archetypes[id] == Archetype::kOldTown) {
+      ++old_town;
+      EXPECT_FALSE(city.is_uv[id]);
+      EXPECT_NE(city.labels[id], 1);
+      labeled_old_town += (city.labels[id] == 0);
+    }
+  }
+  EXPECT_GT(old_town, 0) << "confuser archetype should be planted";
+  EXPECT_GT(labeled_old_town, 0)
+      << "some confusers must enter the labeled non-UV set";
+}
+
+// ----------------------------- Renderer -------------------------------------
+
+TEST(ImageRendererTest, OutputInRangeAndDeterministic) {
+  const float tint[3] = {0.0f, 0.0f, 0.0f};
+  std::vector<float> a(3 * 24 * 24), b(3 * 24 * 24);
+  Rng r1(3), r2(3);
+  RenderTile(GetProfile(Archetype::kUrbanVillage), tint, true, false, 24, &r1,
+             a.data());
+  RenderTile(GetProfile(Archetype::kUrbanVillage), tint, true, false, 24, &r2,
+             b.data());
+  EXPECT_EQ(a, b);
+  for (float v : a) {
+    ASSERT_GE(v, 0.0f);
+    ASSERT_LE(v, 1.0f);
+  }
+}
+
+TEST(ImageRendererTest, ArchetypesLookDifferent) {
+  const float tint[3] = {0.0f, 0.0f, 0.0f};
+  std::vector<float> uv(3 * 24 * 24), green(3 * 24 * 24);
+  Rng r1(3), r2(3);
+  RenderTile(GetProfile(Archetype::kUrbanVillage), tint, false, false, 24,
+             &r1, uv.data());
+  RenderTile(GetProfile(Archetype::kGreenland), tint, false, false, 24, &r2,
+             green.data());
+  double diff = 0.0;
+  for (size_t i = 0; i < uv.size(); ++i) diff += std::fabs(uv[i] - green[i]);
+  EXPECT_GT(diff / uv.size(), 0.05);
+}
+
+}  // namespace
+}  // namespace uv::synth

@@ -1,0 +1,274 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+#include "util/rng.h"
+
+namespace uv {
+namespace {
+
+Tensor RandomTensor(int r, int c, uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(r, c);
+  t.RandomNormal(&rng, 1.0f);
+  return t;
+}
+
+// Naive O(mnk) reference for gemm correctness checks.
+Tensor NaiveMatMul(const Tensor& a, const Tensor& b, bool ta, bool tb) {
+  const int m = ta ? a.cols() : a.rows();
+  const int k = ta ? a.rows() : a.cols();
+  const int n = tb ? b.rows() : b.cols();
+  Tensor c(m, n);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int p = 0; p < k; ++p) {
+        const float av = ta ? a.at(p, i) : a.at(i, p);
+        const float bv = tb ? b.at(j, p) : b.at(p, j);
+        acc += av * bv;
+      }
+      c.at(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+TEST(TensorTest, ConstructionAndAccess) {
+  Tensor t(3, 4);
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 4);
+  EXPECT_EQ(t.size(), 12);
+  EXPECT_FALSE(t.empty());
+  t.at(2, 3) = 5.0f;
+  EXPECT_FLOAT_EQ(t.at(2, 3), 5.0f);
+  EXPECT_FLOAT_EQ(t.at(0, 0), 0.0f);
+}
+
+TEST(TensorTest, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0);
+}
+
+TEST(TensorTest, FromVector) {
+  Tensor t(2, 2, {1, 2, 3, 4});
+  EXPECT_FLOAT_EQ(t.at(0, 1), 2.0f);
+  EXPECT_FLOAT_EQ(t.at(1, 0), 3.0f);
+}
+
+TEST(TensorTest, FillAndZero) {
+  Tensor t(2, 3);
+  t.Fill(7.5f);
+  EXPECT_DOUBLE_EQ(t.Sum(), 7.5 * 6);
+  t.Zero();
+  EXPECT_DOUBLE_EQ(t.Sum(), 0.0);
+}
+
+TEST(TensorTest, NormAndMaxAbs) {
+  Tensor t(1, 2, {3, -4});
+  EXPECT_DOUBLE_EQ(t.Norm(), 5.0);
+  EXPECT_FLOAT_EQ(t.MaxAbs(), 4.0f);
+}
+
+TEST(TensorTest, HasNonFinite) {
+  Tensor t(1, 3, {1, 2, 3});
+  EXPECT_FALSE(t.HasNonFinite());
+  t.at(0, 1) = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_TRUE(t.HasNonFinite());
+  t.at(0, 1) = std::numeric_limits<float>::infinity();
+  EXPECT_TRUE(t.HasNonFinite());
+}
+
+TEST(TensorTest, GlorotUniformWithinLimit) {
+  Rng rng(3);
+  Tensor t(30, 20);
+  t.GlorotUniform(&rng);
+  const float limit = std::sqrt(6.0f / 50.0f);
+  EXPECT_LE(t.MaxAbs(), limit + 1e-6f);
+  EXPECT_GT(t.Norm(), 0.0);
+}
+
+TEST(TensorTest, RandomNormalStddev) {
+  Rng rng(5);
+  Tensor t(100, 100);
+  t.RandomNormal(&rng, 2.0f);
+  const double var = t.Norm() * t.Norm() / t.size();
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(TensorTest, ShapeString) {
+  EXPECT_EQ(Tensor(3, 4).ShapeString(), "Tensor(3x4)");
+}
+
+// Parameterized gemm correctness over shapes and transpose flags.
+using GemmParam = std::tuple<int, int, int, bool, bool>;
+class GemmTest : public ::testing::TestWithParam<GemmParam> {};
+
+TEST_P(GemmTest, MatchesNaiveReference) {
+  const auto [m, k, n, ta, tb] = GetParam();
+  Tensor a = ta ? RandomTensor(k, m, 1) : RandomTensor(m, k, 1);
+  Tensor b = tb ? RandomTensor(n, k, 2) : RandomTensor(k, n, 2);
+  Tensor c(m, n);
+  Gemm(ta, tb, 1.0f, a, b, 0.0f, &c);
+  Tensor ref = NaiveMatMul(a, b, ta, tb);
+  EXPECT_LT(MaxAbsDiff(c, ref), 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmTest,
+    ::testing::Combine(::testing::Values(1, 3, 17), ::testing::Values(1, 8, 33),
+                       ::testing::Values(1, 5, 19), ::testing::Bool(),
+                       ::testing::Bool()));
+
+TEST(GemmTest, AlphaBetaAccumulate) {
+  Tensor a = RandomTensor(4, 5, 10);
+  Tensor b = RandomTensor(5, 3, 11);
+  Tensor c = RandomTensor(4, 3, 12);
+  Tensor expected = c;
+  Tensor prod = NaiveMatMul(a, b, false, false);
+  for (int64_t i = 0; i < expected.size(); ++i) {
+    expected[i] = 0.5f * expected[i] + 2.0f * prod[i];
+  }
+  Gemm(false, false, 2.0f, a, b, 0.5f, &c);
+  EXPECT_LT(MaxAbsDiff(c, expected), 1e-3f);
+}
+
+TEST(TensorOpsTest, AddSubMulScale) {
+  Tensor a(2, 2, {1, 2, 3, 4});
+  Tensor b(2, 2, {10, 20, 30, 40});
+  EXPECT_FLOAT_EQ(Add(a, b).at(1, 1), 44.0f);
+  EXPECT_FLOAT_EQ(Sub(b, a).at(0, 0), 9.0f);
+  EXPECT_FLOAT_EQ(Mul(a, b).at(0, 1), 40.0f);
+  EXPECT_FLOAT_EQ(Scale(a, 3.0f).at(1, 0), 9.0f);
+}
+
+TEST(TensorOpsTest, Axpy) {
+  Tensor x(1, 3, {1, 2, 3});
+  Tensor y(1, 3, {10, 10, 10});
+  Axpy(2.0f, x, &y);
+  EXPECT_FLOAT_EQ(y.at(0, 2), 16.0f);
+}
+
+TEST(TensorOpsTest, AddRowVector) {
+  Tensor a(2, 3);
+  Tensor v(1, 3, {1, 2, 3});
+  AddRowVectorInPlace(v, &a);
+  AddRowVectorInPlace(v, &a);
+  EXPECT_FLOAT_EQ(a.at(1, 2), 6.0f);
+}
+
+TEST(TensorOpsTest, TransposeRoundTrip) {
+  Tensor a = RandomTensor(5, 7, 20);
+  Tensor t = Transpose(Transpose(a));
+  EXPECT_LT(MaxAbsDiff(a, t), 1e-9f);
+  EXPECT_FLOAT_EQ(Transpose(a).at(3, 2), a.at(2, 3));
+}
+
+TEST(TensorOpsTest, RowSoftmaxSumsToOne) {
+  Tensor a = RandomTensor(6, 9, 21);
+  for (float temp : {0.05f, 1.0f, 4.0f}) {
+    Tensor s = RowSoftmax(a, temp);
+    for (int r = 0; r < s.rows(); ++r) {
+      double total = 0.0;
+      for (int c = 0; c < s.cols(); ++c) {
+        EXPECT_GE(s.at(r, c), 0.0f);
+        total += s.at(r, c);
+      }
+      EXPECT_NEAR(total, 1.0, 1e-5);
+    }
+  }
+}
+
+TEST(TensorOpsTest, RowSoftmaxTemperatureSharpness) {
+  Tensor a(1, 3, {1.0f, 2.0f, 3.0f});
+  Tensor sharp = RowSoftmax(a, 0.1f);
+  Tensor smooth = RowSoftmax(a, 10.0f);
+  EXPECT_GT(sharp.at(0, 2), smooth.at(0, 2));
+  EXPECT_GT(sharp.at(0, 2), 0.99f);
+}
+
+TEST(TensorOpsTest, RowSoftmaxOverflowStability) {
+  Tensor a(1, 2, {1000.0f, -1000.0f});
+  Tensor s = RowSoftmax(a, 1.0f);
+  EXPECT_FALSE(s.HasNonFinite());
+  EXPECT_NEAR(s.at(0, 0), 1.0f, 1e-5f);
+}
+
+TEST(TensorOpsTest, RowArgmax) {
+  Tensor a(2, 3, {1, 5, 2, 9, 0, 3});
+  const auto idx = RowArgmax(a);
+  EXPECT_EQ(idx[0], 1);
+  EXPECT_EQ(idx[1], 0);
+}
+
+TEST(TensorOpsTest, RowL2Normalize) {
+  Tensor a(2, 2, {3, 4, 0, 0});
+  Tensor n = RowL2Normalize(a);
+  EXPECT_NEAR(n.at(0, 0), 0.6f, 1e-6f);
+  EXPECT_NEAR(n.at(0, 1), 0.8f, 1e-6f);
+  // Zero rows stay zero (no NaN).
+  EXPECT_FLOAT_EQ(n.at(1, 0), 0.0f);
+}
+
+TEST(TensorOpsTest, ColumnMeanStd) {
+  Tensor a(3, 2, {1, 10, 2, 20, 3, 30});
+  Tensor mean = ColumnMean(a);
+  EXPECT_FLOAT_EQ(mean.at(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(mean.at(0, 1), 20.0f);
+  Tensor std = ColumnStd(a, mean);
+  EXPECT_NEAR(std.at(0, 0), std::sqrt(2.0 / 3.0), 1e-5);
+}
+
+TEST(TensorOpsTest, StandardizeColumns) {
+  Tensor a = RandomTensor(200, 4, 22);
+  for (int r = 0; r < a.rows(); ++r) a.at(r, 2) = a.at(r, 2) * 10 + 100;
+  StandardizeColumnsInPlace(&a);
+  Tensor mean = ColumnMean(a);
+  Tensor std = ColumnStd(a, mean);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_NEAR(mean.at(0, c), 0.0f, 1e-4f);
+    EXPECT_NEAR(std.at(0, c), 1.0f, 1e-3f);
+  }
+}
+
+TEST(TensorOpsTest, StandardizeConstantColumnIsSafe) {
+  Tensor a(4, 1);
+  a.Fill(5.0f);
+  StandardizeColumnsInPlace(&a);
+  EXPECT_FALSE(a.HasNonFinite());
+  EXPECT_NEAR(a.at(0, 0), 0.0f, 1e-6f);
+}
+
+TEST(TensorOpsTest, ConcatAndSlice) {
+  Tensor a(2, 2, {1, 2, 3, 4});
+  Tensor b(2, 1, {9, 8});
+  Tensor c = ConcatCols(a, b);
+  EXPECT_EQ(c.cols(), 3);
+  EXPECT_FLOAT_EQ(c.at(1, 2), 8.0f);
+  Tensor back = SliceCols(c, 0, 2);
+  EXPECT_LT(MaxAbsDiff(a, back), 1e-9f);
+  Tensor last = SliceCols(c, 2, 3);
+  EXPECT_LT(MaxAbsDiff(b, last), 1e-9f);
+}
+
+TEST(TensorOpsTest, GatherRows) {
+  Tensor a(3, 2, {1, 2, 3, 4, 5, 6});
+  Tensor g = GatherRows(a, {2, 0, 2});
+  EXPECT_EQ(g.rows(), 3);
+  EXPECT_FLOAT_EQ(g.at(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(g.at(1, 1), 2.0f);
+  EXPECT_FLOAT_EQ(g.at(2, 1), 6.0f);
+}
+
+TEST(TensorOpsTest, MaxAbsDiff) {
+  Tensor a(1, 2, {1, 2});
+  Tensor b(1, 2, {1.5f, 2});
+  EXPECT_FLOAT_EQ(MaxAbsDiff(a, b), 0.5f);
+}
+
+}  // namespace
+}  // namespace uv
