@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_policy.dir/whatif_policy.cpp.o"
+  "CMakeFiles/whatif_policy.dir/whatif_policy.cpp.o.d"
+  "whatif_policy"
+  "whatif_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

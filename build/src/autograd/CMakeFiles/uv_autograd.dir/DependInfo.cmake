@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autograd/gated_mlp.cc" "src/autograd/CMakeFiles/uv_autograd.dir/gated_mlp.cc.o" "gcc" "src/autograd/CMakeFiles/uv_autograd.dir/gated_mlp.cc.o.d"
+  "/root/repo/src/autograd/grad_check.cc" "src/autograd/CMakeFiles/uv_autograd.dir/grad_check.cc.o" "gcc" "src/autograd/CMakeFiles/uv_autograd.dir/grad_check.cc.o.d"
+  "/root/repo/src/autograd/ops_conv.cc" "src/autograd/CMakeFiles/uv_autograd.dir/ops_conv.cc.o" "gcc" "src/autograd/CMakeFiles/uv_autograd.dir/ops_conv.cc.o.d"
+  "/root/repo/src/autograd/ops_dense.cc" "src/autograd/CMakeFiles/uv_autograd.dir/ops_dense.cc.o" "gcc" "src/autograd/CMakeFiles/uv_autograd.dir/ops_dense.cc.o.d"
+  "/root/repo/src/autograd/ops_graph.cc" "src/autograd/CMakeFiles/uv_autograd.dir/ops_graph.cc.o" "gcc" "src/autograd/CMakeFiles/uv_autograd.dir/ops_graph.cc.o.d"
+  "/root/repo/src/autograd/ops_loss.cc" "src/autograd/CMakeFiles/uv_autograd.dir/ops_loss.cc.o" "gcc" "src/autograd/CMakeFiles/uv_autograd.dir/ops_loss.cc.o.d"
+  "/root/repo/src/autograd/optimizer.cc" "src/autograd/CMakeFiles/uv_autograd.dir/optimizer.cc.o" "gcc" "src/autograd/CMakeFiles/uv_autograd.dir/optimizer.cc.o.d"
+  "/root/repo/src/autograd/variable.cc" "src/autograd/CMakeFiles/uv_autograd.dir/variable.cc.o" "gcc" "src/autograd/CMakeFiles/uv_autograd.dir/variable.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/uv_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/uv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uv_autograd.dir/gated_mlp.cc.o"
+  "CMakeFiles/uv_autograd.dir/gated_mlp.cc.o.d"
+  "CMakeFiles/uv_autograd.dir/grad_check.cc.o"
+  "CMakeFiles/uv_autograd.dir/grad_check.cc.o.d"
+  "CMakeFiles/uv_autograd.dir/ops_conv.cc.o"
+  "CMakeFiles/uv_autograd.dir/ops_conv.cc.o.d"
+  "CMakeFiles/uv_autograd.dir/ops_dense.cc.o"
+  "CMakeFiles/uv_autograd.dir/ops_dense.cc.o.d"
+  "CMakeFiles/uv_autograd.dir/ops_graph.cc.o"
+  "CMakeFiles/uv_autograd.dir/ops_graph.cc.o.d"
+  "CMakeFiles/uv_autograd.dir/ops_loss.cc.o"
+  "CMakeFiles/uv_autograd.dir/ops_loss.cc.o.d"
+  "CMakeFiles/uv_autograd.dir/optimizer.cc.o"
+  "CMakeFiles/uv_autograd.dir/optimizer.cc.o.d"
+  "CMakeFiles/uv_autograd.dir/variable.cc.o"
+  "CMakeFiles/uv_autograd.dir/variable.cc.o.d"
+  "libuv_autograd.a"
+  "libuv_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uv_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

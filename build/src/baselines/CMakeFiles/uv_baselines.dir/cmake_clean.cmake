@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uv_baselines.dir/common.cc.o"
+  "CMakeFiles/uv_baselines.dir/common.cc.o.d"
+  "CMakeFiles/uv_baselines.dir/gat_baseline.cc.o"
+  "CMakeFiles/uv_baselines.dir/gat_baseline.cc.o.d"
+  "CMakeFiles/uv_baselines.dir/gcn_baseline.cc.o"
+  "CMakeFiles/uv_baselines.dir/gcn_baseline.cc.o.d"
+  "CMakeFiles/uv_baselines.dir/imgagn_baseline.cc.o"
+  "CMakeFiles/uv_baselines.dir/imgagn_baseline.cc.o.d"
+  "CMakeFiles/uv_baselines.dir/mlp_baseline.cc.o"
+  "CMakeFiles/uv_baselines.dir/mlp_baseline.cc.o.d"
+  "CMakeFiles/uv_baselines.dir/mmre_baseline.cc.o"
+  "CMakeFiles/uv_baselines.dir/mmre_baseline.cc.o.d"
+  "CMakeFiles/uv_baselines.dir/muvfcn_baseline.cc.o"
+  "CMakeFiles/uv_baselines.dir/muvfcn_baseline.cc.o.d"
+  "CMakeFiles/uv_baselines.dir/registry.cc.o"
+  "CMakeFiles/uv_baselines.dir/registry.cc.o.d"
+  "CMakeFiles/uv_baselines.dir/uvlens_baseline.cc.o"
+  "CMakeFiles/uv_baselines.dir/uvlens_baseline.cc.o.d"
+  "libuv_baselines.a"
+  "libuv_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uv_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uv_core.dir/cmsf_detector.cc.o"
+  "CMakeFiles/uv_core.dir/cmsf_detector.cc.o.d"
+  "CMakeFiles/uv_core.dir/cmsf_model.cc.o"
+  "CMakeFiles/uv_core.dir/cmsf_model.cc.o.d"
+  "libuv_core.a"
+  "libuv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

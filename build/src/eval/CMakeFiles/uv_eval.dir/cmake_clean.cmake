@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uv_eval.dir/metrics.cc.o"
+  "CMakeFiles/uv_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/uv_eval.dir/runner.cc.o"
+  "CMakeFiles/uv_eval.dir/runner.cc.o.d"
+  "CMakeFiles/uv_eval.dir/splits.cc.o"
+  "CMakeFiles/uv_eval.dir/splits.cc.o.d"
+  "libuv_eval.a"
+  "libuv_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uv_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uv_features.dir/image_encoder.cc.o"
+  "CMakeFiles/uv_features.dir/image_encoder.cc.o.d"
+  "CMakeFiles/uv_features.dir/poi_features.cc.o"
+  "CMakeFiles/uv_features.dir/poi_features.cc.o.d"
+  "libuv_features.a"
+  "libuv_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uv_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/csr_graph.cc" "src/graph/CMakeFiles/uv_graph.dir/csr_graph.cc.o" "gcc" "src/graph/CMakeFiles/uv_graph.dir/csr_graph.cc.o.d"
+  "/root/repo/src/graph/grid.cc" "src/graph/CMakeFiles/uv_graph.dir/grid.cc.o" "gcc" "src/graph/CMakeFiles/uv_graph.dir/grid.cc.o.d"
+  "/root/repo/src/graph/road_network.cc" "src/graph/CMakeFiles/uv_graph.dir/road_network.cc.o" "gcc" "src/graph/CMakeFiles/uv_graph.dir/road_network.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/uv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

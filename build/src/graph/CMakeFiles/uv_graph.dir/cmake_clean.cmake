@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uv_graph.dir/csr_graph.cc.o"
+  "CMakeFiles/uv_graph.dir/csr_graph.cc.o.d"
+  "CMakeFiles/uv_graph.dir/grid.cc.o"
+  "CMakeFiles/uv_graph.dir/grid.cc.o.d"
+  "CMakeFiles/uv_graph.dir/road_network.cc.o"
+  "CMakeFiles/uv_graph.dir/road_network.cc.o.d"
+  "libuv_graph.a"
+  "libuv_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uv_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uv_io.dir/serialize.cc.o"
+  "CMakeFiles/uv_io.dir/serialize.cc.o.d"
+  "CMakeFiles/uv_io.dir/urg_io.cc.o"
+  "CMakeFiles/uv_io.dir/urg_io.cc.o.d"
+  "libuv_io.a"
+  "libuv_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uv_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/gat.cc" "src/nn/CMakeFiles/uv_nn.dir/gat.cc.o" "gcc" "src/nn/CMakeFiles/uv_nn.dir/gat.cc.o.d"
+  "/root/repo/src/nn/gcn.cc" "src/nn/CMakeFiles/uv_nn.dir/gcn.cc.o" "gcc" "src/nn/CMakeFiles/uv_nn.dir/gcn.cc.o.d"
+  "/root/repo/src/nn/graph_context.cc" "src/nn/CMakeFiles/uv_nn.dir/graph_context.cc.o" "gcc" "src/nn/CMakeFiles/uv_nn.dir/graph_context.cc.o.d"
+  "/root/repo/src/nn/gscm.cc" "src/nn/CMakeFiles/uv_nn.dir/gscm.cc.o" "gcc" "src/nn/CMakeFiles/uv_nn.dir/gscm.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/nn/CMakeFiles/uv_nn.dir/linear.cc.o" "gcc" "src/nn/CMakeFiles/uv_nn.dir/linear.cc.o.d"
+  "/root/repo/src/nn/maga.cc" "src/nn/CMakeFiles/uv_nn.dir/maga.cc.o" "gcc" "src/nn/CMakeFiles/uv_nn.dir/maga.cc.o.d"
+  "/root/repo/src/nn/ms_gate.cc" "src/nn/CMakeFiles/uv_nn.dir/ms_gate.cc.o" "gcc" "src/nn/CMakeFiles/uv_nn.dir/ms_gate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/autograd/CMakeFiles/uv_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/uv_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/uv_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/uv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

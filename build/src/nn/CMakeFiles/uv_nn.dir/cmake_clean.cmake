@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uv_nn.dir/gat.cc.o"
+  "CMakeFiles/uv_nn.dir/gat.cc.o.d"
+  "CMakeFiles/uv_nn.dir/gcn.cc.o"
+  "CMakeFiles/uv_nn.dir/gcn.cc.o.d"
+  "CMakeFiles/uv_nn.dir/graph_context.cc.o"
+  "CMakeFiles/uv_nn.dir/graph_context.cc.o.d"
+  "CMakeFiles/uv_nn.dir/gscm.cc.o"
+  "CMakeFiles/uv_nn.dir/gscm.cc.o.d"
+  "CMakeFiles/uv_nn.dir/linear.cc.o"
+  "CMakeFiles/uv_nn.dir/linear.cc.o.d"
+  "CMakeFiles/uv_nn.dir/maga.cc.o"
+  "CMakeFiles/uv_nn.dir/maga.cc.o.d"
+  "CMakeFiles/uv_nn.dir/ms_gate.cc.o"
+  "CMakeFiles/uv_nn.dir/ms_gate.cc.o.d"
+  "libuv_nn.a"
+  "libuv_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uv_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/archetype.cc" "src/synth/CMakeFiles/uv_synth.dir/archetype.cc.o" "gcc" "src/synth/CMakeFiles/uv_synth.dir/archetype.cc.o.d"
+  "/root/repo/src/synth/city_config.cc" "src/synth/CMakeFiles/uv_synth.dir/city_config.cc.o" "gcc" "src/synth/CMakeFiles/uv_synth.dir/city_config.cc.o.d"
+  "/root/repo/src/synth/city_generator.cc" "src/synth/CMakeFiles/uv_synth.dir/city_generator.cc.o" "gcc" "src/synth/CMakeFiles/uv_synth.dir/city_generator.cc.o.d"
+  "/root/repo/src/synth/image_renderer.cc" "src/synth/CMakeFiles/uv_synth.dir/image_renderer.cc.o" "gcc" "src/synth/CMakeFiles/uv_synth.dir/image_renderer.cc.o.d"
+  "/root/repo/src/synth/poi_types.cc" "src/synth/CMakeFiles/uv_synth.dir/poi_types.cc.o" "gcc" "src/synth/CMakeFiles/uv_synth.dir/poi_types.cc.o.d"
+  "/root/repo/src/synth/road_generator.cc" "src/synth/CMakeFiles/uv_synth.dir/road_generator.cc.o" "gcc" "src/synth/CMakeFiles/uv_synth.dir/road_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/uv_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/uv_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/uv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uv_synth.dir/archetype.cc.o"
+  "CMakeFiles/uv_synth.dir/archetype.cc.o.d"
+  "CMakeFiles/uv_synth.dir/city_config.cc.o"
+  "CMakeFiles/uv_synth.dir/city_config.cc.o.d"
+  "CMakeFiles/uv_synth.dir/city_generator.cc.o"
+  "CMakeFiles/uv_synth.dir/city_generator.cc.o.d"
+  "CMakeFiles/uv_synth.dir/image_renderer.cc.o"
+  "CMakeFiles/uv_synth.dir/image_renderer.cc.o.d"
+  "CMakeFiles/uv_synth.dir/poi_types.cc.o"
+  "CMakeFiles/uv_synth.dir/poi_types.cc.o.d"
+  "CMakeFiles/uv_synth.dir/road_generator.cc.o"
+  "CMakeFiles/uv_synth.dir/road_generator.cc.o.d"
+  "libuv_synth.a"
+  "libuv_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uv_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

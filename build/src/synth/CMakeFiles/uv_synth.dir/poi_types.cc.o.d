@@ -1,0 +1,3 @@
+src/synth/CMakeFiles/uv_synth.dir/poi_types.cc.o: \
+ /root/repo/src/synth/poi_types.cc /usr/include/stdc-predef.h \
+ /root/repo/src/synth/poi_types.h

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uv_tensor.dir/tensor.cc.o"
+  "CMakeFiles/uv_tensor.dir/tensor.cc.o.d"
+  "CMakeFiles/uv_tensor.dir/tensor_ops.cc.o"
+  "CMakeFiles/uv_tensor.dir/tensor_ops.cc.o.d"
+  "libuv_tensor.a"
+  "libuv_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uv_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

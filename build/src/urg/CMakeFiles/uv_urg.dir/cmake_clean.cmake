@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uv_urg.dir/urban_region_graph.cc.o"
+  "CMakeFiles/uv_urg.dir/urban_region_graph.cc.o.d"
+  "libuv_urg.a"
+  "libuv_urg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uv_urg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

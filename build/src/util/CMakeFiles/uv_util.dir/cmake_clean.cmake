@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uv_util.dir/logging.cc.o"
+  "CMakeFiles/uv_util.dir/logging.cc.o.d"
+  "CMakeFiles/uv_util.dir/rng.cc.o"
+  "CMakeFiles/uv_util.dir/rng.cc.o.d"
+  "CMakeFiles/uv_util.dir/status.cc.o"
+  "CMakeFiles/uv_util.dir/status.cc.o.d"
+  "CMakeFiles/uv_util.dir/table.cc.o"
+  "CMakeFiles/uv_util.dir/table.cc.o.d"
+  "libuv_util.a"
+  "libuv_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uv_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autograd_conv_test.dir/autograd_conv_test.cc.o"
+  "CMakeFiles/autograd_conv_test.dir/autograd_conv_test.cc.o.d"
+  "autograd_conv_test"
+  "autograd_conv_test.pdb"
+  "autograd_conv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autograd_conv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

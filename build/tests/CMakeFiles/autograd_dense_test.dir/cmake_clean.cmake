@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autograd_dense_test.dir/autograd_dense_test.cc.o"
+  "CMakeFiles/autograd_dense_test.dir/autograd_dense_test.cc.o.d"
+  "autograd_dense_test"
+  "autograd_dense_test.pdb"
+  "autograd_dense_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autograd_dense_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autograd_graph_test.dir/autograd_graph_test.cc.o"
+  "CMakeFiles/autograd_graph_test.dir/autograd_graph_test.cc.o.d"
+  "autograd_graph_test"
+  "autograd_graph_test.pdb"
+  "autograd_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autograd_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autograd_loss_test.dir/autograd_loss_test.cc.o"
+  "CMakeFiles/autograd_loss_test.dir/autograd_loss_test.cc.o.d"
+  "autograd_loss_test"
+  "autograd_loss_test.pdb"
+  "autograd_loss_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autograd_loss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

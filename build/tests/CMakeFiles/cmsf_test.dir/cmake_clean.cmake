@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmsf_test.dir/cmsf_test.cc.o"
+  "CMakeFiles/cmsf_test.dir/cmsf_test.cc.o.d"
+  "cmsf_test"
+  "cmsf_test.pdb"
+  "cmsf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmsf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

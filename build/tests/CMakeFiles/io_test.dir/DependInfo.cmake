@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/io_test.cc" "tests/CMakeFiles/io_test.dir/io_test.cc.o" "gcc" "tests/CMakeFiles/io_test.dir/io_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/uv_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/uv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/uv_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/uv_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/uv_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/urg/CMakeFiles/uv_urg.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/uv_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/uv_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/uv_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/uv_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/uv_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/uv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urg_test.dir/urg_test.cc.o"
+  "CMakeFiles/urg_test.dir/urg_test.cc.o.d"
+  "urg_test"
+  "urg_test.pdb"
+  "urg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
