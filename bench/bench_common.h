@@ -22,6 +22,11 @@ namespace uv::bench {
 //   UV_BENCH_RUNS   repeated random runs (paper: 5; default 1)
 //   UV_BENCH_FOLDS  cross-validation folds (paper: 3; default 3)
 //   UV_BENCH_SEED   master seed (default 2023)
+//
+// Orthogonally, UV_THREADS sizes the global worker pool every kernel and
+// the fold-parallel runner execute on (default: hardware_concurrency;
+// UV_THREADS=1 forces serial execution). Results are bit-identical for
+// any UV_THREADS value — see "Parallel execution" in DESIGN.md.
 struct BenchConfig {
   double scale = 0.015;
   int epochs = 70;

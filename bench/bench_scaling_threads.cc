@@ -1,0 +1,201 @@
+// Thread-scaling curves for the parallel compute layer: times the blocked
+// Gemm, the conv forward+backward batch kernels, the CSR segment
+// aggregation, and one full RunCrossValidation at 1/2/4/N threads, checks
+// that metric outputs stay bit-identical across thread counts, and writes
+// BENCH_scaling.json with the speedup curves.
+//
+//   UV_BENCH_* knobs apply to the cross-validation leg (see
+//   bench_common.h); UV_THREADS caps the largest thread count swept.
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "bench_common.h"
+#include "tensor/tensor_ops.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace {
+
+using uv::Tensor;
+
+Tensor RandomTensor(int r, int c, uint64_t seed) {
+  uv::Rng rng(seed);
+  Tensor t(r, c);
+  t.RandomNormal(&rng, 1.0f);
+  return t;
+}
+
+// Best-of-reps wall time of fn at the given pool size.
+double TimeAt(int threads, int reps, const std::function<void()>& fn) {
+  uv::ThreadPool::SetGlobalThreads(threads);
+  fn();  // Warm-up (first touch, pool wake).
+  double best = 1e30;
+  for (int r = 0; r < reps; ++r) {
+    uv::WallTimer timer;
+    fn();
+    best = std::min(best, timer.Seconds());
+  }
+  return best;
+}
+
+struct Curve {
+  std::string name;
+  std::vector<int> threads;
+  std::vector<double> seconds;
+
+  void Print() const {
+    std::printf("%-24s", name.c_str());
+    for (size_t i = 0; i < threads.size(); ++i) {
+      std::printf("  %d:%8.4fs (%.2fx)", threads[i], seconds[i],
+                  seconds.front() / seconds[i]);
+    }
+    std::printf("\n");
+  }
+};
+
+Curve Sweep(const std::string& name, const std::vector<int>& thread_counts,
+            int reps, const std::function<void()>& fn) {
+  Curve curve;
+  curve.name = name;
+  for (const int t : thread_counts) {
+    curve.threads.push_back(t);
+    curve.seconds.push_back(TimeAt(t, reps, fn));
+  }
+  curve.Print();
+  return curve;
+}
+
+void WriteJson(const std::vector<Curve>& curves, int hardware_threads,
+               bool metrics_identical) {
+  FILE* f = std::fopen("BENCH_scaling.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_scaling.json for writing\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"hardware_threads\": %d,\n", hardware_threads);
+  std::fprintf(f, "  \"metrics_bit_identical_across_threads\": %s,\n",
+               metrics_identical ? "true" : "false");
+  std::fprintf(f, "  \"curves\": {\n");
+  for (size_t c = 0; c < curves.size(); ++c) {
+    const Curve& curve = curves[c];
+    std::fprintf(f, "    \"%s\": {\"threads\": [", curve.name.c_str());
+    for (size_t i = 0; i < curve.threads.size(); ++i) {
+      std::fprintf(f, "%s%d", i ? ", " : "", curve.threads[i]);
+    }
+    std::fprintf(f, "], \"seconds\": [");
+    for (size_t i = 0; i < curve.seconds.size(); ++i) {
+      std::fprintf(f, "%s%.6f", i ? ", " : "", curve.seconds[i]);
+    }
+    std::fprintf(f, "], \"speedup\": [");
+    for (size_t i = 0; i < curve.seconds.size(); ++i) {
+      std::fprintf(f, "%s%.3f", i ? ", " : "",
+                   curve.seconds.front() / curve.seconds[i]);
+    }
+    std::fprintf(f, "]}%s\n", c + 1 < curves.size() ? "," : "");
+  }
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote BENCH_scaling.json\n");
+}
+
+}  // namespace
+
+int main() {
+  auto bench = uv::bench::BenchConfig::FromEnv();
+  const int hw = uv::ThreadPool::NumThreadsFromEnv();
+  std::vector<int> thread_counts = {1, 2, 4};
+  if (hw > 4) thread_counts.push_back(hw);
+  thread_counts.erase(
+      std::unique(thread_counts.begin(), thread_counts.end()),
+      thread_counts.end());
+  std::printf("=== thread scaling (max env threads: %d) ===\n\n", hw);
+
+  std::vector<Curve> curves;
+
+  // --- Blocked GEMM, 512x512x512. ---
+  {
+    const Tensor a = RandomTensor(512, 512, 1);
+    const Tensor b = RandomTensor(512, 512, 2);
+    Tensor c(512, 512);
+    curves.push_back(Sweep("gemm_512x512x512", thread_counts, 5, [&] {
+      uv::Gemm(false, false, 1.0f, a, b, 0.0f, &c);
+    }));
+  }
+
+  // --- Conv2d forward + backward on a 32-image batch. ---
+  {
+    const uv::ag::Conv2dSpec spec{3, 32, 32, 16, 3, 1, 1};
+    const Tensor x0 = RandomTensor(32, 3 * 32 * 32, 3);
+    const Tensor w0 = RandomTensor(16, 3 * 9, 4);
+    const Tensor b0 = RandomTensor(1, 16, 5);
+    curves.push_back(Sweep("conv_fwd_bwd_batch32", thread_counts, 3, [&] {
+      auto x = uv::ag::MakeParam(x0);
+      auto w = uv::ag::MakeParam(w0);
+      auto b = uv::ag::MakeParam(b0);
+      auto y = uv::ag::Conv2d(x, w, b, spec);
+      uv::ag::Backward(uv::ag::SumAll(uv::ag::Mul(y, y)));
+    }));
+  }
+
+  // --- CSR segment aggregation (attention softmax + weighted sum). ---
+  {
+    const int num_segments = 20000;
+    auto offsets = std::make_shared<std::vector<int>>();
+    offsets->push_back(0);
+    uv::Rng rng(6);
+    for (int i = 0; i < num_segments; ++i) {
+      offsets->push_back(offsets->back() + 4 + rng.UniformInt(8));
+    }
+    const Tensor scores0 = RandomTensor(offsets->back(), 1, 7);
+    const Tensor feats0 = RandomTensor(offsets->back(), 64, 8);
+    std::shared_ptr<const std::vector<int>> off = offsets;
+    curves.push_back(Sweep("graph_segment_fwd_bwd", thread_counts, 3, [&] {
+      auto scores = uv::ag::MakeParam(scores0);
+      auto feats = uv::ag::MakeParam(feats0);
+      auto alpha = uv::ag::SegmentSoftmax(scores, off);
+      auto y = uv::ag::SegmentWeightedSum(alpha, feats, off);
+      uv::ag::Backward(uv::ag::SumAll(uv::ag::Mul(y, y)));
+    }));
+  }
+
+  // --- Fold-level parallel cross-validation. ---
+  bool metrics_identical = true;
+  {
+    if (std::getenv("UV_BENCH_RUNS") == nullptr) bench.runs = 2;
+    const std::string city = "Fuzhou";
+    auto urg = uv::bench::BuildCityUrg(city, bench);
+    const auto factory = uv::bench::MakeFactory("GCN", city, bench);
+    auto options = uv::bench::MakeRunnerOptions(bench);
+
+    Curve curve;
+    curve.name = "cross_validation_gcn";
+    std::vector<uv::eval::RunStats> stats_at;
+    for (const int t : thread_counts) {
+      uv::ThreadPool::SetGlobalThreads(t);
+      const auto stats = uv::eval::RunCrossValidation(urg, factory, options);
+      curve.threads.push_back(t);
+      curve.seconds.push_back(stats.wall_seconds);
+      stats_at.push_back(stats);
+    }
+    for (const auto& s : stats_at) {
+      metrics_identical = metrics_identical &&
+                          s.auc.mean == stats_at.front().auc.mean &&
+                          s.recall3.mean == stats_at.front().recall3.mean &&
+                          s.precision3.mean == stats_at.front().precision3.mean;
+    }
+    curve.Print();
+    curves.push_back(curve);
+    std::printf("cross-validation metrics bit-identical across threads: %s\n",
+                metrics_identical ? "yes" : "NO");
+  }
+
+  WriteJson(curves, hw, metrics_identical);
+  return metrics_identical ? 0 : 1;
+}

@@ -1,13 +1,22 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <vector>
 
 #include "autograd/ops.h"
 #include "tensor/tensor_ops.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace uv::ag {
 namespace {
+
+// Images per parallel chunk. The forward/backward batch loops are
+// independent per image except for the weight/bias gradients, which are
+// reduced from per-chunk partial buffers in chunk-index order. Chunk
+// boundaries depend only on this constant and the batch size — never on
+// the thread count — so results are identical for every UV_THREADS value.
+constexpr int64_t kConvImageGrain = 4;
 
 // Unpacks one CHW image row into the im2col matrix: (in_c*k*k) x (oh*ow).
 void Im2Col(const float* img, const Conv2dSpec& s, Tensor* col) {
@@ -72,57 +81,91 @@ VarPtr Conv2d(const VarPtr& x, const VarPtr& w, const VarPtr& b,
 
   const int n = x->rows();
   Tensor out(n, spec.out_channels * oh * ow);
-  Tensor col(patch, oh * ow);
-  Tensor prod(spec.out_channels, oh * ow);
-  for (int i = 0; i < n; ++i) {
-    Im2Col(x->value.row(i), spec, &col);
-    Gemm(false, false, 1.0f, w->value, col, 0.0f, &prod);
-    float* dst = out.row(i);
-    for (int c = 0; c < spec.out_channels; ++c) {
-      const float bias = b->value.at(0, c);
-      const float* src = prod.row(c);
-      float* plane = dst + static_cast<size_t>(c) * oh * ow;
-      for (int p = 0; p < oh * ow; ++p) plane[p] = src[p] + bias;
+  // Each image is independent and writes its own output row; the im2col /
+  // product scratch is allocated per chunk.
+  ParallelFor(0, n, kConvImageGrain, [&](int64_t i0, int64_t i1) {
+    Tensor col(patch, oh * ow);
+    Tensor prod(spec.out_channels, oh * ow);
+    for (int64_t i = i0; i < i1; ++i) {
+      Im2Col(x->value.row(static_cast<int>(i)), spec, &col);
+      Gemm(false, false, 1.0f, w->value, col, 0.0f, &prod);
+      float* dst = out.row(static_cast<int>(i));
+      for (int c = 0; c < spec.out_channels; ++c) {
+        const float bias = b->value.at(0, c);
+        const float* src = prod.row(c);
+        float* plane = dst + static_cast<size_t>(c) * oh * ow;
+        for (int p = 0; p < oh * ow; ++p) plane[p] = src[p] + bias;
+      }
     }
-  }
+  });
 
   VarPtr xv = x, wv = w, bv = b;
   return MakeOp(
       std::move(out), {x, w, b},
       [xv, wv, bv, spec, patch, oh, ow](Variable* self) {
         const int n = xv->rows();
-        Tensor col(patch, oh * ow);
-        Tensor gout(spec.out_channels, oh * ow);
-        Tensor gcol(patch, oh * ow);
         Tensor* gx = xv->requires_grad ? &xv->EnsureGrad() : nullptr;
         Tensor* gw = wv->requires_grad ? &wv->EnsureGrad() : nullptr;
         Tensor* gb = bv->requires_grad ? &bv->EnsureGrad() : nullptr;
-        for (int i = 0; i < n; ++i) {
-          // Reinterpret this sample's output gradient as (out_c x oh*ow).
-          const float* g = self->grad.row(i);
-          for (int c = 0; c < spec.out_channels; ++c) {
-            std::copy(g + static_cast<size_t>(c) * oh * ow,
-                      g + static_cast<size_t>(c + 1) * oh * ow, gout.row(c));
+
+        // gx rows are disjoint per image; gw/gb accumulate across images,
+        // so each chunk sums into a private partial that is reduced in
+        // chunk order afterwards (fixed reduction tree, thread-invariant).
+        const int64_t grain = kConvImageGrain;
+        const int64_t num_chunks = (n + grain - 1) / grain;
+        std::vector<Tensor> gw_parts(
+            gw != nullptr ? static_cast<size_t>(num_chunks) : 0);
+        std::vector<Tensor> gb_parts(
+            gb != nullptr ? static_cast<size_t>(num_chunks) : 0);
+
+        ParallelFor(0, n, grain, [&](int64_t i0, int64_t i1) {
+          const int64_t chunk = i0 / grain;
+          Tensor col(patch, oh * ow);
+          Tensor gout(spec.out_channels, oh * ow);
+          Tensor gcol(patch, oh * ow);
+          Tensor* gw_part = nullptr;
+          Tensor* gb_part = nullptr;
+          if (gw != nullptr) {
+            gw_parts[chunk] = Tensor(gw->rows(), gw->cols());
+            gw_part = &gw_parts[chunk];
           }
           if (gb != nullptr) {
+            gb_parts[chunk] = Tensor(1, spec.out_channels);
+            gb_part = &gb_parts[chunk];
+          }
+          for (int64_t i = i0; i < i1; ++i) {
+            // Reinterpret this sample's output gradient as (out_c x oh*ow).
+            const float* g = self->grad.row(static_cast<int>(i));
             for (int c = 0; c < spec.out_channels; ++c) {
-              float acc = 0.0f;
-              const float* row = gout.row(c);
-              for (int p = 0; p < oh * ow; ++p) acc += row[p];
-              gb->at(0, c) += acc;
+              std::copy(g + static_cast<size_t>(c) * oh * ow,
+                        g + static_cast<size_t>(c + 1) * oh * ow,
+                        gout.row(c));
+            }
+            if (gb_part != nullptr) {
+              for (int c = 0; c < spec.out_channels; ++c) {
+                float acc = 0.0f;
+                const float* row = gout.row(c);
+                for (int p = 0; p < oh * ow; ++p) acc += row[p];
+                gb_part->at(0, c) += acc;
+              }
+            }
+            if (gw_part != nullptr || gx != nullptr) {
+              Im2Col(xv->value.row(static_cast<int>(i)), spec, &col);
+            }
+            if (gw_part != nullptr) {
+              Gemm(false, true, 1.0f, gout, col, 1.0f, gw_part);
+            }
+            if (gx != nullptr) {
+              gcol.Zero();
+              Gemm(true, false, 1.0f, wv->value, gout, 1.0f, &gcol);
+              Col2ImAccum(gcol, spec, gx->row(static_cast<int>(i)));
             }
           }
-          if (gw != nullptr || gx != nullptr) {
-            Im2Col(xv->value.row(i), spec, &col);
-          }
-          if (gw != nullptr) {
-            Gemm(false, true, 1.0f, gout, col, 1.0f, gw);
-          }
-          if (gx != nullptr) {
-            gcol.Zero();
-            Gemm(true, false, 1.0f, wv->value, gout, 1.0f, &gcol);
-            Col2ImAccum(gcol, spec, gx->row(i));
-          }
+        });
+
+        for (int64_t c = 0; c < num_chunks; ++c) {
+          if (gw != nullptr) Axpy(1.0f, gw_parts[c], gw);
+          if (gb != nullptr) Axpy(1.0f, gb_parts[c], gb);
         }
       },
       "conv2d");
@@ -141,34 +184,36 @@ VarPtr MaxPool2d(const VarPtr& x, int channels, int h, int w, int kernel,
   // argmax[i][o] = flat input index within the row that won the max.
   auto argmax = std::make_shared<std::vector<int>>(
       static_cast<size_t>(n) * channels * oh * ow);
-  for (int i = 0; i < n; ++i) {
-    const float* img = x->value.row(i);
-    float* dst = out.row(i);
-    int* am = argmax->data() + static_cast<size_t>(i) * channels * oh * ow;
-    for (int c = 0; c < channels; ++c) {
-      const float* plane = img + static_cast<size_t>(c) * h * w;
-      for (int oy = 0; oy < oh; ++oy) {
-        for (int ox = 0; ox < ow; ++ox) {
-          float best = -std::numeric_limits<float>::infinity();
-          int best_idx = 0;
-          for (int ky = 0; ky < kernel; ++ky) {
-            for (int kx = 0; kx < kernel; ++kx) {
-              const int iy = oy * stride + ky;
-              const int ix = ox * stride + kx;
-              const float v = plane[iy * w + ix];
-              if (v > best) {
-                best = v;
-                best_idx = c * h * w + iy * w + ix;
+  ParallelFor(0, n, kConvImageGrain, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      const float* img = x->value.row(static_cast<int>(i));
+      float* dst = out.row(static_cast<int>(i));
+      int* am = argmax->data() + static_cast<size_t>(i) * channels * oh * ow;
+      for (int c = 0; c < channels; ++c) {
+        const float* plane = img + static_cast<size_t>(c) * h * w;
+        for (int oy = 0; oy < oh; ++oy) {
+          for (int ox = 0; ox < ow; ++ox) {
+            float best = -std::numeric_limits<float>::infinity();
+            int best_idx = 0;
+            for (int ky = 0; ky < kernel; ++ky) {
+              for (int kx = 0; kx < kernel; ++kx) {
+                const int iy = oy * stride + ky;
+                const int ix = ox * stride + kx;
+                const float v = plane[iy * w + ix];
+                if (v > best) {
+                  best = v;
+                  best_idx = c * h * w + iy * w + ix;
+                }
               }
             }
+            const int o = (c * oh + oy) * ow + ox;
+            dst[o] = best;
+            am[o] = best_idx;
           }
-          const int o = (c * oh + oy) * ow + ox;
-          dst[o] = best;
-          am[o] = best_idx;
         }
       }
     }
-  }
+  });
 
   VarPtr xv = x;
   const int out_cols = channels * oh * ow;
@@ -177,13 +222,16 @@ VarPtr MaxPool2d(const VarPtr& x, int channels, int h, int w, int kernel,
       [xv, argmax, out_cols](Variable* self) {
         if (!xv->requires_grad) return;
         Tensor& gx = xv->EnsureGrad();
-        for (int i = 0; i < self->grad.rows(); ++i) {
-          const float* g = self->grad.row(i);
-          const int* am =
-              argmax->data() + static_cast<size_t>(i) * out_cols;
-          float* dst = gx.row(i);
-          for (int o = 0; o < out_cols; ++o) dst[am[o]] += g[o];
-        }
+        ParallelFor(0, self->grad.rows(), kConvImageGrain,
+                    [&](int64_t i0, int64_t i1) {
+                      for (int64_t i = i0; i < i1; ++i) {
+                        const float* g = self->grad.row(static_cast<int>(i));
+                        const int* am =
+                            argmax->data() + static_cast<size_t>(i) * out_cols;
+                        float* dst = gx.row(static_cast<int>(i));
+                        for (int o = 0; o < out_cols; ++o) dst[am[o]] += g[o];
+                      }
+                    });
       },
       "max_pool2d");
 }
@@ -193,16 +241,18 @@ VarPtr GlobalAvgPool(const VarPtr& x, int channels, int h, int w) {
   const int n = x->rows();
   const int plane = h * w;
   Tensor out(n, channels);
-  for (int i = 0; i < n; ++i) {
-    const float* img = x->value.row(i);
-    float* dst = out.row(i);
-    for (int c = 0; c < channels; ++c) {
-      const float* p = img + static_cast<size_t>(c) * plane;
-      float acc = 0.0f;
-      for (int q = 0; q < plane; ++q) acc += p[q];
-      dst[c] = acc / static_cast<float>(plane);
+  ParallelFor(0, n, kConvImageGrain, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      const float* img = x->value.row(static_cast<int>(i));
+      float* dst = out.row(static_cast<int>(i));
+      for (int c = 0; c < channels; ++c) {
+        const float* p = img + static_cast<size_t>(c) * plane;
+        float acc = 0.0f;
+        for (int q = 0; q < plane; ++q) acc += p[q];
+        dst[c] = acc / static_cast<float>(plane);
+      }
     }
-  }
+  });
   VarPtr xv = x;
   return MakeOp(
       std::move(out), {x},
@@ -210,15 +260,18 @@ VarPtr GlobalAvgPool(const VarPtr& x, int channels, int h, int w) {
         if (!xv->requires_grad) return;
         Tensor& gx = xv->EnsureGrad();
         const float inv = 1.0f / static_cast<float>(plane);
-        for (int i = 0; i < self->grad.rows(); ++i) {
-          const float* g = self->grad.row(i);
-          float* dst = gx.row(i);
-          for (int c = 0; c < channels; ++c) {
-            const float gv = g[c] * inv;
-            float* p = dst + static_cast<size_t>(c) * plane;
-            for (int q = 0; q < plane; ++q) p[q] += gv;
-          }
-        }
+        ParallelFor(0, self->grad.rows(), kConvImageGrain,
+                    [&](int64_t i0, int64_t i1) {
+                      for (int64_t i = i0; i < i1; ++i) {
+                        const float* g = self->grad.row(static_cast<int>(i));
+                        float* dst = gx.row(static_cast<int>(i));
+                        for (int c = 0; c < channels; ++c) {
+                          const float gv = g[c] * inv;
+                          float* p = dst + static_cast<size_t>(c) * plane;
+                          for (int q = 0; q < plane; ++q) p[q] += gv;
+                        }
+                      }
+                    });
       },
       "global_avg_pool");
 }

@@ -1,26 +1,80 @@
 #include <cmath>
+#include <memory>
+#include <vector>
 
 #include "autograd/ops.h"
 #include "tensor/tensor_ops.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace uv::ag {
+namespace {
+
+// Segments (CSR rows) per parallel chunk. Chunk boundaries depend only on
+// these constants and the problem size, so outputs are identical for every
+// UV_THREADS value; all chunk bodies below write disjoint rows/elements.
+constexpr int64_t kSegmentGrain = 64;
+constexpr int64_t kRowGrain = 256;
+
+// Inverse of a scatter map: for each destination row, the ascending list
+// of source rows that write to it. Lets the backward scatters run
+// partitioned by destination (race-free) while keeping the per-destination
+// accumulation order identical to the serial ascending-source walk.
+struct DestIndex {
+  std::vector<int> offsets;  // num_destinations + 1
+  std::vector<int> sources;  // ascending within each destination
+};
+
+DestIndex BuildDestIndex(const std::vector<int>& dest_of_source,
+                         int num_destinations) {
+  DestIndex index;
+  index.offsets.assign(num_destinations + 1, 0);
+  for (const int d : dest_of_source) {
+    if (d >= 0) ++index.offsets[d + 1];
+  }
+  for (int d = 0; d < num_destinations; ++d) {
+    index.offsets[d + 1] += index.offsets[d];
+  }
+  index.sources.resize(index.offsets.back());
+  std::vector<int> cursor(index.offsets.begin(), index.offsets.end() - 1);
+  for (size_t s = 0; s < dest_of_source.size(); ++s) {
+    const int d = dest_of_source[s];
+    if (d >= 0) index.sources[cursor[d]++] = static_cast<int>(s);
+  }
+  return index;
+}
+
+}  // namespace
 
 VarPtr GatherRows(const VarPtr& x,
                   const std::shared_ptr<const std::vector<int>>& indices) {
   Tensor out = uv::GatherRows(x->value, *indices);
   VarPtr xv = x;
+  // The backward scatter can hit the same source row from many gathered
+  // rows; partition it by destination so workers never share a row. The
+  // inverse index is built once per op node.
+  std::shared_ptr<const DestIndex> dest =
+      xv->requires_grad
+          ? std::make_shared<const DestIndex>(
+                BuildDestIndex(*indices, x->rows()))
+          : nullptr;
   return MakeOp(
       std::move(out), {x},
-      [xv, indices](Variable* self) {
+      [xv, dest](Variable* self) {
         if (!xv->requires_grad) return;
         Tensor& gx = xv->EnsureGrad();
-        const auto& idx = *indices;
-        for (size_t e = 0; e < idx.size(); ++e) {
-          const float* g = self->grad.row(static_cast<int>(e));
-          float* dst = gx.row(idx[e]);
-          for (int c = 0; c < self->grad.cols(); ++c) dst[c] += g[c];
-        }
+        const int cols = self->grad.cols();
+        ParallelFor(0, gx.rows(), kRowGrain, [&](int64_t r0, int64_t r1) {
+          for (int64_t r = r0; r < r1; ++r) {
+            float* dst = gx.row(static_cast<int>(r));
+            const int lo = dest->offsets[r];
+            const int hi = dest->offsets[r + 1];
+            for (int s = lo; s < hi; ++s) {
+              const float* g = self->grad.row(dest->sources[s]);
+              for (int c = 0; c < cols; ++c) dst[c] += g[c];
+            }
+          }
+        });
       },
       "gather_rows");
 }
@@ -35,19 +89,21 @@ VarPtr SegmentSoftmax(const VarPtr& scores,
   Tensor out(scores->rows(), 1);
   const float* s = scores->value.data();
   float* o = out.data();
-  for (int i = 0; i < num_segments; ++i) {
-    const int lo = off[i], hi = off[i + 1];
-    if (lo == hi) continue;
-    float mx = -1e30f;
-    for (int e = lo; e < hi; ++e) mx = std::max(mx, s[e]);
-    double total = 0.0;
-    for (int e = lo; e < hi; ++e) {
-      o[e] = std::exp(s[e] - mx);
-      total += o[e];
+  ParallelFor(0, num_segments, kSegmentGrain, [&](int64_t s0, int64_t s1) {
+    for (int64_t i = s0; i < s1; ++i) {
+      const int lo = off[i], hi = off[i + 1];
+      if (lo == hi) continue;
+      float mx = -1e30f;
+      for (int e = lo; e < hi; ++e) mx = std::max(mx, s[e]);
+      double total = 0.0;
+      for (int e = lo; e < hi; ++e) {
+        o[e] = std::exp(s[e] - mx);
+        total += o[e];
+      }
+      const float inv = total > 0.0 ? static_cast<float>(1.0 / total) : 0.0f;
+      for (int e = lo; e < hi; ++e) o[e] *= inv;
     }
-    const float inv = total > 0.0 ? static_cast<float>(1.0 / total) : 0.0f;
-    for (int e = lo; e < hi; ++e) o[e] *= inv;
-  }
+  });
 
   VarPtr sv = scores;
   Tensor soft = out;
@@ -56,16 +112,22 @@ VarPtr SegmentSoftmax(const VarPtr& scores,
       [sv, offsets, soft = std::move(soft)](Variable* self) {
         if (!sv->requires_grad) return;
         const auto& off = *offsets;
+        const int num_segments = static_cast<int>(off.size()) - 1;
         Tensor gs(soft.rows(), 1);
         const float* p = soft.data();
         const float* g = self->grad.data();
         float* gd = gs.data();
-        for (size_t i = 0; i + 1 < off.size(); ++i) {
-          const int lo = off[i], hi = off[i + 1];
-          float dot = 0.0f;
-          for (int e = lo; e < hi; ++e) dot += p[e] * g[e];
-          for (int e = lo; e < hi; ++e) gd[e] = p[e] * (g[e] - dot);
-        }
+        ParallelFor(0, num_segments, kSegmentGrain,
+                    [&](int64_t s0, int64_t s1) {
+                      for (int64_t i = s0; i < s1; ++i) {
+                        const int lo = off[i], hi = off[i + 1];
+                        float dot = 0.0f;
+                        for (int e = lo; e < hi; ++e) dot += p[e] * g[e];
+                        for (int e = lo; e < hi; ++e) {
+                          gd[e] = p[e] * (g[e] - dot);
+                        }
+                      }
+                    });
         sv->AccumGrad(gs);
       },
       "segment_softmax");
@@ -83,40 +145,49 @@ VarPtr SegmentWeightedSum(
 
   Tensor out(num_segments, d);
   const float* a = alpha->value.data();
-  for (int i = 0; i < num_segments; ++i) {
-    float* dst = out.row(i);
-    for (int e = off[i]; e < off[i + 1]; ++e) {
-      const float w = a[e];
-      const float* f = feats->value.row(e);
-      for (int c = 0; c < d; ++c) dst[c] += w * f[c];
+  ParallelFor(0, num_segments, kSegmentGrain, [&](int64_t s0, int64_t s1) {
+    for (int64_t i = s0; i < s1; ++i) {
+      float* dst = out.row(static_cast<int>(i));
+      for (int e = off[i]; e < off[i + 1]; ++e) {
+        const float w = a[e];
+        const float* f = feats->value.row(e);
+        for (int c = 0; c < d; ++c) dst[c] += w * f[c];
+      }
     }
-  }
+  });
 
   VarPtr av = alpha, fv = feats;
   return MakeOp(
       std::move(out), {alpha, feats},
       [av, fv, offsets, d](Variable* self) {
         const auto& off = *offsets;
+        const int num_segments = static_cast<int>(off.size()) - 1;
         const bool need_a = av->requires_grad;
         const bool need_f = fv->requires_grad;
         Tensor* ga = need_a ? &av->EnsureGrad() : nullptr;
         Tensor* gf = need_f ? &fv->EnsureGrad() : nullptr;
-        for (size_t i = 0; i + 1 < off.size(); ++i) {
-          const float* gout = self->grad.row(static_cast<int>(i));
-          for (int e = off[i]; e < off[i + 1]; ++e) {
-            const float* f = fv->value.row(e);
-            if (need_a) {
-              float acc = 0.0f;
-              for (int c = 0; c < d; ++c) acc += gout[c] * f[c];
-              ga->at(e, 0) += acc;
-            }
-            if (need_f) {
-              const float w = av->value.at(e, 0);
-              float* gfe = gf->row(e);
-              for (int c = 0; c < d; ++c) gfe[c] += w * gout[c];
-            }
-          }
-        }
+        // Each edge e belongs to exactly one segment, so ga rows and gf
+        // rows touched by different segments are disjoint.
+        ParallelFor(0, num_segments, kSegmentGrain,
+                    [&](int64_t s0, int64_t s1) {
+                      for (int64_t i = s0; i < s1; ++i) {
+                        const float* gout =
+                            self->grad.row(static_cast<int>(i));
+                        for (int e = off[i]; e < off[i + 1]; ++e) {
+                          const float* f = fv->value.row(e);
+                          if (need_a) {
+                            float acc = 0.0f;
+                            for (int c = 0; c < d; ++c) acc += gout[c] * f[c];
+                            ga->at(e, 0) += acc;
+                          }
+                          if (need_f) {
+                            const float w = av->value.at(e, 0);
+                            float* gfe = gf->row(e);
+                            for (int c = 0; c < d; ++c) gfe[c] += w * gout[c];
+                          }
+                        }
+                      }
+                    });
       },
       "segment_weighted_sum");
 }
@@ -126,16 +197,28 @@ VarPtr SegmentSumByIds(const VarPtr& x,
                        int num_segments) {
   UV_CHECK_EQ(static_cast<long long>(seg_ids->size()),
               static_cast<long long>(x->rows()));
-  Tensor out(num_segments, x->cols());
   const auto& ids = *seg_ids;
   for (int r = 0; r < x->rows(); ++r) {
-    const int k = ids[r];
-    if (k < 0) continue;
-    UV_CHECK_LT(k, num_segments);
-    const float* src = x->value.row(r);
-    float* dst = out.row(k);
-    for (int c = 0; c < x->cols(); ++c) dst[c] += src[c];
+    if (ids[r] >= 0) UV_CHECK_LT(ids[r], num_segments);
   }
+  // Forward is a scatter-sum keyed by ids; run it partitioned by
+  // destination segment. Source rows are visited in ascending order per
+  // segment, matching the serial scatter's accumulation order exactly.
+  const auto dest = std::make_shared<const DestIndex>(
+      BuildDestIndex(ids, num_segments));
+  Tensor out(num_segments, x->cols());
+  const int cols = x->cols();
+  ParallelFor(0, num_segments, kSegmentGrain, [&](int64_t k0, int64_t k1) {
+    for (int64_t k = k0; k < k1; ++k) {
+      float* dst = out.row(static_cast<int>(k));
+      const int lo = dest->offsets[k];
+      const int hi = dest->offsets[k + 1];
+      for (int s = lo; s < hi; ++s) {
+        const float* src = x->value.row(dest->sources[s]);
+        for (int c = 0; c < cols; ++c) dst[c] += src[c];
+      }
+    }
+  });
   VarPtr xv = x;
   return MakeOp(
       std::move(out), {x},
@@ -143,13 +226,15 @@ VarPtr SegmentSumByIds(const VarPtr& x,
         if (!xv->requires_grad) return;
         Tensor& gx = xv->EnsureGrad();
         const auto& ids = *seg_ids;
-        for (int r = 0; r < gx.rows(); ++r) {
-          const int k = ids[r];
-          if (k < 0) continue;
-          const float* g = self->grad.row(k);
-          float* dst = gx.row(r);
-          for (int c = 0; c < gx.cols(); ++c) dst[c] += g[c];
-        }
+        ParallelFor(0, gx.rows(), kRowGrain, [&](int64_t r0, int64_t r1) {
+          for (int64_t r = r0; r < r1; ++r) {
+            const int k = ids[r];
+            if (k < 0) continue;
+            const float* g = self->grad.row(k);
+            float* dst = gx.row(static_cast<int>(r));
+            for (int c = 0; c < gx.cols(); ++c) dst[c] += g[c];
+          }
+        });
       },
       "segment_sum_by_ids");
 }

@@ -1,56 +1,110 @@
 #include "eval/runner.h"
 
+#include <vector>
+
 #include "util/logging.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace uv::eval {
+namespace {
+
+// One (run, fold) unit of work, fully materialized before any training
+// starts so the shared split RNG is consumed in a fixed serial order.
+struct FoldJob {
+  int run = 0;
+  int fold = 0;
+  uint64_t detector_seed = 0;
+  std::vector<int> train_ids;
+  std::vector<int> train_labels;
+  std::vector<int> test_ids;
+  std::vector<int> test_labels;
+};
+
+struct FoldResult {
+  DetectionMetrics metrics;
+  double train_seconds_per_epoch = 0.0;
+  double inference_seconds = 0.0;
+  int64_t num_parameters = 0;
+};
+
+}  // namespace
 
 RunStats RunCrossValidation(const urg::UrbanRegionGraph& urg,
                             const DetectorFactory& factory,
                             const RunnerOptions& options) {
-  std::vector<double> aucs, r3, p3, f3, r5, p5, f5;
-  double train_time = 0.0, infer_time = 0.0;
-  int64_t params = 0;
-  int measured = 0;
-
   const std::vector<int> labeled = urg.LabeledIds();
+
+  // Phase 1 (serial): draw every split and label mask.
+  std::vector<FoldJob> jobs;
   for (int run = 0; run < options.num_runs; ++run) {
     Rng rng(options.seed + 7919ull * run);
     const auto folds = BlockKFold(urg.grid, labeled, options.num_folds,
                                   options.block_size, &rng);
     for (size_t f = 0; f < folds.size(); ++f) {
-      std::vector<int> train_ids = folds[f].train_ids;
+      FoldJob job;
+      job.run = run;
+      job.fold = static_cast<int>(f);
+      job.detector_seed = options.seed + 104729ull * run + 31ull * f;
+      job.train_ids = folds[f].train_ids;
       if (options.label_ratio < 1.0) {
-        train_ids =
-            MaskLabeledRatio(train_ids, urg.labels, options.label_ratio, &rng);
+        job.train_ids = MaskLabeledRatio(job.train_ids, urg.labels,
+                                         options.label_ratio, &rng);
       }
-      std::vector<int> train_labels(train_ids.size());
-      for (size_t i = 0; i < train_ids.size(); ++i) {
-        train_labels[i] = urg.labels[train_ids[i]];
+      job.train_labels.resize(job.train_ids.size());
+      for (size_t i = 0; i < job.train_ids.size(); ++i) {
+        job.train_labels[i] = urg.labels[job.train_ids[i]];
       }
-      std::vector<int> test_labels(folds[f].test_ids.size());
-      for (size_t i = 0; i < folds[f].test_ids.size(); ++i) {
-        test_labels[i] = urg.labels[folds[f].test_ids[i]];
+      job.test_ids = folds[f].test_ids;
+      job.test_labels.resize(job.test_ids.size());
+      for (size_t i = 0; i < job.test_ids.size(); ++i) {
+        job.test_labels[i] = urg.labels[job.test_ids[i]];
       }
-
-      auto detector = factory(options.seed + 104729ull * run + 31ull * f);
-      detector->Train(urg, train_ids, train_labels);
-      const std::vector<float> scores =
-          detector->Score(urg, folds[f].test_ids);
-      const DetectionMetrics m = ComputeDetectionMetrics(scores, test_labels);
-      aucs.push_back(m.auc);
-      r3.push_back(m.at3.recall);
-      p3.push_back(m.at3.precision);
-      f3.push_back(m.at3.f1);
-      r5.push_back(m.at5.recall);
-      p5.push_back(m.at5.precision);
-      f5.push_back(m.at5.f1);
-      train_time += detector->TrainSecondsPerEpoch();
-      infer_time += detector->LastInferenceSeconds();
-      params = detector->NumParameters();
-      ++measured;
-      UV_LOG_DEBUG("run %d fold %zu: auc=%.3f r3=%.3f p3=%.3f", run, f, m.auc,
-                   m.at3.recall, m.at3.precision);
+      jobs.push_back(std::move(job));
     }
+  }
+
+  // Phase 2 (parallel): each job trains its own freshly seeded detector
+  // and writes into its preallocated slot; nothing is shared across jobs.
+  std::vector<FoldResult> results(jobs.size());
+  WallTimer wall;
+  ParallelFor(0, static_cast<int64_t>(jobs.size()), 1,
+              [&](int64_t j0, int64_t j1) {
+                for (int64_t j = j0; j < j1; ++j) {
+                  const FoldJob& job = jobs[j];
+                  auto detector = factory(job.detector_seed);
+                  detector->Train(urg, job.train_ids, job.train_labels);
+                  const std::vector<float> scores =
+                      detector->Score(urg, job.test_ids);
+                  FoldResult& r = results[j];
+                  r.metrics =
+                      ComputeDetectionMetrics(scores, job.test_labels);
+                  r.train_seconds_per_epoch = detector->TrainSecondsPerEpoch();
+                  r.inference_seconds = detector->LastInferenceSeconds();
+                  r.num_parameters = detector->NumParameters();
+                }
+              });
+  const double wall_seconds = wall.Seconds();
+
+  // Phase 3 (serial): aggregate in job order, independent of which worker
+  // finished when.
+  std::vector<double> aucs, r3, p3, f3, r5, p5, f5;
+  double train_time = 0.0, infer_time = 0.0;
+  int measured = 0;
+  for (size_t j = 0; j < results.size(); ++j) {
+    const DetectionMetrics& m = results[j].metrics;
+    aucs.push_back(m.auc);
+    r3.push_back(m.at3.recall);
+    p3.push_back(m.at3.precision);
+    f3.push_back(m.at3.f1);
+    r5.push_back(m.at5.recall);
+    p5.push_back(m.at5.precision);
+    f5.push_back(m.at5.f1);
+    train_time += results[j].train_seconds_per_epoch;
+    infer_time += results[j].inference_seconds;
+    ++measured;
+    UV_LOG_DEBUG("run %d fold %d: auc=%.3f r3=%.3f p3=%.3f", jobs[j].run,
+                 jobs[j].fold, m.auc, m.at3.recall, m.at3.precision);
   }
 
   RunStats stats;
@@ -64,8 +118,11 @@ RunStats RunCrossValidation(const urg::UrbanRegionGraph& urg,
   if (measured > 0) {
     stats.train_seconds_per_epoch = train_time / measured;
     stats.inference_seconds = infer_time / measured;
+    // Every fold builds the same architecture; count one detector, not
+    // the last fold's by accident.
+    stats.num_parameters = results.front().num_parameters;
   }
-  stats.num_parameters = params;
+  stats.wall_seconds = wall_seconds;
   return stats;
 }
 

@@ -28,14 +28,26 @@ struct RunStats {
   MeanStd auc;
   MeanStd recall3, precision3, f13;
   MeanStd recall5, precision5, f15;
+  // Mean per-detector timings over all measured (run, fold) pairs.
   double train_seconds_per_epoch = 0.0;
   double inference_seconds = 0.0;
+  // End-to-end wall clock of the whole cross-validation, which with
+  // fold-level parallelism can be far below the summed per-detector time.
+  double wall_seconds = 0.0;
+  // Parameter count of one detector (identical across folds; counted once).
   int64_t num_parameters = 0;
 };
 
 // Runs the paper's evaluation protocol: block-level k-fold CV repeated
 // num_runs times; metrics are computed on each test fold and aggregated
 // over all (run, fold) pairs.
+//
+// (run, fold) jobs execute in parallel on the UV_THREADS pool: every job
+// gets an independently seeded detector, the fold splits are drawn
+// serially beforehand (so RNG consumption order never depends on the
+// thread count), and per-fold metrics land in a preallocated slot vector
+// that is aggregated in job order — results are identical for any
+// UV_THREADS value.
 RunStats RunCrossValidation(const urg::UrbanRegionGraph& urg,
                             const DetectorFactory& factory,
                             const RunnerOptions& options);

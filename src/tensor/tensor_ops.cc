@@ -3,7 +3,44 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/thread_pool.h"
+
 namespace uv {
+namespace {
+
+// Parallelization thresholds. Below these the dispatch overhead of waking
+// the pool exceeds the work; the cutoffs only select serial-vs-parallel
+// execution and never change per-element accumulation order, so results
+// are bit-identical either way.
+constexpr int64_t kGemmFlopThreshold = 1 << 16;
+constexpr int64_t kElementwiseThreshold = 1 << 15;
+constexpr int64_t kElementwiseGrain = 1 << 14;
+
+// Cache blocking for the no-transpose kernel: the K dimension is tiled so
+// a panel of B rows stays resident while a chunk of A/C rows streams over
+// it. The k-accumulation order per output element (p ascending) is
+// unchanged by the tiling.
+constexpr int kGemmKc = 256;
+constexpr int kGemmRowGrain = 32;
+
+// C[i0:i1) += alpha * A[i0:i1) * B with A m x k, B k x n, all row-major.
+void GemmNNRows(int i0, int i1, int k, int n, float alpha, const float* ad,
+                const float* bd, float* cd) {
+  for (int pc = 0; pc < k; pc += kGemmKc) {
+    const int pe = std::min(k, pc + kGemmKc);
+    for (int i = i0; i < i1; ++i) {
+      const float* arow = ad + static_cast<size_t>(i) * k;
+      float* crow = cd + static_cast<size_t>(i) * n;
+      for (int p = pc; p < pe; ++p) {
+        const float av = alpha * arow[p];
+        const float* brow = bd + static_cast<size_t>(p) * n;
+        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+}  // namespace
 
 void Gemm(bool transpose_a, bool transpose_b, float alpha, const Tensor& a,
           const Tensor& b, float beta, Tensor* c) {
@@ -25,41 +62,51 @@ void Gemm(bool transpose_a, bool transpose_b, float alpha, const Tensor& a,
   float* cd = c->data();
   const float* ad = a.data();
   const float* bd = b.data();
+  const bool parallel =
+      static_cast<int64_t>(m) * n * k >= kGemmFlopThreshold;
   if (!transpose_a && !transpose_b) {
-    // ikj loop order: streams B and C rows for cache friendliness.
-    for (int i = 0; i < m; ++i) {
-      const float* arow = ad + static_cast<size_t>(i) * k;
-      float* crow = cd + static_cast<size_t>(i) * n;
-      for (int p = 0; p < k; ++p) {
-        const float av = alpha * arow[p];
-        if (av == 0.0f) continue;
-        const float* brow = bd + static_cast<size_t>(p) * n;
-        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
+    if (parallel) {
+      ParallelFor(0, m, kGemmRowGrain, [&](int64_t i0, int64_t i1) {
+        GemmNNRows(static_cast<int>(i0), static_cast<int>(i1), k, n, alpha,
+                   ad, bd, cd);
+      });
+    } else {
+      GemmNNRows(0, m, k, n, alpha, ad, bd, cd);
     }
   } else if (transpose_a && !transpose_b) {
-    // A is k x m stored row-major; A^T(i,p) = A(p,i).
-    for (int p = 0; p < k; ++p) {
-      const float* arow = ad + static_cast<size_t>(p) * m;
-      const float* brow = bd + static_cast<size_t>(p) * n;
-      for (int i = 0; i < m; ++i) {
-        const float av = alpha * arow[i];
-        if (av == 0.0f) continue;
-        float* crow = cd + static_cast<size_t>(i) * n;
-        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
+    // A is k x m stored row-major; A^T(i,p) = A(p,i). Materializing the
+    // contiguous transpose lets the blocked kernel stream A rows; the
+    // per-element accumulation order (p ascending) matches the direct
+    // strided walk exactly.
+    const Tensor at = Transpose(a);
+    const float* atd = at.data();
+    if (parallel) {
+      ParallelFor(0, m, kGemmRowGrain, [&](int64_t i0, int64_t i1) {
+        GemmNNRows(static_cast<int>(i0), static_cast<int>(i1), k, n, alpha,
+                   atd, bd, cd);
+      });
+    } else {
+      GemmNNRows(0, m, k, n, alpha, atd, bd, cd);
     }
   } else if (!transpose_a && transpose_b) {
-    // B is n x k stored row-major; B^T(p,j) = B(j,p): dot products.
-    for (int i = 0; i < m; ++i) {
-      const float* arow = ad + static_cast<size_t>(i) * k;
-      float* crow = cd + static_cast<size_t>(i) * n;
-      for (int j = 0; j < n; ++j) {
-        const float* brow = bd + static_cast<size_t>(j) * k;
-        float acc = 0.0f;
-        for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
-        crow[j] += alpha * acc;
+    // B is n x k stored row-major; B^T(p,j) = B(j,p): dot products over
+    // two contiguous rows — already vector-friendly, parallel over rows.
+    auto rows = [&](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) {
+        const float* arow = ad + static_cast<size_t>(i) * k;
+        float* crow = cd + static_cast<size_t>(i) * n;
+        for (int j = 0; j < n; ++j) {
+          const float* brow = bd + static_cast<size_t>(j) * k;
+          float acc = 0.0f;
+          for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
+          crow[j] += alpha * acc;
+        }
       }
+    };
+    if (parallel) {
+      ParallelFor(0, m, kGemmRowGrain, rows);
+    } else {
+      rows(0, m);
     }
   } else {
     for (int i = 0; i < m; ++i) {
@@ -83,6 +130,12 @@ void Axpy(float alpha, const Tensor& x, Tensor* y) {
   UV_CHECK(x.SameShape(*y));
   float* yd = y->data();
   const float* xd = x.data();
+  if (x.size() >= kElementwiseThreshold) {
+    ParallelFor(0, x.size(), kElementwiseGrain, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) yd[i] += alpha * xd[i];
+    });
+    return;
+  }
   for (int64_t i = 0; i < x.size(); ++i) yd[i] += alpha * xd[i];
 }
 
@@ -106,6 +159,12 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
   const float* ad = a.data();
   const float* bd = b.data();
   float* od = out.data();
+  if (a.size() >= kElementwiseThreshold) {
+    ParallelFor(0, a.size(), kElementwiseGrain, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) od[i] = ad[i] * bd[i];
+    });
+    return out;
+  }
   for (int64_t i = 0; i < a.size(); ++i) od[i] = ad[i] * bd[i];
   return out;
 }
@@ -113,6 +172,12 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
 Tensor Scale(const Tensor& a, float s) {
   Tensor out = a;
   float* od = out.data();
+  if (out.size() >= kElementwiseThreshold) {
+    ParallelFor(0, out.size(), kElementwiseGrain, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) od[i] *= s;
+    });
+    return out;
+  }
   for (int64_t i = 0; i < out.size(); ++i) od[i] *= s;
   return out;
 }
@@ -129,9 +194,18 @@ void AddRowVectorInPlace(const Tensor& row_vec, Tensor* a) {
 
 Tensor Transpose(const Tensor& a) {
   Tensor out(a.cols(), a.rows());
-  for (int r = 0; r < a.rows(); ++r) {
-    const float* arow = a.row(r);
-    for (int c = 0; c < a.cols(); ++c) out.at(c, r) = arow[c];
+  auto rows = [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const float* arow = a.row(static_cast<int>(r));
+      for (int c = 0; c < a.cols(); ++c) out.at(c, static_cast<int>(r)) = arow[c];
+    }
+  };
+  if (a.size() >= kElementwiseThreshold && a.rows() > 1) {
+    const int64_t grain =
+        std::max<int64_t>(1, kElementwiseGrain / std::max(1, a.cols()));
+    ParallelFor(0, a.rows(), grain, rows);
+  } else {
+    rows(0, a.rows());
   }
   return out;
 }

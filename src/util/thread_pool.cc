@@ -1,0 +1,185 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+
+#include "util/check.h"
+
+namespace uv {
+namespace {
+
+// Depth of parallel-region execution on this thread. Non-zero both on pool
+// workers running a chunk and on the submitting thread while it
+// participates, so nested ParallelFor calls from either side run inline.
+thread_local int tls_region_depth = 0;
+
+struct RegionScope {
+  RegionScope() { ++tls_region_depth; }
+  ~RegionScope() { --tls_region_depth; }
+};
+
+std::mutex g_global_mu;
+std::unique_ptr<ThreadPool> g_global_pool;  // NOLINT: intentional singleton
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  UV_CHECK_GE(num_threads, 1);
+  workers_.reserve(num_threads - 1);
+  for (int i = 0; i < num_threads - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+bool ThreadPool::InParallelRegion() { return tls_region_depth > 0; }
+
+void ThreadPool::RunChunksInline(int64_t num_chunks,
+                                 const std::function<void(int64_t)>& fn) {
+  RegionScope scope;
+  for (int64_t c = 0; c < num_chunks; ++c) fn(c);
+}
+
+void ThreadPool::RunChunks(int64_t num_chunks,
+                           const std::function<void(int64_t)>& fn) {
+  if (num_chunks <= 0) return;
+  // Nested submission (a kernel inside a fold job, a fold job inside an
+  // outer region, ...) runs inline: the outer region already owns the
+  // workers, and inline execution preserves the fixed chunk layout.
+  if (workers_.empty() || num_chunks == 1 || InParallelRegion()) {
+    RunChunksInline(num_chunks, fn);
+    return;
+  }
+
+  std::lock_guard<std::mutex> submit_lock(submit_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    num_chunks_ = num_chunks;
+    next_chunk_ = 0;
+    claimed_chunks_ = 0;
+    done_chunks_ = 0;
+    chunk_fn_ = &fn;
+    first_error_ = nullptr;
+  }
+  work_cv_.notify_all();
+
+  // The submitting thread claims chunks alongside the workers.
+  {
+    RegionScope scope;
+    for (;;) {
+      int64_t c;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (next_chunk_ >= num_chunks_) break;
+        c = next_chunk_++;
+        ++claimed_chunks_;
+      }
+      try {
+        fn(c);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!first_error_) first_error_ = std::current_exception();
+        next_chunk_ = num_chunks_;  // Drop unclaimed chunks.
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      ++done_chunks_;
+    }
+  }
+
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] {
+      return next_chunk_ >= num_chunks_ && done_chunks_ == claimed_chunks_;
+    });
+    chunk_fn_ = nullptr;
+    err = first_error_;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    const std::function<void(int64_t)>* fn = nullptr;
+    int64_t c = -1;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ ||
+               (chunk_fn_ != nullptr && next_chunk_ < num_chunks_);
+      });
+      if (shutdown_) return;
+      fn = chunk_fn_;
+      c = next_chunk_++;
+      ++claimed_chunks_;
+    }
+    {
+      RegionScope scope;
+      try {
+        (*fn)(c);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!first_error_) first_error_ = std::current_exception();
+        next_chunk_ = num_chunks_;
+      }
+    }
+    bool drained = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++done_chunks_;
+      drained = next_chunk_ >= num_chunks_ && done_chunks_ == claimed_chunks_;
+    }
+    if (drained) done_cv_.notify_all();
+  }
+}
+
+int ThreadPool::NumThreadsFromEnv() {
+  if (const char* v = std::getenv("UV_THREADS")) {
+    const int n = std::atoi(v);
+    if (n >= 1) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool& ThreadPool::Global() {
+  std::lock_guard<std::mutex> lock(g_global_mu);
+  if (!g_global_pool) {
+    g_global_pool = std::make_unique<ThreadPool>(NumThreadsFromEnv());
+  }
+  return *g_global_pool;
+}
+
+void ThreadPool::SetGlobalThreads(int num_threads) {
+  UV_CHECK_GE(num_threads, 1);
+  std::lock_guard<std::mutex> lock(g_global_mu);
+  g_global_pool = std::make_unique<ThreadPool>(num_threads);
+}
+
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn) {
+  if (end <= begin) return;
+  UV_CHECK_GE(grain, 1);
+  const int64_t total = end - begin;
+  const int64_t num_chunks = (total + grain - 1) / grain;
+  if (num_chunks == 1) {
+    fn(begin, end);
+    return;
+  }
+  ThreadPool::Global().RunChunks(num_chunks, [&](int64_t c) {
+    const int64_t lo = begin + c * grain;
+    const int64_t hi = std::min<int64_t>(end, lo + grain);
+    fn(lo, hi);
+  });
+}
+
+}  // namespace uv

@@ -1,0 +1,88 @@
+#ifndef UV_UTIL_THREAD_POOL_H_
+#define UV_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace uv {
+
+// Persistent worker pool behind every parallel kernel in the library.
+//
+// Determinism contract: work is split into chunks whose boundaries depend
+// only on the problem size and the caller's grain — never on the thread
+// count. Any worker may execute any chunk, so chunk bodies must write to
+// disjoint data; reductions are done by the caller in chunk-index order.
+// Under that discipline results are bit-identical for every UV_THREADS
+// value (UV_THREADS=1 simply executes the same chunks in order on the
+// calling thread).
+class ThreadPool {
+ public:
+  // Spawns num_threads - 1 workers; the submitting thread is the Nth.
+  explicit ThreadPool(int num_threads);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ~ThreadPool();
+
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  // Runs fn(chunk) for every chunk in [0, num_chunks); blocks until all
+  // chunks finish. The calling thread participates. Safe to call from
+  // inside a running chunk (the nested call executes inline, so kernels
+  // freely compose with fold-level parallelism without deadlock). The
+  // first exception thrown by a chunk is rethrown on the calling thread
+  // after the region drains.
+  void RunChunks(int64_t num_chunks, const std::function<void(int64_t)>& fn);
+
+  // True while the current thread is executing a chunk (worker or caller).
+  static bool InParallelRegion();
+
+  // Process-wide pool, sized by UV_THREADS on first use (default:
+  // std::thread::hardware_concurrency()).
+  static ThreadPool& Global();
+
+  // Re-sizes the global pool; used by the scaling benchmarks and the
+  // determinism tests to compare thread counts inside one process.
+  static void SetGlobalThreads(int num_threads);
+
+  // UV_THREADS if set and positive, else hardware_concurrency (>= 1).
+  static int NumThreadsFromEnv();
+
+ private:
+  void WorkerLoop();
+  void RunChunksInline(int64_t num_chunks,
+                       const std::function<void(int64_t)>& fn);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex submit_mu_;  // Serializes concurrent external submitters.
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // Workers wait here for a new region.
+  std::condition_variable done_cv_;  // The submitter waits here for drain.
+  bool shutdown_ = false;
+
+  // State of the active parallel region, guarded by mu_ for publication;
+  // chunk claiming itself uses next_chunk_ under mu_ (chunks are coarse
+  // enough that the lock is not contended).
+  int64_t num_chunks_ = 0;
+  int64_t next_chunk_ = 0;
+  int64_t claimed_chunks_ = 0;
+  int64_t done_chunks_ = 0;
+  const std::function<void(int64_t)>* chunk_fn_ = nullptr;
+  std::exception_ptr first_error_;
+};
+
+// Splits [begin, end) into ceil((end-begin)/grain) contiguous chunks and
+// runs fn(chunk_begin, chunk_end) for each on the global pool. The chunk
+// layout depends only on (begin, end, grain), so callers get the
+// determinism contract above for free. grain must be >= 1. Ranges smaller
+// than one grain run inline on the calling thread.
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn);
+
+}  // namespace uv
+
+#endif  // UV_UTIL_THREAD_POOL_H_

@@ -1,0 +1,117 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace uv {
+namespace {
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::vector<int> order;
+  pool.RunChunks(5, [&](int64_t c) { order.push_back(static_cast<int>(c)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, RunsEveryChunkExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int kChunks = 1000;
+  std::vector<std::atomic<int>> hits(kChunks);
+  pool.RunChunks(kChunks, [&](int64_t c) { hits[c].fetch_add(1); });
+  for (int c = 0; c < kChunks; ++c) EXPECT_EQ(hits[c].load(), 1) << c;
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossRegions) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int64_t> sum{0};
+    pool.RunChunks(17, [&](int64_t c) { sum.fetch_add(c); });
+    EXPECT_EQ(sum.load(), 17 * 16 / 2);
+  }
+}
+
+TEST(ThreadPoolTest, NestedSubmitRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  pool.RunChunks(8, [&](int64_t outer) {
+    EXPECT_TRUE(ThreadPool::InParallelRegion());
+    // A nested region from inside a chunk must not deadlock; it executes
+    // inline on the current thread.
+    pool.RunChunks(8, [&](int64_t inner) {
+      hits[outer * 8 + inner].fetch_add(1);
+    });
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_FALSE(ThreadPool::InParallelRegion());
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.RunChunks(100,
+                     [&](int64_t c) {
+                       if (c == 37) throw std::runtime_error("chunk failed");
+                     }),
+      std::runtime_error);
+  // The pool stays usable after a failed region.
+  std::atomic<int> ok{0};
+  pool.RunChunks(10, [&](int64_t) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 10);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool::SetGlobalThreads(4);
+  constexpr int64_t kN = 100001;
+  std::vector<std::atomic<int>> hits(kN);
+  ParallelFor(0, kN, 1024, [&](int64_t lo, int64_t hi) {
+    ASSERT_LT(lo, hi);
+    for (int64_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (int64_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelForTest, RespectsNonZeroBegin) {
+  ThreadPool::SetGlobalThreads(4);
+  std::vector<std::atomic<int>> hits(50);
+  ParallelFor(10, 40, 7, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (int64_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(hits[i].load(), (i >= 10 && i < 40) ? 1 : 0) << i;
+  }
+}
+
+TEST(ParallelForTest, EmptyAndTinyRanges) {
+  ThreadPool::SetGlobalThreads(4);
+  int calls = 0;
+  ParallelFor(5, 5, 4, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  ParallelFor(0, 3, 64, [&](int64_t lo, int64_t hi) {
+    EXPECT_EQ(lo, 0);
+    EXPECT_EQ(hi, 3);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, GlobalThreadCountIsAdjustable) {
+  ThreadPool::SetGlobalThreads(2);
+  EXPECT_EQ(ThreadPool::Global().num_threads(), 2);
+  ThreadPool::SetGlobalThreads(1);
+  EXPECT_EQ(ThreadPool::Global().num_threads(), 1);
+  ThreadPool::SetGlobalThreads(4);
+  EXPECT_EQ(ThreadPool::Global().num_threads(), 4);
+}
+
+TEST(ThreadPoolTest, EnvThreadCountFloorsAtOne) {
+  // NumThreadsFromEnv never returns < 1 regardless of the environment.
+  EXPECT_GE(ThreadPool::NumThreadsFromEnv(), 1);
+}
+
+}  // namespace
+}  // namespace uv
