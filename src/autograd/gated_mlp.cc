@@ -31,9 +31,9 @@ VarPtr GatedMlp(const VarPtr& x, const VarPtr& filter, const VarPtr& w1,
   const int off_w2 = off_b1 + d_hidden;
   const int off_b2 = off_w2 + d_hidden;
 
-  Tensor out(n, 1);
+  Tensor out = Tensor::Uninit(n, 1);
   // Cache the hidden activations for the backward pass.
-  Tensor hidden(n, d_hidden);
+  Tensor hidden = Tensor::Uninit(n, d_hidden);
   for (int i = 0; i < n; ++i) {
     const float* xi = x->value.row(i);
     const float* fi = filter->value.row(i);

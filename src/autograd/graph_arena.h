@@ -1,0 +1,53 @@
+#ifndef UV_AUTOGRAD_GRAPH_ARENA_H_
+#define UV_AUTOGRAD_GRAPH_ARENA_H_
+
+#include <cstddef>
+
+#include "util/buffer_pool.h"
+#include "util/check.h"
+
+namespace uv::ag {
+
+// Recycling arena for autograd graph nodes.
+//
+// Every training step builds a fresh graph of identically-shaped Variables
+// and tears it down after the optimizer update. MakeParam/MakeConst/MakeOp
+// route their allocate_shared through this allocator, so each node (the
+// Variable together with its shared_ptr control block — allocate_shared
+// emits one combined allocation) is drawn from the process-wide BufferPool
+// and returned to it when the step's last reference drops. On the
+// steady-state path the same node-sized bucket is handed back and forth
+// with no heap traffic; Variable's value/grad tensors recycle through the
+// pool the same way from ~Tensor. UV_POOL=0 degrades every acquisition to
+// a plain heap allocation, which is the escape hatch used to prove the
+// recycling changes nothing numerically.
+template <typename T>
+struct GraphArena {
+  using value_type = T;
+
+  GraphArena() noexcept = default;
+  template <typename U>
+  GraphArena(const GraphArena<U>&) noexcept {}  // NOLINT(runtime/explicit)
+
+  T* allocate(size_t n) {
+    static_assert(alignof(T) <= alignof(std::max_align_t),
+                  "BufferPool slabs carry fundamental alignment only");
+    return static_cast<T*>(BufferPool::Acquire(n * sizeof(T)));
+  }
+  void deallocate(T* p, size_t n) noexcept {
+    BufferPool::Release(p, n * sizeof(T));
+  }
+
+  template <typename U>
+  bool operator==(const GraphArena<U>&) const noexcept {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const GraphArena<U>&) const noexcept {
+    return false;
+  }
+};
+
+}  // namespace uv::ag
+
+#endif  // UV_AUTOGRAD_GRAPH_ARENA_H_

@@ -80,12 +80,16 @@ VarPtr Conv2d(const VarPtr& x, const VarPtr& w, const VarPtr& b,
   UV_CHECK_GT(ow, 0);
 
   const int n = x->rows();
-  Tensor out(n, spec.out_channels * oh * ow);
-  // Each image is independent and writes its own output row; the im2col /
-  // product scratch is allocated per chunk.
+  Tensor out = Tensor::Uninit(n, spec.out_channels * oh * ow);
+  // Each image is independent and writes its own output row. The im2col /
+  // product scratch persists per worker thread across chunks and steps
+  // (Im2Col and the beta=0 Gemm overwrite every element, so reuse is
+  // deterministic and allocation-free in steady state).
   ParallelFor(0, n, kConvImageGrain, [&](int64_t i0, int64_t i1) {
-    Tensor col(patch, oh * ow);
-    Tensor prod(spec.out_channels, oh * ow);
+    thread_local Tensor col;
+    thread_local Tensor prod;
+    col.ResizeUninit(patch, oh * ow);
+    prod.ResizeUninit(spec.out_channels, oh * ow);
     for (int64_t i = i0; i < i1; ++i) {
       Im2Col(x->value.row(static_cast<int>(i)), spec, &col);
       Gemm(false, false, 1.0f, w->value, col, 0.0f, &prod);
@@ -120,9 +124,14 @@ VarPtr Conv2d(const VarPtr& x, const VarPtr& w, const VarPtr& b,
 
         ParallelFor(0, n, grain, [&](int64_t i0, int64_t i1) {
           const int64_t chunk = i0 / grain;
-          Tensor col(patch, oh * ow);
-          Tensor gout(spec.out_channels, oh * ow);
-          Tensor gcol(patch, oh * ow);
+          // Per-thread persistent scratch: col/gout are fully overwritten
+          // per image, gcol is zero-filled by the beta=0 Gemm below.
+          thread_local Tensor col;
+          thread_local Tensor gout;
+          thread_local Tensor gcol;
+          col.ResizeUninit(patch, oh * ow);
+          gout.ResizeUninit(spec.out_channels, oh * ow);
+          gcol.ResizeUninit(patch, oh * ow);
           Tensor* gw_part = nullptr;
           Tensor* gb_part = nullptr;
           if (gw != nullptr) {
@@ -156,8 +165,7 @@ VarPtr Conv2d(const VarPtr& x, const VarPtr& w, const VarPtr& b,
               Gemm(false, true, 1.0f, gout, col, 1.0f, gw_part);
             }
             if (gx != nullptr) {
-              gcol.Zero();
-              Gemm(true, false, 1.0f, wv->value, gout, 1.0f, &gcol);
+              Gemm(true, false, 1.0f, wv->value, gout, 0.0f, &gcol);
               Col2ImAccum(gcol, spec, gx->row(static_cast<int>(i)));
             }
           }
@@ -180,7 +188,7 @@ VarPtr MaxPool2d(const VarPtr& x, int channels, int h, int w, int kernel,
   UV_CHECK_GT(ow, 0);
   const int n = x->rows();
 
-  Tensor out(n, channels * oh * ow);
+  Tensor out = Tensor::Uninit(n, channels * oh * ow);
   // argmax[i][o] = flat input index within the row that won the max.
   auto argmax = std::make_shared<std::vector<int>>(
       static_cast<size_t>(n) * channels * oh * ow);
@@ -240,7 +248,7 @@ VarPtr GlobalAvgPool(const VarPtr& x, int channels, int h, int w) {
   UV_CHECK_EQ(x->cols(), channels * h * w);
   const int n = x->rows();
   const int plane = h * w;
-  Tensor out(n, channels);
+  Tensor out = Tensor::Uninit(n, channels);
   ParallelFor(0, n, kConvImageGrain, [&](int64_t i0, int64_t i1) {
     for (int64_t i = i0; i < i1; ++i) {
       const float* img = x->value.row(static_cast<int>(i));

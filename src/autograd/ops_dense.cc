@@ -1,4 +1,6 @@
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "autograd/ops.h"
 #include "tensor/tensor_ops.h"
@@ -117,7 +119,7 @@ VarPtr MulColBroadcast(const VarPtr& x, const VarPtr& scale) {
             float* row = gx.row(r);
             for (int c = 0; c < gx.cols(); ++c) row[c] *= s;
           }
-          xv->AccumGrad(gx);
+          xv->AccumGrad(std::move(gx));
         }
         if (sv->requires_grad) {
           Tensor& gs = sv->EnsureGrad();
@@ -153,7 +155,7 @@ VarPtr MulRowVector(const VarPtr& x, const VarPtr& v) {
             float* row = gx.row(r);
             for (int c = 0; c < gx.cols(); ++c) row[c] *= vd[c];
           }
-          xv->AccumGrad(gx);
+          xv->AccumGrad(std::move(gx));
         }
         if (vv->requires_grad) {
           Tensor& gv = vv->EnsureGrad();
@@ -198,7 +200,7 @@ VarPtr ConcatCols(const VarPtr& a, const VarPtr& b) {
 
 VarPtr ConcatRows(const VarPtr& a, const VarPtr& b) {
   UV_CHECK_EQ(a->cols(), b->cols());
-  Tensor out(a->rows() + b->rows(), a->cols());
+  Tensor out = Tensor::Uninit(a->rows() + b->rows(), a->cols());
   for (int r = 0; r < a->rows(); ++r) {
     std::copy(a->value.row(r), a->value.row(r) + a->cols(), out.row(r));
   }
@@ -212,20 +214,21 @@ VarPtr ConcatRows(const VarPtr& a, const VarPtr& b) {
       std::move(out), {a, b},
       [av, bv, ar](Variable* self) {
         if (av->requires_grad) {
-          Tensor ga(ar, self->grad.cols());
+          Tensor ga = Tensor::Uninit(ar, self->grad.cols());
           for (int r = 0; r < ar; ++r) {
             std::copy(self->grad.row(r), self->grad.row(r) + ga.cols(),
                       ga.row(r));
           }
-          av->AccumGrad(ga);
+          av->AccumGrad(std::move(ga));
         }
         if (bv->requires_grad) {
-          Tensor gb(self->grad.rows() - ar, self->grad.cols());
+          Tensor gb =
+              Tensor::Uninit(self->grad.rows() - ar, self->grad.cols());
           for (int r = 0; r < gb.rows(); ++r) {
             std::copy(self->grad.row(ar + r),
                       self->grad.row(ar + r) + gb.cols(), gb.row(r));
           }
-          bv->AccumGrad(gb);
+          bv->AccumGrad(std::move(gb));
         }
       },
       "concat_rows");
@@ -257,7 +260,7 @@ VarPtr RowSoftmax(const VarPtr& a, float temperature) {
       std::move(out), {a},
       [av, soft = std::move(soft), temperature](Variable* self) {
         if (!av->requires_grad) return;
-        Tensor ga(soft.rows(), soft.cols());
+        Tensor ga = Tensor::Uninit(soft.rows(), soft.cols());
         for (int r = 0; r < soft.rows(); ++r) {
           const float* p = soft.row(r);
           const float* g = self->grad.row(r);
@@ -268,7 +271,7 @@ VarPtr RowSoftmax(const VarPtr& a, float temperature) {
             gr[c] = p[c] * (g[c] - dot) / temperature;
           }
         }
-        av->AccumGrad(ga);
+        av->AccumGrad(std::move(ga));
       },
       "row_softmax");
 }
@@ -279,7 +282,7 @@ namespace {
 // (x, y) -> dy/dx.
 template <typename Fwd, typename Dfn>
 VarPtr Pointwise(const VarPtr& a, Fwd fwd, Dfn dfn, const char* name) {
-  Tensor out(a->rows(), a->cols());
+  Tensor out = Tensor::Uninit(a->rows(), a->cols());
   const float* in = a->value.data();
   float* o = out.data();
   for (int64_t i = 0; i < out.size(); ++i) o[i] = fwd(in[i]);
@@ -289,13 +292,13 @@ VarPtr Pointwise(const VarPtr& a, Fwd fwd, Dfn dfn, const char* name) {
       std::move(out), {a},
       [av, saved = std::move(saved), dfn](Variable* self) {
         if (!av->requires_grad) return;
-        Tensor ga(self->grad.rows(), self->grad.cols());
+        Tensor ga = Tensor::Uninit(self->grad.rows(), self->grad.cols());
         const float* x = av->value.data();
         const float* y = saved.data();
         const float* g = self->grad.data();
         float* gd = ga.data();
         for (int64_t i = 0; i < ga.size(); ++i) gd[i] = g[i] * dfn(x[i], y[i]);
-        av->AccumGrad(ga);
+        av->AccumGrad(std::move(ga));
       },
       name);
 }
@@ -343,9 +346,9 @@ VarPtr SumAll(const VarPtr& a) {
       [av](Variable* self) {
         if (!av->requires_grad) return;
         const float g = self->grad.at(0, 0);
-        Tensor ga(av->rows(), av->cols());
+        Tensor ga = Tensor::Uninit(av->rows(), av->cols());
         ga.Fill(g);
-        av->AccumGrad(ga);
+        av->AccumGrad(std::move(ga));
       },
       "sum_all");
 }

@@ -1,5 +1,8 @@
 #include <cmath>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <utility>
 #include <vector>
 
 #include "autograd/ops.h"
@@ -44,6 +47,43 @@ DestIndex BuildDestIndex(const std::vector<int>& dest_of_source,
   return index;
 }
 
+// Memo-cache of inverse scatter indices keyed on the identity of the
+// shared index vector. The attention layers gather with the same index
+// vectors every epoch (the graph context is built once per Train), so
+// rebuilding the DestIndex on every op-node construction dominated
+// steady-state heap traffic. Entries are validated against a weak_ptr to
+// the owning vector: a later allocation recycled at the same address can
+// never alias a stale entry.
+std::shared_ptr<const DestIndex> CachedDestIndex(
+    const std::shared_ptr<const std::vector<int>>& ids,
+    int num_destinations) {
+  struct Entry {
+    std::weak_ptr<const std::vector<int>> owner;
+    int num_destinations;
+    std::shared_ptr<const DestIndex> index;
+  };
+  static std::mutex mu;
+  static std::map<const void*, Entry>& cache =
+      *new std::map<const void*, Entry>();  // Leaked: outlives all graphs.
+  std::lock_guard<std::mutex> lock(mu);
+  const auto it = cache.find(ids.get());
+  if (it != cache.end() && it->second.num_destinations == num_destinations &&
+      it->second.owner.lock() == ids) {
+    return it->second.index;
+  }
+  // Short-lived index vectors (per-epoch cluster assignments) insert and
+  // die every step; sweep their expired entries to bound the cache.
+  if (cache.size() >= 64) {
+    for (auto e = cache.begin(); e != cache.end();) {
+      e = e->second.owner.expired() ? cache.erase(e) : std::next(e);
+    }
+  }
+  auto index = std::make_shared<const DestIndex>(
+      BuildDestIndex(*ids, num_destinations));
+  cache[ids.get()] = Entry{ids, num_destinations, index};
+  return index;
+}
+
 }  // namespace
 
 VarPtr GatherRows(const VarPtr& x,
@@ -52,12 +92,9 @@ VarPtr GatherRows(const VarPtr& x,
   VarPtr xv = x;
   // The backward scatter can hit the same source row from many gathered
   // rows; partition it by destination so workers never share a row. The
-  // inverse index is built once per op node.
+  // inverse index is memoized on the shared indices vector.
   std::shared_ptr<const DestIndex> dest =
-      xv->requires_grad
-          ? std::make_shared<const DestIndex>(
-                BuildDestIndex(*indices, x->rows()))
-          : nullptr;
+      xv->requires_grad ? CachedDestIndex(indices, x->rows()) : nullptr;
   return MakeOp(
       std::move(out), {x},
       [xv, dest](Variable* self) {
@@ -84,9 +121,12 @@ VarPtr SegmentSoftmax(const VarPtr& scores,
   UV_CHECK_EQ(scores->cols(), 1);
   const auto& off = *offsets;
   const int num_segments = static_cast<int>(off.size()) - 1;
+  // Segments must tile [0, rows) exactly: that guarantees every element of
+  // the uninitialized output below is written by exactly one segment.
+  UV_CHECK_EQ(off.front(), 0);
   UV_CHECK_EQ(off.back(), scores->rows());
 
-  Tensor out(scores->rows(), 1);
+  Tensor out = Tensor::Uninit(scores->rows(), 1);
   const float* s = scores->value.data();
   float* o = out.data();
   ParallelFor(0, num_segments, kSegmentGrain, [&](int64_t s0, int64_t s1) {
@@ -113,7 +153,8 @@ VarPtr SegmentSoftmax(const VarPtr& scores,
         if (!sv->requires_grad) return;
         const auto& off = *offsets;
         const int num_segments = static_cast<int>(off.size()) - 1;
-        Tensor gs(soft.rows(), 1);
+        // Same tiling argument as the forward: every element is written.
+        Tensor gs = Tensor::Uninit(soft.rows(), 1);
         const float* p = soft.data();
         const float* g = self->grad.data();
         float* gd = gs.data();
@@ -128,7 +169,7 @@ VarPtr SegmentSoftmax(const VarPtr& scores,
                         }
                       }
                     });
-        sv->AccumGrad(gs);
+        sv->AccumGrad(std::move(gs));
       },
       "segment_softmax");
 }
@@ -204,8 +245,7 @@ VarPtr SegmentSumByIds(const VarPtr& x,
   // Forward is a scatter-sum keyed by ids; run it partitioned by
   // destination segment. Source rows are visited in ascending order per
   // segment, matching the serial scatter's accumulation order exactly.
-  const auto dest = std::make_shared<const DestIndex>(
-      BuildDestIndex(ids, num_segments));
+  const auto dest = CachedDestIndex(seg_ids, num_segments);
   Tensor out(num_segments, x->cols());
   const int cols = x->cols();
   ParallelFor(0, num_segments, kSegmentGrain, [&](int64_t k0, int64_t k1) {

@@ -1,4 +1,5 @@
 #include <cmath>
+#include <utility>
 
 #include "autograd/ops.h"
 #include "util/check.h"
@@ -43,7 +44,7 @@ VarPtr BceWithLogits(const VarPtr& logits, const Tensor& labels,
         if (!lv->requires_grad) return;
         const float g = self->grad.at(0, 0);
         const int n = lv->rows();
-        Tensor gl(n, 1);
+        Tensor gl = Tensor::Uninit(n, 1);
         for (int i = 0; i < n; ++i) {
           const float z = lv->value.at(i, 0);
           const float y = labels_copy.at(i, 0);
@@ -53,7 +54,7 @@ VarPtr BceWithLogits(const VarPtr& logits, const Tensor& labels,
                                     : std::exp(z) / (1.0f + std::exp(z));
           gl.at(i, 0) = g * w * inv_weight * (p - y);
         }
-        lv->AccumGrad(gl);
+        lv->AccumGrad(std::move(gl));
       },
       "bce_with_logits");
 }
@@ -100,7 +101,7 @@ VarPtr PuRankLoss(const VarPtr& scores, const std::vector<int>& positive,
             gs.at(j, 0) += g * 2.0f * diff;
           }
         }
-        sv->AccumGrad(gs);
+        sv->AccumGrad(std::move(gs));
       },
       "pu_rank_loss");
 }

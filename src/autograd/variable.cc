@@ -1,7 +1,9 @@
 #include "autograd/variable.h"
 
-#include <unordered_set>
+#include <atomic>
+#include <vector>
 
+#include "autograd/graph_arena.h"
 #include "tensor/tensor_ops.h"
 #include "util/check.h"
 
@@ -10,7 +12,17 @@ namespace uv::ag {
 void Variable::AccumGrad(const Tensor& g) {
   UV_CHECK(g.rows() == value.rows() && g.cols() == value.cols());
   if (grad.empty() && g.size() > 0) {
-    grad = Tensor(value.rows(), value.cols());
+    grad = g;  // First contribution: one memcpy, no zero-fill + add pass.
+    return;
+  }
+  Axpy(1.0f, g, &grad);
+}
+
+void Variable::AccumGrad(Tensor&& g) {
+  UV_CHECK(g.rows() == value.rows() && g.cols() == value.cols());
+  if (grad.empty() && g.size() > 0) {
+    grad = std::move(g);  // First contribution: steal the slab outright.
+    return;
   }
   Axpy(1.0f, g, &grad);
 }
@@ -23,16 +35,19 @@ Tensor& Variable::EnsureGrad() {
 }
 
 VarPtr MakeParam(Tensor value) {
-  return std::make_shared<Variable>(std::move(value), /*requires_grad_in=*/true);
+  return std::allocate_shared<Variable>(GraphArena<Variable>{},
+                                        std::move(value),
+                                        /*requires_grad_in=*/true);
 }
 
 VarPtr MakeConst(Tensor value) {
-  return std::make_shared<Variable>(std::move(value),
-                                    /*requires_grad_in=*/false);
+  return std::allocate_shared<Variable>(GraphArena<Variable>{},
+                                        std::move(value),
+                                        /*requires_grad_in=*/false);
 }
 
-VarPtr MakeOp(Tensor value, std::vector<VarPtr> inputs,
-              std::function<void(Variable*)> backward_fn, const char* name) {
+VarPtr MakeOp(Tensor value, VarList inputs, BackwardFn backward_fn,
+              const char* name) {
   bool needs_grad = false;
   for (const auto& in : inputs) {
     if (in && in->requires_grad) {
@@ -40,7 +55,8 @@ VarPtr MakeOp(Tensor value, std::vector<VarPtr> inputs,
       break;
     }
   }
-  auto out = std::make_shared<Variable>(std::move(value), needs_grad);
+  auto out = std::allocate_shared<Variable>(GraphArena<Variable>{},
+                                            std::move(value), needs_grad);
   if (needs_grad) {
     out->inputs = std::move(inputs);
     out->backward_fn = std::move(backward_fn);
@@ -55,24 +71,33 @@ void Backward(const VarPtr& loss) {
   UV_CHECK_EQ(loss->value.cols(), 1);
 
   // Iterative post-order DFS to get a topological order of the subgraph of
-  // nodes that require gradients.
-  std::vector<Variable*> topo;
-  std::unordered_set<Variable*> visited;
+  // nodes that require gradients. Visited-tracking uses a process-unique
+  // stamp per traversal (every node belongs to exactly one graph, so
+  // concurrent Backward calls on different graphs never share nodes), and
+  // the traversal vectors keep their capacity across calls — a
+  // steady-state backward pass performs no heap allocation here.
+  static std::atomic<uint64_t> traversal_counter{0};
+  const uint64_t mark =
+      traversal_counter.fetch_add(1, std::memory_order_relaxed) + 1;
   struct Frame {
     Variable* node;
     size_t next_child;
   };
-  std::vector<Frame> stack;
+  thread_local std::vector<Variable*> topo;
+  thread_local std::vector<Frame> stack;
+  topo.clear();
+  stack.clear();
   if (loss->requires_grad) {
     stack.push_back({loss.get(), 0});
-    visited.insert(loss.get());
+    loss->visit_mark = mark;
   }
   while (!stack.empty()) {
     Frame& frame = stack.back();
     if (frame.next_child < frame.node->inputs.size()) {
       Variable* child = frame.node->inputs[frame.next_child++].get();
       if (child != nullptr && child->requires_grad &&
-          visited.insert(child).second) {
+          child->visit_mark != mark) {
+        child->visit_mark = mark;
         stack.push_back({child, 0});
       }
     } else {
@@ -83,7 +108,7 @@ void Backward(const VarPtr& loss) {
 
   Tensor seed(1, 1);
   seed.at(0, 0) = 1.0f;
-  loss->AccumGrad(seed);
+  loss->AccumGrad(std::move(seed));
 
   // topo is post-order (children first); iterate in reverse for backward.
   for (auto it = topo.rbegin(); it != topo.rend(); ++it) {

@@ -25,6 +25,7 @@ struct FoldResult {
   DetectionMetrics metrics;
   double train_seconds_per_epoch = 0.0;
   double inference_seconds = 0.0;
+  double job_seconds = 0.0;
   int64_t num_parameters = 0;
 };
 
@@ -67,11 +68,13 @@ RunStats RunCrossValidation(const urg::UrbanRegionGraph& urg,
   // Phase 2 (parallel): each job trains its own freshly seeded detector
   // and writes into its preallocated slot; nothing is shared across jobs.
   std::vector<FoldResult> results(jobs.size());
+  const MemStatsSnapshot mem_before = BufferPool::Stats();
   WallTimer wall;
   ParallelFor(0, static_cast<int64_t>(jobs.size()), 1,
               [&](int64_t j0, int64_t j1) {
                 for (int64_t j = j0; j < j1; ++j) {
                   const FoldJob& job = jobs[j];
+                  WallTimer job_timer;
                   auto detector = factory(job.detector_seed);
                   detector->Train(urg, job.train_ids, job.train_labels);
                   const std::vector<float> scores =
@@ -81,15 +84,17 @@ RunStats RunCrossValidation(const urg::UrbanRegionGraph& urg,
                       ComputeDetectionMetrics(scores, job.test_labels);
                   r.train_seconds_per_epoch = detector->TrainSecondsPerEpoch();
                   r.inference_seconds = detector->LastInferenceSeconds();
+                  r.job_seconds = job_timer.Seconds();
                   r.num_parameters = detector->NumParameters();
                 }
               });
   const double wall_seconds = wall.Seconds();
+  const MemStatsSnapshot mem_after = BufferPool::Stats();
 
   // Phase 3 (serial): aggregate in job order, independent of which worker
   // finished when.
   std::vector<double> aucs, r3, p3, f3, r5, p5, f5;
-  double train_time = 0.0, infer_time = 0.0;
+  double train_time = 0.0, infer_time = 0.0, summed_job = 0.0;
   int measured = 0;
   for (size_t j = 0; j < results.size(); ++j) {
     const DetectionMetrics& m = results[j].metrics;
@@ -102,6 +107,7 @@ RunStats RunCrossValidation(const urg::UrbanRegionGraph& urg,
     f5.push_back(m.at5.f1);
     train_time += results[j].train_seconds_per_epoch;
     infer_time += results[j].inference_seconds;
+    summed_job += results[j].job_seconds;
     ++measured;
     UV_LOG_DEBUG("run %d fold %d: auc=%.3f r3=%.3f p3=%.3f", jobs[j].run,
                  jobs[j].fold, m.auc, m.at3.recall, m.at3.precision);
@@ -123,6 +129,12 @@ RunStats RunCrossValidation(const urg::UrbanRegionGraph& urg,
     stats.num_parameters = results.front().num_parameters;
   }
   stats.wall_seconds = wall_seconds;
+  stats.summed_job_seconds = summed_job;
+  stats.mem.acquires = mem_after.acquires - mem_before.acquires;
+  stats.mem.hits = mem_after.hits - mem_before.hits;
+  stats.mem.heap_allocs = mem_after.heap_allocs - mem_before.heap_allocs;
+  stats.mem.heap_bytes = mem_after.heap_bytes - mem_before.heap_bytes;
+  stats.mem.releases = mem_after.releases - mem_before.releases;
   return stats;
 }
 

@@ -7,6 +7,7 @@
 #include "eval/detector.h"
 #include "eval/metrics.h"
 #include "eval/splits.h"
+#include "util/buffer_pool.h"
 
 namespace uv::eval {
 
@@ -34,8 +35,17 @@ struct RunStats {
   // End-to-end wall clock of the whole cross-validation, which with
   // fold-level parallelism can be far below the summed per-detector time.
   double wall_seconds = 0.0;
+  // Sum of each (run, fold) job's own wall clock. On one thread this
+  // approaches wall_seconds (minus split drawing and aggregation); with
+  // fold-level parallelism it exceeds it by roughly the speedup factor.
+  // Report it next to wall_seconds — quoting either alone misleads.
+  double summed_job_seconds = 0.0;
   // Parameter count of one detector (identical across folds; counted once).
   int64_t num_parameters = 0;
+  // BufferPool activity during this cross-validation (delta of the global
+  // counters across the call; counters are always maintained, UV_MEM_STATS
+  // only controls whether tools print them).
+  MemStatsSnapshot mem;
 };
 
 // Runs the paper's evaluation protocol: block-level k-fold CV repeated

@@ -7,15 +7,19 @@
 namespace uv {
 
 void Tensor::Fill(float value) {
-  std::fill(data_.begin(), data_.end(), value);
+  std::fill(data_, data_ + size(), value);
 }
 
 void Tensor::RandomNormal(Rng* rng, float stddev) {
-  for (auto& x : data_) x = static_cast<float>(rng->Gaussian(0.0, stddev));
+  for (int64_t i = 0; i < size(); ++i) {
+    data_[i] = static_cast<float>(rng->Gaussian(0.0, stddev));
+  }
 }
 
 void Tensor::RandomUniform(Rng* rng, float limit) {
-  for (auto& x : data_) x = static_cast<float>(rng->Uniform(-limit, limit));
+  for (int64_t i = 0; i < size(); ++i) {
+    data_[i] = static_cast<float>(rng->Uniform(-limit, limit));
+  }
 }
 
 void Tensor::GlorotUniform(Rng* rng) {
@@ -26,27 +30,29 @@ void Tensor::GlorotUniform(Rng* rng) {
 }
 
 bool Tensor::HasNonFinite() const {
-  for (float x : data_) {
-    if (!std::isfinite(x)) return true;
+  for (int64_t i = 0; i < size(); ++i) {
+    if (!std::isfinite(data_[i])) return true;
   }
   return false;
 }
 
 double Tensor::Norm() const {
   double acc = 0.0;
-  for (float x : data_) acc += static_cast<double>(x) * x;
+  for (int64_t i = 0; i < size(); ++i) {
+    acc += static_cast<double>(data_[i]) * data_[i];
+  }
   return std::sqrt(acc);
 }
 
 double Tensor::Sum() const {
   double acc = 0.0;
-  for (float x : data_) acc += x;
+  for (int64_t i = 0; i < size(); ++i) acc += data_[i];
   return acc;
 }
 
 float Tensor::MaxAbs() const {
   float m = 0.0f;
-  for (float x : data_) m = std::max(m, std::fabs(x));
+  for (int64_t i = 0; i < size(); ++i) m = std::max(m, std::fabs(data_[i]));
   return m;
 }
 

@@ -2,9 +2,12 @@
 #define UV_TENSOR_TENSOR_H_
 
 #include <cstdint>
+#include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "util/buffer_pool.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -13,36 +16,104 @@ namespace uv {
 // Dense row-major float matrix. Rank-2 is the native shape of everything in
 // this library (N regions x d features, E edges x d, K clusters x d);
 // vectors are represented as Nx1 or 1xd matrices.
+//
+// Storage is drawn from the process-wide BufferPool, so construction and
+// destruction on the training hot path recycle slabs instead of hitting
+// the heap. Tensor(r, c) keeps the historical all-zeros contract (recycled
+// slabs are cleared explicitly); Tensor::Uninit(r, c) skips the clear for
+// outputs that are fully overwritten — its contents are unspecified until
+// written, and any code that reads them first is a determinism bug (the
+// UV_POOL=0/1 parity tests catch exactly that).
 class Tensor {
  public:
-  Tensor() : rows_(0), cols_(0) {}
-  Tensor(int rows, int cols)
-      : rows_(rows), cols_(cols),
-        data_(static_cast<size_t>(rows) * cols, 0.0f) {
-    UV_CHECK_GE(rows, 0);
-    UV_CHECK_GE(cols, 0);
+  Tensor() noexcept = default;
+  Tensor(int rows, int cols) : Tensor(rows, cols, Raw{}) {
+    if (data_ != nullptr) {
+      std::memset(data_, 0, static_cast<size_t>(size()) * sizeof(float));
+    }
   }
-  Tensor(int rows, int cols, std::vector<float> data)
-      : rows_(rows), cols_(cols), data_(std::move(data)) {
+  Tensor(int rows, int cols, const std::vector<float>& data)
+      : Tensor(rows, cols, Raw{}) {
     UV_CHECK_EQ(static_cast<long long>(rows) * cols,
-                static_cast<long long>(data_.size()));
+                static_cast<long long>(data.size()));
+    if (!data.empty()) {
+      std::memcpy(data_, data.data(), data.size() * sizeof(float));
+    }
   }
 
-  Tensor(const Tensor&) = default;
-  Tensor& operator=(const Tensor&) = default;
-  Tensor(Tensor&&) = default;
-  Tensor& operator=(Tensor&&) = default;
+  // Pool slab with unspecified contents; every element must be written
+  // before it is read.
+  static Tensor Uninit(int rows, int cols) {
+    return Tensor(rows, cols, Raw{});
+  }
+
+  Tensor(const Tensor& other) : Tensor(other.rows_, other.cols_, Raw{}) {
+    if (other.size() > 0) {
+      std::memcpy(data_, other.data_, other.size() * sizeof(float));
+    }
+  }
+  Tensor& operator=(const Tensor& other) {
+    if (this == &other) return *this;
+    // Reuse the slab when the element count matches (the common case for
+    // parameter updates and grad accumulation) instead of a release +
+    // acquire round trip.
+    if (size() != other.size()) {
+      ReleaseStorage();
+      AcquireStorage(other.size());
+    }
+    rows_ = other.rows_;
+    cols_ = other.cols_;
+    if (other.size() > 0) {
+      std::memcpy(data_, other.data_, other.size() * sizeof(float));
+    }
+    return *this;
+  }
+  Tensor(Tensor&& other) noexcept
+      : rows_(other.rows_), cols_(other.cols_), data_(other.data_) {
+    other.rows_ = 0;
+    other.cols_ = 0;
+    other.data_ = nullptr;
+  }
+  Tensor& operator=(Tensor&& other) noexcept {
+    if (this == &other) return *this;
+    ReleaseStorage();
+    rows_ = other.rows_;
+    cols_ = other.cols_;
+    data_ = other.data_;
+    other.rows_ = 0;
+    other.cols_ = 0;
+    other.data_ = nullptr;
+    return *this;
+  }
+  ~Tensor() { ReleaseStorage(); }
+
+  // Reshapes to rows x cols with unspecified contents, reusing the current
+  // slab when its bucket capacity covers the new size (the steady state
+  // for shape-stable kernel workspaces: no pool traffic at all).
+  void ResizeUninit(int rows, int cols) {
+    UV_CHECK_GE(rows, 0);
+    UV_CHECK_GE(cols, 0);
+    const int64_t n = static_cast<int64_t>(rows) * cols;
+    if (BufferPool::BucketCapacity(static_cast<size_t>(n) * sizeof(float)) !=
+        BufferPool::BucketCapacity(static_cast<size_t>(size()) *
+                                   sizeof(float))) {
+      ReleaseStorage();
+      AcquireStorage(n);
+    }
+    rows_ = rows;
+    cols_ = cols;
+  }
 
   int rows() const { return rows_; }
   int cols() const { return cols_; }
   int64_t size() const { return static_cast<int64_t>(rows_) * cols_; }
-  bool empty() const { return data_.empty(); }
+  bool empty() const { return size() == 0; }
 
-  float* data() { return data_.data(); }
-  const float* data() const { return data_.data(); }
-  float* row(int r) { return data_.data() + static_cast<size_t>(r) * cols_; }
+  float* data() { return data_; }
+  const float* data() const { return data_; }
+  float* row(int r) { return data_ + static_cast<size_t>(r) * cols_; }
   const float* row(int r) const {
-    return data_.data() + static_cast<size_t>(r) * cols_;
+    return data_ + static_cast<size_t>(r) * cols_;
   }
 
   float& at(int r, int c) {
@@ -90,9 +161,30 @@ class Tensor {
   }
 
  private:
-  int rows_;
-  int cols_;
-  std::vector<float> data_;
+  // Tag for the allocate-without-initializing ctor; a plain bool overload
+  // would be selected by single-element brace inits like Tensor(1,1,{2.f}).
+  struct Raw {};
+  Tensor(int rows, int cols, Raw) : rows_(rows), cols_(cols) {
+    UV_CHECK_GE(rows, 0);
+    UV_CHECK_GE(cols, 0);
+    AcquireStorage(size());
+  }
+
+  void AcquireStorage(int64_t n) {
+    data_ = static_cast<float*>(
+        BufferPool::Acquire(static_cast<size_t>(n) * sizeof(float)));
+  }
+  void ReleaseStorage() {
+    if (data_ != nullptr) {
+      BufferPool::Release(data_,
+                          static_cast<size_t>(size()) * sizeof(float));
+      data_ = nullptr;
+    }
+  }
+
+  int rows_ = 0;
+  int cols_ = 0;
+  float* data_ = nullptr;
 };
 
 }  // namespace uv

@@ -77,8 +77,12 @@ void Gemm(bool transpose_a, bool transpose_b, float alpha, const Tensor& a,
     // A is k x m stored row-major; A^T(i,p) = A(p,i). Materializing the
     // contiguous transpose lets the blocked kernel stream A rows; the
     // per-element accumulation order (p ascending) matches the direct
-    // strided walk exactly.
-    const Tensor at = Transpose(a);
+    // strided walk exactly. The workspace persists per thread and is fully
+    // overwritten before use, so recycling it is allocation-free and
+    // deterministic.
+    thread_local Tensor at;
+    at.ResizeUninit(m, k);
+    TransposeInto(a, &at);
     const float* atd = at.data();
     if (parallel) {
       ParallelFor(0, m, kGemmRowGrain, [&](int64_t i0, int64_t i1) {
@@ -121,7 +125,8 @@ void Gemm(bool transpose_a, bool transpose_b, float alpha, const Tensor& a,
 }
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
-  Tensor c(a.rows(), b.cols());
+  // Uninit: Gemm with beta == 0 zero-fills c itself before accumulating.
+  Tensor c = Tensor::Uninit(a.rows(), b.cols());
   Gemm(false, false, 1.0f, a, b, 0.0f, &c);
   return c;
 }
@@ -155,7 +160,7 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
   UV_CHECK(a.SameShape(b));
-  Tensor out(a.rows(), a.cols());
+  Tensor out = Tensor::Uninit(a.rows(), a.cols());
   const float* ad = a.data();
   const float* bd = b.data();
   float* od = out.data();
@@ -192,27 +197,38 @@ void AddRowVectorInPlace(const Tensor& row_vec, Tensor* a) {
   }
 }
 
-Tensor Transpose(const Tensor& a) {
-  Tensor out(a.cols(), a.rows());
+void TransposeInto(const Tensor& a, Tensor* out) {
+  UV_CHECK_EQ(out->rows(), a.cols());
+  UV_CHECK_EQ(out->cols(), a.rows());
+  const int acols = a.cols();
+  const int arows = a.rows();
+  float* od = out->data();
   auto rows = [&](int64_t r0, int64_t r1) {
     for (int64_t r = r0; r < r1; ++r) {
       const float* arow = a.row(static_cast<int>(r));
-      for (int c = 0; c < a.cols(); ++c) out.at(c, static_cast<int>(r)) = arow[c];
+      for (int c = 0; c < acols; ++c) {
+        od[static_cast<size_t>(c) * arows + r] = arow[c];
+      }
     }
   };
-  if (a.size() >= kElementwiseThreshold && a.rows() > 1) {
+  if (a.size() >= kElementwiseThreshold && arows > 1) {
     const int64_t grain =
-        std::max<int64_t>(1, kElementwiseGrain / std::max(1, a.cols()));
-    ParallelFor(0, a.rows(), grain, rows);
+        std::max<int64_t>(1, kElementwiseGrain / std::max(1, acols));
+    ParallelFor(0, arows, grain, rows);
   } else {
-    rows(0, a.rows());
+    rows(0, arows);
   }
+}
+
+Tensor Transpose(const Tensor& a) {
+  Tensor out = Tensor::Uninit(a.cols(), a.rows());
+  TransposeInto(a, &out);
   return out;
 }
 
 Tensor RowSoftmax(const Tensor& a, float temperature) {
   UV_CHECK(temperature > 0.0f);
-  Tensor out(a.rows(), a.cols());
+  Tensor out = Tensor::Uninit(a.rows(), a.cols());
   for (int r = 0; r < a.rows(); ++r) {
     const float* in = a.row(r);
     float* o = out.row(r);
@@ -303,7 +319,7 @@ void StandardizeColumnsInPlace(Tensor* a) {
 
 Tensor ConcatCols(const Tensor& a, const Tensor& b) {
   UV_CHECK_EQ(a.rows(), b.rows());
-  Tensor out(a.rows(), a.cols() + b.cols());
+  Tensor out = Tensor::Uninit(a.rows(), a.cols() + b.cols());
   for (int r = 0; r < a.rows(); ++r) {
     float* o = out.row(r);
     std::copy(a.row(r), a.row(r) + a.cols(), o);
@@ -316,7 +332,7 @@ Tensor SliceCols(const Tensor& a, int col_begin, int col_end) {
   UV_CHECK_GE(col_begin, 0);
   UV_CHECK_LE(col_end, a.cols());
   UV_CHECK_LE(col_begin, col_end);
-  Tensor out(a.rows(), col_end - col_begin);
+  Tensor out = Tensor::Uninit(a.rows(), col_end - col_begin);
   for (int r = 0; r < a.rows(); ++r) {
     std::copy(a.row(r) + col_begin, a.row(r) + col_end, out.row(r));
   }
@@ -324,7 +340,7 @@ Tensor SliceCols(const Tensor& a, int col_begin, int col_end) {
 }
 
 Tensor GatherRows(const Tensor& a, const std::vector<int>& indices) {
-  Tensor out(static_cast<int>(indices.size()), a.cols());
+  Tensor out = Tensor::Uninit(static_cast<int>(indices.size()), a.cols());
   for (size_t i = 0; i < indices.size(); ++i) {
     const int src = indices[i];
     UV_CHECK_GE(src, 0);

@@ -32,6 +32,10 @@ void AddRowVectorInPlace(const Tensor& row_vec, Tensor* a);
 // Transposed copy.
 Tensor Transpose(const Tensor& a);
 
+// Writes a's transpose into out, which must already be a.cols() x a.rows().
+// Lets callers reuse a persistent workspace instead of allocating.
+void TransposeInto(const Tensor& a, Tensor* out);
+
 // Row-wise softmax with temperature: out[r] = softmax(a[r] / temperature).
 Tensor RowSoftmax(const Tensor& a, float temperature);
 

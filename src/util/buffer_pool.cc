@@ -1,0 +1,211 @@
+#include "util/buffer_pool.h"
+
+#include <atomic>
+#include <array>
+#include <cstdlib>
+#include <mutex>
+#include <new>
+#include <vector>
+
+namespace uv {
+namespace {
+
+// Buckets are powers of two from 2^8 (256 B) to 2^30; larger requests go
+// straight to the system allocator (they are far off the steady-state path
+// and caching them would pin unbounded memory).
+constexpr int kMinBucketBits = 8;
+constexpr int kMaxBucketBits = 30;
+constexpr int kNumBuckets = kMaxBucketBits - kMinBucketBits + 1;
+// Per-thread cache depth per bucket; overflow spills to the global pool so
+// producer/consumer thread patterns (allocate on one thread, free on
+// another) cannot grow a thread's cache without bound.
+constexpr size_t kTlsBucketCap = 8;
+
+int BucketIndex(size_t bytes) {
+  size_t cap = size_t{1} << kMinBucketBits;
+  int idx = 0;
+  while (cap < bytes) {
+    cap <<= 1;
+    ++idx;
+  }
+  return idx < kNumBuckets ? idx : -1;  // -1: unpooled jumbo allocation.
+}
+
+size_t BucketBytes(int idx) { return size_t{1} << (kMinBucketBits + idx); }
+
+std::atomic<uint64_t> g_acquires{0};
+std::atomic<uint64_t> g_hits{0};
+std::atomic<uint64_t> g_heap_allocs{0};
+std::atomic<uint64_t> g_heap_bytes{0};
+std::atomic<uint64_t> g_releases{0};
+std::atomic<bool> g_enabled_override{false};
+std::atomic<int> g_enabled_state{-1};  // -1 unset, 0 off, 1 on.
+
+void* HeapAlloc(size_t bytes) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_heap_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  return ::operator new(bytes);
+}
+
+struct GlobalPool {
+  std::mutex mu;
+  std::array<std::vector<void*>, kNumBuckets> free_lists;
+};
+
+// Leaky singleton: reachable at exit (so LeakSanitizer stays quiet) and
+// never destroyed, which lets thread-local caches flush into it during any
+// phase of thread or process teardown.
+GlobalPool& Global() {
+  static GlobalPool* pool = new GlobalPool;
+  return *pool;
+}
+
+struct TlsCache;
+// Trivially-destructible guards so Release stays safe even after this
+// thread's cache object has been destroyed (thread_local teardown order is
+// unspecified relative to other thread_local destructors, e.g. the kernel
+// workspace tensors that release slabs from their destructors).
+thread_local TlsCache* tls_cache = nullptr;
+thread_local bool tls_cache_dead = false;
+
+struct TlsCache {
+  std::array<std::vector<void*>, kNumBuckets> free_lists;
+
+  TlsCache() { tls_cache = this; }
+  ~TlsCache() {
+    Flush();
+    tls_cache = nullptr;
+    tls_cache_dead = true;
+  }
+
+  void Flush() {
+    GlobalPool& global = Global();
+    std::lock_guard<std::mutex> lock(global.mu);
+    for (int b = 0; b < kNumBuckets; ++b) {
+      for (void* p : free_lists[b]) global.free_lists[b].push_back(p);
+      free_lists[b].clear();
+    }
+  }
+};
+
+TlsCache* Cache() {
+  if (tls_cache != nullptr) return tls_cache;
+  if (tls_cache_dead) return nullptr;
+  thread_local TlsCache storage;
+  return tls_cache;
+}
+
+}  // namespace
+
+bool BufferPool::Enabled() {
+  int state = g_enabled_state.load(std::memory_order_acquire);
+  if (state < 0) {
+    const char* v = std::getenv("UV_POOL");
+    state = (v != nullptr && v[0] == '0' && v[1] == '\0') ? 0 : 1;
+    g_enabled_state.store(state, std::memory_order_release);
+  }
+  return state == 1;
+}
+
+void BufferPool::SetEnabled(bool enabled) {
+  g_enabled_state.store(enabled ? 1 : 0, std::memory_order_release);
+  if (!enabled) Trim();
+}
+
+size_t BufferPool::BucketCapacity(size_t bytes) {
+  if (bytes == 0) return 0;
+  const int idx = BucketIndex(bytes);
+  return idx < 0 ? bytes : BucketBytes(idx);
+}
+
+void* BufferPool::Acquire(size_t bytes) {
+  if (bytes == 0) return nullptr;
+  g_acquires.fetch_add(1, std::memory_order_relaxed);
+  const int idx = BucketIndex(bytes);
+  if (idx < 0) return HeapAlloc(bytes);
+  const size_t cap = BucketBytes(idx);
+  if (Enabled()) {
+    if (TlsCache* cache = Cache()) {
+      auto& list = cache->free_lists[idx];
+      if (!list.empty()) {
+        void* p = list.back();
+        list.pop_back();
+        g_hits.fetch_add(1, std::memory_order_relaxed);
+        return p;
+      }
+    }
+    GlobalPool& global = Global();
+    std::lock_guard<std::mutex> lock(global.mu);
+    auto& list = global.free_lists[idx];
+    if (!list.empty()) {
+      void* p = list.back();
+      list.pop_back();
+      g_hits.fetch_add(1, std::memory_order_relaxed);
+      return p;
+    }
+  }
+  return HeapAlloc(cap);
+}
+
+void BufferPool::Release(void* p, size_t bytes) {
+  if (p == nullptr) return;
+  g_releases.fetch_add(1, std::memory_order_relaxed);
+  const int idx = BucketIndex(bytes);
+  if (idx >= 0 && Enabled()) {
+    if (TlsCache* cache = Cache()) {
+      auto& list = cache->free_lists[idx];
+      if (list.size() < kTlsBucketCap) {
+        list.push_back(p);
+        return;
+      }
+    }
+    GlobalPool& global = Global();
+    std::lock_guard<std::mutex> lock(global.mu);
+    global.free_lists[idx].push_back(p);
+    return;
+  }
+  ::operator delete(p);
+}
+
+void BufferPool::Trim() {
+  if (TlsCache* cache = Cache()) {
+    for (auto& list : cache->free_lists) {
+      for (void* p : list) ::operator delete(p);
+      list.clear();
+    }
+  }
+  GlobalPool& global = Global();
+  std::lock_guard<std::mutex> lock(global.mu);
+  for (auto& list : global.free_lists) {
+    for (void* p : list) ::operator delete(p);
+    list.clear();
+  }
+}
+
+MemStatsSnapshot BufferPool::Stats() {
+  MemStatsSnapshot s;
+  s.acquires = g_acquires.load(std::memory_order_relaxed);
+  s.hits = g_hits.load(std::memory_order_relaxed);
+  s.heap_allocs = g_heap_allocs.load(std::memory_order_relaxed);
+  s.heap_bytes = g_heap_bytes.load(std::memory_order_relaxed);
+  s.releases = g_releases.load(std::memory_order_relaxed);
+  return s;
+}
+
+void BufferPool::ResetStats() {
+  g_acquires.store(0, std::memory_order_relaxed);
+  g_hits.store(0, std::memory_order_relaxed);
+  g_heap_allocs.store(0, std::memory_order_relaxed);
+  g_heap_bytes.store(0, std::memory_order_relaxed);
+  g_releases.store(0, std::memory_order_relaxed);
+}
+
+bool MemStatsRequested() {
+  static const bool requested = [] {
+    const char* v = std::getenv("UV_MEM_STATS");
+    return v != nullptr && !(v[0] == '0' && v[1] == '\0');
+  }();
+  return requested;
+}
+
+}  // namespace uv

@@ -1,0 +1,71 @@
+#ifndef UV_UTIL_BUFFER_POOL_H_
+#define UV_UTIL_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace uv {
+
+// Point-in-time view of the allocation counters (summed over all threads).
+// heap_allocs counts slabs obtained from the system allocator — the only
+// allocations the hot path ever pays for once the pool is warm; hits are
+// acquisitions served from a free list without touching the heap.
+struct MemStatsSnapshot {
+  uint64_t acquires = 0;     // Total Acquire calls.
+  uint64_t hits = 0;         // Served from the thread or global cache.
+  uint64_t heap_allocs = 0;  // Fresh slabs from the system allocator.
+  uint64_t heap_bytes = 0;   // Bytes of those fresh slabs.
+  uint64_t releases = 0;     // Total Release calls.
+};
+
+// Process-wide recycling allocator for the compute hot path: tensor value /
+// gradient storage, autograd graph nodes, and kernel workspaces.
+//
+// Slabs are size-bucketed by the next power of two (256 B minimum) and
+// recycled through a per-thread cache backed by a mutex-protected global
+// pool, so steady-state training steps perform no heap allocation and —
+// because Acquire never touches the returned bytes — no redundant zero
+// fill. Callers own the zeroing contract: anything that must start at
+// zero (Tensor(r, c), EnsureGrad) clears the slab explicitly, so results
+// are bit-identical whether a slab is fresh or recycled, pool on or off.
+//
+// UV_POOL=0 (or SetEnabled(false)) disables caching: every Acquire goes to
+// the system allocator and every Release frees, which keeps the identical
+// bucket-rounded capacities so the two modes can be toggled mid-process.
+class BufferPool {
+ public:
+  // Returns a slab of at least `bytes` bytes with unspecified contents
+  // (nullptr when bytes == 0). The slab's capacity is the bucket-rounded
+  // size, so any future Acquire/Release with a byte count that rounds to
+  // the same bucket may reuse it.
+  static void* Acquire(size_t bytes);
+
+  // Returns a slab previously obtained from Acquire(bytes') where bytes'
+  // rounds to the same bucket as `bytes`. No-op for nullptr.
+  static void Release(void* p, size_t bytes);
+
+  // Bucket-rounded capacity for a request of `bytes` (what Acquire really
+  // hands out). Exposed so Tensor can grow in place within one bucket.
+  static size_t BucketCapacity(size_t bytes);
+
+  // Whether acquisitions are served from the recycling caches. Initialized
+  // from UV_POOL (anything but "0" enables) on first use.
+  static bool Enabled();
+  // Programmatic override for tests/benchmarks; drops all cached slabs
+  // when disabling so toggling never strands memory.
+  static void SetEnabled(bool enabled);
+
+  // Frees every cached slab (this thread's cache and the global pool).
+  static void Trim();
+
+  static MemStatsSnapshot Stats();
+  static void ResetStats();
+};
+
+// True when UV_MEM_STATS is set to a non-"0" value: benchmarks and the
+// evaluation runner print allocation counters alongside timings.
+bool MemStatsRequested();
+
+}  // namespace uv
+
+#endif  // UV_UTIL_BUFFER_POOL_H_

@@ -44,13 +44,12 @@ ThreadPool::~ThreadPool() {
 bool ThreadPool::InParallelRegion() { return tls_region_depth > 0; }
 
 void ThreadPool::RunChunksInline(int64_t num_chunks,
-                                 const std::function<void(int64_t)>& fn) {
+                                 FunctionRef<void(int64_t)> fn) {
   RegionScope scope;
   for (int64_t c = 0; c < num_chunks; ++c) fn(c);
 }
 
-void ThreadPool::RunChunks(int64_t num_chunks,
-                           const std::function<void(int64_t)>& fn) {
+void ThreadPool::RunChunks(int64_t num_chunks, FunctionRef<void(int64_t)> fn) {
   if (num_chunks <= 0) return;
   // Nested submission (a kernel inside a fold job, a fold job inside an
   // outer region, ...) runs inline: the outer region already owns the
@@ -109,7 +108,7 @@ void ThreadPool::RunChunks(int64_t num_chunks,
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    const std::function<void(int64_t)>* fn = nullptr;
+    const FunctionRef<void(int64_t)>* fn = nullptr;
     int64_t c = -1;
     {
       std::unique_lock<std::mutex> lock(mu_);
@@ -166,7 +165,7 @@ void ThreadPool::SetGlobalThreads(int num_threads) {
 }
 
 void ParallelFor(int64_t begin, int64_t end, int64_t grain,
-                 const std::function<void(int64_t, int64_t)>& fn) {
+                 FunctionRef<void(int64_t, int64_t)> fn) {
   if (end <= begin) return;
   UV_CHECK_GE(grain, 1);
   const int64_t total = end - begin;

@@ -3,12 +3,44 @@
 
 #include <condition_variable>
 #include <cstdint>
-#include <functional>
 #include <mutex>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace uv {
+
+// Non-owning reference to a callable, used instead of std::function on the
+// parallel-kernel hot path: binding a capturing lambda to std::function
+// heap-allocates its closure on almost every call, while a FunctionRef is
+// two words on the stack. The referenced callable must outlive every call
+// through the ref — RunChunks/ParallelFor only invoke it before returning,
+// so passing a temporary lambda at the call site is safe.
+template <typename Sig>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, FunctionRef>>>
+  FunctionRef(F&& f)  // NOLINT(runtime/explicit)
+      : obj_(const_cast<void*>(static_cast<const void*>(&f))),
+        fn_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return fn_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*fn_)(void*, Args...);
+};
 
 // Persistent worker pool behind every parallel kernel in the library.
 //
@@ -35,7 +67,7 @@ class ThreadPool {
   // freely compose with fold-level parallelism without deadlock). The
   // first exception thrown by a chunk is rethrown on the calling thread
   // after the region drains.
-  void RunChunks(int64_t num_chunks, const std::function<void(int64_t)>& fn);
+  void RunChunks(int64_t num_chunks, FunctionRef<void(int64_t)> fn);
 
   // True while the current thread is executing a chunk (worker or caller).
   static bool InParallelRegion();
@@ -53,8 +85,7 @@ class ThreadPool {
 
  private:
   void WorkerLoop();
-  void RunChunksInline(int64_t num_chunks,
-                       const std::function<void(int64_t)>& fn);
+  void RunChunksInline(int64_t num_chunks, FunctionRef<void(int64_t)> fn);
 
   std::vector<std::thread> workers_;
 
@@ -71,7 +102,7 @@ class ThreadPool {
   int64_t next_chunk_ = 0;
   int64_t claimed_chunks_ = 0;
   int64_t done_chunks_ = 0;
-  const std::function<void(int64_t)>* chunk_fn_ = nullptr;
+  const FunctionRef<void(int64_t)>* chunk_fn_ = nullptr;
   std::exception_ptr first_error_;
 };
 
@@ -81,7 +112,7 @@ class ThreadPool {
 // determinism contract above for free. grain must be >= 1. Ranges smaller
 // than one grain run inline on the calling thread.
 void ParallelFor(int64_t begin, int64_t end, int64_t grain,
-                 const std::function<void(int64_t, int64_t)>& fn);
+                 FunctionRef<void(int64_t, int64_t)> fn);
 
 }  // namespace uv
 

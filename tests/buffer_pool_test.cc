@@ -1,0 +1,199 @@
+// Exercises the BufferPool recycling contract: bucket-rounded reuse, the
+// explicit-zeroing split between Tensor(r, c) and Tensor::Uninit, slab
+// migration across threads, the UV_POOL=0 escape hatch, in-place
+// ResizeUninit, and the allocation counters.
+
+#include "util/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace uv {
+namespace {
+
+// Every case starts from an empty, enabled pool with zeroed counters and
+// restores the process-wide enabled state afterwards, so the suite composes
+// with the UV_POOL env override and with any test ordering.
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = BufferPool::Enabled();
+    BufferPool::SetEnabled(true);
+    BufferPool::Trim();
+    BufferPool::ResetStats();
+  }
+  void TearDown() override {
+    BufferPool::Trim();
+    BufferPool::SetEnabled(was_enabled_);
+  }
+
+ private:
+  bool was_enabled_ = false;
+};
+
+TEST_F(BufferPoolTest, BucketCapacityRounding) {
+  EXPECT_EQ(BufferPool::BucketCapacity(0), 0u);
+  EXPECT_EQ(BufferPool::BucketCapacity(1), 256u);
+  EXPECT_EQ(BufferPool::BucketCapacity(256), 256u);
+  EXPECT_EQ(BufferPool::BucketCapacity(257), 512u);
+  EXPECT_EQ(BufferPool::BucketCapacity(4096), 4096u);
+  EXPECT_EQ(BufferPool::BucketCapacity(4097), 8192u);
+  // Jumbo requests (beyond the largest bucket) pass through unrounded.
+  const size_t jumbo = (size_t{1} << 30) + 1;
+  EXPECT_EQ(BufferPool::BucketCapacity(jumbo), jumbo);
+}
+
+TEST_F(BufferPoolTest, ReleasedSlabIsReusedForSameBucket) {
+  void* first = BufferPool::Acquire(1000);
+  ASSERT_NE(first, nullptr);
+  BufferPool::Release(first, 1000);
+  // 900 rounds to the same 1024-byte bucket as 1000 → same slab comes back.
+  void* second = BufferPool::Acquire(900);
+  EXPECT_EQ(second, first);
+  BufferPool::Release(second, 900);
+
+  const MemStatsSnapshot s = BufferPool::Stats();
+  EXPECT_EQ(s.acquires, 2u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.heap_allocs, 1u);
+  EXPECT_EQ(s.releases, 2u);
+}
+
+TEST_F(BufferPoolTest, DifferentBucketMisses) {
+  void* small = BufferPool::Acquire(300);
+  BufferPool::Release(small, 300);
+  // 5000 rounds to 8192, not 512 — the cached slab must not be handed out.
+  void* large = BufferPool::Acquire(5000);
+  EXPECT_NE(large, small);
+  BufferPool::Release(large, 5000);
+  EXPECT_EQ(BufferPool::Stats().hits, 0u);
+}
+
+TEST_F(BufferPoolTest, ZeroFilledTensorIsZeroOnRecycledSlab) {
+  // Dirty a slab through one tensor, then construct a zero-contract tensor
+  // of the same bucket: it must read all zeros even though Acquire itself
+  // never clears bytes.
+  const int rows = 16, cols = 16;
+  {
+    Tensor dirty = Tensor::Uninit(rows, cols);
+    for (int64_t i = 0; i < dirty.size(); ++i) dirty[i] = -7.5f;
+  }
+  Tensor zeroed(rows, cols);
+  for (int64_t i = 0; i < zeroed.size(); ++i) {
+    ASSERT_EQ(zeroed[i], 0.0f) << "element " << i;
+  }
+}
+
+TEST_F(BufferPoolTest, UninitTensorHasShapeButNoContract) {
+  Tensor t = Tensor::Uninit(7, 9);
+  EXPECT_EQ(t.rows(), 7);
+  EXPECT_EQ(t.cols(), 9);
+  ASSERT_NE(t.data(), nullptr);
+  // Contents are unspecified; the only requirement is that writes stick.
+  t.Fill(3.0f);
+  EXPECT_EQ(t.at(6, 8), 3.0f);
+}
+
+TEST_F(BufferPoolTest, ResizeUninitReusesSlabWithinBucket) {
+  Tensor t = Tensor::Uninit(10, 10);  // 400 B → 512-byte bucket.
+  const float* slab = t.data();
+  t.ResizeUninit(8, 16);  // 512 B → same bucket, same slab.
+  EXPECT_EQ(t.data(), slab);
+  EXPECT_EQ(t.rows(), 8);
+  EXPECT_EQ(t.cols(), 16);
+  t.ResizeUninit(100, 100);  // 40 KB → different bucket, new slab.
+  EXPECT_EQ(t.rows(), 100);
+  EXPECT_EQ(t.cols(), 100);
+  t.Fill(1.0f);
+  EXPECT_EQ(t.at(99, 99), 1.0f);
+}
+
+TEST_F(BufferPoolTest, SlabsMigrateAcrossThreads) {
+  // Release on a worker thread, acquire on this thread: the slab must be
+  // reachable (via the global pool) rather than stranded or double-freed.
+  constexpr size_t kBytes = 1 << 20;  // Above the TLS cap path's noise.
+  std::vector<void*> released;
+  std::thread producer([&] {
+    // Overflow the per-thread cache so slabs provably spill to the global
+    // pool, then let thread teardown flush the rest.
+    for (int i = 0; i < 12; ++i) {
+      released.push_back(BufferPool::Acquire(kBytes));
+    }
+    for (void* p : released) BufferPool::Release(p, kBytes);
+  });
+  producer.join();
+
+  BufferPool::ResetStats();
+  std::vector<void*> got;
+  for (int i = 0; i < 12; ++i) got.push_back(BufferPool::Acquire(kBytes));
+  EXPECT_EQ(BufferPool::Stats().hits, 12u);
+  for (void* p : got) {
+    EXPECT_NE(std::find(released.begin(), released.end(), p),
+              released.end());
+    BufferPool::Release(p, kBytes);
+  }
+}
+
+TEST_F(BufferPoolTest, DisabledPoolBypassesCaches) {
+  BufferPool::SetEnabled(false);
+  BufferPool::ResetStats();
+  void* a = BufferPool::Acquire(1024);
+  BufferPool::Release(a, 1024);
+  void* b = BufferPool::Acquire(1024);
+  BufferPool::Release(b, 1024);
+  const MemStatsSnapshot s = BufferPool::Stats();
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_EQ(s.heap_allocs, 2u);
+  // Capacities stay bucket-rounded in both modes, so tensors built with the
+  // pool off interoperate with a later re-enable.
+  EXPECT_EQ(BufferPool::BucketCapacity(1000), 1024u);
+  BufferPool::SetEnabled(true);
+  Tensor t(33, 17);
+  EXPECT_EQ(t.Sum(), 0.0);
+}
+
+TEST_F(BufferPoolTest, TensorResultsIdenticalPoolOnAndOff) {
+  // The zeroing contract, not the allocator, defines tensor contents:
+  // the same construction sequence yields bit-identical values either way.
+  auto build = [] {
+    Tensor a(5, 6);
+    for (int64_t i = 0; i < a.size(); ++i) a[i] = static_cast<float>(i) * 0.5f;
+    Tensor b = a;       // copy
+    Tensor c(5, 6);     // zeros
+    for (int64_t i = 0; i < c.size(); ++i) c[i] = b[i] - a[i];
+    return c;
+  };
+  const Tensor with_pool = build();
+  BufferPool::SetEnabled(false);
+  const Tensor without_pool = build();
+  BufferPool::SetEnabled(true);
+  ASSERT_TRUE(with_pool.SameShape(without_pool));
+  EXPECT_EQ(std::memcmp(with_pool.data(), without_pool.data(),
+                        static_cast<size_t>(with_pool.size()) * sizeof(float)),
+            0);
+}
+
+TEST_F(BufferPoolTest, StatsCountersBalance) {
+  {
+    Tensor a(64, 64);
+    Tensor b = Tensor::Uninit(32, 32);
+    b.Fill(2.0f);
+  }
+  const MemStatsSnapshot s = BufferPool::Stats();
+  EXPECT_EQ(s.acquires, s.releases);  // Every tensor above was destroyed.
+  EXPECT_GE(s.acquires, 2u);
+  EXPECT_GT(s.heap_bytes, 0u);
+  BufferPool::ResetStats();
+  const MemStatsSnapshot z = BufferPool::Stats();
+  EXPECT_EQ(z.acquires, 0u);
+  EXPECT_EQ(z.heap_allocs, 0u);
+}
+
+}  // namespace
+}  // namespace uv

@@ -16,6 +16,7 @@
 #include "eval/runner.h"
 #include "tensor/tensor_ops.h"
 #include "test_helpers.h"
+#include "util/buffer_pool.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -205,6 +206,83 @@ TEST(ParallelDeterminismTest, RunCrossValidationMetricsBitIdentical) {
   EXPECT_EQ(serial.num_parameters, parallel.num_parameters);
   EXPECT_GT(parallel.num_parameters, 0);
   EXPECT_GT(parallel.wall_seconds, 0.0);
+}
+
+// The BufferPool must be invisible to numerics: a recycled slab only ever
+// reaches code that either zeroes it (Tensor(r, c), EnsureGrad) or fully
+// overwrites it (Tensor::Uninit call sites), so metrics are bit-identical
+// across pool on/off crossed with every thread count. This is the
+// end-to-end check that no Uninit call site reads unwritten bytes.
+TEST(ParallelDeterminismTest, PoolOnOffTimesThreadsMetricsBitIdentical) {
+  const urg::UrbanRegionGraph urg = uv::testing::TinyUrg();
+  std::function<eval::RunStats()> run = [&] {
+    eval::RunnerOptions options;
+    options.num_folds = 3;
+    options.num_runs = 1;
+    options.block_size = 8;
+    options.seed = 77;
+    return eval::RunCrossValidation(
+        urg,
+        [](uint64_t seed) {
+          baselines::TrainOptions train;
+          train.epochs = 6;
+          train.seed = seed;
+          core::CmsfConfig cmsf;
+          cmsf.hidden_dim = 16;
+          cmsf.num_clusters = 8;
+          return baselines::MakeDetector("CMSF", train, cmsf);
+        },
+        options);
+  };
+  const bool was_enabled = BufferPool::Enabled();
+  std::vector<eval::RunStats> results;
+  for (const bool pool_on : {true, false}) {
+    BufferPool::SetEnabled(pool_on);
+    for (const int threads : {1, 4}) {
+      results.push_back(WithThreads(threads, run));
+    }
+  }
+  BufferPool::SetEnabled(was_enabled);
+  const eval::RunStats& ref = results.front();
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(ref.auc.mean, results[i].auc.mean) << "config " << i;
+    EXPECT_EQ(ref.auc.std, results[i].auc.std) << "config " << i;
+    EXPECT_EQ(ref.f13.mean, results[i].f13.mean) << "config " << i;
+    EXPECT_EQ(ref.f15.mean, results[i].f15.mean) << "config " << i;
+    EXPECT_EQ(ref.recall3.mean, results[i].recall3.mean) << "config " << i;
+    EXPECT_EQ(ref.precision3.mean, results[i].precision3.mean)
+        << "config " << i;
+  }
+}
+
+// Kernel-level pool parity: the same forward/backward graph produces
+// bit-identical tensors with recycling on and off (dirty slabs included —
+// the first pool-on pass leaves used slabs behind for the second).
+TEST(ParallelDeterminismTest, KernelResultsPoolOnOffBitIdentical) {
+  const ag::Conv2dSpec spec{3, 10, 10, 6, 3, 1, 1};
+  const Tensor x0 = RandomTensor(10, 3 * 10 * 10, 61);
+  const Tensor w0 = RandomTensor(6, 3 * 9, 62);
+  const Tensor b0 = RandomTensor(1, 6, 63);
+  auto run = [&] {
+    auto x = ag::MakeParam(x0);
+    auto w = ag::MakeParam(w0);
+    auto b = ag::MakeParam(b0);
+    auto y = ag::Conv2d(x, w, b, spec);
+    ag::Backward(ag::SumAll(ag::Mul(y, y)));
+    return ConvResult{y->value, x->grad, w->grad, b->grad};
+  };
+  const bool was_enabled = BufferPool::Enabled();
+  BufferPool::SetEnabled(true);
+  const ConvResult warm = run();  // Dirties pool slabs.
+  const ConvResult pooled = run();
+  BufferPool::SetEnabled(false);
+  const ConvResult unpooled = run();
+  BufferPool::SetEnabled(was_enabled);
+  ExpectBitIdentical(warm.y, pooled.y);
+  ExpectBitIdentical(pooled.y, unpooled.y);
+  ExpectBitIdentical(pooled.gx, unpooled.gx);
+  ExpectBitIdentical(pooled.gw, unpooled.gw);
+  ExpectBitIdentical(pooled.gb, unpooled.gb);
 }
 
 }  // namespace
