@@ -7,6 +7,7 @@
 #include <map>
 
 #include "bench_common.h"
+#include "eval/metrics.h"
 #include "eval/splits.h"
 #include "util/buffer_pool.h"
 #include "util/table.h"
@@ -70,6 +71,9 @@ int main() {
           stats.train_seconds_per_epoch * bench.epochs +
           stats.inference_seconds;
       stats.num_parameters = detector->NumParameters();
+      const std::vector<double> epochs = detector->EpochSecondsHistory();
+      stats.epoch_seconds_p50 = uv::eval::Percentile(epochs, 50.0);
+      stats.epoch_seconds_p95 = uv::eval::Percentile(epochs, 95.0);
       results[method][city] = stats;
       std::fprintf(stderr, "[table3] %s/%s done\n", city.c_str(),
                    method.c_str());
@@ -78,7 +82,8 @@ int main() {
 
   uv::TextTable table({"Method", "Train(s) SZ", "Train(s) FZ", "Infer(s) SZ",
                        "Infer(s) FZ", "Wall(s) SZ", "Summed(s) SZ",
-                       "Size(MB)", "paper:Train SZ", "paper:Size(MB)"});
+                       "Ep p50 SZ", "Ep p95 SZ", "Size(MB)", "paper:Train SZ",
+                       "paper:Size(MB)"});
   for (const auto& method : uv::baselines::AllDetectorNames()) {
     const auto& sz = results[method]["Shenzhen"];
     const auto& fz = results[method]["Fuzhou"];
@@ -90,6 +95,8 @@ int main() {
                   uv::FormatDouble(fz.inference_seconds, 4),
                   uv::FormatDouble(sz.wall_seconds, 4),
                   uv::FormatDouble(sz.summed_job_seconds, 4),
+                  uv::FormatDouble(sz.epoch_seconds_p50, 4),
+                  uv::FormatDouble(sz.epoch_seconds_p95, 4),
                   uv::FormatDouble(mb, 3),
                   uv::FormatDouble(paper.train_sz, 3),
                   uv::FormatDouble(paper.size_mb, 3)});
@@ -105,19 +112,7 @@ int main() {
       "(train_s/epoch x epochs + infer). A gap between them is untimed\n"
       "setup work, not a reporting error in either column.\n");
   if (uv::MemStatsRequested()) {
-    const uv::MemStatsSnapshot m = uv::BufferPool::Stats();
-    std::printf(
-        "\n[mem] pool %s: acquires=%llu hits=%llu (%.1f%%) heap_allocs=%llu "
-        "heap_bytes=%.1fMB releases=%llu\n",
-        uv::BufferPool::Enabled() ? "on" : "off",
-        static_cast<unsigned long long>(m.acquires),
-        static_cast<unsigned long long>(m.hits),
-        m.acquires > 0 ? 100.0 * static_cast<double>(m.hits) /
-                             static_cast<double>(m.acquires)
-                       : 0.0,
-        static_cast<unsigned long long>(m.heap_allocs),
-        static_cast<double>(m.heap_bytes) / (1024.0 * 1024.0),
-        static_cast<unsigned long long>(m.releases));
+    std::printf("\n%s\n", uv::FormatMemStats(uv::BufferPool::Stats()).c_str());
   }
   return 0;
 }

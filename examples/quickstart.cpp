@@ -11,6 +11,8 @@
 #include "core/cmsf_detector.h"
 #include "eval/metrics.h"
 #include "eval/splits.h"
+#include "obs/metrics_log.h"
+#include "obs/trace.h"
 #include "synth/city.h"
 #include "urg/urban_region_graph.h"
 #include "util/logging.h"
@@ -40,15 +42,23 @@ int main(int argc, char** argv) {
   }
 
   // 4. Train CMSF: master stage (Algorithm 1) + slave stage (Algorithm 2).
+  //    The fold span + scope make UV_TRACE / UV_METRICS output match the
+  //    cross-validation runner's shape (set the env vars to capture them).
   uv::core::CmsfConfig cmsf;
   cmsf.num_clusters = 30;
   cmsf.master_epochs = 80;
   cmsf.slave_epochs = 20;
   uv::core::CmsfDetector detector(cmsf);
-  detector.Train(urg, fold.train_ids, train_labels);
+  std::vector<float> scores;
+  {
+    uv::obs::SpanGuard fold_span("fold", uv::obs::SpanLevel::kCoarse, "run",
+                                 0, "fold", 0);
+    uv::obs::FoldScope fold_scope(/*run=*/0, /*fold=*/0);
+    detector.Train(urg, fold.train_ids, train_labels);
 
-  // 5. Score the held-out regions and report the paper's metrics.
-  const std::vector<float> scores = detector.Score(urg, fold.test_ids);
+    // 5. Score the held-out regions and report the paper's metrics.
+    scores = detector.Score(urg, fold.test_ids);
+  }
   std::vector<int> test_labels(fold.test_ids.size());
   for (size_t i = 0; i < fold.test_ids.size(); ++i) {
     test_labels[i] = urg.labels[fold.test_ids[i]];

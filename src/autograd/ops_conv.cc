@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "autograd/ops.h"
+#include "obs/trace.h"
 #include "tensor/tensor_ops.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
@@ -20,6 +21,7 @@ constexpr int64_t kConvImageGrain = 4;
 
 // Unpacks one CHW image row into the im2col matrix: (in_c*k*k) x (oh*ow).
 void Im2Col(const float* img, const Conv2dSpec& s, Tensor* col) {
+  obs::SpanGuard span("im2col", obs::SpanLevel::kFine);
   const int oh = s.out_h(), ow = s.out_w();
   for (int c = 0; c < s.in_channels; ++c) {
     const float* plane = img + static_cast<size_t>(c) * s.in_h * s.in_w;
@@ -81,6 +83,7 @@ VarPtr Conv2d(const VarPtr& x, const VarPtr& w, const VarPtr& b,
 
   const int n = x->rows();
   Tensor out = Tensor::Uninit(n, spec.out_channels * oh * ow);
+  obs::SpanGuard fwd_span("conv2d_fwd", obs::SpanLevel::kFine, "batch", n);
   // Each image is independent and writes its own output row. The im2col /
   // product scratch persists per worker thread across chunks and steps
   // (Im2Col and the beta=0 Gemm overwrite every element, so reuse is
@@ -108,6 +111,8 @@ VarPtr Conv2d(const VarPtr& x, const VarPtr& w, const VarPtr& b,
       std::move(out), {x, w, b},
       [xv, wv, bv, spec, patch, oh, ow](Variable* self) {
         const int n = xv->rows();
+        obs::SpanGuard bwd_span("conv2d_bwd", obs::SpanLevel::kFine, "batch",
+                                n);
         Tensor* gx = xv->requires_grad ? &xv->EnsureGrad() : nullptr;
         Tensor* gw = wv->requires_grad ? &wv->EnsureGrad() : nullptr;
         Tensor* gb = bv->requires_grad ? &bv->EnsureGrad() : nullptr;

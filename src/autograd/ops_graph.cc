@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "autograd/ops.h"
+#include "obs/trace.h"
 #include "tensor/tensor_ops.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
@@ -88,7 +89,11 @@ std::shared_ptr<const DestIndex> CachedDestIndex(
 
 VarPtr GatherRows(const VarPtr& x,
                   const std::shared_ptr<const std::vector<int>>& indices) {
-  Tensor out = uv::GatherRows(x->value, *indices);
+  Tensor out = [&] {
+    obs::SpanGuard span("gather_rows", obs::SpanLevel::kFine, "rows",
+                        static_cast<int64_t>(indices->size()));
+    return uv::GatherRows(x->value, *indices);
+  }();
   VarPtr xv = x;
   // The backward scatter can hit the same source row from many gathered
   // rows; partition it by destination so workers never share a row. The
@@ -99,6 +104,8 @@ VarPtr GatherRows(const VarPtr& x,
       std::move(out), {x},
       [xv, dest](Variable* self) {
         if (!xv->requires_grad) return;
+        obs::SpanGuard span("scatter_add", obs::SpanLevel::kFine, "rows",
+                            xv->rows());
         Tensor& gx = xv->EnsureGrad();
         const int cols = self->grad.cols();
         ParallelFor(0, gx.rows(), kRowGrain, [&](int64_t r0, int64_t r1) {
@@ -127,6 +134,8 @@ VarPtr SegmentSoftmax(const VarPtr& scores,
   UV_CHECK_EQ(off.back(), scores->rows());
 
   Tensor out = Tensor::Uninit(scores->rows(), 1);
+  obs::SpanGuard fwd_span("segment_softmax", obs::SpanLevel::kFine,
+                          "segments", num_segments);
   const float* s = scores->value.data();
   float* o = out.data();
   ParallelFor(0, num_segments, kSegmentGrain, [&](int64_t s0, int64_t s1) {
@@ -185,6 +194,8 @@ VarPtr SegmentWeightedSum(
   const int d = feats->cols();
 
   Tensor out(num_segments, d);
+  obs::SpanGuard fwd_span("segment_weighted_sum", obs::SpanLevel::kFine,
+                          "segments", num_segments);
   const float* a = alpha->value.data();
   ParallelFor(0, num_segments, kSegmentGrain, [&](int64_t s0, int64_t s1) {
     for (int64_t i = s0; i < s1; ++i) {
@@ -247,6 +258,8 @@ VarPtr SegmentSumByIds(const VarPtr& x,
   // segment, matching the serial scatter's accumulation order exactly.
   const auto dest = CachedDestIndex(seg_ids, num_segments);
   Tensor out(num_segments, x->cols());
+  obs::SpanGuard fwd_span("segment_sum", obs::SpanLevel::kFine, "segments",
+                          num_segments);
   const int cols = x->cols();
   ParallelFor(0, num_segments, kSegmentGrain, [&](int64_t k0, int64_t k1) {
     for (int64_t k = k0; k < k1; ++k) {
@@ -264,6 +277,8 @@ VarPtr SegmentSumByIds(const VarPtr& x,
       std::move(out), {x},
       [xv, seg_ids](Variable* self) {
         if (!xv->requires_grad) return;
+        obs::SpanGuard span("scatter_add", obs::SpanLevel::kFine, "rows",
+                            xv->rows());
         Tensor& gx = xv->EnsureGrad();
         const auto& ids = *seg_ids;
         ParallelFor(0, gx.rows(), kRowGrain, [&](int64_t r0, int64_t r1) {

@@ -12,6 +12,16 @@ int64_t Optimizer::NumParameters() const {
   return total;
 }
 
+double GlobalGradNorm(const std::vector<VarPtr>& params) {
+  double norm_sq = 0.0;
+  for (const auto& p : params) {
+    if (p->grad.empty()) continue;
+    const double n = p->grad.Norm();
+    norm_sq += n * n;
+  }
+  return std::sqrt(norm_sq);
+}
+
 AdamOptimizer::AdamOptimizer(std::vector<VarPtr> params,
                              const Options& options)
     : Optimizer(std::move(params)),
@@ -29,13 +39,7 @@ void AdamOptimizer::Step() {
   ++step_count_;
   double scale = 1.0;
   if (options_.clip_norm > 0.0) {
-    double norm_sq = 0.0;
-    for (const auto& p : params_) {
-      if (p->grad.empty()) continue;
-      const double n = p->grad.Norm();
-      norm_sq += n * n;
-    }
-    const double norm = std::sqrt(norm_sq);
+    const double norm = GlobalGradNorm(params_);
     if (norm > options_.clip_norm) scale = options_.clip_norm / norm;
   }
   const double bias1 = 1.0 - std::pow(options_.beta1, step_count_);

@@ -36,6 +36,11 @@ class Optimizer {
   std::vector<VarPtr> params_;
 };
 
+// L2 norm over every parameter's accumulated gradient (empty grads count
+// as zero). The exact accumulation AdamOptimizer's clip-norm uses, exposed
+// so observability sinks report the same number the update saw.
+double GlobalGradNorm(const std::vector<VarPtr>& params);
+
 // Adam (Kingma & Ba) with optional gradient clipping by global norm.
 class AdamOptimizer : public Optimizer {
  public:

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "autograd/graph_arena.h"
+#include "obs/trace.h"
 #include "tensor/tensor_ops.h"
 #include "util/check.h"
 
@@ -69,6 +70,7 @@ void Backward(const VarPtr& loss) {
   UV_CHECK(loss != nullptr);
   UV_CHECK_EQ(loss->value.rows(), 1);
   UV_CHECK_EQ(loss->value.cols(), 1);
+  obs::SpanGuard span("backward", obs::SpanLevel::kCoarse);
 
   // Iterative post-order DFS to get a topological order of the subgraph of
   // nodes that require gradients. Visited-tracking uses a process-unique

@@ -1,7 +1,10 @@
 #include "baselines/common.h"
 
 #include <cmath>
+#include <numeric>
 
+#include "obs/metrics_log.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/timer.h"
 
@@ -9,16 +12,36 @@ namespace uv::baselines {
 
 double TrainLoop(ag::Optimizer* optimizer, int epochs,
                  double lr_decay_per_epoch,
-                 const std::function<ag::VarPtr()>& build_loss) {
-  WallTimer timer;
+                 const std::function<ag::VarPtr()>& build_loss,
+                 std::vector<double>* epoch_seconds, const char* stage) {
+  double total = 0.0;
   for (int epoch = 0; epoch < epochs; ++epoch) {
+    obs::SpanGuard epoch_span("epoch", obs::SpanLevel::kCoarse, "epoch",
+                              epoch);
+    WallTimer epoch_timer;
     optimizer->ZeroGradients();
     ag::VarPtr loss = build_loss();
+    const double loss_value = loss->value.at(0, 0);
     ag::Backward(loss);
+    const double grad_norm = obs::MetricsLogEnabled()
+                                 ? ag::GlobalGradNorm(optimizer->params())
+                                 : 0.0;
     optimizer->Step();
+    const double lr = optimizer->learning_rate();
     optimizer->DecayLearningRate(lr_decay_per_epoch);
+    const double seconds = epoch_timer.Seconds();
+    total += seconds;
+    if (epoch_seconds != nullptr) epoch_seconds->push_back(seconds);
+    obs::MetricsRecord("epoch")
+        .Str("stage", stage)
+        .Int("epoch", epoch)
+        .Num("loss", loss_value)
+        .Num("grad_norm", grad_norm)
+        .Num("lr", lr)
+        .Num("seconds", seconds)
+        .Emit();
   }
-  return epochs > 0 ? timer.Seconds() / epochs : 0.0;
+  return epochs > 0 ? total / epochs : 0.0;
 }
 
 ag::VarPtr GatherConstRows(const Tensor& features,

@@ -24,10 +24,16 @@ struct TrainOptions {
 };
 
 // Runs a standard epoch loop: zero grads -> build_loss -> backward -> step.
-// Returns mean wall-clock seconds per epoch.
+// Returns mean wall-clock seconds per epoch. When epoch_seconds is non-null
+// the per-epoch wall times are appended to it (in epoch order) so callers
+// can report percentiles. Each epoch is traced as an "epoch" span and — when
+// a UV_METRICS log is live — emitted as a JSONL record tagged with `stage`
+// (the detector name by convention).
 double TrainLoop(ag::Optimizer* optimizer, int epochs,
                  double lr_decay_per_epoch,
-                 const std::function<ag::VarPtr()>& build_loss);
+                 const std::function<ag::VarPtr()>& build_loss,
+                 std::vector<double>* epoch_seconds = nullptr,
+                 const char* stage = "train");
 
 // Copies the given rows of a feature matrix into a constant variable.
 ag::VarPtr GatherConstRows(const Tensor& features,

@@ -68,7 +68,7 @@ void GatBaseline::Train(const urg::UrbanRegionGraph& urg,
       TrainLoop(&opt, options_.epochs, options_.lr_decay_per_epoch, [&]() {
         return ag::BceWithLogits(ag::GatherRows(ForwardAll(), ids), labels,
                                  &weights);
-      });
+      }, &epoch_history_, "GAT");
 }
 
 std::vector<float> GatBaseline::Score(const urg::UrbanRegionGraph& urg,

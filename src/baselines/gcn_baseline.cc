@@ -66,7 +66,7 @@ void GcnBaseline::Train(const urg::UrbanRegionGraph& urg,
       TrainLoop(&opt, options_.epochs, options_.lr_decay_per_epoch, [&]() {
         return ag::BceWithLogits(ag::GatherRows(ForwardAll(), ids), labels,
                                  &weights);
-      });
+      }, &epoch_history_, "GCN");
 }
 
 std::vector<float> GcnBaseline::Score(const urg::UrbanRegionGraph& urg,

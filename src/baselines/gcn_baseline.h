@@ -27,6 +27,9 @@ class GcnBaseline : public eval::Detector {
                            const std::vector<int>& eval_ids) override;
   int64_t NumParameters() const override;
   double TrainSecondsPerEpoch() const override { return epoch_seconds_; }
+  std::vector<double> EpochSecondsHistory() const override {
+    return epoch_history_;
+  }
   double LastInferenceSeconds() const override { return inference_seconds_; }
 
  private:
@@ -41,6 +44,7 @@ class GcnBaseline : public eval::Detector {
   std::unique_ptr<nn::Linear> fuse_;
   std::unique_ptr<nn::Linear> head_;
   double epoch_seconds_ = 0.0;
+  std::vector<double> epoch_history_;
   double inference_seconds_ = 0.0;
 };
 

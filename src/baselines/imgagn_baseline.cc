@@ -5,6 +5,8 @@
 
 #include "autograd/ops.h"
 #include "core/cmsf_model.h"
+#include "obs/metrics_log.h"
+#include "obs/trace.h"
 #include "tensor/tensor_ops.h"
 #include "util/check.h"
 #include "util/timer.h"
@@ -150,8 +152,13 @@ void ImGagnBaseline::Train(const urg::UrbanRegionGraph& urg,
   Tensor gen_targets(num_fake, 1);  // All zeros = "real".
 
   const int outer = std::max(10, options_.epochs / 2);
-  WallTimer timer;
+  epoch_history_.clear();
+  epoch_history_.reserve(outer);
+  double gan_loss = 0.0;
   for (int epoch = 0; epoch < outer; ++epoch) {
+    obs::SpanGuard epoch_span("epoch", obs::SpanLevel::kCoarse, "epoch",
+                              epoch);
+    WallTimer epoch_timer;
     // --- Discriminator step (fake features detached). ---
     auto [w_var, fake_var] = generate(&rng);
     const nn::GraphContext ctx = build_ctx(w_var->value);
@@ -164,6 +171,7 @@ void ImGagnBaseline::Train(const urg::UrbanRegionGraph& urg,
                             uv_label_tensor, &uv_weights),
           ag::BceWithLogits(ag::GatherRows(fake_logits, fake_ids),
                             fake_label_tensor, nullptr));
+      gan_loss = loss->value.at(0, 0);
       ag::Backward(loss);
       opt_disc.Step();
     }
@@ -181,8 +189,17 @@ void ImGagnBaseline::Train(const urg::UrbanRegionGraph& urg,
     }
     opt_disc.DecayLearningRate(options_.lr_decay_per_epoch);
     opt_gen.DecayLearningRate(options_.lr_decay_per_epoch);
+    epoch_history_.push_back(epoch_timer.Seconds());
+    obs::MetricsRecord("epoch")
+        .Str("stage", "ImGAGN")
+        .Int("epoch", epoch)
+        .Num("loss", gan_loss)
+        .Num("seconds", epoch_history_.back())
+        .Emit();
   }
-  epoch_seconds_ = timer.Seconds() / outer;
+  double total = 0.0;
+  for (const double s : epoch_history_) total += s;
+  epoch_seconds_ = total / outer;
 
   // Final scores from the UV head on the *original* graph (no fakes).
   {

@@ -29,6 +29,9 @@ class ImGagnBaseline : public eval::Detector {
                            const std::vector<int>& eval_ids) override;
   int64_t NumParameters() const override;
   double TrainSecondsPerEpoch() const override { return epoch_seconds_; }
+  std::vector<double> EpochSecondsHistory() const override {
+    return epoch_history_;
+  }
   double LastInferenceSeconds() const override { return inference_seconds_; }
 
  private:
@@ -41,6 +44,7 @@ class ImGagnBaseline : public eval::Detector {
   // Final scores on all real regions after training.
   std::vector<float> scores_all_;
   double epoch_seconds_ = 0.0;
+  std::vector<double> epoch_history_;
   double inference_seconds_ = 0.0;
 };
 

@@ -47,7 +47,7 @@ void MlpBaseline::Train(const urg::UrbanRegionGraph& urg,
       TrainLoop(&opt, options_.epochs, options_.lr_decay_per_epoch, [&]() {
         return ag::BceWithLogits(ForwardRows(urg, train_ids), labels,
                                  &weights);
-      });
+      }, &epoch_history_, "MLP");
 }
 
 std::vector<float> MlpBaseline::Score(const urg::UrbanRegionGraph& urg,

@@ -24,6 +24,9 @@ class MlpBaseline : public eval::Detector {
                            const std::vector<int>& eval_ids) override;
   int64_t NumParameters() const override;
   double TrainSecondsPerEpoch() const override { return epoch_seconds_; }
+  std::vector<double> EpochSecondsHistory() const override {
+    return epoch_history_;
+  }
   double LastInferenceSeconds() const override { return inference_seconds_; }
 
  private:
@@ -35,6 +38,7 @@ class MlpBaseline : public eval::Detector {
   std::unique_ptr<nn::Linear> img_fc_;
   std::unique_ptr<nn::Linear> head_;
   double epoch_seconds_ = 0.0;
+  std::vector<double> epoch_history_;
   double inference_seconds_ = 0.0;
 };
 

@@ -135,7 +135,7 @@ void MmreBaseline::Train(const urg::UrbanRegionGraph& urg,
           loss = ag::Add(loss, ag::ScalarMul(skip_loss, kLambdaSkip));
         }
         return loss;
-      });
+      }, &epoch_history_, "MMRE-unsup");
 
   // Freeze embeddings, then train the logistic head supervised.
   embeddings_ = EmbedAll()->value;
@@ -146,7 +146,7 @@ void MmreBaseline::Train(const urg::UrbanRegionGraph& urg,
   ag::AdamOptimizer head_opt(head_->Params(), aopt);
   TrainLoop(&head_opt, options_.epochs, options_.lr_decay_per_epoch, [&]() {
     return ag::BceWithLogits(head_->Forward(train_embed), labels, &weights);
-  });
+  }, nullptr, "MMRE-head");
 }
 
 std::vector<float> MmreBaseline::Score(const urg::UrbanRegionGraph& urg,

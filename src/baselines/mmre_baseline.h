@@ -30,6 +30,9 @@ class MmreBaseline : public eval::Detector {
                            const std::vector<int>& eval_ids) override;
   int64_t NumParameters() const override;
   double TrainSecondsPerEpoch() const override { return epoch_seconds_; }
+  std::vector<double> EpochSecondsHistory() const override {
+    return epoch_history_;
+  }
   double LastInferenceSeconds() const override { return inference_seconds_; }
 
  private:
@@ -46,6 +49,7 @@ class MmreBaseline : public eval::Detector {
   std::unique_ptr<nn::Linear> head_;
   Tensor embeddings_;  // Frozen embeddings after the unsupervised phase.
   double epoch_seconds_ = 0.0;
+  std::vector<double> epoch_history_;
   double inference_seconds_ = 0.0;
 };
 

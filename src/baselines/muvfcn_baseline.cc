@@ -76,7 +76,7 @@ void MuvfcnBaseline::Train(const urg::UrbanRegionGraph& urg,
             core::MakeBceWeights(pick_labels, options_.pos_weight);
         ag::VarPtr tiles = GatherConstRows(images, pick_ids);
         return ag::BceWithLogits(ForwardTiles(tiles), labels, &weights);
-      });
+      }, &epoch_history_, "MUVFCN");
 }
 
 std::vector<float> MuvfcnBaseline::Score(const urg::UrbanRegionGraph& urg,

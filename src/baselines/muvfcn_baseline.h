@@ -26,6 +26,9 @@ class MuvfcnBaseline : public eval::Detector {
                            const std::vector<int>& eval_ids) override;
   int64_t NumParameters() const override;
   double TrainSecondsPerEpoch() const override { return epoch_seconds_; }
+  std::vector<double> EpochSecondsHistory() const override {
+    return epoch_history_;
+  }
   double LastInferenceSeconds() const override { return inference_seconds_; }
 
  private:
@@ -37,6 +40,7 @@ class MuvfcnBaseline : public eval::Detector {
   ag::VarPtr c1w_, c1b_, c2w_, c2b_, c3w_, c3b_;
   std::unique_ptr<nn::Linear> head_;
   double epoch_seconds_ = 0.0;
+  std::vector<double> epoch_history_;
   double inference_seconds_ = 0.0;
 };
 

@@ -91,7 +91,7 @@ void UvLensBaseline::Train(const urg::UrbanRegionGraph& urg,
             core::MakeBceWeights(pick_labels, options_.pos_weight);
         ag::VarPtr tiles = GatherConstRows(equalized_, pick_ids);
         return ag::BceWithLogits(ForwardTiles(tiles), labels, &weights);
-      });
+      }, &epoch_history_, "UVLens");
 }
 
 std::vector<float> UvLensBaseline::Score(const urg::UrbanRegionGraph& urg,

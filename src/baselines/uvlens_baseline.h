@@ -28,6 +28,9 @@ class UvLensBaseline : public eval::Detector {
                            const std::vector<int>& eval_ids) override;
   int64_t NumParameters() const override;
   double TrainSecondsPerEpoch() const override { return epoch_seconds_; }
+  std::vector<double> EpochSecondsHistory() const override {
+    return epoch_history_;
+  }
   double LastInferenceSeconds() const override { return inference_seconds_; }
 
  private:
@@ -40,6 +43,7 @@ class UvLensBaseline : public eval::Detector {
   ag::VarPtr conv1_w_, conv1_b_, conv2_w_, conv2_b_;
   std::unique_ptr<nn::Linear> fc1_, fc2_, fc3_, head_;
   double epoch_seconds_ = 0.0;
+  std::vector<double> epoch_history_;
   double inference_seconds_ = 0.0;
 };
 

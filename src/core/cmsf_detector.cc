@@ -18,6 +18,7 @@ void CmsfDetector::Train(const urg::UrbanRegionGraph& urg,
   // Table III reports the master stage as the training time: it dominates,
   // and the slave stage "only needs very few iterations" (paper VI-G).
   train_epoch_seconds_ = master.seconds_per_epoch;
+  epoch_seconds_ = std::move(master.epoch_seconds);
   TrainSlave(model_.get(), *inputs_, frozen_, train_ids, train_labels);
 }
 

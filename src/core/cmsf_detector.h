@@ -30,6 +30,9 @@ class CmsfDetector : public eval::Detector {
   int64_t NumParameters() const override;
   double TrainSecondsPerEpoch() const override { return train_epoch_seconds_; }
   double LastInferenceSeconds() const override { return inference_seconds_; }
+  std::vector<double> EpochSecondsHistory() const override {
+    return epoch_seconds_;
+  }
 
   const CmsfModel* model() const { return model_.get(); }
   const CmsfModel::FrozenAssignment& frozen() const { return frozen_; }
@@ -48,6 +51,9 @@ class CmsfDetector : public eval::Detector {
   CmsfModel::FrozenAssignment frozen_;
   double train_epoch_seconds_ = 0.0;
   double inference_seconds_ = 0.0;
+  // Master-stage epochs only, matching train_epoch_seconds_ (Table III
+  // quotes the master stage as the training time).
+  std::vector<double> epoch_seconds_;
 };
 
 }  // namespace uv::core

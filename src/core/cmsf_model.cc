@@ -2,8 +2,12 @@
 
 #include <cmath>
 
+#include <numeric>
+
 #include "autograd/ops.h"
 #include "autograd/optimizer.h"
+#include "obs/metrics_log.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/logging.h"
 #include "util/timer.h"
@@ -75,16 +79,22 @@ CmsfModel::CmsfModel(const CmsfConfig& config, int poi_dim, int image_dim,
 }
 
 ag::VarPtr CmsfModel::Trunk(const CmsfInputs& inputs) const {
+  obs::SpanGuard span("trunk", obs::SpanLevel::kFine);
   ag::VarPtr p = inputs.poi;
   ag::VarPtr i = ag::Relu(image_reduce_->Forward(inputs.image));
   if (config_.use_maga) {
+    int64_t l = 0;
     for (const auto& layer : maga_) {
+      obs::SpanGuard layer_span("maga_layer", obs::SpanLevel::kFine, "layer",
+                                l++);
       auto out = layer.Forward(p, i, inputs.ctx);
       p = out.p;
       i = out.i;
     }
   } else {
     for (size_t l = 0; l < gat_p_.size(); ++l) {
+      obs::SpanGuard layer_span("maga_layer", obs::SpanLevel::kFine, "layer",
+                                static_cast<int64_t>(l));
       p = ag::Relu(gat_p_[l].Forward(p, inputs.ctx));
       i = ag::Relu(gat_i_[l].Forward(i, inputs.ctx));
     }
@@ -94,9 +104,11 @@ ag::VarPtr CmsfModel::Trunk(const CmsfInputs& inputs) const {
 
 CmsfModel::ForwardResult CmsfModel::Forward(
     const CmsfInputs& inputs, const FrozenAssignment* frozen) const {
+  obs::SpanGuard span("forward", obs::SpanLevel::kCoarse);
   ForwardResult result;
   ag::VarPtr fused = Trunk(inputs);
   if (config_.use_hierarchy) {
+    obs::SpanGuard gscm_span("gscm", obs::SpanLevel::kFine);
     nn::Gscm::Output g =
         frozen != nullptr
             ? gscm_->ForwardFrozen(fused, frozen->soft, frozen->hard)
@@ -108,12 +120,16 @@ CmsfModel::ForwardResult CmsfModel::Forward(
   } else {
     result.region_repr = fused;
   }
-  result.master_logits = classifier_->Forward(result.region_repr);
+  {
+    obs::SpanGuard cls_span("classifier", obs::SpanLevel::kFine);
+    result.master_logits = classifier_->Forward(result.region_repr);
+  }
   return result;
 }
 
 ag::VarPtr CmsfModel::SlaveLogits(const ForwardResult& master,
                                   ag::VarPtr* out_inclusion) const {
+  obs::SpanGuard span("ms_gate", obs::SpanLevel::kFine);
   UV_CHECK(gate_ != nullptr);
   UV_CHECK(master.cluster_repr != nullptr);
   ag::VarPtr inclusion = gate_->EstimateInclusion(master.cluster_repr);
@@ -187,20 +203,44 @@ MasterTrainResult TrainMaster(CmsfModel* model, const CmsfInputs& inputs,
   ag::AdamOptimizer opt(model->MasterParams(), aopt);
 
   MasterTrainResult result;
-  WallTimer timer;
+  result.epoch_seconds.reserve(cfg.master_epochs);
+  obs::SpanGuard stage_span("train_master", obs::SpanLevel::kCoarse, "epochs",
+                            cfg.master_epochs);
   double last_loss = 0.0;
   for (int epoch = 0; epoch < cfg.master_epochs; ++epoch) {
+    obs::SpanGuard epoch_span("epoch", obs::SpanLevel::kCoarse, "epoch",
+                              epoch);
+    WallTimer epoch_timer;
     opt.ZeroGradients();
     auto fwd = model->Forward(inputs, nullptr);
     ag::VarPtr logits = ag::GatherRows(fwd.master_logits, ids);
     ag::VarPtr loss = ag::BceWithLogits(logits, labels, &weights);
     last_loss = loss->value.at(0, 0);
     ag::Backward(loss);
+    // Grad norm is an extra full pass over every parameter; only pay for
+    // it when the metrics log is live (it never feeds back into training).
+    const double grad_norm = obs::MetricsLogEnabled()
+                                 ? ag::GlobalGradNorm(opt.params())
+                                 : 0.0;
     opt.Step();
+    const double lr = opt.learning_rate();
     opt.DecayLearningRate(cfg.lr_decay_per_epoch);
+    result.epoch_seconds.push_back(epoch_timer.Seconds());
+    obs::MetricsRecord("epoch")
+        .Str("stage", "master")
+        .Int("epoch", epoch)
+        .Num("loss", last_loss)
+        .Num("grad_norm", grad_norm)
+        .Num("lr", lr)
+        .Num("seconds", result.epoch_seconds.back())
+        .Emit();
   }
   result.seconds_per_epoch =
-      cfg.master_epochs > 0 ? timer.Seconds() / cfg.master_epochs : 0.0;
+      cfg.master_epochs > 0
+          ? std::accumulate(result.epoch_seconds.begin(),
+                            result.epoch_seconds.end(), 0.0) /
+                cfg.master_epochs
+          : 0.0;
   result.final_loss = last_loss;
 
   if (cfg.use_hierarchy) {
@@ -244,9 +284,14 @@ SlaveTrainResult TrainSlave(CmsfModel* model, const CmsfInputs& inputs,
   aopt.clip_norm = cfg.clip_norm;
   ag::AdamOptimizer opt(model->AllParams(), aopt);
 
-  WallTimer timer;
+  result.epoch_seconds.reserve(cfg.slave_epochs);
+  obs::SpanGuard stage_span("train_slave", obs::SpanLevel::kCoarse, "epochs",
+                            cfg.slave_epochs);
   double last_loss = 0.0;
   for (int epoch = 0; epoch < cfg.slave_epochs; ++epoch) {
+    obs::SpanGuard epoch_span("epoch", obs::SpanLevel::kCoarse, "epoch",
+                              epoch);
+    WallTimer epoch_timer;
     opt.ZeroGradients();
     auto fwd = model->Forward(inputs, &frozen);
     ag::VarPtr inclusion;
@@ -258,11 +303,28 @@ SlaveTrainResult TrainSlave(CmsfModel* model, const CmsfInputs& inputs,
         ag::Add(loss_c, ag::ScalarMul(loss_p, static_cast<float>(cfg.lambda)));
     last_loss = loss->value.at(0, 0);
     ag::Backward(loss);
+    const double grad_norm = obs::MetricsLogEnabled()
+                                 ? ag::GlobalGradNorm(opt.params())
+                                 : 0.0;
     opt.Step();
+    const double lr = opt.learning_rate();
     opt.DecayLearningRate(cfg.lr_decay_per_epoch);
+    result.epoch_seconds.push_back(epoch_timer.Seconds());
+    obs::MetricsRecord("epoch")
+        .Str("stage", "slave")
+        .Int("epoch", epoch)
+        .Num("loss", last_loss)
+        .Num("grad_norm", grad_norm)
+        .Num("lr", lr)
+        .Num("seconds", result.epoch_seconds.back())
+        .Emit();
   }
   result.seconds_per_epoch =
-      cfg.slave_epochs > 0 ? timer.Seconds() / cfg.slave_epochs : 0.0;
+      cfg.slave_epochs > 0
+          ? std::accumulate(result.epoch_seconds.begin(),
+                            result.epoch_seconds.end(), 0.0) /
+                cfg.slave_epochs
+          : 0.0;
   result.final_loss = last_loss;
   return result;
 }
@@ -271,6 +333,7 @@ std::vector<float> PredictCmsf(const CmsfModel& model,
                                const CmsfInputs& inputs,
                                const CmsfModel::FrozenAssignment* frozen,
                                const std::vector<int>& eval_ids) {
+  obs::SpanGuard span("inference", obs::SpanLevel::kCoarse);
   const CmsfConfig& cfg = model.config();
   const bool use_slave =
       cfg.use_hierarchy && cfg.use_gate && frozen != nullptr;

@@ -92,6 +92,9 @@ struct MasterTrainResult {
   CmsfModel::FrozenAssignment frozen;
   double seconds_per_epoch = 0.0;
   double final_loss = 0.0;
+  // Monotonic wall time of every epoch, in order; seconds_per_epoch is the
+  // mean of these. Kept per epoch so callers can report p50/p95.
+  std::vector<double> epoch_seconds;
 };
 MasterTrainResult TrainMaster(CmsfModel* model, const CmsfInputs& inputs,
                               const std::vector<int>& train_ids,
@@ -102,6 +105,7 @@ MasterTrainResult TrainMaster(CmsfModel* model, const CmsfInputs& inputs,
 struct SlaveTrainResult {
   double seconds_per_epoch = 0.0;
   double final_loss = 0.0;
+  std::vector<double> epoch_seconds;  // As in MasterTrainResult.
 };
 SlaveTrainResult TrainSlave(CmsfModel* model, const CmsfInputs& inputs,
                             const CmsfModel::FrozenAssignment& frozen,

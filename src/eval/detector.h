@@ -36,6 +36,11 @@ class Detector {
   // (Table III efficiency rows).
   virtual double TrainSecondsPerEpoch() const = 0;
   virtual double LastInferenceSeconds() const = 0;
+
+  // Monotonic wall time of each training epoch, in order (the samples
+  // behind TrainSecondsPerEpoch). Detectors that don't track per-epoch
+  // times return empty; callers must fall back to the mean.
+  virtual std::vector<double> EpochSecondsHistory() const { return {}; }
 };
 
 }  // namespace uv::eval

@@ -87,4 +87,12 @@ MeanStd Aggregate(const std::vector<double>& values) {
   return out;
 }
 
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  size_t rank = static_cast<size_t>(p / 100.0 * values.size());
+  if (rank >= values.size()) rank = values.size() - 1;
+  return values[rank];
+}
+
 }  // namespace uv::eval

@@ -36,6 +36,10 @@ struct MeanStd {
 };
 MeanStd Aggregate(const std::vector<double>& values);
 
+// Nearest-rank percentile (p in [0, 100]) of the given samples; takes a
+// copy so callers keep their ordering. Returns 0 on an empty input.
+double Percentile(std::vector<double> values, double p);
+
 }  // namespace uv::eval
 
 #endif  // UV_EVAL_METRICS_H_

@@ -1,7 +1,10 @@
 #include "eval/runner.h"
 
+#include <cstdio>
 #include <vector>
 
+#include "obs/metrics_log.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -27,6 +30,7 @@ struct FoldResult {
   double inference_seconds = 0.0;
   double job_seconds = 0.0;
   int64_t num_parameters = 0;
+  std::vector<double> epoch_seconds;
 };
 
 }  // namespace
@@ -70,34 +74,53 @@ RunStats RunCrossValidation(const urg::UrbanRegionGraph& urg,
   std::vector<FoldResult> results(jobs.size());
   const MemStatsSnapshot mem_before = BufferPool::Stats();
   WallTimer wall;
-  ParallelFor(0, static_cast<int64_t>(jobs.size()), 1,
-              [&](int64_t j0, int64_t j1) {
-                for (int64_t j = j0; j < j1; ++j) {
-                  const FoldJob& job = jobs[j];
-                  WallTimer job_timer;
-                  auto detector = factory(job.detector_seed);
-                  detector->Train(urg, job.train_ids, job.train_labels);
-                  const std::vector<float> scores =
-                      detector->Score(urg, job.test_ids);
-                  FoldResult& r = results[j];
-                  r.metrics =
-                      ComputeDetectionMetrics(scores, job.test_labels);
-                  r.train_seconds_per_epoch = detector->TrainSecondsPerEpoch();
-                  r.inference_seconds = detector->LastInferenceSeconds();
-                  r.job_seconds = job_timer.Seconds();
-                  r.num_parameters = detector->NumParameters();
-                }
-              });
+  {
+    obs::SpanGuard cv_span("cross_validation", obs::SpanLevel::kCoarse,
+                           "jobs", static_cast<int>(jobs.size()));
+    ParallelFor(0, static_cast<int64_t>(jobs.size()), 1,
+                [&](int64_t j0, int64_t j1) {
+                  for (int64_t j = j0; j < j1; ++j) {
+                    const FoldJob& job = jobs[j];
+                    obs::SpanGuard fold_span("fold", obs::SpanLevel::kCoarse,
+                                             "run", job.run, "fold", job.fold);
+                    obs::FoldScope fold_scope(job.run, job.fold);
+                    WallTimer job_timer;
+                    auto detector = factory(job.detector_seed);
+                    detector->Train(urg, job.train_ids, job.train_labels);
+                    const std::vector<float> scores =
+                        detector->Score(urg, job.test_ids);
+                    FoldResult& r = results[j];
+                    r.metrics =
+                        ComputeDetectionMetrics(scores, job.test_labels);
+                    r.train_seconds_per_epoch =
+                        detector->TrainSecondsPerEpoch();
+                    r.inference_seconds = detector->LastInferenceSeconds();
+                    r.job_seconds = job_timer.Seconds();
+                    r.num_parameters = detector->NumParameters();
+                    r.epoch_seconds = detector->EpochSecondsHistory();
+                    obs::MetricsRecord("fold")
+                        .Num("auc", r.metrics.auc)
+                        .Num("recall3", r.metrics.at3.recall)
+                        .Num("precision3", r.metrics.at3.precision)
+                        .Num("seconds", r.job_seconds)
+                        .Emit();
+                  }
+                });
+  }
   const double wall_seconds = wall.Seconds();
   const MemStatsSnapshot mem_after = BufferPool::Stats();
 
   // Phase 3 (serial): aggregate in job order, independent of which worker
   // finished when.
   std::vector<double> aucs, r3, p3, f3, r5, p5, f5;
+  std::vector<double> epoch_samples;
   double train_time = 0.0, infer_time = 0.0, summed_job = 0.0;
   int measured = 0;
   for (size_t j = 0; j < results.size(); ++j) {
     const DetectionMetrics& m = results[j].metrics;
+    epoch_samples.insert(epoch_samples.end(),
+                         results[j].epoch_seconds.begin(),
+                         results[j].epoch_seconds.end());
     aucs.push_back(m.auc);
     r3.push_back(m.at3.recall);
     p3.push_back(m.at3.precision);
@@ -130,11 +153,25 @@ RunStats RunCrossValidation(const urg::UrbanRegionGraph& urg,
   }
   stats.wall_seconds = wall_seconds;
   stats.summed_job_seconds = summed_job;
+  stats.epoch_seconds_p50 = Percentile(epoch_samples, 50.0);
+  stats.epoch_seconds_p95 = Percentile(epoch_samples, 95.0);
   stats.mem.acquires = mem_after.acquires - mem_before.acquires;
   stats.mem.hits = mem_after.hits - mem_before.hits;
   stats.mem.heap_allocs = mem_after.heap_allocs - mem_before.heap_allocs;
   stats.mem.heap_bytes = mem_after.heap_bytes - mem_before.heap_bytes;
   stats.mem.releases = mem_after.releases - mem_before.releases;
+  stats.mem.tls_spills = mem_after.tls_spills - mem_before.tls_spills;
+  if (MemStatsRequested()) {
+    // Stderr so tables and scores on stdout stay machine-comparable.
+    std::fprintf(stderr, "%s\n", FormatMemStats(stats.mem).c_str());
+  }
+  obs::MetricsRecord("summary")
+      .Num("auc_mean", stats.auc.mean)
+      .Num("auc_std", stats.auc.std)
+      .Num("wall_seconds", stats.wall_seconds)
+      .Num("epoch_seconds_p50", stats.epoch_seconds_p50)
+      .Num("epoch_seconds_p95", stats.epoch_seconds_p95)
+      .Emit();
   return stats;
 }
 

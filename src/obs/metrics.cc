@@ -1,0 +1,169 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace uv::obs {
+
+namespace internal {
+
+int ThreadShard() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const int shard = static_cast<int>(
+      next.fetch_add(1, std::memory_order_relaxed) % Counter::kShards);
+  return shard;
+}
+
+}  // namespace internal
+
+double Histogram::Percentile(double p) const {
+  uint64_t counts[kNumBuckets];
+  uint64_t total = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    counts[b] = buckets_[b].load(std::memory_order_relaxed);
+    total += counts[b];
+  }
+  if (total == 0) return 0.0;
+  // Nearest-rank: the smallest bucket whose cumulative count covers
+  // ceil(p/100 * total) samples.
+  uint64_t rank = static_cast<uint64_t>(p / 100.0 * static_cast<double>(total));
+  if (rank >= total) rank = total - 1;
+  uint64_t seen = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    seen += counts[b];
+    if (seen > rank) return static_cast<double>(BucketLowerBound(b));
+  }
+  return static_cast<double>(BucketLowerBound(kNumBuckets - 1));
+}
+
+// Name-keyed tables. Metrics are held by unique_ptr for address stability
+// and the whole Impl is leaked with the Registry, so references handed out
+// by Get* stay valid through any phase of process teardown.
+struct Registry::Impl {
+  mutable std::mutex mu;
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+Registry::Registry() : impl_(new Impl) {}
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry;  // Leaky singleton.
+  return *registry;
+}
+
+Counter& Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto& slot = impl_->counters[name];
+  if (!slot) slot.reset(new Counter);
+  return *slot;
+}
+
+Gauge& Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto& slot = impl_->gauges[name];
+  if (!slot) slot.reset(new Gauge);
+  return *slot;
+}
+
+Histogram& Registry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto& slot = impl_->histograms[name];
+  if (!slot) slot.reset(new Histogram);
+  return *slot;
+}
+
+RegistrySnapshot Registry::Snapshot() const {
+  RegistrySnapshot snap;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  snap.counters.reserve(impl_->counters.size());
+  for (const auto& [name, c] : impl_->counters) {
+    snap.counters.emplace_back(name, c->Value());
+  }
+  snap.gauges.reserve(impl_->gauges.size());
+  for (const auto& [name, g] : impl_->gauges) {
+    snap.gauges.emplace_back(name, g->Value());
+  }
+  snap.histograms.reserve(impl_->histograms.size());
+  for (const auto& [name, h] : impl_->histograms) {
+    HistogramSnapshot hs;
+    hs.name = name;
+    hs.count = h->Count();
+    hs.sum = h->Sum();
+    hs.p50 = h->Percentile(50.0);
+    hs.p95 = h->Percentile(95.0);
+    hs.p99 = h->Percentile(99.0);
+    hs.buckets.resize(Histogram::kNumBuckets);
+    for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+      hs.buckets[b] = h->BucketCount(b);
+    }
+    snap.histograms.push_back(std::move(hs));
+  }
+  return snap;
+}
+
+std::string Registry::ToJson() const {
+  const RegistrySnapshot snap = Snapshot();
+  std::string out = "{\"counters\":{";
+  char buf[64];
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    if (!first) out += ',';
+    first = false;
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(value));
+    out += '"';
+    out += name;
+    out += "\":";
+    out += buf;
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    if (!first) out += ',';
+    first = false;
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+    out += '"';
+    out += name;
+    out += "\":";
+    out += buf;
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& h : snap.histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += h.name;
+    out += "\":{";
+    std::snprintf(buf, sizeof(buf), "\"count\":%llu,\"sum\":%llu",
+                  static_cast<unsigned long long>(h.count),
+                  static_cast<unsigned long long>(h.sum));
+    out += buf;
+    std::snprintf(buf, sizeof(buf), ",\"p50\":%.0f,\"p95\":%.0f,\"p99\":%.0f",
+                  h.p50, h.p95, h.p99);
+    out += buf;
+    out += ",\"buckets\":[";
+    for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+      if (b > 0) out += ',';
+      std::snprintf(buf, sizeof(buf), "%llu",
+                    static_cast<unsigned long long>(h.buckets[b]));
+      out += buf;
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+void Registry::ResetAll() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (auto& [name, c] : impl_->counters) c->Reset();
+  for (auto& [name, g] : impl_->gauges) g->Reset();
+  for (auto& [name, h] : impl_->histograms) h->Reset();
+}
+
+}  // namespace uv::obs

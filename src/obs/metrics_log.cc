@@ -1,0 +1,143 @@
+#include "obs/metrics_log.h"
+
+#include <cstdio>
+#include <mutex>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace uv::obs {
+namespace {
+
+struct LogState {
+  std::mutex mu;
+  FILE* file = nullptr;
+};
+
+LogState& State() {
+  static LogState* state = new LogState;  // Leaky: usable during teardown.
+  return *state;
+}
+
+thread_local int tls_run = -1;
+thread_local int tls_fold = -1;
+
+void AppendInt(std::string* out, const char* key, long long value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%lld", key, value);
+  *out += buf;
+}
+
+}  // namespace
+
+namespace internal {
+
+std::atomic<bool> g_metrics_on{false};
+
+void EmitLine(const std::string& body) {
+  LogState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (state.file == nullptr) return;
+  std::fwrite(body.data(), 1, body.size(), state.file);
+  std::fputc('\n', state.file);
+  std::fflush(state.file);
+}
+
+}  // namespace internal
+
+void OpenMetricsLog(const std::string& path) {
+  LogState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (state.file != nullptr) std::fclose(state.file);
+  state.file = std::fopen(path.c_str(), "w");
+  internal::g_metrics_on.store(state.file != nullptr,
+                               std::memory_order_release);
+}
+
+void CloseMetricsLog() {
+  if (!MetricsLogEnabled()) return;
+  // Final registry dump rides in the same stream so one file carries both
+  // the time series and the end-of-run counter/histogram totals.
+  std::string line = "{\"kind\":\"registry\",";
+  AppendInt(&line, "ts_us", static_cast<long long>(NowMicros()));
+  line += ",\"registry\":";
+  line += Registry::Global().ToJson();
+  line += "}";
+  internal::EmitLine(line);
+
+  LogState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  internal::g_metrics_on.store(false, std::memory_order_release);
+  if (state.file != nullptr) {
+    std::fclose(state.file);
+    state.file = nullptr;
+  }
+}
+
+int CurrentRun() { return tls_run; }
+int CurrentFold() { return tls_fold; }
+
+FoldScope::FoldScope(int run, int fold)
+    : prev_run_(tls_run), prev_fold_(tls_fold) {
+  tls_run = run;
+  tls_fold = fold;
+}
+
+FoldScope::~FoldScope() {
+  tls_run = prev_run_;
+  tls_fold = prev_fold_;
+}
+
+MetricsRecord::MetricsRecord(const char* kind) {
+  if (!MetricsLogEnabled()) return;
+  active_ = true;
+  body_.reserve(160);
+  body_ = "{\"kind\":\"";
+  body_ += kind;
+  body_ += '"';
+}
+
+MetricsRecord& MetricsRecord::Int(const char* key, int64_t value) {
+  if (active_) {
+    body_ += ',';
+    AppendInt(&body_, key, static_cast<long long>(value));
+  }
+  return *this;
+}
+
+MetricsRecord& MetricsRecord::Num(const char* key, double value) {
+  if (active_) {
+    char buf[80];
+    std::snprintf(buf, sizeof(buf), ",\"%s\":%.10g", key, value);
+    body_ += buf;
+  }
+  return *this;
+}
+
+MetricsRecord& MetricsRecord::Str(const char* key, const char* value) {
+  if (active_) {
+    body_ += ",\"";
+    body_ += key;
+    body_ += "\":\"";
+    body_ += value;  // Callers pass literal identifiers; no escaping needed.
+    body_ += '"';
+  }
+  return *this;
+}
+
+void MetricsRecord::Emit() {
+  if (!active_) return;
+  if (tls_run >= 0) {
+    body_ += ',';
+    AppendInt(&body_, "run", tls_run);
+    body_ += ',';
+    AppendInt(&body_, "fold", tls_fold);
+  }
+  body_ += ',';
+  AppendInt(&body_, "ts_us", static_cast<long long>(NowMicros()));
+  body_ += '}';
+  internal::EmitLine(body_);
+  active_ = false;
+}
+
+}  // namespace uv::obs

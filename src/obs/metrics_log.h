@@ -1,0 +1,74 @@
+#ifndef UV_OBS_METRICS_LOG_H_
+#define UV_OBS_METRICS_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace uv::obs {
+
+// Training/eval time-series sink: one JSON object per line (JSONL).
+// Activated by UV_METRICS=<file> in the environment (opened at process
+// load, closed — with a final metrics-registry dump — at exit) or by
+// OpenMetricsLog/CloseMetricsLog programmatically.
+//
+// Emitters build a record with MetricsRecord and call Emit(); when the log
+// is disabled every call is a cheap no-op, so per-epoch emission sites can
+// stay unconditional. Values that are *expensive to compute* (gradient
+// norms) should still be gated on MetricsLogEnabled() at the call site.
+
+namespace internal {
+extern std::atomic<bool> g_metrics_on;
+void EmitLine(const std::string& body);
+}  // namespace internal
+
+inline bool MetricsLogEnabled() {
+  return internal::g_metrics_on.load(std::memory_order_relaxed);
+}
+
+void OpenMetricsLog(const std::string& path);
+// Appends a {"kind":"registry",...} record with the full metrics-registry
+// snapshot, then closes the file. No-op when the log is not open.
+void CloseMetricsLog();
+
+// Ambient (run, fold) labels for records and spans emitted from inside a
+// cross-validation job. Thread-local, so parallel fold jobs each carry
+// their own labels; nested kernels run inline on the same thread and
+// inherit them. -1 = unset (e.g. the quickstart's single direct fold).
+int CurrentRun();
+int CurrentFold();
+
+class FoldScope {
+ public:
+  FoldScope(int run, int fold);
+  ~FoldScope();
+  FoldScope(const FoldScope&) = delete;
+  FoldScope& operator=(const FoldScope&) = delete;
+
+ private:
+  int prev_run_;
+  int prev_fold_;
+};
+
+// Builder for one JSONL record. Usage:
+//   obs::MetricsRecord("epoch").Str("stage", "master").Int("epoch", e)
+//       .Num("loss", loss).Emit();
+// Emit() appends the ambient run/fold labels (when set) and a monotonic
+// "ts_us" timestamp, then writes the line. All methods are no-ops when the
+// log is disabled.
+class MetricsRecord {
+ public:
+  explicit MetricsRecord(const char* kind);
+  MetricsRecord& Int(const char* key, int64_t value);
+  MetricsRecord& Num(const char* key, double value);
+  MetricsRecord& Str(const char* key, const char* value);
+  void Emit();
+
+ private:
+  bool active_ = false;
+  std::string body_;
+};
+
+}  // namespace uv::obs
+
+#endif  // UV_OBS_METRICS_LOG_H_

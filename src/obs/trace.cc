@@ -1,0 +1,219 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics_log.h"
+
+namespace uv::obs {
+namespace {
+
+// Per-thread bounded span storage. kCoarse spans number in the thousands
+// for a full cross-validation (folds x epochs x a handful of components);
+// kFine spans (every Gemm / conv image batch / parallel chunk) are orders
+// of magnitude more frequent, so they get their own, larger buffer and
+// overflow first without ever displacing the structural spans.
+constexpr size_t kCoarseCap = size_t{1} << 14;  // 16384 spans.
+constexpr size_t kFineCap = size_t{1} << 16;    // 65536 spans.
+
+struct SpanRecord {
+  const char* name;
+  const char* k0;  // nullptr = no args.
+  const char* k1;
+  uint64_t begin_us;
+  uint64_t dur_us;
+  int64_t v0;
+  int64_t v1;
+};
+
+struct SpanBuffer {
+  explicit SpanBuffer(uint32_t tid_in) : tid(tid_in) {
+    coarse.resize(kCoarseCap);
+    fine.resize(kFineCap);
+  }
+
+  // Written only by the owning thread; sizes are published with release so
+  // the flusher (after quiescing writers) reads complete records.
+  std::vector<SpanRecord> coarse, fine;
+  std::atomic<uint32_t> coarse_size{0}, fine_size{0};
+  std::atomic<uint64_t> dropped{0};
+  const uint32_t tid;
+
+  void Push(SpanLevel level, const SpanRecord& rec) {
+    std::vector<SpanRecord>& store =
+        level == SpanLevel::kCoarse ? coarse : fine;
+    std::atomic<uint32_t>& size =
+        level == SpanLevel::kCoarse ? coarse_size : fine_size;
+    const uint32_t n = size.load(std::memory_order_relaxed);
+    if (n >= store.size()) {
+      dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    store[n] = rec;
+    size.store(n + 1, std::memory_order_release);
+  }
+};
+
+struct TraceState {
+  std::mutex mu;
+  std::vector<SpanBuffer*> buffers;  // Leaked; stable across thread exit.
+  std::atomic<uint32_t> next_tid{1};
+  std::string path;
+  bool started = false;
+};
+
+// Function-local so any static-initialization-order interleaving (spans
+// fired from other TUs' static constructors) finds a constructed state.
+TraceState& State() {
+  static TraceState* state = new TraceState;
+  return *state;
+}
+
+thread_local SpanBuffer* tls_buffer = nullptr;
+
+SpanBuffer* Buffer() {
+  if (tls_buffer != nullptr) return tls_buffer;
+  TraceState& state = State();
+  auto* buf = new SpanBuffer(
+      state.next_tid.fetch_add(1, std::memory_order_relaxed));
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    state.buffers.push_back(buf);
+  }
+  tls_buffer = buf;
+  return buf;
+}
+
+void WriteEvent(FILE* f, const SpanRecord& rec, uint32_t tid, char phase,
+                uint64_t ts) {
+  std::fprintf(f, ",\n{\"name\":\"%s\",\"ph\":\"%c\",\"ts\":%llu,"
+               "\"pid\":1,\"tid\":%u",
+               rec.name, phase, static_cast<unsigned long long>(ts), tid);
+  if (phase == 'B' && rec.k0 != nullptr) {
+    std::fprintf(f, ",\"args\":{\"%s\":%lld", rec.k0,
+                 static_cast<long long>(rec.v0));
+    if (rec.k1 != nullptr) {
+      std::fprintf(f, ",\"%s\":%lld", rec.k1, static_cast<long long>(rec.v1));
+    }
+    std::fputs("}", f);
+  }
+  std::fputs("}", f);
+}
+
+void WriteBuffer(FILE* f, const SpanBuffer& buf,
+                 const std::vector<SpanRecord>& store, uint32_t count) {
+  for (uint32_t i = 0; i < count; ++i) {
+    const SpanRecord& rec = store[i];
+    WriteEvent(f, rec, buf.tid, 'B', rec.begin_us);
+    WriteEvent(f, rec, buf.tid, 'E', rec.begin_us + rec.dur_us);
+  }
+}
+
+// Reads UV_TRACE / UV_METRICS at load time and flushes both sinks at exit.
+// Lives in this TU so linking any span site pulls the bootstrap in.
+struct ObsBootstrap {
+  ObsBootstrap() {
+    if (const char* path = std::getenv("UV_TRACE")) {
+      if (path[0] != '\0') StartTrace(path);
+    }
+    if (const char* path = std::getenv("UV_METRICS")) {
+      if (path[0] != '\0') OpenMetricsLog(path);
+    }
+  }
+  ~ObsBootstrap() {
+    if (TraceEnabled()) StopTrace();
+    CloseMetricsLog();
+  }
+};
+ObsBootstrap g_bootstrap;
+
+}  // namespace
+
+namespace internal {
+
+std::atomic<bool> g_trace_on{false};
+
+void EndSpan(const char* name, SpanLevel level, uint64_t begin_us,
+             const char* k0, int64_t v0, const char* k1, int64_t v1) {
+  // Re-check: StopTrace may have raced with this span's lifetime; dropping
+  // the record keeps the flusher from reading a buffer mid-write.
+  if (!TraceEnabled()) return;
+  SpanRecord rec;
+  rec.name = name;
+  rec.k0 = k0;
+  rec.k1 = k1;
+  rec.begin_us = begin_us;
+  rec.dur_us = NowMicros() - begin_us;
+  rec.v0 = v0;
+  rec.v1 = v1;
+  Buffer()->Push(level, rec);
+}
+
+}  // namespace internal
+
+uint64_t NowMicros() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point t0 = Clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - t0)
+          .count());
+}
+
+bool ProfilingActive() { return TraceEnabled() || MetricsLogEnabled(); }
+
+void StartTrace(const std::string& path) {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  for (SpanBuffer* buf : state.buffers) {
+    buf->coarse_size.store(0, std::memory_order_relaxed);
+    buf->fine_size.store(0, std::memory_order_relaxed);
+    buf->dropped.store(0, std::memory_order_relaxed);
+  }
+  state.path = path;
+  state.started = true;
+  internal::g_trace_on.store(true, std::memory_order_release);
+}
+
+bool StopTrace() {
+  TraceState& state = State();
+  internal::g_trace_on.store(false, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (!state.started) return false;
+  state.started = false;
+
+  FILE* f = std::fopen(state.path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fputs("{\"displayTimeUnit\":\"ms\",\n\"traceEvents\":[\n", f);
+  std::fputs(
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"uv-cmsf\"}}",
+      f);
+  for (const SpanBuffer* buf : state.buffers) {
+    std::fprintf(f,
+                 ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                 "\"tid\":%u,\"args\":{\"name\":\"uv thread %u\"}}",
+                 buf->tid, buf->tid);
+    WriteBuffer(f, *buf, buf->coarse,
+                buf->coarse_size.load(std::memory_order_acquire));
+    WriteBuffer(f, *buf, buf->fine,
+                buf->fine_size.load(std::memory_order_acquire));
+  }
+  std::fputs("\n]}\n", f);
+  const bool ok = std::fclose(f) == 0;
+  return ok;
+}
+
+uint64_t TraceDroppedSpans() {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  uint64_t total = 0;
+  for (const SpanBuffer* buf : state.buffers) {
+    total += buf->dropped.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace uv::obs

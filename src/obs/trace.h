@@ -1,0 +1,117 @@
+#ifndef UV_OBS_TRACE_H_
+#define UV_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace uv::obs {
+
+// Scoped-span tracer emitting Chrome trace-event JSON ("traceEvents" with
+// balanced B/E pairs and per-thread tracks) that loads directly in
+// chrome://tracing and Perfetto (ui.perfetto.dev).
+//
+// Activation: set UV_TRACE=<file> in the environment — tracing starts at
+// process load and the trace is flushed to <file> at normal process exit —
+// or drive StartTrace/StopTrace programmatically (tests do).
+//
+// Storage is a bounded lock-free per-thread span buffer written only by its
+// owning thread and read once at flush. When a buffer fills, *new* spans
+// are dropped (and counted) rather than evicting old ones: early one-shot
+// phases (URG construction, the first epochs) stay visible and every
+// retained span keeps its balanced B/E pair. Two buffers per thread keep
+// rare structural spans (fold/epoch/forward/...) from competing with
+// high-frequency kernel spans for the same capacity.
+//
+// Overhead contract: with tracing compiled in but not enabled, a SpanGuard
+// is one relaxed atomic load and a branch — no clock read, no allocation.
+
+enum class SpanLevel : uint8_t {
+  kCoarse = 0,  // Structural: fold, epoch, forward, backward, components.
+  kFine = 1,    // Per-op / per-chunk: gemm, conv, scatters, pool chunks.
+};
+
+namespace internal {
+extern std::atomic<bool> g_trace_on;
+// Records a completed span into the calling thread's buffer. k0/k1 are
+// optional static arg names (nullptr = absent) attached as integer args.
+void EndSpan(const char* name, SpanLevel level, uint64_t begin_us,
+             const char* k0, int64_t v0, const char* k1, int64_t v1);
+}  // namespace internal
+
+// Microseconds on the monotonic clock since process start (first use).
+uint64_t NowMicros();
+
+inline bool TraceEnabled() {
+  return internal::g_trace_on.load(std::memory_order_relaxed);
+}
+
+// True when any observability sink is live (trace or UV_METRICS log);
+// instrumentation sites use it to gate work that is pure overhead
+// otherwise (extra clock reads, queue-wait accounting).
+bool ProfilingActive();
+
+// Enables span recording and remembers the flush destination. Clears any
+// previously recorded spans so a Start/Stop pair brackets one experiment.
+void StartTrace(const std::string& path);
+
+// Disables recording and writes the trace-event JSON file. Returns false
+// if tracing was never started or the file could not be written. Safe to
+// call while worker threads are idle-parked (they only write spans inside
+// parallel regions, which the caller has drained).
+bool StopTrace();
+
+// Spans dropped because a thread buffer was full (since StartTrace).
+uint64_t TraceDroppedSpans();
+
+// RAII scope: records one span from construction to destruction. The name
+// (and arg keys) must be string literals or otherwise outlive the trace.
+class SpanGuard {
+ public:
+  explicit SpanGuard(const char* name, SpanLevel level = SpanLevel::kFine) {
+    if (TraceEnabled()) Arm(name, level);
+  }
+  SpanGuard(const char* name, SpanLevel level, const char* k0, int64_t v0) {
+    if (TraceEnabled()) {
+      Arm(name, level);
+      k0_ = k0;
+      v0_ = v0;
+    }
+  }
+  SpanGuard(const char* name, SpanLevel level, const char* k0, int64_t v0,
+            const char* k1, int64_t v1) {
+    if (TraceEnabled()) {
+      Arm(name, level);
+      k0_ = k0;
+      v0_ = v0;
+      k1_ = k1;
+      v1_ = v1;
+    }
+  }
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+  ~SpanGuard() {
+    if (name_ != nullptr) {
+      internal::EndSpan(name_, level_, begin_us_, k0_, v0_, k1_, v1_);
+    }
+  }
+
+ private:
+  void Arm(const char* name, SpanLevel level) {
+    name_ = name;
+    level_ = level;
+    begin_us_ = NowMicros();
+  }
+
+  const char* name_ = nullptr;
+  const char* k0_ = nullptr;
+  const char* k1_ = nullptr;
+  int64_t v0_ = 0;
+  int64_t v1_ = 0;
+  uint64_t begin_us_ = 0;
+  SpanLevel level_ = SpanLevel::kFine;
+};
+
+}  // namespace uv::obs
+
+#endif  // UV_OBS_TRACE_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace uv {
@@ -51,6 +52,7 @@ void Gemm(bool transpose_a, bool transpose_b, float alpha, const Tensor& a,
   UV_CHECK_EQ(k, kb);
   UV_CHECK_EQ(c->rows(), m);
   UV_CHECK_EQ(c->cols(), n);
+  obs::SpanGuard span("gemm", obs::SpanLevel::kFine, "m", m, "n", n);
 
   if (beta == 0.0f) {
     c->Zero();

@@ -2,10 +2,13 @@
 
 #include <atomic>
 #include <array>
+#include <cstdio>
 #include <cstdlib>
 #include <mutex>
 #include <new>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace uv {
 namespace {
@@ -33,17 +36,34 @@ int BucketIndex(size_t bytes) {
 
 size_t BucketBytes(int idx) { return size_t{1} << (kMinBucketBits + idx); }
 
-std::atomic<uint64_t> g_acquires{0};
-std::atomic<uint64_t> g_hits{0};
-std::atomic<uint64_t> g_heap_allocs{0};
-std::atomic<uint64_t> g_heap_bytes{0};
-std::atomic<uint64_t> g_releases{0};
-std::atomic<bool> g_enabled_override{false};
 std::atomic<int> g_enabled_state{-1};  // -1 unset, 0 off, 1 on.
 
+// Allocation counters live in the shared metrics registry so UV_METRICS
+// dumps and obs snapshots see them for free. References are resolved once
+// (registry entries are never destroyed) and the leaky holder keeps them
+// reachable from Release calls during thread/process teardown.
+struct MemCounters {
+  obs::Counter& acquires;
+  obs::Counter& hits;
+  obs::Counter& heap_allocs;
+  obs::Counter& heap_bytes;
+  obs::Counter& releases;
+  obs::Counter& tls_spills;
+};
+
+MemCounters& Counters() {
+  auto& reg = obs::Registry::Global();
+  static MemCounters* counters = new MemCounters{
+      reg.GetCounter("mem.acquires"),    reg.GetCounter("mem.pool_hits"),
+      reg.GetCounter("mem.heap_allocs"), reg.GetCounter("mem.heap_bytes"),
+      reg.GetCounter("mem.releases"),    reg.GetCounter("mem.tls_spills")};
+  return *counters;
+}
+
 void* HeapAlloc(size_t bytes) {
-  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
-  g_heap_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  MemCounters& c = Counters();
+  c.heap_allocs.Inc();
+  c.heap_bytes.Inc(bytes);
   return ::operator new(bytes);
 }
 
@@ -120,7 +140,7 @@ size_t BufferPool::BucketCapacity(size_t bytes) {
 
 void* BufferPool::Acquire(size_t bytes) {
   if (bytes == 0) return nullptr;
-  g_acquires.fetch_add(1, std::memory_order_relaxed);
+  Counters().acquires.Inc();
   const int idx = BucketIndex(bytes);
   if (idx < 0) return HeapAlloc(bytes);
   const size_t cap = BucketBytes(idx);
@@ -130,7 +150,7 @@ void* BufferPool::Acquire(size_t bytes) {
       if (!list.empty()) {
         void* p = list.back();
         list.pop_back();
-        g_hits.fetch_add(1, std::memory_order_relaxed);
+        Counters().hits.Inc();
         return p;
       }
     }
@@ -140,7 +160,7 @@ void* BufferPool::Acquire(size_t bytes) {
     if (!list.empty()) {
       void* p = list.back();
       list.pop_back();
-      g_hits.fetch_add(1, std::memory_order_relaxed);
+      Counters().hits.Inc();
       return p;
     }
   }
@@ -149,7 +169,7 @@ void* BufferPool::Acquire(size_t bytes) {
 
 void BufferPool::Release(void* p, size_t bytes) {
   if (p == nullptr) return;
-  g_releases.fetch_add(1, std::memory_order_relaxed);
+  Counters().releases.Inc();
   const int idx = BucketIndex(bytes);
   if (idx >= 0 && Enabled()) {
     if (TlsCache* cache = Cache()) {
@@ -158,6 +178,7 @@ void BufferPool::Release(void* p, size_t bytes) {
         list.push_back(p);
         return;
       }
+      Counters().tls_spills.Inc();
     }
     GlobalPool& global = Global();
     std::lock_guard<std::mutex> lock(global.mu);
@@ -183,21 +204,25 @@ void BufferPool::Trim() {
 }
 
 MemStatsSnapshot BufferPool::Stats() {
+  MemCounters& c = Counters();
   MemStatsSnapshot s;
-  s.acquires = g_acquires.load(std::memory_order_relaxed);
-  s.hits = g_hits.load(std::memory_order_relaxed);
-  s.heap_allocs = g_heap_allocs.load(std::memory_order_relaxed);
-  s.heap_bytes = g_heap_bytes.load(std::memory_order_relaxed);
-  s.releases = g_releases.load(std::memory_order_relaxed);
+  s.acquires = c.acquires.Value();
+  s.hits = c.hits.Value();
+  s.heap_allocs = c.heap_allocs.Value();
+  s.heap_bytes = c.heap_bytes.Value();
+  s.releases = c.releases.Value();
+  s.tls_spills = c.tls_spills.Value();
   return s;
 }
 
 void BufferPool::ResetStats() {
-  g_acquires.store(0, std::memory_order_relaxed);
-  g_hits.store(0, std::memory_order_relaxed);
-  g_heap_allocs.store(0, std::memory_order_relaxed);
-  g_heap_bytes.store(0, std::memory_order_relaxed);
-  g_releases.store(0, std::memory_order_relaxed);
+  MemCounters& c = Counters();
+  c.acquires.Reset();
+  c.hits.Reset();
+  c.heap_allocs.Reset();
+  c.heap_bytes.Reset();
+  c.releases.Reset();
+  c.tls_spills.Reset();
 }
 
 bool MemStatsRequested() {
@@ -206,6 +231,24 @@ bool MemStatsRequested() {
     return v != nullptr && !(v[0] == '0' && v[1] == '\0');
   }();
   return requested;
+}
+
+std::string FormatMemStats(const MemStatsSnapshot& s) {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "[mem] pool %s: acquires=%llu hits=%llu (%.1f%%) heap_allocs=%llu "
+      "heap_bytes=%.1fMB releases=%llu",
+      BufferPool::Enabled() ? "on" : "off",
+      static_cast<unsigned long long>(s.acquires),
+      static_cast<unsigned long long>(s.hits),
+      s.acquires > 0
+          ? 100.0 * static_cast<double>(s.hits) / static_cast<double>(s.acquires)
+          : 0.0,
+      static_cast<unsigned long long>(s.heap_allocs),
+      static_cast<double>(s.heap_bytes) / (1024.0 * 1024.0),
+      static_cast<unsigned long long>(s.releases));
+  return buf;
 }
 
 }  // namespace uv

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 namespace uv {
 
@@ -10,12 +11,19 @@ namespace uv {
 // heap_allocs counts slabs obtained from the system allocator — the only
 // allocations the hot path ever pays for once the pool is warm; hits are
 // acquisitions served from a free list without touching the heap.
+//
+// The counters themselves live in the obs metrics registry under
+// mem.acquires / mem.pool_hits / mem.heap_allocs / mem.heap_bytes /
+// mem.releases / mem.tls_spills, so they appear in UV_METRICS registry
+// dumps and obs::Registry snapshots with no separate plumbing; Stats() is
+// a typed view over the same counters.
 struct MemStatsSnapshot {
   uint64_t acquires = 0;     // Total Acquire calls.
   uint64_t hits = 0;         // Served from the thread or global cache.
   uint64_t heap_allocs = 0;  // Fresh slabs from the system allocator.
   uint64_t heap_bytes = 0;   // Bytes of those fresh slabs.
   uint64_t releases = 0;     // Total Release calls.
+  uint64_t tls_spills = 0;   // Releases that overflowed a thread cache.
 };
 
 // Process-wide recycling allocator for the compute hot path: tensor value /
@@ -65,6 +73,12 @@ class BufferPool {
 // True when UV_MEM_STATS is set to a non-"0" value: benchmarks and the
 // evaluation runner print allocation counters alongside timings.
 bool MemStatsRequested();
+
+// The one rendering of a counters snapshot every tool prints (no trailing
+// newline):
+//   [mem] pool on: acquires=N hits=N (P%) heap_allocs=N heap_bytes=XMB
+//   releases=N
+std::string FormatMemStats(const MemStatsSnapshot& s);
 
 }  // namespace uv
 

@@ -4,10 +4,35 @@
 #include <cstdlib>
 #include <memory>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace uv {
 namespace {
+
+// How long a parallel region sat between submission and each worker's
+// claim. Only maintained while a trace or metrics log is live (the extra
+// clock reads are pure overhead otherwise).
+obs::Histogram& QueueWaitHist() {
+  static obs::Histogram& hist =
+      obs::Registry::Global().GetHistogram("threadpool.queue_wait_us");
+  return hist;
+}
+
+obs::Gauge& QueueWaitGauge() {
+  static obs::Gauge& gauge =
+      obs::Registry::Global().GetGauge("threadpool.queue_wait_us_last");
+  return gauge;
+}
+
+void RecordQueueWait(uint64_t submit_us) {
+  if (submit_us == 0) return;
+  const uint64_t now = obs::NowMicros();
+  const uint64_t wait = now > submit_us ? now - submit_us : 0;
+  QueueWaitHist().Record(wait);
+  QueueWaitGauge().Set(static_cast<int64_t>(wait));
+}
 
 // Depth of parallel-region execution on this thread. Non-zero both on pool
 // workers running a chunk and on the submitting thread while it
@@ -46,7 +71,10 @@ bool ThreadPool::InParallelRegion() { return tls_region_depth > 0; }
 void ThreadPool::RunChunksInline(int64_t num_chunks,
                                  FunctionRef<void(int64_t)> fn) {
   RegionScope scope;
-  for (int64_t c = 0; c < num_chunks; ++c) fn(c);
+  for (int64_t c = 0; c < num_chunks; ++c) {
+    obs::SpanGuard span("parallel_chunk", obs::SpanLevel::kFine, "chunk", c);
+    fn(c);
+  }
 }
 
 void ThreadPool::RunChunks(int64_t num_chunks, FunctionRef<void(int64_t)> fn) {
@@ -60,6 +88,8 @@ void ThreadPool::RunChunks(int64_t num_chunks, FunctionRef<void(int64_t)> fn) {
   }
 
   std::lock_guard<std::mutex> submit_lock(submit_mu_);
+  submit_us_.store(obs::ProfilingActive() ? obs::NowMicros() : 0,
+                   std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);
     num_chunks_ = num_chunks;
@@ -83,6 +113,8 @@ void ThreadPool::RunChunks(int64_t num_chunks, FunctionRef<void(int64_t)> fn) {
         ++claimed_chunks_;
       }
       try {
+        obs::SpanGuard span("parallel_chunk", obs::SpanLevel::kFine, "chunk",
+                            c);
         fn(c);
       } catch (...) {
         std::lock_guard<std::mutex> lock(mu_);
@@ -121,9 +153,12 @@ void ThreadPool::WorkerLoop() {
       c = next_chunk_++;
       ++claimed_chunks_;
     }
+    RecordQueueWait(submit_us_.load(std::memory_order_relaxed));
     {
       RegionScope scope;
       try {
+        obs::SpanGuard span("parallel_chunk", obs::SpanLevel::kFine, "chunk",
+                            c);
         (*fn)(c);
       } catch (...) {
         std::lock_guard<std::mutex> lock(mu_);
@@ -171,6 +206,10 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain,
   const int64_t total = end - begin;
   const int64_t num_chunks = (total + grain - 1) / grain;
   if (num_chunks == 1) {
+    // Same span as the pooled path so single-chunk ranges (the common case
+    // on small problems / few cores) still show up in traces.
+    obs::SpanGuard span("parallel_chunk", obs::SpanLevel::kFine, "chunk",
+                        int64_t{0});
     fn(begin, end);
     return;
   }

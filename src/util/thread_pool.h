@@ -1,6 +1,7 @@
 #ifndef UV_UTIL_THREAD_POOL_H_
 #define UV_UTIL_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
@@ -88,6 +89,10 @@ class ThreadPool {
   void RunChunksInline(int64_t num_chunks, FunctionRef<void(int64_t)> fn);
 
   std::vector<std::thread> workers_;
+
+  // NowMicros() at region submission, read by workers to account how long
+  // the region sat before each claim. 0 = profiling off (no accounting).
+  std::atomic<uint64_t> submit_us_{0};
 
   std::mutex submit_mu_;  // Serializes concurrent external submitters.
   std::mutex mu_;

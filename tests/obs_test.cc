@@ -1,0 +1,289 @@
+// Tests for the observability layer: metrics registry exactness under
+// concurrency, histogram bucket edges, trace-event JSON well-formedness,
+// the JSONL metrics log, and the disabled-mode zero-allocation contract.
+//
+// The CMakeLists registers an obs_test_env4 variant with UV_THREADS=4 so
+// the registry sees true multi-thread contention on CI.
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <new>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "obs/metrics_log.h"
+#include "obs/trace.h"
+#include "util/thread_pool.h"
+
+namespace uv::obs {
+namespace {
+
+// --- operator new interposition (this binary only) -------------------------
+// Counts heap allocations while g_counting is set, so tests can assert the
+// disabled-mode hot path never allocates.
+
+std::atomic<bool> g_counting{false};
+std::atomic<uint64_t> g_allocs{0};
+
+void CountAlloc() {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+}  // namespace uv::obs
+
+void* operator new(std::size_t n) {
+  uv::obs::CountAlloc();
+  if (void* p = std::malloc(n > 0 ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) {
+  uv::obs::CountAlloc();
+  if (void* p = std::malloc(n > 0 ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace uv::obs {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+size_t CountOccurrences(const std::string& text, const std::string& needle) {
+  size_t count = 0;
+  for (size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(RegistryTest, CounterExactUnderConcurrency) {
+  Counter& c = Registry::Global().GetCounter("test.concurrent_counter");
+  c.Reset();
+  constexpr int kThreads = 8;
+  constexpr int kIncsPerThread = 50000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kIncsPerThread; ++i) c.Inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.Value(), uint64_t{kThreads} * kIncsPerThread);
+}
+
+TEST(RegistryTest, CounterDeltaAndSameReference) {
+  Counter& a = Registry::Global().GetCounter("test.same_name");
+  Counter& b = Registry::Global().GetCounter("test.same_name");
+  EXPECT_EQ(&a, &b);  // Lookup is stable: one metric per name, forever.
+  a.Reset();
+  a.Inc(5);
+  b.Inc(7);
+  EXPECT_EQ(a.Value(), 12u);
+}
+
+TEST(RegistryTest, GaugeSetAddReset) {
+  Gauge& g = Registry::Global().GetGauge("test.gauge");
+  g.Set(42);
+  EXPECT_EQ(g.Value(), 42);
+  g.Add(-50);
+  EXPECT_EQ(g.Value(), -8);
+  g.Reset();
+  EXPECT_EQ(g.Value(), 0);
+}
+
+TEST(RegistryTest, ParallelForIncrementsAreExact) {
+  // The registry must stay exact when driven from the shared pool (the
+  // obs_test_env4 variant runs this with UV_THREADS=4 workers).
+  Counter& c = Registry::Global().GetCounter("test.parallel_for_counter");
+  c.Reset();
+  constexpr int64_t kN = 100000;
+  ParallelFor(0, kN, 1024, [&c](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) c.Inc();
+  });
+  EXPECT_EQ(c.Value(), static_cast<uint64_t>(kN));
+}
+
+TEST(HistogramTest, BucketEdges) {
+  // Bucket 0 = {0}; bucket b >= 1 = [2^(b-1), 2^b).
+  EXPECT_EQ(Histogram::BucketIndex(0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3);
+  EXPECT_EQ(Histogram::BucketIndex(1023), 10);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 11);
+  // The top bucket is open-ended.
+  EXPECT_EQ(Histogram::BucketIndex(~uint64_t{0}), Histogram::kNumBuckets - 1);
+
+  EXPECT_EQ(Histogram::BucketLowerBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketLowerBound(1), 1u);
+  EXPECT_EQ(Histogram::BucketLowerBound(11), 1024u);
+  // Round trip: every lower bound lands in its own bucket.
+  for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+    EXPECT_EQ(Histogram::BucketIndex(Histogram::BucketLowerBound(b)), b);
+  }
+}
+
+TEST(HistogramTest, PercentilesAtBucketLowerBounds) {
+  Histogram& h = Registry::Global().GetHistogram("test.percentiles");
+  h.Reset();
+  // 90 samples of 10 (bucket 4, lower bound 8), 10 samples of 5000
+  // (bucket 13, lower bound 4096).
+  for (int i = 0; i < 90; ++i) h.Record(10);
+  for (int i = 0; i < 10; ++i) h.Record(5000);
+  EXPECT_EQ(h.Count(), 100u);
+  EXPECT_EQ(h.Sum(), 90u * 10 + 10u * 5000);
+  EXPECT_DOUBLE_EQ(h.Percentile(50.0), 8.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(95.0), 4096.0);
+}
+
+TEST(RegistryTest, SnapshotAndJsonContainRegisteredMetrics) {
+  auto& reg = Registry::Global();
+  reg.GetCounter("test.json_counter").Inc(3);
+  reg.GetHistogram("test.json_hist").Record(7);
+  const std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_hist\""), std::string::npos);
+
+  const RegistrySnapshot snap = reg.Snapshot();
+  bool found = false;
+  for (const auto& [name, value] : snap.counters) {
+    if (name == "test.json_counter") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TraceTest, EmitsBalancedTraceEventJson) {
+  if (TraceEnabled()) GTEST_SKIP() << "UV_TRACE active in the environment";
+  const std::string path = testing::TempDir() + "/obs_test_trace.json";
+  StartTrace(path);
+  {
+    SpanGuard outer("test_outer", SpanLevel::kCoarse, "run", 1, "fold", 2);
+    SpanGuard inner("test_inner", SpanLevel::kFine, "rows", 32);
+  }
+  std::thread worker([] {
+    SpanGuard span("test_thread_span", SpanLevel::kFine);
+  });
+  worker.join();
+  ASSERT_TRUE(StopTrace());
+  EXPECT_FALSE(TraceEnabled());
+
+  const std::string text = ReadFile(path);
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.front(), '{');
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("\"test_outer\""), std::string::npos);
+  EXPECT_NE(text.find("\"test_inner\""), std::string::npos);
+  EXPECT_NE(text.find("\"test_thread_span\""), std::string::npos);
+  EXPECT_NE(text.find("\"run\":1"), std::string::npos);
+  EXPECT_NE(text.find("\"fold\":2"), std::string::npos);
+  // Every begin has a matching end (full validation, including per-thread
+  // nesting, lives in tools/check_trace.py).
+  EXPECT_EQ(CountOccurrences(text, "\"ph\":\"B\""),
+            CountOccurrences(text, "\"ph\":\"E\""));
+  EXPECT_EQ(CountOccurrences(text, "\"ph\":\"B\""), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, RestartClearsPreviousSpans) {
+  if (TraceEnabled()) GTEST_SKIP() << "UV_TRACE active in the environment";
+  const std::string path = testing::TempDir() + "/obs_test_trace2.json";
+  StartTrace(path);
+  { SpanGuard span("stale_span", SpanLevel::kCoarse); }
+  StartTrace(path);  // Restart: the stale span must not leak into the file.
+  { SpanGuard span("fresh_span", SpanLevel::kCoarse); }
+  ASSERT_TRUE(StopTrace());
+  const std::string text = ReadFile(path);
+  EXPECT_EQ(text.find("\"stale_span\""), std::string::npos);
+  EXPECT_NE(text.find("\"fresh_span\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(MetricsLogTest, WritesJsonlWithAmbientLabelsAndRegistryDump) {
+  if (MetricsLogEnabled()) {
+    GTEST_SKIP() << "UV_METRICS active in the environment";
+  }
+  const std::string path = testing::TempDir() + "/obs_test_metrics.jsonl";
+  OpenMetricsLog(path);
+  {
+    FoldScope scope(/*run=*/3, /*fold=*/1);
+    EXPECT_EQ(CurrentRun(), 3);
+    EXPECT_EQ(CurrentFold(), 1);
+    MetricsRecord("epoch")
+        .Str("stage", "master")
+        .Int("epoch", 12)
+        .Num("loss", 0.5)
+        .Emit();
+  }
+  EXPECT_EQ(CurrentRun(), -1);  // Scope restored.
+  MetricsRecord("summary").Num("auc_mean", 0.9).Emit();
+  CloseMetricsLog();
+  EXPECT_FALSE(MetricsLogEnabled());
+
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 3u);
+  for (const std::string& line : lines) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+  EXPECT_NE(lines[0].find("\"kind\":\"epoch\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"run\":3"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"fold\":1"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"loss\":0.5"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"kind\":\"summary\""), std::string::npos);
+  // No ambient labels outside a FoldScope.
+  EXPECT_EQ(lines[1].find("\"run\""), std::string::npos);
+  // The close appends the full registry snapshot as the last record.
+  EXPECT_NE(lines[2].find("\"kind\":\"registry\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"counters\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(OverheadTest, DisabledSpanAndRecordDoNotAllocate) {
+  if (TraceEnabled() || MetricsLogEnabled()) {
+    GTEST_SKIP() << "observability active in the environment";
+  }
+  // Warm up call-site statics (thread shard id, registry entries) so only
+  // steady-state cost is measured.
+  Counter& c = Registry::Global().GetCounter("test.overhead_counter");
+  c.Inc();
+  { SpanGuard warm("warmup", SpanLevel::kFine); }
+  MetricsRecord("warmup").Emit();
+
+  g_allocs.store(0, std::memory_order_relaxed);
+  g_counting.store(true, std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    SpanGuard span("disabled_span", SpanLevel::kFine, "i", i);
+    c.Inc();
+    MetricsRecord("epoch").Int("epoch", i).Num("loss", 0.1).Emit();
+  }
+  g_counting.store(false, std::memory_order_relaxed);
+  EXPECT_EQ(g_allocs.load(std::memory_order_relaxed), 0u);
+}
+
+}  // namespace
+}  // namespace uv::obs

@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Validates UV_TRACE / UV_METRICS output files.
+
+Trace files (Chrome trace-event JSON, as written by src/obs/trace.cc):
+  * the file parses as JSON with a "traceEvents" array;
+  * every duration-begin event ("ph": "B") has a matching end ("ph": "E")
+    on the same (pid, tid), properly nested (LIFO) per thread;
+  * timestamps are non-negative and each E is at or after its B;
+  * optionally, --require asserts that specific span names are present.
+
+Metrics files (JSONL, as written by src/obs/metrics_log.cc):
+  * every line parses as a JSON object with a "kind" field;
+  * "epoch" records carry numeric "epoch" and "loss" fields;
+  * ts_us is non-decreasing per (run, fold, stage) epoch series;
+  * the final record is the "registry" dump.
+
+Usage:
+  tools/check_trace.py --trace trace.json --require fold,epoch,gemm
+  tools/check_trace.py --metrics metrics.jsonl
+  tools/check_trace.py --trace t.json --metrics m.jsonl --require fold
+
+Exits 0 when every check passes, 1 otherwise (so CI can gate on it).
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_trace(path, required_names):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: not readable as JSON: {e}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail(f"{path}: missing 'traceEvents' array")
+
+    stacks = {}  # (pid, tid) -> [name, ...] of open B events.
+    seen_names = set()
+    durations = 0
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"{path}: event #{i} is not an object")
+        ph = ev.get("ph")
+        if ph == "M":  # Metadata (process/thread names): no pairing rules.
+            continue
+        if ph not in ("B", "E"):
+            fail(f"{path}: event #{i} has unexpected ph={ph!r}")
+        key = (ev.get("pid"), ev.get("tid"))
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            fail(f"{path}: event #{i} has bad ts={ts!r}")
+        if ph == "B":
+            seen_names.add(ev.get("name"))
+            stacks.setdefault(key, []).append((ev.get("name"), ts))
+        else:
+            stack = stacks.get(key)
+            if not stack:
+                fail(f"{path}: event #{i}: E with no open B on tid {key}")
+            name, begin_ts = stack.pop()
+            if ev.get("name") not in (None, name):
+                fail(
+                    f"{path}: event #{i}: E named {ev.get('name')!r} closes "
+                    f"B named {name!r} on tid {key} (bad nesting)"
+                )
+            if ts < begin_ts:
+                fail(f"{path}: event #{i}: span {name!r} ends before it begins")
+            durations += 1
+    for key, stack in stacks.items():
+        if stack:
+            fail(f"{path}: {len(stack)} unclosed B events on tid {key}: "
+                 f"{[name for name, _ in stack]}")
+    if durations == 0:
+        fail(f"{path}: no duration spans recorded")
+
+    missing = [n for n in required_names if n not in seen_names]
+    if missing:
+        fail(f"{path}: required span names absent: {missing}; "
+             f"present: {sorted(n for n in seen_names if n)}")
+    print(f"check_trace: {path}: OK ({durations} spans, "
+          f"{len(seen_names)} distinct names)")
+
+
+def check_metrics(path):
+    records = []
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except json.JSONDecodeError as e:
+                    fail(f"{path}:{lineno}: not valid JSON: {e}")
+                if not isinstance(rec, dict) or "kind" not in rec:
+                    fail(f"{path}:{lineno}: record without a 'kind' field")
+                records.append(rec)
+    except OSError as e:
+        fail(f"{path}: {e}")
+    if not records:
+        fail(f"{path}: empty metrics log")
+
+    epochs = 0
+    last_ts = {}  # (run, fold, stage) -> last ts_us of its epoch series.
+    for rec in records:
+        if rec["kind"] != "epoch":
+            continue
+        epochs += 1
+        for field in ("epoch", "loss"):
+            if not isinstance(rec.get(field), (int, float)):
+                fail(f"{path}: epoch record missing numeric {field!r}: {rec}")
+        key = (rec.get("run"), rec.get("fold"), rec.get("stage"))
+        ts = rec.get("ts_us")
+        if not isinstance(ts, (int, float)):
+            fail(f"{path}: epoch record missing ts_us: {rec}")
+        if key in last_ts and ts < last_ts[key]:
+            fail(f"{path}: ts_us went backwards within series {key}")
+        last_ts[key] = ts
+    if epochs == 0:
+        fail(f"{path}: no per-epoch records")
+    if records[-1]["kind"] != "registry":
+        fail(f"{path}: last record is {records[-1]['kind']!r}, "
+             "expected the closing 'registry' dump")
+    reg = records[-1].get("registry")
+    if not isinstance(reg, dict) or "counters" not in reg:
+        fail(f"{path}: registry dump lacks a 'counters' object")
+    print(f"check_trace: {path}: OK ({len(records)} records, "
+          f"{epochs} epoch records)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace", help="Chrome trace-event JSON file")
+    parser.add_argument("--metrics", help="JSONL metrics log file")
+    parser.add_argument(
+        "--require",
+        default="",
+        help="comma-separated span names that must appear in the trace",
+    )
+    args = parser.parse_args()
+    if not args.trace and not args.metrics:
+        parser.error("pass --trace and/or --metrics")
+    required = [n for n in args.require.split(",") if n]
+    if required and not args.trace:
+        parser.error("--require needs --trace")
+    if args.trace:
+        check_trace(args.trace, required)
+    if args.metrics:
+        check_metrics(args.metrics)
+
+
+if __name__ == "__main__":
+    main()
