@@ -3,12 +3,14 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "baselines/registry.h"
 #include "core/cmsf_config.h"
 #include "eval/runner.h"
+#include "obs/report.h"
 #include "synth/city.h"
 #include "urg/urban_region_graph.h"
 
@@ -16,12 +18,20 @@ namespace uv::bench {
 
 // Knobs shared by every table/figure benchmark, overridable via environment
 // variables so one run can trade fidelity for wall-clock:
-//   UV_BENCH_SCALE  city size as a fraction of the paper's region counts
-//                   (default 0.015; 1.0 approximates Table I magnitudes)
-//   UV_BENCH_EPOCHS training epochs per stage-one/baseline (default 70)
-//   UV_BENCH_RUNS   repeated random runs (paper: 5; default 1)
-//   UV_BENCH_FOLDS  cross-validation folds (paper: 3; default 3)
-//   UV_BENCH_SEED   master seed (default 2023)
+//   UV_BENCH_SCALE   city size as a fraction of the paper's region counts
+//                    (default 0.015; 1.0 approximates Table I magnitudes)
+//   UV_BENCH_EPOCHS  training epochs per stage-one/baseline (default 70)
+//   UV_BENCH_RUNS    repeated random runs (paper: 5; default 1)
+//   UV_BENCH_FOLDS   cross-validation folds (paper: 3; default 3)
+//   UV_BENCH_SEED    master seed (default 2023)
+//   UV_BENCH_REPEATS timed repeats per ledger benchmark (default 5)
+//   UV_BENCH_WARMUP  untimed warmup executions before the repeats (default 1)
+//
+// repeats/warmup are also CLI flags (--repeats N / --repeats=N, --warmup
+// likewise) parsed by FromArgs; flags win over the environment. Between
+// repeats the measurement harness (obs::Report::RunTimed) calls
+// obs::ResetAll() so per-repeat counter deltas (mem.pool_hits,
+// threadpool.queue_wait_us, ...) are isolated rather than cumulative.
 //
 // Orthogonally, UV_THREADS sizes the global worker pool every kernel and
 // the fold-parallel runner execute on (default: hardware_concurrency;
@@ -33,6 +43,8 @@ struct BenchConfig {
   int runs = 1;
   int folds = 3;
   uint64_t seed = 2023;
+  int repeats = 5;
+  int warmup = 1;
 
   static BenchConfig FromEnv() {
     BenchConfig config;
@@ -41,9 +53,76 @@ struct BenchConfig {
     if (const char* v = std::getenv("UV_BENCH_RUNS")) config.runs = atoi(v);
     if (const char* v = std::getenv("UV_BENCH_FOLDS")) config.folds = atoi(v);
     if (const char* v = std::getenv("UV_BENCH_SEED")) config.seed = strtoull(v, nullptr, 10);
+    if (const char* v = std::getenv("UV_BENCH_REPEATS")) config.repeats = atoi(v);
+    if (const char* v = std::getenv("UV_BENCH_WARMUP")) config.warmup = atoi(v);
+    if (config.repeats < 1) config.repeats = 1;
+    if (config.warmup < 0) config.warmup = 0;
+    return config;
+  }
+
+  // Environment first, then CLI flags override. Unrecognized arguments are
+  // left alone (the google-benchmark binaries mix in their own flags).
+  static BenchConfig FromArgs(int argc, char** argv) {
+    BenchConfig config = FromEnv();
+    auto value_of = [&](int* i, const char* flag) -> const char* {
+      const size_t flag_len = std::strlen(flag);
+      if (std::strncmp(argv[*i], flag, flag_len) != 0) return nullptr;
+      if (argv[*i][flag_len] == '=') return argv[*i] + flag_len + 1;
+      if (argv[*i][flag_len] == '\0' && *i + 1 < argc) return argv[++*i];
+      return nullptr;
+    };
+    for (int i = 1; i < argc; ++i) {
+      if (const char* v = value_of(&i, "--repeats")) {
+        config.repeats = atoi(v);
+      } else if (const char* v = value_of(&i, "--warmup")) {
+        config.warmup = atoi(v);
+      }
+    }
+    if (config.repeats < 1) config.repeats = 1;
+    if (config.warmup < 0) config.warmup = 0;
     return config;
   }
 };
+
+// Builds the ledger for one bench binary with the shared config echoed in,
+// repeat/warmup defaults applied, and the suite named after the binary.
+inline obs::Report MakeReport(const std::string& suite,
+                              const BenchConfig& bench) {
+  obs::Report report(suite);
+  report.SetConfig("scale", bench.scale);
+  report.SetConfig("epochs", static_cast<int64_t>(bench.epochs));
+  report.SetConfig("runs", static_cast<int64_t>(bench.runs));
+  report.SetConfig("folds", static_cast<int64_t>(bench.folds));
+  report.SetConfig("seed", static_cast<int64_t>(bench.seed));
+  report.SetConfig("repeats", static_cast<int64_t>(bench.repeats));
+  report.SetConfig("warmup", static_cast<int64_t>(bench.warmup));
+  report.SetRepeats(bench.warmup, bench.repeats);
+  return report;
+}
+
+// Resolves where a bench binary writes its ledger: --out/-o flag, then
+// UV_BENCH_OUT, then the per-binary default (BENCH_<suite>.json).
+inline std::string LedgerPath(const std::string& default_path, int argc = 0,
+                              char** argv = nullptr) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 || std::strcmp(argv[i], "-o") == 0) {
+      return argv[i + 1];
+    }
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) return argv[i] + 6;
+  }
+  if (const char* v = std::getenv("UV_BENCH_OUT")) return v;
+  return default_path;
+}
+
+// Writes the ledger and announces it on stderr (stdout carries the
+// human-readable tables and must stay byte-comparable across runs).
+inline void WriteLedger(const obs::Report& report, const std::string& path) {
+  if (report.WriteFile(path)) {
+    std::fprintf(stderr, "wrote %s\n", path.c_str());
+  }
+}
 
 inline const std::vector<std::string>& CityNames() {
   static const std::vector<std::string>* names =

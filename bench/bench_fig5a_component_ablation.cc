@@ -9,10 +9,11 @@
 #include "bench_common.h"
 #include "util/table.h"
 
-int main() {
-  auto bench = uv::bench::BenchConfig::FromEnv();
+int main(int argc, char** argv) {
+  auto bench = uv::bench::BenchConfig::FromArgs(argc, argv);
   if (std::getenv("UV_BENCH_FOLDS") == nullptr) bench.folds = 2;
   uv::bench::PrintBenchHeader("Fig. 5(a): effect of model components", bench);
+  auto report = uv::bench::MakeReport("fig5a", bench);
 
   const std::vector<std::string> variants = {"CMSF", "CMSF-M", "CMSF-G",
                                              "CMSF-H"};
@@ -24,6 +25,7 @@ int main() {
       auto stats = uv::eval::RunCrossValidation(
           urg, uv::bench::MakeFactory(variant, city, bench),
           uv::bench::MakeRunnerOptions(bench));
+      uv::eval::AppendRunStats(&report, city + "/" + variant, stats);
       table.AddRow({variant, uv::FormatMeanStd(stats.auc.mean, stats.auc.std),
                     uv::FormatMeanStd(stats.f13.mean, stats.f13.std),
                     uv::FormatMeanStd(stats.f15.mean, stats.f15.std)});
@@ -33,5 +35,7 @@ int main() {
     table.Print();
     std::printf("\n");
   }
+  uv::bench::WriteLedger(
+      report, uv::bench::LedgerPath("BENCH_fig5a.json", argc, argv));
   return 0;
 }

@@ -29,11 +29,12 @@ constexpr Variant kVariants[] = {
 
 }  // namespace
 
-int main() {
-  auto bench = uv::bench::BenchConfig::FromEnv();
+int main(int argc, char** argv) {
+  auto bench = uv::bench::BenchConfig::FromArgs(argc, argv);
   if (std::getenv("UV_BENCH_FOLDS") == nullptr) bench.folds = 2;
   uv::bench::PrintBenchHeader("Fig. 5(b): effect of multi-modal urban data",
                               bench);
+  auto report = uv::bench::MakeReport("fig5b", bench);
 
   for (const auto& city : uv::bench::AblationCityNames()) {
     auto city_data = uv::synth::GenerateCity(uv::bench::CityPreset(city, bench));
@@ -48,6 +49,7 @@ int main() {
       auto stats = uv::eval::RunCrossValidation(
           urg, uv::bench::MakeFactory("CMSF", city, bench),
           uv::bench::MakeRunnerOptions(bench));
+      uv::eval::AppendRunStats(&report, city + "/" + variant.name, stats);
       table.AddRow({variant.name,
                     uv::FormatMeanStd(stats.auc.mean, stats.auc.std),
                     uv::FormatMeanStd(stats.f13.mean, stats.f13.std)});
@@ -56,5 +58,7 @@ int main() {
     table.Print();
     std::printf("\n");
   }
+  uv::bench::WriteLedger(
+      report, uv::bench::LedgerPath("BENCH_fig5b.json", argc, argv));
   return 0;
 }

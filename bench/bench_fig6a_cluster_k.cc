@@ -7,11 +7,12 @@
 #include "bench_common.h"
 #include "util/table.h"
 
-int main() {
-  auto bench = uv::bench::BenchConfig::FromEnv();
+int main(int argc, char** argv) {
+  auto bench = uv::bench::BenchConfig::FromArgs(argc, argv);
   if (std::getenv("UV_BENCH_FOLDS") == nullptr) bench.folds = 2;
   uv::bench::PrintBenchHeader(
       "Fig. 6(a): sensitivity to the number of latent clusters K", bench);
+  auto report = uv::bench::MakeReport("fig6a", bench);
 
   for (const auto& city : uv::bench::AblationCityNames()) {
     auto urg = uv::bench::BuildCityUrg(city, bench);
@@ -28,6 +29,8 @@ int main() {
       };
       auto stats = uv::eval::RunCrossValidation(
           urg, factory, uv::bench::MakeRunnerOptions(bench));
+      uv::eval::AppendRunStats(&report, city + "/K=" + std::to_string(k),
+                               stats);
       table.AddRow({std::to_string(k),
                     uv::FormatMeanStd(stats.auc.mean, stats.auc.std),
                     uv::FormatMeanStd(stats.f13.mean, stats.f13.std)});
@@ -36,5 +39,7 @@ int main() {
     table.Print();
     std::printf("\n");
   }
+  uv::bench::WriteLedger(
+      report, uv::bench::LedgerPath("BENCH_fig6a.json", argc, argv));
   return 0;
 }

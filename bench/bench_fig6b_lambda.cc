@@ -8,11 +8,12 @@
 #include "bench_common.h"
 #include "util/table.h"
 
-int main() {
-  auto bench = uv::bench::BenchConfig::FromEnv();
+int main(int argc, char** argv) {
+  auto bench = uv::bench::BenchConfig::FromArgs(argc, argv);
   if (std::getenv("UV_BENCH_FOLDS") == nullptr) bench.folds = 2;
   uv::bench::PrintBenchHeader("Fig. 6(b): sensitivity to balancing weight",
                               bench);
+  auto report = uv::bench::MakeReport("fig6b", bench);
 
   for (const auto& city : uv::bench::AblationCityNames()) {
     auto urg = uv::bench::BuildCityUrg(city, bench);
@@ -29,6 +30,8 @@ int main() {
       };
       auto stats = uv::eval::RunCrossValidation(
           urg, factory, uv::bench::MakeRunnerOptions(bench));
+      uv::eval::AppendRunStats(
+          &report, city + "/lambda=" + uv::FormatDouble(lambda, 3), stats);
       table.AddRow({uv::FormatDouble(lambda, 3),
                     uv::FormatMeanStd(stats.auc.mean, stats.auc.std),
                     uv::FormatMeanStd(stats.f13.mean, stats.f13.std)});
@@ -38,5 +41,7 @@ int main() {
     table.Print();
     std::printf("\n");
   }
+  uv::bench::WriteLedger(
+      report, uv::bench::LedgerPath("BENCH_fig6b.json", argc, argv));
   return 0;
 }

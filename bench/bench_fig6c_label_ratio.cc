@@ -8,10 +8,11 @@
 #include "bench_common.h"
 #include "util/table.h"
 
-int main() {
-  auto bench = uv::bench::BenchConfig::FromEnv();
+int main(int argc, char** argv) {
+  auto bench = uv::bench::BenchConfig::FromArgs(argc, argv);
   if (std::getenv("UV_BENCH_FOLDS") == nullptr) bench.folds = 2;
   uv::bench::PrintBenchHeader("Fig. 6(c): ratio of labeled data", bench);
+  auto report = uv::bench::MakeReport("fig6c", bench);
 
   for (const auto& city : uv::bench::AblationCityNames()) {
     auto urg = uv::bench::BuildCityUrg(city, bench);
@@ -25,6 +26,9 @@ int main() {
           urg, uv::bench::MakeFactory("CMSF", city, bench), options);
       auto uvlens = uv::eval::RunCrossValidation(
           urg, uv::bench::MakeFactory("UVLens", city, bench), options);
+      const std::string suffix = "/ratio=" + uv::FormatDouble(ratio, 2);
+      uv::eval::AppendRunStats(&report, city + "/CMSF" + suffix, cmsf);
+      uv::eval::AppendRunStats(&report, city + "/UVLens" + suffix, uvlens);
       table.AddRow({uv::FormatDouble(ratio, 2),
                     uv::FormatMeanStd(cmsf.auc.mean, cmsf.auc.std),
                     uv::FormatMeanStd(uvlens.auc.mean, uvlens.auc.std),
@@ -36,5 +40,7 @@ int main() {
     table.Print();
     std::printf("\n");
   }
+  uv::bench::WriteLedger(
+      report, uv::bench::LedgerPath("BENCH_fig6c.json", argc, argv));
   return 0;
 }

@@ -85,9 +85,10 @@ void PrintAsciiMap(const uv::urg::UrbanRegionGraph& urg,
 
 }  // namespace
 
-int main() {
-  auto bench = uv::bench::BenchConfig::FromEnv();
+int main(int argc, char** argv) {
+  auto bench = uv::bench::BenchConfig::FromArgs(argc, argv);
   uv::bench::PrintBenchHeader("Fig. 7: case study (CMSF vs UVLens)", bench);
+  auto report = uv::bench::MakeReport("fig7", bench);
 
   for (const std::string city : {"Fuzhou", "Shenzhen"}) {
     auto urg = uv::bench::BuildCityUrg(city, bench);
@@ -121,6 +122,12 @@ int main() {
       int hits = 0, truth = 0;
       for (int id : detected) hits += (urg.is_uv[id] != 0);
       for (uint8_t u : urg.is_uv) truth += (u != 0);
+      auto& entry = report.Bench(city + "/" + method);
+      entry.AddMetric("hits", hits, uv::obs::Direction::kHigherIsBetter);
+      entry.AddMetric("hit_rate", static_cast<double>(hits) / top_k,
+                      uv::obs::Direction::kHigherIsBetter);
+      entry.AddMetric("contiguous", ContiguousCount(urg.grid, detected));
+      entry.AddMetric("true_uv_cells", truth);
       table.AddRow({method, std::to_string(hits),
                     uv::FormatDouble(static_cast<double>(hits) / top_k, 3),
                     std::to_string(ContiguousCount(urg.grid, detected)),
@@ -134,5 +141,7 @@ int main() {
     PrintAsciiMap(urg, detections[0], detections[1]);
     std::printf("\n");
   }
+  uv::bench::WriteLedger(
+      report, uv::bench::LedgerPath("BENCH_fig7.json", argc, argv));
   return 0;
 }

@@ -1,0 +1,97 @@
+#ifndef UV_BENCH_BENCH_GBENCH_H_
+#define UV_BENCH_BENCH_GBENCH_H_
+
+// Bridges the google-benchmark binaries onto the shared perf ledger
+// (obs::Report). The console output stays the stock display reporter;
+// LedgerReporter wraps it and additionally records seconds-per-iteration
+// for every individual run into one ledger entry per benchmark name, so
+// `--benchmark_repetitions=N` lands as N repeats with robust stats.
+// GBenchLedgerMain replaces BENCHMARK_MAIN(): it peels off the uv flags
+// (--repeats/--warmup/--out) before handing argv to gbench, runs the
+// registered benchmarks, and writes BENCH_<suite>.json.
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace uv::bench {
+
+class LedgerReporter : public benchmark::BenchmarkReporter {
+ public:
+  LedgerReporter(obs::Report* report,
+                 benchmark::BenchmarkReporter* display)
+      : report_(report), display_(display) {}
+
+  bool ReportContext(const Context& context) override {
+    return display_->ReportContext(context);
+  }
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      // Individual runs only: gbench's mean/stddev aggregates and big-O
+      // fits would double-count, the ledger derives its own stats.
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      report_->Bench(run.benchmark_name())
+          .AddRepeat(run.real_accumulated_time / iters);
+    }
+    display_->ReportRuns(runs);
+  }
+
+  void Finalize() override { display_->Finalize(); }
+
+ private:
+  obs::Report* report_;
+  benchmark::BenchmarkReporter* display_;
+};
+
+// Drop-in replacement for the BENCHMARK_MAIN() body. The uv flags are
+// consumed here so gbench does not reject them as unrecognized.
+inline int GBenchLedgerMain(const std::string& suite,
+                            const std::string& default_out, int argc,
+                            char** argv) {
+  const BenchConfig bench = BenchConfig::FromArgs(argc, argv);
+  const std::string out = LedgerPath(default_out, argc, argv);
+
+  std::vector<char*> kept;
+  for (int i = 0; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--repeats") == 0 ||
+        std::strcmp(arg, "--warmup") == 0 || std::strcmp(arg, "--out") == 0 ||
+        std::strcmp(arg, "-o") == 0) {
+      ++i;  // Skip the flag's value too.
+      continue;
+    }
+    if (std::strncmp(arg, "--repeats=", 10) == 0 ||
+        std::strncmp(arg, "--warmup=", 9) == 0 ||
+        std::strncmp(arg, "--out=", 6) == 0) {
+      continue;
+    }
+    kept.push_back(argv[i]);
+  }
+  int kept_argc = static_cast<int>(kept.size());
+  kept.push_back(nullptr);
+
+  auto report = MakeReport(suite, bench);
+  benchmark::Initialize(&kept_argc, kept.data());
+  if (benchmark::ReportUnrecognizedArguments(kept_argc, kept.data())) {
+    return 1;
+  }
+  std::unique_ptr<benchmark::BenchmarkReporter> display(
+      benchmark::CreateDefaultDisplayReporter());
+  LedgerReporter ledger(&report, display.get());
+  benchmark::RunSpecifiedBenchmarks(&ledger);
+  benchmark::Shutdown();
+  WriteLedger(report, out);
+  return 0;
+}
+
+}  // namespace uv::bench
+
+#endif  // UV_BENCH_BENCH_GBENCH_H_

@@ -85,11 +85,12 @@ void operator delete[](void* p, const std::nothrow_t&) noexcept {
   std::free(p);
 }
 
-int main() {
-  auto bench = uv::bench::BenchConfig::FromEnv();
+int main(int argc, char** argv) {
+  auto bench = uv::bench::BenchConfig::FromArgs(argc, argv);
   bench.epochs = std::min(bench.epochs, 10);
   uv::bench::PrintBenchHeader(
       "Micro: heap allocations per CMSF training step", bench);
+  auto report = uv::bench::MakeReport("micro_alloc", bench);
 
   auto urg = uv::bench::BuildCityUrg("Fuzhou", bench);
   uv::Rng rng(bench.seed);
@@ -138,6 +139,24 @@ int main() {
   const double ratio =
       on.allocs_per_step > 0.0 ? off.allocs_per_step / on.allocs_per_step
                                : 0.0;
+  struct Mode {
+    const char* name;
+    const decltype(off)* r;
+  };
+  for (const Mode m : {Mode{"pool_off", &off}, Mode{"pool_on", &on}}) {
+    const auto& r = *m.r;
+    auto& entry = report.Bench(m.name);
+    entry.AddMetric("allocs_per_step", r.allocs_per_step,
+                    uv::obs::Direction::kLowerIsBetter);
+    entry.AddMetric("bytes_per_step", r.bytes_per_step,
+                    uv::obs::Direction::kLowerIsBetter);
+    entry.AddMetric("pool_acquires", static_cast<double>(r.pool.acquires));
+    entry.AddMetric("pool_hits", static_cast<double>(r.pool.hits));
+    entry.AddMetric("pool_heap_allocs",
+                    static_cast<double>(r.pool.heap_allocs));
+  }
+  report.Bench("pool_on").AddMetric("reduction", ratio,
+                                    uv::obs::Direction::kHigherIsBetter);
   std::printf("pool off: %.1f heap allocs/step (%.1f KB/step)\n",
               off.allocs_per_step, off.bytes_per_step / 1024.0);
   std::printf("pool on : %.1f heap allocs/step (%.1f KB/step)\n",
@@ -162,6 +181,8 @@ int main() {
                            : 0.0,
       static_cast<unsigned long long>(on.pool.heap_allocs));
 
+  uv::bench::WriteLedger(
+      report, uv::bench::LedgerPath("BENCH_micro_alloc.json", argc, argv));
   if (ratio < 10.0) {
     std::fprintf(stderr,
                  "FAIL: pooled hot path must cut heap allocations per step "

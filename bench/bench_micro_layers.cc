@@ -3,6 +3,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench.h"
 #include "core/cmsf_model.h"
 #include "tensor/tensor_ops.h"
 #include "nn/gscm.h"
@@ -107,4 +108,7 @@ BENCHMARK(BM_CityGeneration);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return uv::bench::GBenchLedgerMain("micro_layers", "BENCH_micro_layers.json",
+                                     argc, argv);
+}

@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "autograd/ops.h"
+#include "bench_gbench.h"
 #include "graph/csr_graph.h"
 #include "graph/grid.h"
 #include "nn/graph_context.h"
@@ -118,4 +119,7 @@ BENCHMARK(BM_BackwardPass)->Arg(32)->Arg(64);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return uv::bench::GBenchLedgerMain("micro_ops", "BENCH_micro_ops.json",
+                                     argc, argv);
+}

@@ -2,7 +2,9 @@
 // Gemm, the conv forward+backward batch kernels, the CSR segment
 // aggregation, and one full RunCrossValidation at 1/2/4/N threads, checks
 // that metric outputs stay bit-identical across thread counts, and writes
-// BENCH_scaling.json with the speedup curves.
+// the curves as a perf ledger (BENCH_scaling.json) through obs::Report —
+// one benchmark entry per (kernel, thread count), with per-thread speedups
+// attached as metrics.
 //
 //   UV_BENCH_* knobs apply to the cross-validation leg (see
 //   bench_common.h); UV_THREADS caps the largest thread count swept.
@@ -19,7 +21,6 @@
 #include "tensor/tensor_ops.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
-#include "util/timer.h"
 
 namespace {
 
@@ -30,19 +31,6 @@ Tensor RandomTensor(int r, int c, uint64_t seed) {
   Tensor t(r, c);
   t.RandomNormal(&rng, 1.0f);
   return t;
-}
-
-// Best-of-reps wall time of fn at the given pool size.
-double TimeAt(int threads, int reps, const std::function<void()>& fn) {
-  uv::ThreadPool::SetGlobalThreads(threads);
-  fn();  // Warm-up (first touch, pool wake).
-  double best = 1e30;
-  for (int r = 0; r < reps; ++r) {
-    uv::WallTimer timer;
-    fn();
-    best = std::min(best, timer.Seconds());
-  }
-  return best;
 }
 
 struct Curve {
@@ -60,55 +48,33 @@ struct Curve {
   }
 };
 
-Curve Sweep(const std::string& name, const std::vector<int>& thread_counts,
-            int reps, const std::function<void()>& fn) {
+// Times fn at every pool size through the shared measurement protocol
+// (1 warmup to cover first touch + pool wake, best-of-reps summary) and
+// lands every repeat in the ledger under "<name>/t<threads>".
+Curve Sweep(uv::obs::Report* report, const std::string& name,
+            const std::vector<int>& thread_counts, int reps,
+            const std::function<void()>& fn) {
   Curve curve;
   curve.name = name;
   for (const int t : thread_counts) {
+    uv::ThreadPool::SetGlobalThreads(t);
+    auto& entry =
+        report->RunTimed(name + "/t" + std::to_string(t), 1, reps, fn);
     curve.threads.push_back(t);
-    curve.seconds.push_back(TimeAt(t, reps, fn));
+    curve.seconds.push_back(entry.Stats().min);
+  }
+  for (size_t i = 0; i < curve.threads.size(); ++i) {
+    report->Bench(name + "/t" + std::to_string(curve.threads[i]))
+        .AddMetric("speedup_vs_t1", curve.seconds.front() / curve.seconds[i]);
   }
   curve.Print();
   return curve;
 }
 
-void WriteJson(const std::vector<Curve>& curves, int hardware_threads,
-               bool metrics_identical) {
-  FILE* f = std::fopen("BENCH_scaling.json", "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot open BENCH_scaling.json for writing\n");
-    return;
-  }
-  std::fprintf(f, "{\n  \"hardware_threads\": %d,\n", hardware_threads);
-  std::fprintf(f, "  \"metrics_bit_identical_across_threads\": %s,\n",
-               metrics_identical ? "true" : "false");
-  std::fprintf(f, "  \"curves\": {\n");
-  for (size_t c = 0; c < curves.size(); ++c) {
-    const Curve& curve = curves[c];
-    std::fprintf(f, "    \"%s\": {\"threads\": [", curve.name.c_str());
-    for (size_t i = 0; i < curve.threads.size(); ++i) {
-      std::fprintf(f, "%s%d", i ? ", " : "", curve.threads[i]);
-    }
-    std::fprintf(f, "], \"seconds\": [");
-    for (size_t i = 0; i < curve.seconds.size(); ++i) {
-      std::fprintf(f, "%s%.6f", i ? ", " : "", curve.seconds[i]);
-    }
-    std::fprintf(f, "], \"speedup\": [");
-    for (size_t i = 0; i < curve.seconds.size(); ++i) {
-      std::fprintf(f, "%s%.3f", i ? ", " : "",
-                   curve.seconds.front() / curve.seconds[i]);
-    }
-    std::fprintf(f, "]}%s\n", c + 1 < curves.size() ? "," : "");
-  }
-  std::fprintf(f, "  }\n}\n");
-  std::fclose(f);
-  std::printf("\nwrote BENCH_scaling.json\n");
-}
-
 }  // namespace
 
-int main() {
-  auto bench = uv::bench::BenchConfig::FromEnv();
+int main(int argc, char** argv) {
+  auto bench = uv::bench::BenchConfig::FromArgs(argc, argv);
   const int hw = uv::ThreadPool::NumThreadsFromEnv();
   std::vector<int> thread_counts = {1, 2, 4};
   if (hw > 4) thread_counts.push_back(hw);
@@ -117,16 +83,17 @@ int main() {
       thread_counts.end());
   std::printf("=== thread scaling (max env threads: %d) ===\n\n", hw);
 
-  std::vector<Curve> curves;
+  auto report = uv::bench::MakeReport("scaling", bench);
+  report.SetConfig("max_env_threads", static_cast<int64_t>(hw));
 
   // --- Blocked GEMM, 512x512x512. ---
   {
     const Tensor a = RandomTensor(512, 512, 1);
     const Tensor b = RandomTensor(512, 512, 2);
     Tensor c(512, 512);
-    curves.push_back(Sweep("gemm_512x512x512", thread_counts, 5, [&] {
+    Sweep(&report, "gemm_512x512x512", thread_counts, 5, [&] {
       uv::Gemm(false, false, 1.0f, a, b, 0.0f, &c);
-    }));
+    });
   }
 
   // --- Conv2d forward + backward on a 32-image batch. ---
@@ -135,13 +102,13 @@ int main() {
     const Tensor x0 = RandomTensor(32, 3 * 32 * 32, 3);
     const Tensor w0 = RandomTensor(16, 3 * 9, 4);
     const Tensor b0 = RandomTensor(1, 16, 5);
-    curves.push_back(Sweep("conv_fwd_bwd_batch32", thread_counts, 3, [&] {
+    Sweep(&report, "conv_fwd_bwd_batch32", thread_counts, 3, [&] {
       auto x = uv::ag::MakeParam(x0);
       auto w = uv::ag::MakeParam(w0);
       auto b = uv::ag::MakeParam(b0);
       auto y = uv::ag::Conv2d(x, w, b, spec);
       uv::ag::Backward(uv::ag::SumAll(uv::ag::Mul(y, y)));
-    }));
+    });
   }
 
   // --- CSR segment aggregation (attention softmax + weighted sum). ---
@@ -156,13 +123,13 @@ int main() {
     const Tensor scores0 = RandomTensor(offsets->back(), 1, 7);
     const Tensor feats0 = RandomTensor(offsets->back(), 64, 8);
     std::shared_ptr<const std::vector<int>> off = offsets;
-    curves.push_back(Sweep("graph_segment_fwd_bwd", thread_counts, 3, [&] {
+    Sweep(&report, "graph_segment_fwd_bwd", thread_counts, 3, [&] {
       auto scores = uv::ag::MakeParam(scores0);
       auto feats = uv::ag::MakeParam(feats0);
       auto alpha = uv::ag::SegmentSoftmax(scores, off);
       auto y = uv::ag::SegmentWeightedSum(alpha, feats, off);
       uv::ag::Backward(uv::ag::SumAll(uv::ag::Mul(y, y)));
-    }));
+    });
   }
 
   // --- Fold-level parallel cross-validation. ---
@@ -182,7 +149,14 @@ int main() {
       const auto stats = uv::eval::RunCrossValidation(urg, factory, options);
       curve.threads.push_back(t);
       curve.seconds.push_back(stats.wall_seconds);
+      uv::eval::AppendRunStats(
+          &report, curve.name + "/t" + std::to_string(t), stats);
       stats_at.push_back(stats);
+    }
+    for (size_t i = 0; i < curve.threads.size(); ++i) {
+      report.Bench(curve.name + "/t" + std::to_string(curve.threads[i]))
+          .AddMetric("speedup_vs_t1",
+                     curve.seconds.front() / curve.seconds[i]);
     }
     for (const auto& s : stats_at) {
       metrics_identical = metrics_identical &&
@@ -191,11 +165,17 @@ int main() {
                           s.precision3.mean == stats_at.front().precision3.mean;
     }
     curve.Print();
-    curves.push_back(curve);
     std::printf("cross-validation metrics bit-identical across threads: %s\n",
                 metrics_identical ? "yes" : "NO");
+    // Gated metric: 1 means the determinism contract held; a drop to 0
+    // fails bench_diff in the "higher is better" direction.
+    report.Bench(curve.name + "/t" + std::to_string(thread_counts.front()))
+        .AddMetric("metrics_bit_identical_across_threads",
+                   metrics_identical ? 1.0 : 0.0,
+                   uv::obs::Direction::kHigherIsBetter);
   }
 
-  WriteJson(curves, hw, metrics_identical);
+  uv::bench::WriteLedger(
+      report, uv::bench::LedgerPath("BENCH_scaling.json", argc, argv));
   return metrics_identical ? 0 : 1;
 }

@@ -1,0 +1,192 @@
+// Unified benchmark driver: runs the micro kernel suite (and optionally a
+// small end-to-end eval leg) under the standard measurement protocol —
+// warmup + N timed repeats with obs::ResetAll() isolation between repeats —
+// and writes one canonical perf ledger (default BENCH_core.json) through
+// obs::Report. The committed BENCH_core.json at the repo root is the
+// regression baseline: CI re-runs `bench_suite --micro` and gates the fresh
+// ledger with tools/bench_diff.py.
+//
+//   bench_suite --micro [--eval] [--repeats N] [--warmup N] [--out FILE]
+//
+// UV_BENCH_REPEATS / UV_BENCH_WARMUP / UV_BENCH_OUT are the env fallbacks;
+// UV_BENCH_SCALE etc. shape the --eval leg (see bench_common.h).
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "autograd/ops.h"
+#include "bench_common.h"
+#include "graph/csr_graph.h"
+#include "graph/grid.h"
+#include "nn/graph_context.h"
+#include "tensor/tensor_ops.h"
+#include "util/rng.h"
+
+namespace {
+
+uv::Tensor RandomTensor(int r, int c, uint64_t seed) {
+  uv::Rng rng(seed);
+  uv::Tensor t(r, c);
+  t.RandomNormal(&rng, 1.0f);
+  return t;
+}
+
+uv::nn::GraphContext GridContext(int side) {
+  uv::graph::GridSpec grid{side, side, 128.0};
+  auto csr = uv::graph::CsrGraph::FromEdges(
+      grid.num_regions(), uv::graph::BuildSpatialProximityEdges(grid), false,
+      true);
+  return uv::nn::GraphContext::FromCsr(csr);
+}
+
+// The micro suite: one entry per hot kernel family. Sizes are chosen so a
+// repeat lands in the 10-100 ms band on one core — long enough to swamp
+// timer noise, short enough that CI's warmup + 5 repeats x 9 benchmarks
+// stays under a minute.
+void RunMicroSuite(uv::obs::Report* report) {
+  {
+    const uv::Tensor a = RandomTensor(256, 256, 1);
+    const uv::Tensor b = RandomTensor(256, 256, 2);
+    uv::Tensor c(256, 256);
+    report->RunTimed("gemm_nn_256", [&] {
+      uv::Gemm(false, false, 1.0f, a, b, 0.0f, &c);
+    });
+    report->RunTimed("gemm_tn_256", [&] {
+      uv::Gemm(true, false, 1.0f, a, b, 0.0f, &c);
+    });
+  }
+  {
+    const uv::Tensor a = RandomTensor(8192, 50, 3);
+    report->RunTimed("row_softmax_8192x50", [&] {
+      uv::Tensor s = uv::RowSoftmax(a, 0.1f);
+    });
+  }
+  {
+    // Attention message passing (the per-epoch inner loop of every GNN).
+    auto ctx = GridContext(64);
+    auto x = uv::ag::MakeConst(RandomTensor(64 * 64, 64, 4));
+    auto w = uv::ag::MakeConst(RandomTensor(64, 32, 5));
+    auto a_src = uv::ag::MakeConst(RandomTensor(32, 1, 6));
+    auto a_dst = uv::ag::MakeConst(RandomTensor(32, 1, 7));
+    report->RunTimed("attention_pass_grid64", [&] {
+      auto h = uv::ag::MatMul(x, w);
+      auto scores = uv::ag::LeakyRelu(
+          uv::ag::Add(
+              uv::ag::GatherRows(uv::ag::MatMul(h, a_dst), ctx.dst_ids),
+              uv::ag::GatherRows(uv::ag::MatMul(h, a_src), ctx.src_ids)),
+          0.2f);
+      auto alpha = uv::ag::SegmentSoftmax(scores, ctx.offsets);
+      auto out = uv::ag::SegmentWeightedSum(
+          alpha, uv::ag::GatherRows(h, ctx.src_ids), ctx.offsets);
+      (void)out->value.data();
+    });
+  }
+  {
+    // GSCM regions->clusters->regions round trip.
+    const int n = 4096, k = 50;
+    auto x = uv::ag::MakeConst(RandomTensor(n, 64, 8));
+    auto wb = uv::ag::MakeConst(RandomTensor(64, k, 9));
+    auto seg = std::make_shared<std::vector<int>>(n);
+    uv::Rng rng(10);
+    for (auto& s : *seg) s = rng.UniformInt(k);
+    report->RunTimed("cluster_roundtrip_4096", [&] {
+      auto soft = uv::ag::RowSoftmax(uv::ag::MatMul(x, wb), 0.1f);
+      auto clusters = uv::ag::SegmentSumByIds(x, seg, k);
+      auto back = uv::ag::MatMul(soft, clusters);
+      (void)back->value.data();
+    });
+  }
+  {
+    // Conv2d forward + backward over an 8-image batch.
+    const uv::ag::Conv2dSpec spec{3, 32, 32, 16, 3, 1, 1};
+    const uv::Tensor x0 = RandomTensor(8, 3 * 32 * 32, 11);
+    const uv::Tensor w0 = RandomTensor(16, 3 * 9, 12);
+    const uv::Tensor b0 = RandomTensor(1, 16, 13);
+    report->RunTimed("conv2d_fwd_bwd_b8", [&] {
+      auto x = uv::ag::MakeParam(x0);
+      auto w = uv::ag::MakeParam(w0);
+      auto b = uv::ag::MakeParam(b0);
+      auto y = uv::ag::Conv2d(x, w, b, spec);
+      uv::ag::Backward(uv::ag::SumAll(uv::ag::Mul(y, y)));
+    });
+  }
+  {
+    // CSR segment softmax + weighted sum, forward and backward.
+    const int num_segments = 20000;
+    auto offsets = std::make_shared<std::vector<int>>();
+    offsets->push_back(0);
+    uv::Rng rng(14);
+    for (int i = 0; i < num_segments; ++i) {
+      offsets->push_back(offsets->back() + 4 + rng.UniformInt(8));
+    }
+    const uv::Tensor scores0 = RandomTensor(offsets->back(), 1, 15);
+    const uv::Tensor feats0 = RandomTensor(offsets->back(), 64, 16);
+    std::shared_ptr<const std::vector<int>> off = offsets;
+    report->RunTimed("segment_fwd_bwd_20k", [&] {
+      auto scores = uv::ag::MakeParam(scores0);
+      auto feats = uv::ag::MakeParam(feats0);
+      auto alpha = uv::ag::SegmentSoftmax(scores, off);
+      auto y = uv::ag::SegmentWeightedSum(alpha, feats, off);
+      uv::ag::Backward(uv::ag::SumAll(uv::ag::Mul(y, y)));
+    });
+  }
+  {
+    // Full reverse-mode pass over a graph model (allocation-heavy path:
+    // exercises the graph arena and the buffer pool).
+    auto ctx = GridContext(64);
+    auto x = uv::ag::MakeConst(RandomTensor(64 * 64, 64, 17));
+    report->RunTimed("backward_graph_grid64", [&] {
+      auto w = uv::ag::MakeParam(RandomTensor(64, 32, 18));
+      auto h = uv::ag::Relu(uv::ag::MatMul(x, w));
+      auto gathered = uv::ag::GatherRows(h, ctx.src_ids);
+      auto agg =
+          uv::ag::SegmentWeightedSum(ctx.gcn_norm, gathered, ctx.offsets);
+      auto loss = uv::ag::MeanAll(uv::ag::Mul(agg, agg));
+      uv::ag::Backward(loss);
+      (void)w->grad.data();
+    });
+  }
+}
+
+// Optional end-to-end leg: one small cross-validated GCN run, recorded via
+// the same AppendRunStats path the table benches use.
+void RunEvalSuite(uv::obs::Report* report, uv::bench::BenchConfig bench) {
+  bench.epochs = std::min(bench.epochs, 20);
+  bench.runs = 1;
+  const std::string city = "Fuzhou";
+  auto urg = uv::bench::BuildCityUrg(city, bench);
+  const auto stats = uv::eval::RunCrossValidation(
+      urg, uv::bench::MakeFactory("GCN", city, bench),
+      uv::bench::MakeRunnerOptions(bench));
+  uv::eval::AppendRunStats(report, "eval/cross_validation_gcn_fuzhou", stats);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool micro = false, eval = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--micro") == 0) micro = true;
+    if (std::strcmp(argv[i], "--eval") == 0) eval = true;
+  }
+  if (!micro && !eval) {
+    std::fprintf(stderr,
+                 "usage: bench_suite --micro [--eval] [--repeats N] "
+                 "[--warmup N] [--out FILE]\n");
+    return 2;
+  }
+
+  const auto bench = uv::bench::BenchConfig::FromArgs(argc, argv);
+  auto report = uv::bench::MakeReport("core", bench);
+  std::printf("=== bench_suite (warmup=%d, repeats=%d) ===\n", bench.warmup,
+              bench.repeats);
+
+  if (micro) RunMicroSuite(&report);
+  if (eval) RunEvalSuite(&report, bench);
+
+  const std::string path =
+      uv::bench::LedgerPath("BENCH_core.json", argc, argv);
+  uv::bench::WriteLedger(report, path);
+  return 0;
+}

@@ -23,10 +23,11 @@ constexpr PaperRow kPaper[] = {
 
 }  // namespace
 
-int main() {
-  const auto bench = uv::bench::BenchConfig::FromEnv();
+int main(int argc, char** argv) {
+  const auto bench = uv::bench::BenchConfig::FromArgs(argc, argv);
   uv::bench::PrintBenchHeader("Table I: statistics of the three datasets",
                               bench);
+  auto report = uv::bench::MakeReport("table1", bench);
 
   uv::TextTable table({"City", "#Regions", "#Edges", "#UVs", "#Non-UVs",
                        "paper:#Regions", "paper:#Edges", "paper:#UVs",
@@ -43,6 +44,11 @@ int main() {
       uvs += (l == 1);
       nonuvs += (l == 0);
     }
+    auto& entry = report.Bench(row.city);
+    entry.AddMetric("regions", urg.num_regions());
+    entry.AddMetric("edges", static_cast<double>(urg.num_edges));
+    entry.AddMetric("uvs", uvs);
+    entry.AddMetric("non_uvs", nonuvs);
     table.AddRow({row.city, std::to_string(urg.num_regions()),
                   std::to_string(urg.num_edges), std::to_string(uvs),
                   std::to_string(nonuvs), std::to_string(row.regions),
@@ -54,5 +60,7 @@ int main() {
       "\nShape checks: Beijing largest, Fuzhou smallest; edge counts grow\n"
       "super-linearly with area via road connectivity; class imbalance per\n"
       "city follows the paper's UV:non-UV ratios (1:23 / 1:13 / 1:53).\n");
+  uv::bench::WriteLedger(
+      report, uv::bench::LedgerPath("BENCH_table1.json", argc, argv));
   return 0;
 }

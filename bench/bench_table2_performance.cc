@@ -30,10 +30,11 @@ const std::map<std::string, std::map<std::string, double>>& PaperAuc() {
 
 }  // namespace
 
-int main() {
-  const auto bench = uv::bench::BenchConfig::FromEnv();
+int main(int argc, char** argv) {
+  const auto bench = uv::bench::BenchConfig::FromArgs(argc, argv);
   uv::bench::PrintBenchHeader(
       "Table II: detection performance comparison (mean (std))", bench);
+  auto report = uv::bench::MakeReport("table2", bench);
 
   for (const auto& city : uv::bench::CityNames()) {
     auto urg = uv::bench::BuildCityUrg(city, bench);
@@ -48,6 +49,7 @@ int main() {
       auto stats = uv::eval::RunCrossValidation(
           urg, uv::bench::MakeFactory(method, city, bench),
           uv::bench::MakeRunnerOptions(bench));
+      uv::eval::AppendRunStats(&report, city + "/" + method, stats);
       table.AddRow({method,
                     uv::FormatMeanStd(stats.auc.mean, stats.auc.std),
                     uv::FormatMeanStd(stats.recall3.mean, stats.recall3.std),
@@ -63,5 +65,7 @@ int main() {
     table.Print();
     std::printf("\n");
   }
+  uv::bench::WriteLedger(
+      report, uv::bench::LedgerPath("BENCH_table2.json", argc, argv));
   return 0;
 }

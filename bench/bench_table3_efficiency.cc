@@ -35,12 +35,13 @@ const std::map<std::string, PaperRow>& Paper() {
 
 }  // namespace
 
-int main() {
-  auto bench = uv::bench::BenchConfig::FromEnv();
+int main(int argc, char** argv) {
+  auto bench = uv::bench::BenchConfig::FromArgs(argc, argv);
   // Timing only needs a few epochs; keep runs/folds minimal.
   bench.epochs = std::min(bench.epochs, 12);
   uv::bench::PrintBenchHeader(
       "Table III: efficiency comparison in Shenzhen and Fuzhou", bench);
+  auto report = uv::bench::MakeReport("table3", bench);
 
   std::map<std::string, std::map<std::string, uv::eval::RunStats>> results;
   for (const std::string city : {"Shenzhen", "Fuzhou"}) {
@@ -75,6 +76,7 @@ int main() {
       stats.epoch_seconds_p50 = uv::eval::Percentile(epochs, 50.0);
       stats.epoch_seconds_p95 = uv::eval::Percentile(epochs, 95.0);
       results[method][city] = stats;
+      uv::eval::AppendRunStats(&report, city + "/" + method, stats);
       std::fprintf(stderr, "[table3] %s/%s done\n", city.c_str(),
                    method.c_str());
     }
@@ -114,5 +116,7 @@ int main() {
   if (uv::MemStatsRequested()) {
     std::printf("\n%s\n", uv::FormatMemStats(uv::BufferPool::Stats()).c_str());
   }
+  uv::bench::WriteLedger(
+      report, uv::bench::LedgerPath("BENCH_table3.json", argc, argv));
   return 0;
 }

@@ -2,19 +2,38 @@
 // representative baselines (MLP, GAT, UVLens) on one synthetic city, using
 // the paper's protocol (block-level 3-fold CV, AUC + top-p% metrics).
 //
-//   ./build/examples/method_comparison [scale] [epochs]
+//   ./build/examples/method_comparison [scale] [epochs] [--json stats.json]
+//
+// --json dumps the cross-validation stats as a perf ledger through the
+// same obs::Report writer the bench binaries use; the stdout table is
+// unchanged whether or not the flag is given.
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "baselines/registry.h"
 #include "eval/runner.h"
+#include "obs/report.h"
 #include "synth/city.h"
 #include "urg/urban_region_graph.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
-  const double scale = argc > 1 ? std::atof(argv[1]) : 0.015;
-  const int epochs = argc > 2 ? std::atoi(argv[2]) : 80;
+  std::string json_path;
+  double positional[2] = {0.015, 80.0};
+  int npos = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (npos < 2) {
+      positional[npos++] = std::atof(argv[i]);
+    }
+  }
+  const double scale = positional[0];
+  const int epochs = static_cast<int>(positional[1]);
 
   auto city = uv::synth::GenerateCity(uv::synth::ShenzhenLike(scale, 7));
   uv::urg::UrgOptions urg_options;
@@ -22,6 +41,10 @@ int main(int argc, char** argv) {
 
   uv::eval::RunnerOptions runner;
   runner.num_folds = 3;
+
+  uv::obs::Report report("method_comparison");
+  report.SetConfig("scale", scale);
+  report.SetConfig("epochs", static_cast<int64_t>(epochs));
 
   uv::TextTable table({"Method", "AUC", "R@3", "P@3", "F1@3"});
   for (const std::string method : {"MLP", "GAT", "UVLens", "CMSF"}) {
@@ -37,6 +60,7 @@ int main(int argc, char** argv) {
           return uv::baselines::MakeDetector(method, options, cmsf);
         },
         runner);
+    uv::eval::AppendRunStats(&report, method, stats);
     table.AddRow({method, uv::FormatMeanStd(stats.auc.mean, stats.auc.std),
                   uv::FormatMeanStd(stats.recall3.mean, stats.recall3.std),
                   uv::FormatMeanStd(stats.precision3.mean, stats.precision3.std),
@@ -45,5 +69,8 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
   table.Print();
+  if (!json_path.empty() && report.WriteFile(json_path)) {
+    std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -175,4 +175,31 @@ RunStats RunCrossValidation(const urg::UrbanRegionGraph& urg,
   return stats;
 }
 
+void AppendRunStats(obs::Report* report, const std::string& name,
+                    const RunStats& stats) {
+  obs::BenchmarkEntry& b = report->Bench(name);
+  // The whole cross-validation wall clock doubles as the entry's one
+  // timed repeat, so ledger diffing sees table benches too.
+  b.AddRepeat(stats.wall_seconds);
+  b.AddMetric("auc_mean", stats.auc.mean, obs::Direction::kHigherIsBetter);
+  b.AddMetric("auc_std", stats.auc.std);
+  b.AddMetric("f13_mean", stats.f13.mean, obs::Direction::kHigherIsBetter);
+  b.AddMetric("f15_mean", stats.f15.mean, obs::Direction::kHigherIsBetter);
+  b.AddMetric("wall_seconds", stats.wall_seconds,
+              obs::Direction::kLowerIsBetter);
+  b.AddMetric("summed_job_seconds", stats.summed_job_seconds);
+  b.AddMetric("train_seconds_per_epoch", stats.train_seconds_per_epoch,
+              obs::Direction::kLowerIsBetter);
+  b.AddMetric("inference_seconds", stats.inference_seconds,
+              obs::Direction::kLowerIsBetter);
+  b.AddMetric("epoch_seconds_p50", stats.epoch_seconds_p50,
+              obs::Direction::kLowerIsBetter);
+  b.AddMetric("epoch_seconds_p95", stats.epoch_seconds_p95,
+              obs::Direction::kLowerIsBetter);
+  b.AddMetric("num_parameters", static_cast<double>(stats.num_parameters));
+  b.AddMetric("mem.acquires", static_cast<double>(stats.mem.acquires));
+  b.AddMetric("mem.pool_hits", static_cast<double>(stats.mem.hits));
+  b.AddMetric("mem.heap_allocs", static_cast<double>(stats.mem.heap_allocs));
+}
+
 }  // namespace uv::eval

@@ -7,6 +7,7 @@
 #include "eval/detector.h"
 #include "eval/metrics.h"
 #include "eval/splits.h"
+#include "obs/report.h"
 #include "util/buffer_pool.h"
 
 namespace uv::eval {
@@ -65,6 +66,14 @@ struct RunStats {
 RunStats RunCrossValidation(const urg::UrbanRegionGraph& urg,
                             const DetectorFactory& factory,
                             const RunnerOptions& options);
+
+// Serializes one RunStats into the named benchmark entry of a perf ledger:
+// quality metrics (AUC/F1, direction "higher"), timing metrics (wall,
+// per-epoch, inference — direction "lower"), and the pool-counter deltas as
+// informational values. This is the single path every bench binary and the
+// --json flag of the example runners use, so ledgers stay schema-uniform.
+void AppendRunStats(obs::Report* report, const std::string& name,
+                    const RunStats& stats);
 
 }  // namespace uv::eval
 

@@ -1,0 +1,207 @@
+#!/usr/bin/env python3
+"""Compares two perf ledgers (uv-perf-ledger-v1, as written by obs::Report)
+and exits nonzero on regression, so CI can gate perf PRs.
+
+For every benchmark present in both ledgers the timing comparison is
+noise-aware: the median (p50) of the timed repeats must move by more than
+--tolerance-mads median-absolute-deviations AND by more than --min-ratio
+multiplicatively before it counts as a regression. The MAD term absorbs
+repeat-to-repeat jitter measured on the same machine; the ratio term
+absorbs machine-to-machine offsets (a committed baseline from one host
+gated on a shared CI runner), while still catching the order-of-magnitude
+cliffs a dropped buffer pool or a serialized GEMM produces.
+
+Scalar metrics carry a per-metric direction in the ledger ("lower",
+"higher", "info"); directed metrics are gated with the ratio test in their
+own direction, "info" metrics are reported but never gate.
+
+Usage:
+  tools/bench_diff.py baseline.json new.json [--tolerance-mads 5]
+      [--min-ratio 1.5] [--fail-on-missing]
+
+Exit codes: 0 = no regression, 1 = regression(s), 2 = bad input.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "uv-perf-ledger-v1"
+
+
+def load_ledger(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_diff: cannot load {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if doc.get("schema") != SCHEMA:
+        print(
+            f"bench_diff: {path}: schema {doc.get('schema')!r} != {SCHEMA!r}",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+    if not isinstance(doc.get("benchmarks"), dict):
+        print(f"bench_diff: {path}: missing 'benchmarks' object",
+              file=sys.stderr)
+        sys.exit(2)
+    return doc
+
+
+def fmt_seconds(s):
+    if s >= 1.0:
+        return f"{s:.3f}s"
+    if s >= 1e-3:
+        return f"{s * 1e3:.3f}ms"
+    return f"{s * 1e6:.1f}us"
+
+
+def compare_timing(name, base, new, tol_mads, min_ratio, rows, regressions):
+    bstats, nstats = base.get("stats"), new.get("stats")
+    if not bstats or not nstats:
+        return
+    b50, n50 = bstats["p50"], nstats["p50"]
+    # Jitter scale: the larger of the two MADs, floored at 1% of the
+    # baseline median so a suspiciously quiet sample set cannot make the
+    # gate hair-triggered.
+    mad = max(bstats.get("mad", 0.0), nstats.get("mad", 0.0), 0.01 * b50)
+    delta = n50 - b50
+    ratio = n50 / b50 if b50 > 0 else float("inf")
+    verdict = "ok"
+    if delta > tol_mads * mad and ratio > min_ratio:
+        verdict = "REGRESSION"
+        regressions.append(
+            f"{name}: p50 {fmt_seconds(b50)} -> {fmt_seconds(n50)} "
+            f"({ratio:.2f}x, {delta / mad if mad > 0 else 0:.1f} MADs)"
+        )
+    elif -delta > tol_mads * mad and b50 > 0 and 1.0 / ratio > min_ratio:
+        verdict = "improved"
+    rows.append((name, fmt_seconds(b50), fmt_seconds(n50),
+                 f"{ratio - 1.0:+.1%}" if b50 > 0 else "n/a", verdict))
+
+
+def compare_metrics(name, base, new, min_ratio, rows, regressions):
+    bmetrics = base.get("metrics", {})
+    nmetrics = new.get("metrics", {})
+    for key in bmetrics:
+        if key not in nmetrics:
+            continue
+        direction = bmetrics[key].get("direction", "info")
+        bval, nval = bmetrics[key].get("value"), nmetrics[key].get("value")
+        if not isinstance(bval, (int, float)) or not isinstance(
+            nval, (int, float)
+        ):
+            continue
+        verdict = "ok"
+        worse = None
+        if direction == "lower" and bval > 0 and nval / bval > min_ratio:
+            worse = nval / bval
+        elif direction == "higher" and bval > 0:
+            # A metric that collapses to (or below) zero is always a
+            # regression; otherwise apply the ratio test.
+            if nval <= 0:
+                worse = float("inf")
+            elif bval / nval > min_ratio:
+                worse = bval / nval
+        if worse is not None:
+            verdict = "REGRESSION"
+            regressions.append(
+                f"{name}/{key} ({direction} is better): "
+                f"{bval:g} -> {nval:g} ({worse:.2f}x worse)"
+            )
+        label = f"{name}/{key}" + ("" if direction == "info" else f" [{direction}]")
+        rows.append((label, f"{bval:g}", f"{nval:g}", "", verdict))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="baseline ledger JSON")
+    parser.add_argument("new", help="fresh ledger JSON to gate")
+    parser.add_argument(
+        "--tolerance-mads",
+        type=float,
+        default=5.0,
+        help="timing regression threshold in median-absolute-deviations",
+    )
+    parser.add_argument(
+        "--min-ratio",
+        type=float,
+        default=1.5,
+        help="multiplicative floor a change must also exceed to gate",
+    )
+    parser.add_argument(
+        "--fail-on-missing",
+        action="store_true",
+        help="treat benchmarks missing from the new ledger as regressions",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="only print regressions"
+    )
+    args = parser.parse_args()
+
+    base = load_ledger(args.baseline)
+    new = load_ledger(args.new)
+    base_benches = base["benchmarks"]
+    new_benches = new["benchmarks"]
+
+    benv, nenv = base.get("env", {}), new.get("env", {})
+    for key in ("hardware_threads", "compiler", "build_type", "git_sha"):
+        if benv.get(key) != nenv.get(key) and not args.quiet:
+            print(
+                f"bench_diff: note: env.{key} differs: "
+                f"{benv.get(key)!r} (baseline) vs {nenv.get(key)!r} (new)"
+            )
+
+    rows = []
+    regressions = []
+    missing = [n for n in base_benches if n not in new_benches]
+    added = [n for n in new_benches if n not in base_benches]
+    for name in base_benches:
+        if name not in new_benches:
+            continue
+        compare_timing(
+            name,
+            base_benches[name],
+            new_benches[name],
+            args.tolerance_mads,
+            args.min_ratio,
+            rows,
+            regressions,
+        )
+        compare_metrics(
+            name, base_benches[name], new_benches[name], args.min_ratio,
+            rows, regressions,
+        )
+
+    if missing:
+        msg = f"benchmarks missing from new ledger: {missing}"
+        if args.fail_on_missing:
+            regressions.append(msg)
+        else:
+            print(f"bench_diff: warning: {msg}", file=sys.stderr)
+    if added and not args.quiet:
+        print(f"bench_diff: new benchmarks (not gated): {added}")
+
+    if not args.quiet and rows:
+        name_w = max(len(r[0]) for r in rows)
+        print(f"{'benchmark':<{name_w}}  {'baseline':>12}  {'new':>12}  "
+              f"{'delta':>8}  verdict")
+        for name, b, n, d, verdict in rows:
+            print(f"{name:<{name_w}}  {b:>12}  {n:>12}  {d:>8}  {verdict}")
+
+    if regressions:
+        print(f"\nbench_diff: {len(regressions)} regression(s):",
+              file=sys.stderr)
+        for r in regressions:
+            print(f"  {r}", file=sys.stderr)
+        sys.exit(1)
+    if not rows:
+        print("bench_diff: no comparable benchmarks between the two ledgers",
+              file=sys.stderr)
+        sys.exit(2)
+    print(f"bench_diff: OK ({len(rows)} comparisons, no regressions)")
+
+
+if __name__ == "__main__":
+    main()

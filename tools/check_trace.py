@@ -1,5 +1,6 @@
 #!/usr/bin/env python3
-"""Validates UV_TRACE / UV_METRICS output files.
+"""Validates the three obs output formats: UV_TRACE traces, UV_METRICS
+logs, and perf ledgers (obs::Report).
 
 Trace files (Chrome trace-event JSON, as written by src/obs/trace.cc):
   * the file parses as JSON with a "traceEvents" array;
@@ -14,9 +15,17 @@ Metrics files (JSONL, as written by src/obs/metrics_log.cc):
   * ts_us is non-decreasing per (run, fold, stage) epoch series;
   * the final record is the "registry" dump.
 
+Perf ledgers (uv-perf-ledger-v1 JSON, as written by src/obs/report.cc):
+  * schema tag, env fingerprint, config, and a non-empty benchmarks map;
+  * per benchmark: repeats with non-negative seconds and monotone ts_us,
+    or scalar metrics with a valid direction (or both);
+  * stats consistency: min <= p50 <= p95 <= max, mad >= 0, and the
+    repeat count matches the serialized repeats array.
+
 Usage:
   tools/check_trace.py --trace trace.json --require fold,epoch,gemm
   tools/check_trace.py --metrics metrics.jsonl
+  tools/check_trace.py --ledger BENCH_core.json
   tools/check_trace.py --trace t.json --metrics m.jsonl --require fold
 
 Exits 0 when every check passes, 1 otherwise (so CI can gate on it).
@@ -137,18 +146,118 @@ def check_metrics(path):
           f"{epochs} epoch records)")
 
 
+LEDGER_SCHEMA = "uv-perf-ledger-v1"
+LEDGER_ENV_KEYS = (
+    "hardware_threads",
+    "compiler",
+    "build_type",
+    "git_sha",
+    "uv_threads",
+    "uv_pool",
+)
+LEDGER_DIRECTIONS = ("lower", "higher", "info")
+
+
+def check_ledger_benchmark(path, name, bench):
+    if not isinstance(bench, dict):
+        fail(f"{path}: benchmark {name!r} is not an object")
+    repeats = bench.get("repeats", [])
+    metrics = bench.get("metrics", {})
+    if not isinstance(repeats, list) or not isinstance(metrics, dict):
+        fail(f"{path}: benchmark {name!r}: bad repeats/metrics types")
+    if not repeats and not metrics:
+        fail(f"{path}: benchmark {name!r} has neither repeats nor metrics")
+
+    last_ts = None
+    for i, rep in enumerate(repeats):
+        if not isinstance(rep, dict):
+            fail(f"{path}: {name!r} repeat #{i} is not an object")
+        ts = rep.get("ts_us")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            fail(f"{path}: {name!r} repeat #{i} has bad ts_us={ts!r}")
+        if last_ts is not None and ts < last_ts:
+            fail(f"{path}: {name!r} repeat timestamps go backwards "
+                 f"(#{i}: {ts} < {last_ts})")
+        last_ts = ts
+        seconds = rep.get("seconds")
+        if not isinstance(seconds, (int, float)) or seconds < 0:
+            fail(f"{path}: {name!r} repeat #{i} has bad seconds={seconds!r}")
+        for cname, cval in rep.get("counters", {}).items():
+            if not isinstance(cval, int) or cval < 0:
+                fail(f"{path}: {name!r} repeat #{i} counter {cname!r} "
+                     f"is not a non-negative integer: {cval!r}")
+
+    stats = bench.get("stats")
+    if repeats:
+        if not isinstance(stats, dict):
+            fail(f"{path}: benchmark {name!r} has repeats but no stats")
+        for key in ("min", "p50", "p95", "max", "mean", "mad"):
+            if not isinstance(stats.get(key), (int, float)):
+                fail(f"{path}: {name!r} stats missing numeric {key!r}")
+        if not (stats["min"] <= stats["p50"] <= stats["p95"] <= stats["max"]):
+            fail(f"{path}: {name!r} stats not ordered: "
+                 f"min <= p50 <= p95 <= max violated: {stats}")
+        if stats["mad"] < 0:
+            fail(f"{path}: {name!r} stats has negative mad")
+        seconds = [r["seconds"] for r in repeats]
+        if not (min(seconds) == stats["min"] and max(seconds) == stats["max"]):
+            fail(f"{path}: {name!r} stats min/max disagree with repeats")
+
+    for mname, metric in metrics.items():
+        if not isinstance(metric, dict) or not isinstance(
+            metric.get("value"), (int, float)
+        ):
+            fail(f"{path}: {name!r} metric {mname!r} lacks a numeric value")
+        if metric.get("direction") not in LEDGER_DIRECTIONS:
+            fail(f"{path}: {name!r} metric {mname!r} has bad direction "
+                 f"{metric.get('direction')!r}")
+    return len(repeats), len(metrics)
+
+
+def check_ledger(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: not readable as JSON: {e}")
+    if not isinstance(doc, dict) or doc.get("schema") != LEDGER_SCHEMA:
+        fail(f"{path}: schema tag is {doc.get('schema')!r}, "
+             f"expected {LEDGER_SCHEMA!r}")
+    if not isinstance(doc.get("suite"), str) or not doc["suite"]:
+        fail(f"{path}: missing 'suite' name")
+    env = doc.get("env")
+    if not isinstance(env, dict):
+        fail(f"{path}: missing 'env' fingerprint")
+    for key in LEDGER_ENV_KEYS:
+        if key not in env:
+            fail(f"{path}: env fingerprint lacks {key!r}")
+    if not isinstance(doc.get("config"), dict):
+        fail(f"{path}: missing 'config' object")
+    benches = doc.get("benchmarks")
+    if not isinstance(benches, dict) or not benches:
+        fail(f"{path}: missing or empty 'benchmarks' map")
+    total_repeats = total_metrics = 0
+    for name, bench in benches.items():
+        nrep, nmet = check_ledger_benchmark(path, name, bench)
+        total_repeats += nrep
+        total_metrics += nmet
+    print(f"check_trace: {path}: OK ({len(benches)} benchmarks, "
+          f"{total_repeats} repeats, {total_metrics} metrics)")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--trace", help="Chrome trace-event JSON file")
     parser.add_argument("--metrics", help="JSONL metrics log file")
+    parser.add_argument("--ledger", help="perf ledger JSON file (obs::Report)")
     parser.add_argument(
         "--require",
         default="",
         help="comma-separated span names that must appear in the trace",
     )
     args = parser.parse_args()
-    if not args.trace and not args.metrics:
-        parser.error("pass --trace and/or --metrics")
+    if not args.trace and not args.metrics and not args.ledger:
+        parser.error("pass --trace, --metrics, and/or --ledger")
     required = [n for n in args.require.split(",") if n]
     if required and not args.trace:
         parser.error("--require needs --trace")
@@ -156,6 +265,8 @@ def main():
         check_trace(args.trace, required)
     if args.metrics:
         check_metrics(args.metrics)
+    if args.ledger:
+        check_ledger(args.ledger)
 
 
 if __name__ == "__main__":
