@@ -7,8 +7,12 @@
 // for every individual run into one ledger entry per benchmark name, so
 // `--benchmark_repetitions=N` lands as N repeats with robust stats.
 // GBenchLedgerMain replaces BENCHMARK_MAIN(): it peels off the uv flags
-// (--repeats/--warmup/--out) before handing argv to gbench, runs the
-// registered benchmarks, and writes BENCH_<suite>.json.
+// (--repeats/--warmup/--out) before handing argv to gbench, maps --repeats
+// onto --benchmark_repetitions (unless the caller passed that gbench flag
+// themselves), runs the registered benchmarks, and writes
+// BENCH_<suite>.json. --warmup is accepted but inert for gbench binaries:
+// gbench's own iteration-count calibration already runs each benchmark
+// before timing, so no extra untimed executions are added.
 
 #include <benchmark/benchmark.h>
 
@@ -60,6 +64,7 @@ inline int GBenchLedgerMain(const std::string& suite,
   const std::string out = LedgerPath(default_out, argc, argv);
 
   std::vector<char*> kept;
+  bool user_set_repetitions = false;
   for (int i = 0; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--repeats") == 0 ||
@@ -73,7 +78,18 @@ inline int GBenchLedgerMain(const std::string& suite,
         std::strncmp(arg, "--out=", 6) == 0) {
       continue;
     }
+    if (std::strncmp(arg, "--benchmark_repetitions", 23) == 0) {
+      user_set_repetitions = true;
+    }
     kept.push_back(argv[i]);
+  }
+  // --repeats must actually reach gbench, or the ledger would claim
+  // repeats=N while every entry holds a single sample and MAD degenerates
+  // to 0. An explicit --benchmark_repetitions wins.
+  std::string repetitions_flag =
+      "--benchmark_repetitions=" + std::to_string(bench.repeats);
+  if (!user_set_repetitions) {
+    kept.push_back(repetitions_flag.data());
   }
   int kept_argc = static_cast<int>(kept.size());
   kept.push_back(nullptr);

@@ -17,9 +17,11 @@ namespace {
 
 // Shortest round-trip decimal form, so ledgers diff cleanly and re-parsing
 // reproduces the exact double. Non-finite values (which JSON cannot carry)
-// degrade to 0 rather than emitting an invalid token.
+// serialize as null so a broken measurement stays visible — the validators
+// (check_trace.py --ledger, bench_diff.py) reject null where a number is
+// required instead of letting a silent 0 pass a lower-is-better gate.
 std::string FormatDouble(double v) {
-  if (!std::isfinite(v)) return "0";
+  if (!std::isfinite(v)) return "null";
   char buf[64];
   const auto res = std::to_chars(buf, buf + sizeof(buf), v);
   return std::string(buf, res.ptr);
@@ -308,17 +310,10 @@ BenchmarkEntry& Report::RunTimed(const std::string& name, int warmup,
                                  const std::function<void()>& fn) {
   if (warmup < 0) warmup = 0;
   if (repeats < 1) repeats = 1;
-  // Entries live in a vector; hold the index, not a reference, in case a
-  // nested Bench() call ever reallocates the storage.
-  Bench(name);
-  size_t slot = benchmarks_.size();
-  for (size_t i = 0; i < benchmarks_.size(); ++i) {
-    if (benchmarks_[i].name_ == name) {
-      slot = i;
-      break;
-    }
-  }
-  benchmarks_[slot].warmup_ = warmup;
+  // Entries live in a deque, so this reference survives any appends fn()
+  // might trigger through nested Bench() calls.
+  BenchmarkEntry& entry = Bench(name);
+  entry.warmup_ = warmup;
 
   for (int w = 0; w < warmup; ++w) fn();
 
@@ -337,20 +332,20 @@ BenchmarkEntry& Report::RunTimed(const std::string& name, int warmup,
     for (const auto& [cname, value] : snap.counters) {
       if (LedgerRelevant(cname)) sample.counters.emplace_back(cname, value);
     }
-    benchmarks_[slot].repeats_.push_back(std::move(sample));
+    entry.repeats_.push_back(std::move(sample));
 
     if (r == repeats - 1) {
       // The final repeat's histograms (post-reset, so they cover exactly
       // one repeat) supply percentile views where available.
-      benchmarks_[slot].histograms_.clear();
+      entry.histograms_.clear();
       for (const HistogramSnapshot& h : snap.histograms) {
         if (!LedgerRelevant(h.name) || h.count == 0) continue;
-        benchmarks_[slot].histograms_.push_back(
+        entry.histograms_.push_back(
             HistogramStat{h.name, h.count, h.sum, h.p50, h.p95});
       }
     }
   }
-  return benchmarks_[slot];
+  return entry;
 }
 
 std::string Report::ToJson() const {

@@ -2,6 +2,7 @@
 #define UV_OBS_REPORT_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <string>
 #include <vector>
@@ -24,7 +25,9 @@ std::string JsonEscape(const std::string& s);
 
 // Minimal streaming JSON writer shared by every benchmark emitter. Key
 // order is call order (deterministic), doubles serialize via the shortest
-// round-trip representation, and the writer owns its output buffer; it
+// round-trip representation (non-finite values as null, which the ledger
+// validators reject where a number is required), and the writer owns its
+// output buffer; it
 // performs no validation beyond comma placement, so callers are expected
 // to emit well-formed nesting (tests enforce the shapes they build).
 class JsonWriter {
@@ -172,7 +175,8 @@ class Report {
   void SetRepeats(int warmup, int repeats);
 
   // Finds or creates the entry with this name (insertion order is
-  // preserved in the serialized ledger).
+  // preserved in the serialized ledger). Entries live in a deque, so the
+  // returned reference stays valid across later Bench/RunTimed calls.
   BenchmarkEntry& Bench(const std::string& name);
 
   // The standard measurement protocol: runs fn `warmup` times untimed,
@@ -203,7 +207,9 @@ class Report {
   std::string suite_;
   EnvFingerprint env_;
   std::vector<ConfigEntry> config_;
-  std::vector<BenchmarkEntry> benchmarks_;
+  // Deque, not vector: Bench/RunTimed hand out references to entries, and
+  // deque growth never invalidates references to existing elements.
+  std::deque<BenchmarkEntry> benchmarks_;
   int default_warmup_ = 1;
   int default_repeats_ = 5;
 };

@@ -53,13 +53,16 @@ TEST(JsonWriterTest, EmptyContainersAndRawSplice) {
   EXPECT_EQ(w.str(), "{\"empty_obj\":{},\"empty_arr\":[],\"raw\":[1,2]}");
 }
 
-TEST(JsonWriterTest, NonFiniteDoublesDegradeToZero) {
+TEST(JsonWriterTest, NonFiniteDoublesSerializeAsNull) {
+  // A non-finite measurement must stay visible as null (which the ledger
+  // validators reject where a number is required), not turn into a
+  // plausible-looking 0 that could pass a lower-is-better gate.
   JsonWriter w;
   w.BeginArray();
   w.Double(std::numeric_limits<double>::infinity());
   w.Double(std::numeric_limits<double>::quiet_NaN());
   w.EndArray();
-  EXPECT_EQ(w.str(), "[0,0]");
+  EXPECT_EQ(w.str(), "[null,null]");
 }
 
 TEST(RobustStatsTest, KnownSample) {

@@ -57,15 +57,28 @@ def fmt_seconds(s):
     return f"{s * 1e6:.1f}us"
 
 
+def bad_input(msg):
+    print(f"bench_diff: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
 def compare_timing(name, base, new, tol_mads, min_ratio, rows, regressions):
     bstats, nstats = base.get("stats"), new.get("stats")
     if not bstats or not nstats:
         return
-    b50, n50 = bstats["p50"], nstats["p50"]
+    b50, n50 = bstats.get("p50"), nstats.get("p50")
+    if not isinstance(b50, (int, float)) or not isinstance(n50, (int, float)):
+        # null here means obs::Report serialized a non-finite measurement;
+        # a missing key means a hand-edited or foreign ledger. Either way
+        # the comparison would be meaningless, so treat it as bad input.
+        bad_input(f"{name}: stats.p50 missing or non-numeric "
+                  f"(baseline={b50!r}, new={n50!r})")
     # Jitter scale: the larger of the two MADs, floored at 1% of the
     # baseline median so a suspiciously quiet sample set cannot make the
     # gate hair-triggered.
-    mad = max(bstats.get("mad", 0.0), nstats.get("mad", 0.0), 0.01 * b50)
+    bmad, nmad = bstats.get("mad"), nstats.get("mad")
+    mads = [m for m in (bmad, nmad) if isinstance(m, (int, float))]
+    mad = max(mads + [0.01 * b50])
     delta = n50 - b50
     ratio = n50 / b50 if b50 > 0 else float("inf")
     verdict = "ok"
@@ -92,7 +105,10 @@ def compare_metrics(name, base, new, min_ratio, rows, regressions):
         if not isinstance(bval, (int, float)) or not isinstance(
             nval, (int, float)
         ):
-            continue
+            # null = non-finite measurement (see obs::Report); don't let a
+            # broken metric silently drop out of the comparison.
+            bad_input(f"{name}/{key}: metric value missing or non-numeric "
+                      f"(baseline={bval!r}, new={nval!r})")
         verdict = "ok"
         worse = None
         if direction == "lower" and bval > 0 and nval / bval > min_ratio:

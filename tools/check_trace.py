@@ -20,7 +20,9 @@ Perf ledgers (uv-perf-ledger-v1 JSON, as written by src/obs/report.cc):
   * per benchmark: repeats with non-negative seconds and monotone ts_us,
     or scalar metrics with a valid direction (or both);
   * stats consistency: min <= p50 <= p95 <= max, mad >= 0, and the
-    repeat count matches the serialized repeats array.
+    repeat count matches the serialized repeats array;
+  * null where a number is required fails (obs::Report serializes a
+    non-finite measurement as null rather than masking it as 0).
 
 Usage:
   tools/check_trace.py --trace trace.json --require fold,epoch,gemm
