@@ -55,6 +55,28 @@ void RunMicroSuite(uv::obs::Report* report) {
     report->RunTimed("gemm_tn_256", [&] {
       uv::Gemm(true, false, 1.0f, a, b, 0.0f, &c);
     });
+    report->RunTimed("gemm_nt_256", [&] {
+      uv::Gemm(false, true, 1.0f, a, b, 0.0f, &c);
+    });
+  }
+  {
+    // Vectorized elementwise: y += alpha * x over 1M floats.
+    const uv::Tensor x = RandomTensor(1024, 1024, 19);
+    uv::Tensor y = RandomTensor(1024, 1024, 20);
+    report->RunTimed("axpy_1m", [&] {
+      uv::Axpy(0.5f, x, &y);
+    });
+  }
+  {
+    // Fused dense + bias + ReLU epilogue (the Linear::Forward hot path).
+    const uv::Tensor x = RandomTensor(512, 256, 21);
+    const uv::Tensor w = RandomTensor(256, 128, 22);
+    const uv::Tensor bias = RandomTensor(1, 128, 23);
+    uv::Tensor out(512, 128);
+    report->RunTimed("dense_bias_relu", [&] {
+      uv::GemmBiasAct(false, false, 1.0f, x, w, 0.0f, &out, &bias,
+                      uv::kern::Activation::kRelu);
+    });
   }
   {
     const uv::Tensor a = RandomTensor(8192, 50, 3);

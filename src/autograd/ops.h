@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "autograd/variable.h"
+#include "tensor/kernels/kernel_dispatch.h"
 
 namespace uv::ag {
 
@@ -14,6 +15,14 @@ namespace uv::ag {
 
 // C = A * B.
 VarPtr MatMul(const VarPtr& a, const VarPtr& b);
+
+// Fused dense layer: act(x * w + b) in one kernel pass — the bias row and
+// activation run inside the GEMM output tiles (kern::GemmBiasAct) instead
+// of as separate full-matrix ops. b is (1 x out_dim). leaky_slope is only
+// read for kLeakyRelu and must be > 0 (the backward recovers the
+// activation derivative from the output's sign).
+VarPtr DenseBiasAct(const VarPtr& x, const VarPtr& w, const VarPtr& b,
+                    kern::Activation act, float leaky_slope = 0.0f);
 
 // Elementwise (same shape).
 VarPtr Add(const VarPtr& a, const VarPtr& b);

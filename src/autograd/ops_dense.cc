@@ -78,6 +78,73 @@ VarPtr ScalarMul(const VarPtr& a, float s) {
       "scalar_mul");
 }
 
+VarPtr DenseBiasAct(const VarPtr& x, const VarPtr& w, const VarPtr& b,
+                    kern::Activation act, float leaky_slope) {
+  UV_CHECK_EQ(x->cols(), w->rows());
+  UV_CHECK_EQ(b->rows(), 1);
+  UV_CHECK_EQ(b->cols(), w->cols());
+  // One fused pass: GEMM accumulates x*W, then the bias row and the
+  // activation are applied inside the still-hot output tiles instead of
+  // as two more full-matrix sweeps (MatMul + AddRowBroadcast + Pointwise).
+  Tensor out = Tensor::Uninit(x->rows(), w->cols());
+  GemmBiasAct(false, false, 1.0f, x->value, w->value, 0.0f, &out,
+              &b->value, act, leaky_slope);
+  VarPtr xv = x, wv = w, bv = b;
+  return MakeOp(
+      std::move(out), {x, w, b},
+      [xv, wv, bv, act, leaky_slope](Variable* self) {
+        // The activation derivative is recoverable from the output alone:
+        // relu/leaky-relu preserve the sign of the pre-activation (for
+        // slope > 0), sigmoid' = y*(1-y). So the fused op never has to
+        // save the pre-activation matrix.
+        const Tensor* gz = &self->grad;
+        Tensor gz_local;
+        if (act != kern::Activation::kNone) {
+          gz_local = Tensor::Uninit(self->grad.rows(), self->grad.cols());
+          const float* y = self->value.data();
+          const float* g = self->grad.data();
+          float* o = gz_local.data();
+          switch (act) {
+            case kern::Activation::kRelu:
+              for (int64_t i = 0; i < gz_local.size(); ++i) {
+                o[i] = y[i] > 0.0f ? g[i] : 0.0f;
+              }
+              break;
+            case kern::Activation::kLeakyRelu:
+              for (int64_t i = 0; i < gz_local.size(); ++i) {
+                o[i] = y[i] > 0.0f ? g[i] : leaky_slope * g[i];
+              }
+              break;
+            case kern::Activation::kSigmoid:
+              for (int64_t i = 0; i < gz_local.size(); ++i) {
+                o[i] = g[i] * y[i] * (1.0f - y[i]);
+              }
+              break;
+            case kern::Activation::kNone:
+              break;
+          }
+          gz = &gz_local;
+        }
+        if (xv->requires_grad) {
+          Tensor& gx = xv->EnsureGrad();
+          Gemm(false, true, 1.0f, *gz, wv->value, 1.0f, &gx);
+        }
+        if (wv->requires_grad) {
+          Tensor& gw = wv->EnsureGrad();
+          Gemm(true, false, 1.0f, xv->value, *gz, 1.0f, &gw);
+        }
+        if (bv->requires_grad) {
+          Tensor& gb = bv->EnsureGrad();
+          for (int r = 0; r < gz->rows(); ++r) {
+            const float* g = gz->row(r);
+            float* gbd = gb.data();
+            for (int c = 0; c < gz->cols(); ++c) gbd[c] += g[c];
+          }
+        }
+      },
+      "dense_bias_act");
+}
+
 VarPtr AddRowBroadcast(const VarPtr& x, const VarPtr& bias) {
   UV_CHECK_EQ(bias->rows(), 1);
   UV_CHECK_EQ(bias->cols(), x->cols());

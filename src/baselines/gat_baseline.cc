@@ -15,10 +15,11 @@ constexpr int kHeads = 2;
 ag::VarPtr GatBaseline::ForwardAll() const {
   ag::VarPtr p = ag::Relu(poi_g1_->Forward(poi_const_, *ctx_));
   p = ag::Relu(poi_g2_->Forward(p, *ctx_));
-  ag::VarPtr i = ag::Relu(img_reduce_->Forward(img_const_));
+  ag::VarPtr i = img_reduce_->Forward(img_const_, kern::Activation::kRelu);
   i = ag::Relu(img_g1_->Forward(i, *ctx_));
   i = ag::Relu(img_g2_->Forward(i, *ctx_));
-  ag::VarPtr fused = ag::Relu(fuse_->Forward(ag::ConcatCols(p, i)));
+  ag::VarPtr fused =
+      fuse_->Forward(ag::ConcatCols(p, i), kern::Activation::kRelu);
   return head_->Forward(fused);
 }
 

@@ -85,8 +85,9 @@ void ImGagnBaseline::Train(const urg::UrbanRegionGraph& urg,
     Tensor z(num_fake, kNoiseDim);
     z.RandomNormal(noise_rng, 1.0f);
     ag::VarPtr w = ag::RowSoftmax(
-        gen3_->Forward(ag::Relu(
-            gen2_->Forward(ag::Relu(gen1_->Forward(ag::MakeConst(z)))))),
+        gen3_->Forward(gen2_->Forward(
+            gen1_->Forward(ag::MakeConst(z), kern::Activation::kRelu),
+            kern::Activation::kRelu)),
         1.0f);
     ag::VarPtr fake = ag::MatMul(w, ag::MakeConst(minority_features));
     return std::make_pair(w, fake);

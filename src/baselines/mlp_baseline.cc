@@ -14,8 +14,8 @@ ag::VarPtr MlpBaseline::ForwardRows(const urg::UrbanRegionGraph& urg,
                                     const std::vector<int>& ids) const {
   ag::VarPtr poi = GatherConstRows(urg.poi_features, ids);
   ag::VarPtr img = GatherConstRows(urg.image_features, ids);
-  ag::VarPtr hp = ag::Relu(poi_fc_->Forward(poi));
-  ag::VarPtr hi = ag::Relu(img_fc_->Forward(img));
+  ag::VarPtr hp = poi_fc_->Forward(poi, kern::Activation::kRelu);
+  ag::VarPtr hi = img_fc_->Forward(img, kern::Activation::kRelu);
   return head_->Forward(ag::ConcatCols(hp, hi));
 }
 

@@ -33,8 +33,10 @@ ag::VarPtr LogSigmoidLoss(const ag::VarPtr& scores, bool positive) {
 }  // namespace
 
 ag::VarPtr MmreBaseline::EmbedAll() const {
-  ag::VarPtr img_code = ag::Relu(enc3_->Forward(
-      ag::Relu(enc2_->Forward(ag::Relu(enc1_->Forward(img_const_))))));
+  ag::VarPtr img_code = enc3_->Forward(
+      enc2_->Forward(enc1_->Forward(img_const_, kern::Activation::kRelu),
+                     kern::Activation::kRelu),
+      kern::Activation::kRelu);
   ag::VarPtr poi_code = ag::Relu(poi_g1_->Forward(poi_const_, *ctx_));
   poi_code = ag::Relu(poi_g2_->Forward(poi_code, *ctx_));
   return ag::Tanh(fuse_->Forward(ag::ConcatCols(poi_code, img_code)));
@@ -92,10 +94,14 @@ void MmreBaseline::Train(const urg::UrbanRegionGraph& urg,
           noisy[i] += static_cast<float>(rng.Gaussian(0.0, 0.1));
         }
         ag::VarPtr corrupted = ag::MakeConst(std::move(noisy));
-        ag::VarPtr code = ag::Relu(enc3_->Forward(
-            ag::Relu(enc2_->Forward(ag::Relu(enc1_->Forward(corrupted))))));
+        ag::VarPtr code = enc3_->Forward(
+            enc2_->Forward(
+                enc1_->Forward(corrupted, kern::Activation::kRelu),
+                kern::Activation::kRelu),
+            kern::Activation::kRelu);
         ag::VarPtr recon = dec3_->Forward(
-            ag::Relu(dec2_->Forward(ag::Relu(dec1_->Forward(code)))));
+            dec2_->Forward(dec1_->Forward(code, kern::Activation::kRelu),
+                           kern::Activation::kRelu));
         ag::VarPtr diff = ag::Sub(recon, img_const_);
         ag::VarPtr recon_loss = ag::MeanAll(ag::Mul(diff, diff));
 

@@ -26,9 +26,9 @@ ag::VarPtr UvLensBaseline::ForwardTiles(const ag::VarPtr& tiles) const {
   x = ag::Relu(ag::Conv2d(x, conv2_w_, conv2_b_, spec2_));
   x = ag::MaxPool2d(x, spec2_.out_channels, spec2_.out_h(), spec2_.out_w(), 2,
                     2);
-  x = ag::Relu(fc1_->Forward(x));
-  x = ag::Relu(fc2_->Forward(x));
-  x = ag::Relu(fc3_->Forward(x));
+  x = fc1_->Forward(x, kern::Activation::kRelu);
+  x = fc2_->Forward(x, kern::Activation::kRelu);
+  x = fc3_->Forward(x, kern::Activation::kRelu);
   return head_->Forward(x);
 }
 

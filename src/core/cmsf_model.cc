@@ -81,7 +81,8 @@ CmsfModel::CmsfModel(const CmsfConfig& config, int poi_dim, int image_dim,
 ag::VarPtr CmsfModel::Trunk(const CmsfInputs& inputs) const {
   obs::SpanGuard span("trunk", obs::SpanLevel::kFine);
   ag::VarPtr p = inputs.poi;
-  ag::VarPtr i = ag::Relu(image_reduce_->Forward(inputs.image));
+  ag::VarPtr i =
+      image_reduce_->Forward(inputs.image, kern::Activation::kRelu);
   if (config_.use_maga) {
     int64_t l = 0;
     for (const auto& layer : maga_) {

@@ -10,14 +10,19 @@ Linear::Linear(int in_dim, int out_dim, Rng* rng) {
 }
 
 ag::VarPtr Linear::Forward(const ag::VarPtr& x) const {
-  return ag::AddRowBroadcast(ag::MatMul(x, w_), b_);
+  return ag::DenseBiasAct(x, w_, b_, kern::Activation::kNone);
+}
+
+ag::VarPtr Linear::Forward(const ag::VarPtr& x, kern::Activation act,
+                           float leaky_slope) const {
+  return ag::DenseBiasAct(x, w_, b_, act, leaky_slope);
 }
 
 Mlp::Mlp(int in_dim, int hidden_dim, int out_dim, Rng* rng)
     : l1_(in_dim, hidden_dim, rng), l2_(hidden_dim, out_dim, rng) {}
 
 ag::VarPtr Mlp::Forward(const ag::VarPtr& x) const {
-  return l2_.Forward(ag::Relu(l1_.Forward(x)));
+  return l2_.Forward(l1_.Forward(x, kern::Activation::kRelu));
 }
 
 std::vector<ag::VarPtr> Mlp::Params() const {

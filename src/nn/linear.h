@@ -16,6 +16,11 @@ class Linear {
 
   ag::VarPtr Forward(const ag::VarPtr& x) const;
 
+  // Dense + activation in one fused kernel pass (ag::DenseBiasAct); call
+  // sites that used to wrap Forward in ag::Relu/ag::Sigmoid route here.
+  ag::VarPtr Forward(const ag::VarPtr& x, kern::Activation act,
+                     float leaky_slope = 0.0f) const;
+
   std::vector<ag::VarPtr> Params() const { return {w_, b_}; }
   const ag::VarPtr& w() const { return w_; }
   const ag::VarPtr& b() const { return b_; }

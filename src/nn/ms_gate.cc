@@ -24,7 +24,7 @@ MsGate::MsGate(const Options& options, Rng* rng)
 
 ag::VarPtr MsGate::EstimateInclusion(const ag::VarPtr& cluster_repr) const {
   UV_CHECK_EQ(cluster_repr->cols(), options_.cluster_repr_dim);
-  return ag::Sigmoid(pseudo_predictor_.Forward(cluster_repr));
+  return pseudo_predictor_.Forward(cluster_repr, kern::Activation::kSigmoid);
 }
 
 ag::VarPtr MsGate::ContextVector(const ag::VarPtr& assignment,
@@ -44,9 +44,10 @@ ag::VarPtr MsGate::Forward(const ag::VarPtr& region_repr,
                            const Mlp& master) const {
   UV_CHECK_EQ(region_repr->cols(), options_.classifier_in);
   ag::VarPtr context = ContextVector(assignment, inclusion);
-  // Region-specific parameter filter (eq. 20), elements in (0, 1).
+  // Region-specific parameter filter (eq. 20), elements in (0, 1);
+  // matmul, bias, and sigmoid fused into one kernel pass.
   ag::VarPtr filter =
-      ag::Sigmoid(ag::AddRowBroadcast(ag::MatMul(context, w_f_), b_f_));
+      ag::DenseBiasAct(context, w_f_, b_f_, kern::Activation::kSigmoid);
   // Slave model prediction with gated master parameters (eq. 21-22).
   return ag::GatedMlp(region_repr, filter, master.layer1().w(),
                       master.layer1().b(), master.layer2().w(),

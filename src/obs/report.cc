@@ -1,6 +1,7 @@
 #include "obs/report.h"
 
 #include <algorithm>
+#include <atomic>
 #include <charconv>
 #include <cmath>
 #include <cstdio>
@@ -62,6 +63,11 @@ std::string EnvOrEmpty(const char* name) {
   const char* v = std::getenv(name);
   return v != nullptr ? std::string(v) : std::string();
 }
+
+// Set before main() by the kernel dispatcher's static registrar; plain
+// atomic because registration and capture never race in practice (capture
+// happens from Report construction, well after static init).
+std::atomic<const char* (*)()> g_simd_name_provider{nullptr};
 
 }  // namespace
 
@@ -214,7 +220,13 @@ EnvFingerprint CaptureEnvFingerprint() {
 #endif
   env.uv_threads = EnvOrEmpty("UV_THREADS");
   env.uv_pool = EnvOrEmpty("UV_POOL");
+  const auto provider = g_simd_name_provider.load(std::memory_order_acquire);
+  env.simd = provider != nullptr ? provider() : "none";
   return env;
+}
+
+void RegisterSimdNameProvider(const char* (*provider)()) {
+  g_simd_name_provider.store(provider, std::memory_order_release);
 }
 
 void ResetAll() { Registry::Global().ResetAll(); }
@@ -362,6 +374,7 @@ std::string Report::ToJson() const {
   w.Key("git_sha").String(env_.git_sha);
   w.Key("uv_threads").String(env_.uv_threads);
   w.Key("uv_pool").String(env_.uv_pool);
+  w.Key("simd").String(env_.simd);
   w.EndObject();
 
   w.Key("config").BeginObject();

@@ -71,9 +71,16 @@ struct EnvFingerprint {
   std::string git_sha;        // Configure-time short SHA ("unknown" outside git).
   std::string uv_threads;     // Raw UV_THREADS env value, "" = unset.
   std::string uv_pool;        // Raw UV_POOL env value, "" = unset.
+  std::string simd;           // Active kernel backend ("avx2", "scalar").
 };
 
 EnvFingerprint CaptureEnvFingerprint();
+
+// Supplies EnvFingerprint.simd without obs depending on the tensor layer:
+// the kernel dispatcher registers its ActiveName() at static-init time
+// (from a TU that every compute call site links), and ledgers written by
+// binaries with no kernel layer at all record "none".
+void RegisterSimdNameProvider(const char* (*provider)());
 
 // Zeroes every registered metric (convenience alias for
 // Registry::Global().ResetAll(), declared here so benchmark code does not

@@ -1,0 +1,117 @@
+#include "tensor/kernels/kernel_dispatch.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/report.h"
+#include "util/check.h"
+
+namespace uv::kern {
+
+// Backend tables, defined in their own TUs (the AVX2 one only exists when
+// the toolchain could build it — UV_KERNELS_HAVE_AVX2 comes from
+// src/tensor/CMakeLists.txt).
+const KernelDispatch& GetScalarKernels();
+#ifdef UV_KERNELS_HAVE_AVX2
+const KernelDispatch& GetAvx2Kernels();
+#endif
+
+namespace {
+
+bool CpuHasAvx2Fma() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+const KernelDispatch* TableFor(Backend b) {
+#ifdef UV_KERNELS_HAVE_AVX2
+  if (b == Backend::kAvx2) return &GetAvx2Kernels();
+#endif
+  (void)b;
+  return &GetScalarKernels();
+}
+
+// Resolved-once state. Plain atomics: Resolve() is idempotent, so a
+// first-use race at worst resolves twice to the same answer.
+std::atomic<const KernelDispatch*> g_active{nullptr};
+std::atomic<int> g_backend{static_cast<int>(Backend::kScalar)};
+
+Backend ResolveFromEnv() {
+  const char* env = std::getenv("UV_SIMD");
+  const bool avx2_ok = BackendAvailable(Backend::kAvx2);
+  if (env == nullptr || std::strcmp(env, "auto") == 0 ||
+      env[0] == '\0') {
+    return avx2_ok ? Backend::kAvx2 : Backend::kScalar;
+  }
+  if (std::strcmp(env, "scalar") == 0) return Backend::kScalar;
+  if (std::strcmp(env, "avx2") == 0) {
+    if (avx2_ok) return Backend::kAvx2;
+    std::fprintf(stderr,
+                 "uv: UV_SIMD=avx2 requested but AVX2+FMA is unavailable "
+                 "on this build/CPU; falling back to scalar kernels\n");
+    return Backend::kScalar;
+  }
+  std::fprintf(stderr,
+               "uv: unrecognized UV_SIMD=%s (expected auto|avx2|scalar); "
+               "using auto\n",
+               env);
+  return avx2_ok ? Backend::kAvx2 : Backend::kScalar;
+}
+
+const KernelDispatch* ResolveAndPublish() {
+  const Backend b = ResolveFromEnv();
+  const KernelDispatch* table = TableFor(b);
+  g_backend.store(static_cast<int>(b), std::memory_order_relaxed);
+  g_active.store(table, std::memory_order_release);
+  return table;
+}
+
+// Stamps the active backend name into every perf-ledger env fingerprint
+// without obs linking against the tensor layer: this object lives in the
+// same TU as Active(), which every kernel call site references, so the
+// registrar is always linked into any binary that computes.
+struct SimdNameRegistrar {
+  SimdNameRegistrar() { obs::RegisterSimdNameProvider(&ActiveName); }
+} g_simd_name_registrar;
+
+}  // namespace
+
+bool BackendAvailable(Backend b) {
+  switch (b) {
+    case Backend::kScalar:
+      return true;
+    case Backend::kAvx2:
+#ifdef UV_KERNELS_HAVE_AVX2
+      return CpuHasAvx2Fma();
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+const KernelDispatch& Active() {
+  const KernelDispatch* table = g_active.load(std::memory_order_acquire);
+  if (table == nullptr) table = ResolveAndPublish();
+  return *table;
+}
+
+Backend ActiveBackend() {
+  Active();  // Force resolution.
+  return static_cast<Backend>(g_backend.load(std::memory_order_relaxed));
+}
+
+const char* ActiveName() { return Active().name; }
+
+void SetActiveBackend(Backend b) {
+  UV_CHECK(BackendAvailable(b));
+  g_backend.store(static_cast<int>(b), std::memory_order_relaxed);
+  g_active.store(TableFor(b), std::memory_order_release);
+}
+
+}  // namespace uv::kern

@@ -4,47 +4,41 @@
 #include <cmath>
 
 #include "obs/trace.h"
+#include "tensor/kernels/kernel_dispatch.h"
 #include "util/thread_pool.h"
 
 namespace uv {
 namespace {
 
-// Parallelization thresholds. Below these the dispatch overhead of waking
-// the pool exceeds the work; the cutoffs only select serial-vs-parallel
-// execution and never change per-element accumulation order, so results
-// are bit-identical either way.
-constexpr int64_t kGemmFlopThreshold = 1 << 16;
-constexpr int64_t kElementwiseThreshold = 1 << 15;
-constexpr int64_t kElementwiseGrain = 1 << 14;
+using kern::kElementwiseGrain;
+using kern::kElementwiseThreshold;
 
-// Cache blocking for the no-transpose kernel: the K dimension is tiled so
-// a panel of B rows stays resident while a chunk of A/C rows streams over
-// it. The k-accumulation order per output element (p ascending) is
-// unchanged by the tiling.
-constexpr int kGemmKc = 256;
-constexpr int kGemmRowGrain = 32;
-
-// C[i0:i1) += alpha * A[i0:i1) * B with A m x k, B k x n, all row-major.
-void GemmNNRows(int i0, int i1, int k, int n, float alpha, const float* ad,
-                const float* bd, float* cd) {
-  for (int pc = 0; pc < k; pc += kGemmKc) {
-    const int pe = std::min(k, pc + kGemmKc);
-    for (int i = i0; i < i1; ++i) {
-      const float* arow = ad + static_cast<size_t>(i) * k;
-      float* crow = cd + static_cast<size_t>(i) * n;
-      for (int p = pc; p < pe; ++p) {
-        const float av = alpha * arow[p];
-        const float* brow = bd + static_cast<size_t>(p) * n;
-        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
+// In-place x *= s over a flat span, parallel above the threshold. The
+// grain is a multiple of the vector width, so every chunk starts lane-
+// aligned and the vector/tail split per element depends only on n.
+void ScaleSpan(float* x, int64_t n, float s) {
+  const kern::KernelDispatch& k = kern::Active();
+  if (n >= kElementwiseThreshold) {
+    ParallelFor(0, n, kElementwiseGrain, [&](int64_t lo, int64_t hi) {
+      k.scale(x + lo, s, hi - lo);
+    });
+  } else {
+    k.scale(x, s, n);
   }
+}
+
+// Row grain for kernels parallelized over matrix rows: aim for chunks of
+// about one elementwise grain worth of elements.
+int64_t RowGrain(int64_t cols) {
+  return std::max<int64_t>(1, kElementwiseGrain / std::max<int64_t>(1, cols));
 }
 
 }  // namespace
 
-void Gemm(bool transpose_a, bool transpose_b, float alpha, const Tensor& a,
-          const Tensor& b, float beta, Tensor* c) {
+void GemmBiasAct(bool transpose_a, bool transpose_b, float alpha,
+                 const Tensor& a, const Tensor& b, float beta, Tensor* c,
+                 const Tensor* bias, kern::Activation act,
+                 float leaky_slope) {
   const int m = transpose_a ? a.cols() : a.rows();
   const int k = transpose_a ? a.rows() : a.cols();
   const int kb = transpose_b ? b.cols() : b.rows();
@@ -52,78 +46,38 @@ void Gemm(bool transpose_a, bool transpose_b, float alpha, const Tensor& a,
   UV_CHECK_EQ(k, kb);
   UV_CHECK_EQ(c->rows(), m);
   UV_CHECK_EQ(c->cols(), n);
+  if (bias != nullptr) {
+    UV_CHECK_EQ(bias->rows(), 1);
+    UV_CHECK_EQ(bias->cols(), n);
+  }
   obs::SpanGuard span("gemm", obs::SpanLevel::kFine, "m", m, "n", n);
 
   if (beta == 0.0f) {
     c->Zero();
   } else if (beta != 1.0f) {
-    float* cd = c->data();
-    for (int64_t i = 0; i < c->size(); ++i) cd[i] *= beta;
+    ScaleSpan(c->data(), c->size(), beta);
   }
 
-  float* cd = c->data();
-  const float* ad = a.data();
-  const float* bd = b.data();
-  const bool parallel =
-      static_cast<int64_t>(m) * n * k >= kGemmFlopThreshold;
-  if (!transpose_a && !transpose_b) {
-    if (parallel) {
-      ParallelFor(0, m, kGemmRowGrain, [&](int64_t i0, int64_t i1) {
-        GemmNNRows(static_cast<int>(i0), static_cast<int>(i1), k, n, alpha,
-                   ad, bd, cd);
-      });
-    } else {
-      GemmNNRows(0, m, k, n, alpha, ad, bd, cd);
-    }
-  } else if (transpose_a && !transpose_b) {
-    // A is k x m stored row-major; A^T(i,p) = A(p,i). Materializing the
-    // contiguous transpose lets the blocked kernel stream A rows; the
-    // per-element accumulation order (p ascending) matches the direct
-    // strided walk exactly. The workspace persists per thread and is fully
-    // overwritten before use, so recycling it is allocation-free and
-    // deterministic.
-    thread_local Tensor at;
-    at.ResizeUninit(m, k);
-    TransposeInto(a, &at);
-    const float* atd = at.data();
-    if (parallel) {
-      ParallelFor(0, m, kGemmRowGrain, [&](int64_t i0, int64_t i1) {
-        GemmNNRows(static_cast<int>(i0), static_cast<int>(i1), k, n, alpha,
-                   atd, bd, cd);
-      });
-    } else {
-      GemmNNRows(0, m, k, n, alpha, atd, bd, cd);
-    }
-  } else if (!transpose_a && transpose_b) {
-    // B is n x k stored row-major; B^T(p,j) = B(j,p): dot products over
-    // two contiguous rows — already vector-friendly, parallel over rows.
-    auto rows = [&](int64_t i0, int64_t i1) {
-      for (int64_t i = i0; i < i1; ++i) {
-        const float* arow = ad + static_cast<size_t>(i) * k;
-        float* crow = cd + static_cast<size_t>(i) * n;
-        for (int j = 0; j < n; ++j) {
-          const float* brow = bd + static_cast<size_t>(j) * k;
-          float acc = 0.0f;
-          for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
-          crow[j] += alpha * acc;
-        }
-      }
-    };
-    if (parallel) {
-      ParallelFor(0, m, kGemmRowGrain, rows);
-    } else {
-      rows(0, m);
-    }
-  } else {
-    for (int i = 0; i < m; ++i) {
-      float* crow = cd + static_cast<size_t>(i) * n;
-      for (int j = 0; j < n; ++j) {
-        float acc = 0.0f;
-        for (int p = 0; p < k; ++p) acc += a.at(p, i) * b.at(j, p);
-        crow[j] += alpha * acc;
-      }
-    }
-  }
+  kern::GemmArgs args;
+  args.m = m;
+  args.n = n;
+  args.k = k;
+  args.trans_a = transpose_a;
+  args.trans_b = transpose_b;
+  args.alpha = alpha;
+  args.a = a.data();
+  args.b = b.data();
+  args.c = c->data();
+  args.bias = bias != nullptr ? bias->data() : nullptr;
+  args.act = act;
+  args.leaky_slope = leaky_slope;
+  kern::Active().gemm(args);
+}
+
+void Gemm(bool transpose_a, bool transpose_b, float alpha, const Tensor& a,
+          const Tensor& b, float beta, Tensor* c) {
+  GemmBiasAct(transpose_a, transpose_b, alpha, a, b, beta, c, nullptr,
+              kern::Activation::kNone, 0.0f);
 }
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
@@ -137,13 +91,14 @@ void Axpy(float alpha, const Tensor& x, Tensor* y) {
   UV_CHECK(x.SameShape(*y));
   float* yd = y->data();
   const float* xd = x.data();
+  const kern::KernelDispatch& k = kern::Active();
   if (x.size() >= kElementwiseThreshold) {
     ParallelFor(0, x.size(), kElementwiseGrain, [&](int64_t lo, int64_t hi) {
-      for (int64_t i = lo; i < hi; ++i) yd[i] += alpha * xd[i];
+      k.axpy(alpha, xd + lo, yd + lo, hi - lo);
     });
     return;
   }
-  for (int64_t i = 0; i < x.size(); ++i) yd[i] += alpha * xd[i];
+  k.axpy(alpha, xd, yd, x.size());
 }
 
 Tensor Add(const Tensor& a, const Tensor& b) {
@@ -166,26 +121,20 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
   const float* ad = a.data();
   const float* bd = b.data();
   float* od = out.data();
+  const kern::KernelDispatch& k = kern::Active();
   if (a.size() >= kElementwiseThreshold) {
     ParallelFor(0, a.size(), kElementwiseGrain, [&](int64_t lo, int64_t hi) {
-      for (int64_t i = lo; i < hi; ++i) od[i] = ad[i] * bd[i];
+      k.mul(ad + lo, bd + lo, od + lo, hi - lo);
     });
     return out;
   }
-  for (int64_t i = 0; i < a.size(); ++i) od[i] = ad[i] * bd[i];
+  k.mul(ad, bd, od, a.size());
   return out;
 }
 
 Tensor Scale(const Tensor& a, float s) {
   Tensor out = a;
-  float* od = out.data();
-  if (out.size() >= kElementwiseThreshold) {
-    ParallelFor(0, out.size(), kElementwiseGrain, [&](int64_t lo, int64_t hi) {
-      for (int64_t i = lo; i < hi; ++i) od[i] *= s;
-    });
-    return out;
-  }
-  for (int64_t i = 0; i < out.size(); ++i) od[i] *= s;
+  ScaleSpan(out.data(), out.size(), s);
   return out;
 }
 
@@ -193,10 +142,16 @@ void AddRowVectorInPlace(const Tensor& row_vec, Tensor* a) {
   UV_CHECK_EQ(row_vec.rows(), 1);
   UV_CHECK_EQ(row_vec.cols(), a->cols());
   const float* v = row_vec.data();
-  for (int r = 0; r < a->rows(); ++r) {
-    float* arow = a->row(r);
-    for (int c = 0; c < a->cols(); ++c) arow[c] += v[c];
+  float* ad = a->data();
+  const int64_t cols = a->cols();
+  const kern::KernelDispatch& k = kern::Active();
+  if (a->size() >= kElementwiseThreshold && a->rows() > 1) {
+    ParallelFor(0, a->rows(), RowGrain(cols), [&](int64_t r0, int64_t r1) {
+      k.add_row_vector(v, ad + r0 * cols, r1 - r0, cols);
+    });
+    return;
   }
+  k.add_row_vector(v, ad, a->rows(), cols);
 }
 
 void TransposeInto(const Tensor& a, Tensor* out) {
@@ -214,9 +169,7 @@ void TransposeInto(const Tensor& a, Tensor* out) {
     }
   };
   if (a.size() >= kElementwiseThreshold && arows > 1) {
-    const int64_t grain =
-        std::max<int64_t>(1, kElementwiseGrain / std::max(1, acols));
-    ParallelFor(0, arows, grain, rows);
+    ParallelFor(0, arows, RowGrain(acols), rows);
   } else {
     rows(0, arows);
   }
@@ -231,19 +184,18 @@ Tensor Transpose(const Tensor& a) {
 Tensor RowSoftmax(const Tensor& a, float temperature) {
   UV_CHECK(temperature > 0.0f);
   Tensor out = Tensor::Uninit(a.rows(), a.cols());
-  for (int r = 0; r < a.rows(); ++r) {
-    const float* in = a.row(r);
-    float* o = out.row(r);
-    float mx = -1e30f;
-    for (int c = 0; c < a.cols(); ++c) mx = std::max(mx, in[c] / temperature);
-    double total = 0.0;
-    for (int c = 0; c < a.cols(); ++c) {
-      o[c] = std::exp(in[c] / temperature - mx);
-      total += o[c];
-    }
-    const float inv = total > 0.0 ? static_cast<float>(1.0 / total) : 0.0f;
-    for (int c = 0; c < a.cols(); ++c) o[c] *= inv;
+  const float inv_temp = 1.0f / temperature;
+  const float* in = a.data();
+  float* o = out.data();
+  const int64_t cols = a.cols();
+  const kern::KernelDispatch& k = kern::Active();
+  if (a.size() >= kElementwiseThreshold && a.rows() > 1) {
+    ParallelFor(0, a.rows(), RowGrain(cols), [&](int64_t r0, int64_t r1) {
+      k.row_softmax(in + r0 * cols, o + r0 * cols, r1 - r0, cols, inv_temp);
+    });
+    return out;
   }
+  k.row_softmax(in, o, a.rows(), cols, inv_temp);
   return out;
 }
 
@@ -262,15 +214,16 @@ std::vector<int> RowArgmax(const Tensor& a) {
 
 Tensor RowL2Normalize(const Tensor& a) {
   Tensor out = a;
-  for (int r = 0; r < out.rows(); ++r) {
-    float* row = out.row(r);
-    double norm = 0.0;
-    for (int c = 0; c < out.cols(); ++c) norm += static_cast<double>(row[c]) * row[c];
-    norm = std::sqrt(norm);
-    if (norm < 1e-12) continue;
-    const float inv = static_cast<float>(1.0 / norm);
-    for (int c = 0; c < out.cols(); ++c) row[c] *= inv;
+  float* od = out.data();
+  const int64_t cols = out.cols();
+  const kern::KernelDispatch& k = kern::Active();
+  if (out.size() >= kElementwiseThreshold && out.rows() > 1) {
+    ParallelFor(0, out.rows(), RowGrain(cols), [&](int64_t r0, int64_t r1) {
+      k.row_l2_normalize(od + r0 * cols, r1 - r0, cols);
+    });
+    return out;
   }
+  k.row_l2_normalize(od, out.rows(), cols);
   return out;
 }
 
@@ -355,13 +308,26 @@ Tensor GatherRows(const Tensor& a, const std::vector<int>& indices) {
 
 float MaxAbsDiff(const Tensor& a, const Tensor& b) {
   UV_CHECK(a.SameShape(b));
-  float m = 0.0f;
   const float* ad = a.data();
   const float* bd = b.data();
-  for (int64_t i = 0; i < a.size(); ++i) {
-    m = std::max(m, std::fabs(ad[i] - bd[i]));
+  const int64_t n = a.size();
+  const kern::KernelDispatch& k = kern::Active();
+  if (n >= kElementwiseThreshold) {
+    // Per-chunk partial maxima land in slots indexed by chunk position;
+    // max is exact and order-free, so the combine is trivially
+    // deterministic.
+    const int64_t num_chunks =
+        (n + kElementwiseGrain - 1) / kElementwiseGrain;
+    std::vector<float> partial(static_cast<size_t>(num_chunks), 0.0f);
+    ParallelFor(0, n, kElementwiseGrain, [&](int64_t lo, int64_t hi) {
+      partial[static_cast<size_t>(lo / kElementwiseGrain)] =
+          k.max_abs_diff(ad + lo, bd + lo, hi - lo);
+    });
+    float m = 0.0f;
+    for (const float p : partial) m = std::max(m, p);
+    return m;
   }
-  return m;
+  return k.max_abs_diff(ad, bd, n);
 }
 
 }  // namespace uv

@@ -3,16 +3,28 @@
 
 #include <vector>
 
+#include "tensor/kernels/kernel_dispatch.h"
 #include "tensor/tensor.h"
 
 namespace uv {
 
 // BLAS-lite kernels and elementwise helpers on Tensor. These are the raw
 // (non-differentiable) building blocks; the autograd layer composes them.
+// Every hot loop routes through the kern::KernelDispatch backend resolved
+// at startup (UV_SIMD=auto|avx2|scalar).
 
 // C = alpha * op(A) * op(B) + beta * C. Shapes must already agree.
 void Gemm(bool transpose_a, bool transpose_b, float alpha, const Tensor& a,
           const Tensor& b, float beta, Tensor* c);
+
+// Gemm with a fused epilogue: after the matrix product, adds the optional
+// 1 x n bias row to every output row and applies the activation inside the
+// still-hot output tile (one memory pass instead of three). bias may be
+// null; act = kNone with a bias gives a plain fused bias add.
+void GemmBiasAct(bool transpose_a, bool transpose_b, float alpha,
+                 const Tensor& a, const Tensor& b, float beta, Tensor* c,
+                 const Tensor* bias, kern::Activation act,
+                 float leaky_slope = 0.0f);
 
 // out = A * B (allocates the result).
 Tensor MatMul(const Tensor& a, const Tensor& b);

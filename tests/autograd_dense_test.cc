@@ -236,6 +236,46 @@ TEST(DenseOpsTest, CompositionDeepChainGradCheck) {
   EXPECT_TRUE(result.ok) << result.detail;
 }
 
+TEST(DenseOpsTest, DenseBiasActGradCheckAllActivations) {
+  const kern::Activation acts[] = {
+      kern::Activation::kNone, kern::Activation::kRelu,
+      kern::Activation::kLeakyRelu, kern::Activation::kSigmoid};
+  for (kern::Activation act : acts) {
+    auto x = MakeParam(RandomTensor(5, 3, 21));
+    auto w = MakeParam(RandomTensor(3, 4, 22, 0.5f));
+    auto b = MakeParam(RandomTensor(1, 4, 23, 0.5f));
+    // Nudge pre-activations away from the ReLU kink so finite differences
+    // stay on one side of it.
+    Tensor pre = Tensor::Uninit(5, 4);
+    GemmBiasAct(false, false, 1.0f, x->value, w->value, 0.0f, &pre, &b->value,
+                kern::Activation::kNone);
+    for (int64_t i = 0; i < pre.size(); ++i) {
+      if (std::fabs(pre[i]) < 0.05f) {
+        b->value[i % 4] += 0.1f;
+      }
+    }
+    auto build = [&]() {
+      return SquaredReadout(DenseBiasAct(x, w, b, act, 0.2f));
+    };
+    auto result = CheckGradients({x, w, b}, build);
+    EXPECT_TRUE(result.ok)
+        << "act=" << static_cast<int>(act) << ": " << result.detail
+        << " (max rel err " << result.max_rel_error << ")";
+  }
+}
+
+TEST(DenseOpsTest, DenseBiasActForwardMatchesUnfusedOps) {
+  auto x = MakeConst(RandomTensor(7, 5, 31));
+  auto w = MakeConst(RandomTensor(5, 6, 32, 0.5f));
+  auto b = MakeConst(RandomTensor(1, 6, 33, 0.5f));
+  auto fused = DenseBiasAct(x, w, b, kern::Activation::kRelu);
+  auto unfused = Relu(AddRowBroadcast(MatMul(x, w), b));
+  ASSERT_EQ(fused->value.size(), unfused->value.size());
+  for (int64_t i = 0; i < fused->value.size(); ++i) {
+    EXPECT_EQ(fused->value[i], unfused->value[i]) << "index " << i;
+  }
+}
+
 TEST(DenseOpsTest, ConstInputsReceiveNoGrad) {
   auto c = MakeConst(RandomTensor(2, 2, 9));
   auto p = MakeParam(RandomTensor(2, 2, 10));

@@ -162,7 +162,8 @@ def main():
     new_benches = new["benchmarks"]
 
     benv, nenv = base.get("env", {}), new.get("env", {})
-    for key in ("hardware_threads", "compiler", "build_type", "git_sha"):
+    for key in ("hardware_threads", "compiler", "build_type", "git_sha",
+                "simd"):
         if benv.get(key) != nenv.get(key) and not args.quiet:
             print(
                 f"bench_diff: note: env.{key} differs: "

@@ -156,6 +156,7 @@ LEDGER_ENV_KEYS = (
     "git_sha",
     "uv_threads",
     "uv_pool",
+    "simd",
 )
 LEDGER_DIRECTIONS = ("lower", "higher", "info")
 
