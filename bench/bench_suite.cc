@@ -14,13 +14,17 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <vector>
 
 #include "autograd/ops.h"
 #include "bench_common.h"
+#include "core/cmsf_model.h"
 #include "graph/csr_graph.h"
 #include "graph/grid.h"
 #include "nn/graph_context.h"
 #include "tensor/tensor_ops.h"
+#include "urg/neighbor_sampler.h"
+#include "util/buffer_pool.h"
 #include "util/rng.h"
 
 namespace {
@@ -184,18 +188,167 @@ void RunEvalSuite(uv::obs::Report* report, uv::bench::BenchConfig bench) {
   uv::eval::AppendRunStats(report, "eval/cross_validation_gcn_fuzhou", stats);
 }
 
+// Paper-scale leg: builds one city-scale preset ("93k" / "175k" / "354k",
+// generate_images = false) through the sharded URG + lazy feature store
+// path and records the four gated entries of the city_scale.* family:
+//   city_scale.urg_build_<tag>       regions_per_sec, peak pool bytes
+//   city_scale.sampler_<tag>         subgraphs_per_sec
+//   city_scale.train_step_cmsf_<tag> per-batch master step, peak pool bytes
+//   city_scale.train_step_gcn_<tag>  per-batch GCN step, peak pool bytes
+// Each train-step closure resets the pool high-water mark first, so
+// mem.pool_peak_delta isolates the per-batch transient footprint — the
+// number that must stay flat from 93k to 354k at fixed batch / fanout.
+void RunCityScaleSuite(uv::obs::Report* report,
+                       const uv::bench::BenchConfig& bench,
+                       const std::string& tag) {
+  uv::synth::CityConfig config;
+  if (!uv::synth::CityScalePreset(tag, bench.seed, &config)) {
+    std::fprintf(stderr, "unknown --city-scale tag '%s' (93k|175k|354k)\n",
+                 tag.c_str());
+    std::exit(2);
+  }
+  constexpr int kBatch = 256;
+  constexpr int kFanout = 16;
+  std::printf("--- city_scale %s: %d x %d = %d regions ---\n", tag.c_str(),
+              config.height, config.width, config.num_regions());
+  auto city = std::make_shared<const uv::synth::City>(
+      uv::synth::GenerateCity(config));
+  const int n = config.num_regions();
+
+  uv::urg::UrbanRegionGraph urg;
+  {
+    uv::BufferPool::ResetPeak();
+    auto& e = report->RunTimed("city_scale.urg_build_" + tag, [&] {
+      urg = uv::urg::BuildShardedUrg(city, uv::urg::UrgOptions{},
+                                     uv::urg::ShardOptions{});
+    });
+    const double secs = e.Stats().p50;
+    e.AddMetric("regions_per_sec", secs > 0.0 ? n / secs : 0.0,
+                uv::obs::Direction::kHigherIsBetter);
+    e.AddMetric("mem.pool_bytes_peak",
+                static_cast<double>(uv::BufferPool::Stats().pool_bytes_peak),
+                uv::obs::Direction::kLowerIsBetter);
+    e.AddMetric("num_regions", static_cast<double>(n));
+    e.AddMetric("num_edges", static_cast<double>(urg.num_edges));
+  }
+
+  {
+    const uv::urg::NeighborView view(urg);
+    uv::urg::MinibatchConfig mcfg;
+    mcfg.batch_size = kBatch;
+    mcfg.fanout = kFanout;
+    mcfg.seed = bench.seed;
+    // Strided seed batches: batch b draws {b, b + stride, b + 2*stride, ...},
+    // all distinct, spread across the whole grid.
+    constexpr int kBatches = 8;
+    const int stride = n / kBatch;
+    int64_t edges_sampled = 0;
+    auto& e = report->RunTimed("city_scale.sampler_" + tag, [&] {
+      edges_sampled = 0;
+      std::vector<int> seeds(kBatch);
+      for (int b = 0; b < kBatches; ++b) {
+        for (int i = 0; i < kBatch; ++i) seeds[i] = b + i * stride;
+        const auto sg = uv::urg::SampleKHop(view, seeds, mcfg);
+        edges_sampled += sg.num_edges();
+      }
+    });
+    const double secs = e.Stats().p50;
+    e.AddMetric("subgraphs_per_sec", secs > 0.0 ? kBatches / secs : 0.0,
+                uv::obs::Direction::kHigherIsBetter);
+    e.AddMetric("edges_per_subgraph",
+                static_cast<double>(edges_sampled) / kBatches);
+  }
+
+  std::vector<int> train_ids = urg.LabeledIds();
+  std::vector<int> train_labels(train_ids.size());
+  for (size_t i = 0; i < train_ids.size(); ++i) {
+    train_labels[i] = urg.labels[train_ids[i]];
+  }
+  const int bs = std::min<int>(kBatch, static_cast<int>(train_ids.size()));
+  const int num_batches = (static_cast<int>(train_ids.size()) + bs - 1) / bs;
+
+  // Train steps are the expensive closures (one full minibatch epoch per
+  // repeat); cap their repeats so a --repeats 5 micro run does not spend an
+  // hour here.
+  const int step_repeats = std::min(bench.repeats, 2);
+
+  {
+    uv::core::CmsfConfig cfg;
+    cfg.seed = bench.seed;
+    cfg.master_epochs = 1;
+    cfg.batch_size = kBatch;
+    cfg.fanout = kFanout;
+    // Gate off: the step keeps the full master path (MAGA trunk + GSCM +
+    // classifier) but skips the end-of-training freeze sweep, which is a
+    // one-time cost amortized over real multi-epoch runs.
+    cfg.use_gate = false;
+    double step_ms = 0.0;
+    uint64_t peak_delta = 0, peak = 0;
+    auto& e = report->RunTimed("city_scale.train_step_cmsf_" + tag,
+                               /*warmup=*/0, step_repeats, [&] {
+      uv::BufferPool::ResetPeak();
+      const uint64_t base = uv::BufferPool::Stats().pool_bytes;
+      uv::Rng rng(bench.seed);
+      uv::core::CmsfModel model(cfg, urg.PoiDim(), urg.ImageDim(), &rng);
+      const auto result =
+          uv::core::TrainMasterMinibatch(&model, urg, train_ids, train_labels);
+      step_ms = result.seconds_per_epoch * 1000.0 / num_batches;
+      peak = uv::BufferPool::Stats().pool_bytes_peak;
+      peak_delta = peak > base ? peak - base : 0;
+    });
+    e.AddMetric("train_step_ms", step_ms, uv::obs::Direction::kLowerIsBetter);
+    e.AddMetric("mem.pool_bytes_peak", static_cast<double>(peak),
+                uv::obs::Direction::kLowerIsBetter);
+    e.AddMetric("mem.pool_peak_delta", static_cast<double>(peak_delta));
+    e.AddMetric("batches_per_epoch", static_cast<double>(num_batches));
+  }
+
+  {
+    uv::baselines::TrainOptions options;
+    options.epochs = 1;
+    options.seed = bench.seed;
+    options.batch_size = kBatch;
+    options.fanout = kFanout;
+    double step_ms = 0.0;
+    uint64_t peak_delta = 0, peak = 0;
+    auto& e = report->RunTimed("city_scale.train_step_gcn_" + tag,
+                               /*warmup=*/0, step_repeats, [&] {
+      uv::BufferPool::ResetPeak();
+      const uint64_t base = uv::BufferPool::Stats().pool_bytes;
+      auto detector = uv::baselines::MakeDetector("GCN", options,
+                                                  uv::core::CmsfConfig{});
+      detector->Train(urg, train_ids, train_labels);
+      step_ms = detector->TrainSecondsPerEpoch() * 1000.0 / num_batches;
+      peak = uv::BufferPool::Stats().pool_bytes_peak;
+      peak_delta = peak > base ? peak - base : 0;
+    });
+    e.AddMetric("train_step_ms", step_ms, uv::obs::Direction::kLowerIsBetter);
+    e.AddMetric("mem.pool_bytes_peak", static_cast<double>(peak),
+                uv::obs::Direction::kLowerIsBetter);
+    e.AddMetric("mem.pool_peak_delta", static_cast<double>(peak_delta));
+    e.AddMetric("batches_per_epoch", static_cast<double>(num_batches));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool micro = false, eval = false;
+  std::vector<std::string> city_scales;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--micro") == 0) micro = true;
     if (std::strcmp(argv[i], "--eval") == 0) eval = true;
+    if (std::strncmp(argv[i], "--city-scale=", 13) == 0) {
+      city_scales.emplace_back(argv[i] + 13);
+    } else if (std::strcmp(argv[i], "--city-scale") == 0 && i + 1 < argc) {
+      city_scales.emplace_back(argv[++i]);
+    }
   }
-  if (!micro && !eval) {
+  if (!micro && !eval && city_scales.empty()) {
     std::fprintf(stderr,
-                 "usage: bench_suite --micro [--eval] [--repeats N] "
-                 "[--warmup N] [--out FILE]\n");
+                 "usage: bench_suite --micro [--eval] [--city-scale TAG]... "
+                 "[--repeats N] [--warmup N] [--out FILE]\n"
+                 "       TAG in {93k, 175k, 354k}; repeatable\n");
     return 2;
   }
 
@@ -206,6 +359,7 @@ int main(int argc, char** argv) {
 
   if (micro) RunMicroSuite(&report);
   if (eval) RunEvalSuite(&report, bench);
+  for (const auto& tag : city_scales) RunCityScaleSuite(&report, bench, tag);
 
   const std::string path =
       uv::bench::LedgerPath("BENCH_core.json", argc, argv);

@@ -31,10 +31,13 @@ class GatBaseline : public eval::Detector {
   double LastInferenceSeconds() const override { return inference_seconds_; }
 
  private:
+  ag::VarPtr ForwardOn(const nn::GraphContext& ctx, const ag::VarPtr& poi,
+                       const ag::VarPtr& img) const;
   ag::VarPtr ForwardAll() const;
   std::vector<ag::VarPtr> Params() const;
 
   TrainOptions options_;
+  bool minibatch_ = false;
   std::optional<nn::GraphContext> ctx_;
   ag::VarPtr poi_const_, img_const_;
   std::unique_ptr<nn::Linear> img_reduce_;

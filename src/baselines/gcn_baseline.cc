@@ -11,15 +11,21 @@ constexpr int kHidden = 64;
 constexpr int kImageReduce = 128;
 }  // namespace
 
-ag::VarPtr GcnBaseline::ForwardAll() const {
-  ag::VarPtr p = ag::Relu(poi_g1_->Forward(poi_const_, *ctx_));
-  p = ag::Relu(poi_g2_->Forward(p, *ctx_));
-  ag::VarPtr i = img_reduce_->Forward(img_const_, kern::Activation::kRelu);
-  i = ag::Relu(img_g1_->Forward(i, *ctx_));
-  i = ag::Relu(img_g2_->Forward(i, *ctx_));
+ag::VarPtr GcnBaseline::ForwardOn(const nn::GraphContext& ctx,
+                                  const ag::VarPtr& poi,
+                                  const ag::VarPtr& img) const {
+  ag::VarPtr p = ag::Relu(poi_g1_->Forward(poi, ctx));
+  p = ag::Relu(poi_g2_->Forward(p, ctx));
+  ag::VarPtr i = img_reduce_->Forward(img, kern::Activation::kRelu);
+  i = ag::Relu(img_g1_->Forward(i, ctx));
+  i = ag::Relu(img_g2_->Forward(i, ctx));
   ag::VarPtr fused =
       fuse_->Forward(ag::ConcatCols(p, i), kern::Activation::kRelu);
   return head_->Forward(fused);
+}
+
+ag::VarPtr GcnBaseline::ForwardAll() const {
+  return ForwardOn(*ctx_, poi_const_, img_const_);
 }
 
 std::vector<ag::VarPtr> GcnBaseline::Params() const {
@@ -41,28 +47,37 @@ void GcnBaseline::Train(const urg::UrbanRegionGraph& urg,
                         const std::vector<int>& train_ids,
                         const std::vector<int>& train_labels) {
   Rng rng(options_.seed);
-  ctx_ = nn::GraphContext::FromCsr(urg.adjacency);
-  poi_const_ = ag::MakeConst(urg.poi_features);
-  img_const_ = ag::MakeConst(urg.image_features);
-  img_reduce_ = std::make_unique<nn::Linear>(urg.image_features.cols(),
-                                             kImageReduce, &rng);
-  poi_g1_ = std::make_unique<nn::GcnLayer>(urg.poi_features.cols(), kHidden,
-                                           &rng);
+  minibatch_ = options_.batch_size > 0;
+  img_reduce_ = std::make_unique<nn::Linear>(urg.ImageDim(), kImageReduce,
+                                             &rng);
+  poi_g1_ = std::make_unique<nn::GcnLayer>(urg.PoiDim(), kHidden, &rng);
   poi_g2_ = std::make_unique<nn::GcnLayer>(kHidden, kHidden, &rng);
   img_g1_ = std::make_unique<nn::GcnLayer>(kImageReduce, kHidden, &rng);
   img_g2_ = std::make_unique<nn::GcnLayer>(kHidden, kHidden, &rng);
   fuse_ = std::make_unique<nn::Linear>(2 * kHidden, kHidden, &rng);
   head_ = std::make_unique<nn::Linear>(kHidden, 1, &rng);
 
-  const Tensor labels = core::MakeLabelTensor(train_labels);
-  const Tensor weights =
-      core::MakeBceWeights(train_labels, options_.pos_weight);
-  auto ids = std::make_shared<const std::vector<int>>(train_ids);
-
   ag::AdamOptimizer::Options aopt;
   aopt.learning_rate = options_.learning_rate;
   aopt.clip_norm = options_.clip_norm;
   ag::AdamOptimizer opt(Params(), aopt);
+
+  if (minibatch_) {
+    epoch_seconds_ = TrainMinibatched(
+        &opt, options_, urg, train_ids, train_labels,
+        [this](const nn::GraphContext& ctx, const ag::VarPtr& poi,
+               const ag::VarPtr& img) { return ForwardOn(ctx, poi, img); },
+        &epoch_history_, "GCN");
+    return;
+  }
+
+  ctx_ = nn::GraphContext::FromCsr(urg.adjacency);
+  poi_const_ = ag::MakeConst(urg.poi_features);
+  img_const_ = ag::MakeConst(urg.image_features);
+  const Tensor labels = core::MakeLabelTensor(train_labels);
+  const Tensor weights =
+      core::MakeBceWeights(train_labels, options_.pos_weight);
+  auto ids = std::make_shared<const std::vector<int>>(train_ids);
   epoch_seconds_ =
       TrainLoop(&opt, options_.epochs, options_.lr_decay_per_epoch, [&]() {
         return ag::BceWithLogits(ag::GatherRows(ForwardAll(), ids), labels,
@@ -72,10 +87,17 @@ void GcnBaseline::Train(const urg::UrbanRegionGraph& urg,
 
 std::vector<float> GcnBaseline::Score(const urg::UrbanRegionGraph& urg,
                                       const std::vector<int>& eval_ids) {
-  (void)urg;
   WallTimer timer;
-  ag::VarPtr logits = ForwardAll();
-  auto out = SigmoidRows(logits->value, eval_ids);
+  std::vector<float> out;
+  if (minibatch_) {
+    out = ScoreMinibatched(
+        urg, eval_ids, /*hops=*/2,
+        [this](const nn::GraphContext& ctx, const ag::VarPtr& poi,
+               const ag::VarPtr& img) { return ForwardOn(ctx, poi, img); });
+  } else {
+    ag::VarPtr logits = ForwardAll();
+    out = SigmoidRows(logits->value, eval_ids);
+  }
   inference_seconds_ = timer.Seconds();
   return out;
 }

@@ -13,7 +13,9 @@ namespace uv::baselines {
 
 // GCN baseline (paper Appendix I-A): image features linearly reduced, one
 // 2-layer GCN per modality on the URG, linear multi-modal fusion, logistic
-// head. Full-graph training.
+// head. Full-graph training by default; TrainOptions::batch_size > 0
+// switches to neighborhood-sampled minibatches (required for sharded URGs,
+// which have no global adjacency to forward over).
 class GcnBaseline : public eval::Detector {
  public:
   explicit GcnBaseline(const TrainOptions& options) : options_(options) {}
@@ -33,10 +35,13 @@ class GcnBaseline : public eval::Detector {
   double LastInferenceSeconds() const override { return inference_seconds_; }
 
  private:
+  ag::VarPtr ForwardOn(const nn::GraphContext& ctx, const ag::VarPtr& poi,
+                       const ag::VarPtr& img) const;
   ag::VarPtr ForwardAll() const;
   std::vector<ag::VarPtr> Params() const;
 
   TrainOptions options_;
+  bool minibatch_ = false;
   std::optional<nn::GraphContext> ctx_;
   ag::VarPtr poi_const_, img_const_;
   std::unique_ptr<nn::Linear> img_reduce_;

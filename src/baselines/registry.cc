@@ -18,8 +18,20 @@ std::vector<std::string> AllDetectorNames() {
 }
 
 std::unique_ptr<eval::Detector> MakeDetector(
-    const std::string& name, const TrainOptions& options,
+    const std::string& name, const TrainOptions& base_options,
     const core::CmsfConfig& cmsf_config) {
+  // UV_BATCH / UV_FANOUT override the caller's minibatch settings so any
+  // tool built on the registry can be switched to neighborhood-sampled
+  // training without a flag of its own.
+  TrainOptions options = base_options;
+  {
+    urg::MinibatchConfig mb;
+    mb.batch_size = options.batch_size;
+    mb.fanout = options.fanout;
+    mb = urg::MinibatchConfig::FromEnv(mb);
+    options.batch_size = mb.batch_size;
+    options.fanout = mb.fanout;
+  }
   if (name == "MLP") return std::make_unique<MlpBaseline>(options);
   if (name == "GCN") return std::make_unique<GcnBaseline>(options);
   if (name == "GAT") return std::make_unique<GatBaseline>(options);
@@ -33,6 +45,8 @@ std::unique_ptr<eval::Detector> MakeDetector(
   cfg.master_epochs = options.epochs;
   cfg.pos_weight = options.pos_weight;
   cfg.seed = options.seed;
+  cfg.batch_size = options.batch_size;
+  cfg.fanout = options.fanout;
   if (name == "CMSF") {
     return std::make_unique<core::CmsfDetector>(cfg, "CMSF");
   }

@@ -44,6 +44,15 @@ struct CmsfConfig {
   double pos_weight = 0.0;
   double clip_norm = 5.0;
   uint64_t seed = 2023;
+
+  // Neighborhood-sampled minibatch training (paper-scale cities): > 0
+  // trains both stages on per-batch 2-hop subgraphs instead of full-graph
+  // forwards. Under minibatches the GSCM cluster representations are
+  // aggregated from the batch's regions only (a documented approximation);
+  // the frozen stage-one assignment is still computed exactly over every
+  // region with fanout-unlimited chunks.
+  int batch_size = 0;
+  int fanout = 16;  // Sampled in-neighbors per node; 0 keeps them all.
 };
 
 }  // namespace uv::core

@@ -9,9 +9,20 @@ void CmsfDetector::Train(const urg::UrbanRegionGraph& urg,
                          const std::vector<int>& train_ids,
                          const std::vector<int>& train_labels) {
   Rng rng(config_.seed);
+  minibatch_ = config_.batch_size > 0;
+  model_ = std::make_unique<CmsfModel>(config_, urg.PoiDim(), urg.ImageDim(),
+                                       &rng);
+  if (minibatch_) {
+    // Neighborhood-sampled path: never materializes full-graph inputs.
+    MasterTrainResult master =
+        TrainMasterMinibatch(model_.get(), urg, train_ids, train_labels);
+    frozen_ = std::move(master.frozen);
+    train_epoch_seconds_ = master.seconds_per_epoch;
+    epoch_seconds_ = std::move(master.epoch_seconds);
+    TrainSlaveMinibatch(model_.get(), urg, frozen_, train_ids, train_labels);
+    return;
+  }
   inputs_ = CmsfInputs::FromUrg(urg);
-  model_ = std::make_unique<CmsfModel>(config_, urg.poi_features.cols(),
-                                       urg.image_features.cols(), &rng);
   MasterTrainResult master =
       TrainMaster(model_.get(), *inputs_, train_ids, train_labels);
   frozen_ = std::move(master.frozen);
@@ -24,11 +35,16 @@ void CmsfDetector::Train(const urg::UrbanRegionGraph& urg,
 
 std::vector<float> CmsfDetector::Score(const urg::UrbanRegionGraph& urg,
                                        const std::vector<int>& eval_ids) {
-  (void)urg;  // Inputs were captured at Train time.
   WallTimer timer;
   const CmsfModel::FrozenAssignment* frozen =
       config_.use_hierarchy ? &frozen_ : nullptr;
-  auto scores = PredictCmsf(*model_, *inputs_, frozen, eval_ids);
+  std::vector<float> scores;
+  if (minibatch_) {
+    scores = PredictCmsfMinibatch(*model_, urg, frozen, eval_ids);
+  } else {
+    (void)urg;  // Inputs were captured at Train time.
+    scores = PredictCmsf(*model_, *inputs_, frozen, eval_ids);
+  }
   inference_seconds_ = timer.Seconds();
   return scores;
 }
@@ -60,9 +76,10 @@ Status CmsfDetector::LoadModel(const urg::UrbanRegionGraph& urg,
   std::vector<Tensor>& tensors = loaded.value();
 
   Rng rng(config_.seed);
-  inputs_ = CmsfInputs::FromUrg(urg);
-  model_ = std::make_unique<CmsfModel>(config_, urg.poi_features.cols(),
-                                       urg.image_features.cols(), &rng);
+  minibatch_ = config_.batch_size > 0;
+  if (!minibatch_) inputs_ = CmsfInputs::FromUrg(urg);
+  model_ = std::make_unique<CmsfModel>(config_, urg.PoiDim(), urg.ImageDim(),
+                                       &rng);
   auto params = model_->AllParams();
   if (tensors.size() != params.size() + 3) {
     return Status::InvalidArgument("checkpoint layout mismatch");

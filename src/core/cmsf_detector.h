@@ -46,6 +46,7 @@ class CmsfDetector : public eval::Detector {
  private:
   CmsfConfig config_;
   std::string name_;
+  bool minibatch_ = false;
   std::unique_ptr<CmsfModel> model_;
   std::optional<CmsfInputs> inputs_;
   CmsfModel::FrozenAssignment frozen_;

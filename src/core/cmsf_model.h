@@ -100,6 +100,17 @@ MasterTrainResult TrainMaster(CmsfModel* model, const CmsfInputs& inputs,
                               const std::vector<int>& train_ids,
                               const std::vector<int>& train_labels);
 
+// Minibatch stage-one training (CmsfConfig::batch_size > 0): every step
+// samples the 2-hop neighborhood of a train-id batch, gathers its features
+// through the URG (feature store at paper scale), and optimizes the master
+// loss on the seed rows. The returned frozen assignment is computed EXACTLY
+// over all regions with fanout-unlimited chunks, so stage two sees the same
+// kind of membership snapshot as full-graph training.
+MasterTrainResult TrainMasterMinibatch(CmsfModel* model,
+                                       const urg::UrbanRegionGraph& urg,
+                                       const std::vector<int>& train_ids,
+                                       const std::vector<int>& train_labels);
+
 // Stage-two training (Algorithm 2): optimizes theta_2 with the joint loss
 // L'_c + lambda * L_p. No-op when the gate is disabled.
 struct SlaveTrainResult {
@@ -111,6 +122,16 @@ SlaveTrainResult TrainSlave(CmsfModel* model, const CmsfInputs& inputs,
                             const CmsfModel::FrozenAssignment& frozen,
                             const std::vector<int>& train_ids,
                             const std::vector<int>& train_labels);
+
+// Minibatch stage-two training: each batch pins the GSCM membership to the
+// frozen assignment rows of its subgraph nodes. Cluster representations
+// (and the PU rank loss on their inclusion scores) aggregate over the
+// batch's regions only — the minibatch approximation of eq. 10/18.
+SlaveTrainResult TrainSlaveMinibatch(CmsfModel* model,
+                                     const urg::UrbanRegionGraph& urg,
+                                     const CmsfModel::FrozenAssignment& frozen,
+                                     const std::vector<int>& train_ids,
+                                     const std::vector<int>& train_labels);
 
 // Per-sample BCE weights implementing CmsfConfig::pos_weight (shared by the
 // baselines so class balancing is uniform across methods).
@@ -124,6 +145,14 @@ std::vector<float> PredictCmsf(const CmsfModel& model,
                                const CmsfInputs& inputs,
                                const CmsfModel::FrozenAssignment* frozen,
                                const std::vector<int>& eval_ids);
+
+// Minibatch inference: scores eval_ids in fanout-unlimited 2-hop chunks, so
+// trunk outputs (and master logits) are exact; the slave path uses the
+// chunk's frozen membership rows. O(chunk * deg^2) memory per chunk.
+std::vector<float> PredictCmsfMinibatch(
+    const CmsfModel& model, const urg::UrbanRegionGraph& urg,
+    const CmsfModel::FrozenAssignment* frozen,
+    const std::vector<int>& eval_ids);
 
 }  // namespace uv::core
 

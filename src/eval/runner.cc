@@ -72,6 +72,9 @@ RunStats RunCrossValidation(const urg::UrbanRegionGraph& urg,
   // Phase 2 (parallel): each job trains its own freshly seeded detector
   // and writes into its preallocated slot; nothing is shared across jobs.
   std::vector<FoldResult> results(jobs.size());
+  // Peak footprint should cover this cross-validation only, not whatever
+  // high-water mark URG construction left behind.
+  BufferPool::ResetPeak();
   const MemStatsSnapshot mem_before = BufferPool::Stats();
   WallTimer wall;
   {
@@ -161,6 +164,10 @@ RunStats RunCrossValidation(const urg::UrbanRegionGraph& urg,
   stats.mem.heap_bytes = mem_after.heap_bytes - mem_before.heap_bytes;
   stats.mem.releases = mem_after.releases - mem_before.releases;
   stats.mem.tls_spills = mem_after.tls_spills - mem_before.tls_spills;
+  // Gauges, not monotone counters: report the end-of-phase footprint and
+  // the phase-local high-water mark (ResetPeak above).
+  stats.mem.pool_bytes = mem_after.pool_bytes;
+  stats.mem.pool_bytes_peak = mem_after.pool_bytes_peak;
   if (MemStatsRequested()) {
     // Stderr so tables and scores on stdout stay machine-comparable.
     std::fprintf(stderr, "%s\n", FormatMemStats(stats.mem).c_str());
@@ -200,6 +207,8 @@ void AppendRunStats(obs::Report* report, const std::string& name,
   b.AddMetric("mem.acquires", static_cast<double>(stats.mem.acquires));
   b.AddMetric("mem.pool_hits", static_cast<double>(stats.mem.hits));
   b.AddMetric("mem.heap_allocs", static_cast<double>(stats.mem.heap_allocs));
+  b.AddMetric("mem.pool_bytes_peak",
+              static_cast<double>(stats.mem.pool_bytes_peak));
 }
 
 }  // namespace uv::eval

@@ -54,6 +54,24 @@ CsrGraph CsrGraph::FromEdges(int num_nodes, const std::vector<Edge>& edges,
   return g;
 }
 
+CsrGraph CsrGraph::FromCsrArrays(
+    int num_nodes, std::shared_ptr<const std::vector<int>> offsets,
+    std::shared_ptr<const std::vector<int>> neighbors) {
+  UV_CHECK_GE(num_nodes, 0);
+  UV_CHECK(offsets && neighbors);
+  UV_CHECK_EQ(static_cast<int64_t>(offsets->size()), num_nodes + 1);
+  UV_CHECK_EQ(offsets->front(), 0);
+  UV_CHECK_EQ(static_cast<size_t>(offsets->back()), neighbors->size());
+  for (int i = 0; i < num_nodes; ++i) {
+    UV_CHECK_LE((*offsets)[i], (*offsets)[i + 1]);
+  }
+  CsrGraph g;
+  g.num_nodes_ = num_nodes;
+  g.offsets_ = std::move(offsets);
+  g.neighbors_ = std::move(neighbors);
+  return g;
+}
+
 bool CsrGraph::HasEdge(int src, int dst) const {
   UV_CHECK_GE(dst, 0);
   UV_CHECK_LT(dst, num_nodes_);

@@ -24,6 +24,14 @@ class CsrGraph {
   static CsrGraph FromEdges(int num_nodes, const std::vector<Edge>& edges,
                             bool symmetrize, bool add_self_loops);
 
+  // Adopts already-built CSR arrays without copying (sharded/subgraph
+  // builders construct the dst-grouped layout directly). `offsets` must
+  // have num_nodes+1 monotone entries starting at 0 and ending at
+  // neighbors->size(); each dst segment must be sorted ascending.
+  static CsrGraph FromCsrArrays(
+      int num_nodes, std::shared_ptr<const std::vector<int>> offsets,
+      std::shared_ptr<const std::vector<int>> neighbors);
+
   int num_nodes() const { return num_nodes_; }
   int64_t num_edges() const {
     return neighbors_ ? static_cast<int64_t>(neighbors_->size()) : 0;

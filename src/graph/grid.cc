@@ -41,6 +41,54 @@ std::vector<Edge> BuildSpatialProximityEdges(const GridSpec& grid) {
   return edges;
 }
 
+std::array<int, 4> ShardSpec::TileBounds(const GridSpec& grid, int s) const {
+  UV_CHECK_GE(s, 0);
+  UV_CHECK_LT(s, num_shards());
+  const int sr = s / shards_x;
+  const int sc = s % shards_x;
+  const int r0 = std::min(sr * tile_h, grid.height);
+  const int c0 = std::min(sc * tile_w, grid.width);
+  // The last tile row/column absorbs the remainder so every cell is owned
+  // by exactly one shard.
+  const int r1 = (sr + 1 == shards_y) ? grid.height
+                                      : std::min(r0 + tile_h, grid.height);
+  const int c1 = (sc + 1 == shards_x) ? grid.width
+                                      : std::min(c0 + tile_w, grid.width);
+  return {r0, c0, r1, c1};
+}
+
+ShardSpec MakeShardSpec(const GridSpec& grid, int target_shards) {
+  UV_CHECK_GT(grid.height, 0);
+  UV_CHECK_GT(grid.width, 0);
+  ShardSpec spec;
+  const int target = std::max(1, target_shards);
+  // Roughly-square tiles: pick the factorization of `target` whose aspect
+  // ratio best matches the grid's, then clamp so no tile dimension is empty.
+  int best_y = 1;
+  double best_score = -1.0;
+  for (int sy = 1; sy <= target; ++sy) {
+    if (target % sy != 0) continue;
+    const int sx = target / sy;
+    if (sy > grid.height || sx > grid.width) continue;
+    const double tile_h = static_cast<double>(grid.height) / sy;
+    const double tile_w = static_cast<double>(grid.width) / sx;
+    const double aspect = tile_h > tile_w ? tile_w / tile_h : tile_h / tile_w;
+    if (aspect > best_score) {
+      best_score = aspect;
+      best_y = sy;
+    }
+  }
+  if (best_score < 0.0) {
+    // Grid too small for the requested count: one shard.
+    return spec;
+  }
+  spec.shards_y = best_y;
+  spec.shards_x = target / best_y;
+  spec.tile_h = std::max(1, grid.height / spec.shards_y);
+  spec.tile_w = std::max(1, grid.width / spec.shards_x);
+  return spec;
+}
+
 std::vector<int> WindowRegions(const GridSpec& grid, int id, int radius) {
   const int row = grid.RowOf(id);
   const int col = grid.ColOf(id);

@@ -1,6 +1,9 @@
 #ifndef UV_GRAPH_GRID_H_
 #define UV_GRAPH_GRID_H_
 
+#include <algorithm>
+#include <array>
+#include <cstdint>
 #include <vector>
 
 #include "graph/csr_graph.h"
@@ -15,8 +18,14 @@ struct GridSpec {
   int width = 0;
   double cell_meters = 128.0;  // Paper: 128m x 128m grids.
 
-  int num_regions() const { return height * width; }
-  int RegionId(int row, int col) const { return row * width + col; }
+  // int64: paper-scale grids reach 354,316 regions, and derived products
+  // (region id pair keys, area x area terms) would overflow 32 bits.
+  int64_t num_regions() const {
+    return static_cast<int64_t>(height) * width;
+  }
+  int RegionId(int row, int col) const {
+    return static_cast<int>(static_cast<int64_t>(row) * width + col);
+  }
   int RowOf(int id) const { return id / width; }
   int ColOf(int id) const { return id % width; }
   bool InBounds(int row, int col) const {
@@ -42,6 +51,36 @@ std::vector<Edge> BuildSpatialProximityEdges(const GridSpec& grid);
 // Ids of the regions in the (2*radius+1)^2 window centred on `id`,
 // including `id` itself, clipped to the grid bounds.
 std::vector<int> WindowRegions(const GridSpec& grid, int id, int radius);
+
+// Deterministic rectangular tiling of a grid into shards (the "districts"
+// of the sharded URG). The grid is cut into shards_y x shards_x tiles of
+// tile_h x tile_w cells (the last row/column of tiles is ragged); the shard
+// owning a region is pure arithmetic on its (row, col), so shard lookup
+// needs no table and is identical for any thread count.
+struct ShardSpec {
+  int shards_y = 1;
+  int shards_x = 1;
+  int tile_h = 1;
+  int tile_w = 1;
+
+  int num_shards() const { return shards_y * shards_x; }
+
+  int ShardOfCell(int row, int col) const {
+    const int sr = std::min(row / tile_h, shards_y - 1);
+    const int sc = std::min(col / tile_w, shards_x - 1);
+    return sr * shards_x + sc;
+  }
+  int ShardOf(const GridSpec& grid, int id) const {
+    return ShardOfCell(grid.RowOf(id), grid.ColOf(id));
+  }
+
+  // Half-open cell bounds {row0, col0, row1, col1} of shard `s`.
+  std::array<int, 4> TileBounds(const GridSpec& grid, int s) const;
+};
+
+// Chooses a tiling with (at most) `target_shards` non-empty tiles, shaped
+// to keep tiles roughly square. target_shards <= 0 selects one shard.
+ShardSpec MakeShardSpec(const GridSpec& grid, int target_shards);
 
 }  // namespace uv::graph
 

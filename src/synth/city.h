@@ -1,6 +1,8 @@
 #ifndef UV_SYNTH_CITY_H_
 #define UV_SYNTH_CITY_H_
 
+#include <array>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -48,18 +50,40 @@ struct City {
 
   // Road network data.
   graph::RoadNetwork roads;
+  // Per-region arterial flags from road generation, retained so tiles can
+  // be re-rendered on demand (lazy feature store) after generation.
+  std::vector<uint8_t> has_arterial_h;
+  std::vector<uint8_t> has_arterial_v;
+  // Per-district RGB tint applied to every tile of the district.
+  std::vector<std::array<float, 3>> district_tints;
 
   // Satellite tiles: one row per region, 3 * image_size^2 floats in [0,1],
   // CHW order. Shared so downstream holders avoid copying ~100MB at scale.
+  // Null when config.generate_images is off — render tiles on demand with
+  // RenderRegionTile instead.
   std::shared_ptr<Tensor> images;
 
-  int num_regions() const { return grid.num_regions(); }
+  int num_regions() const { return static_cast<int>(grid.num_regions()); }
+
+  // Renders region `id`'s tile into out_chw (3 * image_size^2 floats).
+  // Deterministic in (config.seed, id) alone — every region draws from its
+  // own RNG stream — so eager-parallel rendering and lazy per-batch
+  // rendering produce bit-identical pixels for any thread count.
+  void RenderRegionTile(int id, float* out_chw) const;
 
   // Counts for the Table I statistics.
   int NumLabeledUv() const;
   int NumLabeledNonUv() const;
   int NumTrueUv() const;
 };
+
+// Per-region generation profile with the blob-level informality blend
+// (urban villages interpolate FormalResidential -> UrbanVillage, old towns
+// OldTown -> UrbanVillage). Shared by POI generation and tile rendering.
+ArchetypeProfile EffectiveProfile(const City& city, int id);
+
+// Seed of region `id`'s private tile-render RNG stream.
+uint64_t TileSeed(uint64_t city_seed, int region_id);
 
 // Generates a complete synthetic city from the config (deterministic in
 // config.seed). See DESIGN.md section 1 for the fidelity argument.

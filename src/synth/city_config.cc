@@ -86,4 +86,29 @@ CityConfig BeijingLike(double scale, uint64_t seed) {
   return c;
 }
 
+bool CityScalePreset(const std::string& tag, uint64_t seed,
+                     CityConfig* config) {
+  UV_CHECK(config != nullptr);
+  CityConfig c;
+  if (tag == "93k") {
+    c = ShenzhenLike(1.0, seed);
+    c.name = "Shenzhen93k";
+  } else if (tag == "175k") {
+    c = ShenzhenLike(1.0, seed);
+    c.name = "Shenzhen175k";
+    c.height = 418;
+    c.width = 419;  // 175,142 regions: the sweep's geometric midpoint.
+  } else if (tag == "354k") {
+    c = BeijingLike(1.0, seed);
+    c.name = "Beijing354k";
+    c.height = 566;
+    c.width = 626;  // Exactly Table I's 354,316 regions.
+  } else {
+    return false;
+  }
+  c.generate_images = false;
+  *config = c;
+  return true;
+}
+
 }  // namespace uv::synth

@@ -62,6 +62,16 @@ CityConfig ShenzhenLike(double scale, uint64_t seed);
 CityConfig FuzhouLike(double scale, uint64_t seed);
 CityConfig BeijingLike(double scale, uint64_t seed);
 
+// Paper-scale presets for the `bench_suite --city-scale` sweep. Tags:
+//   "93k"  -> Shenzhen morphology at full size,   312 x 300 =  93,600
+//   "175k" -> Shenzhen morphology, midpoint size, 418 x 419 = 175,142
+//   "354k" -> Beijing morphology at Table I size, 566 x 626 = 354,316
+// Eager tile rasterization is disabled (generate_images = false): at these
+// sizes tiles are rendered on demand by the lazy feature store.
+// Returns true and fills *config when `tag` is recognized.
+bool CityScalePreset(const std::string& tag, uint64_t seed,
+                     CityConfig* config);
+
 }  // namespace uv::synth
 
 #endif  // UV_SYNTH_CITY_CONFIG_H_

@@ -5,11 +5,13 @@
 #include <functional>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "synth/city.h"
 #include "synth/image_renderer.h"
 #include "synth/road_generator.h"
 #include "util/check.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace uv::synth {
 namespace {
@@ -105,6 +107,41 @@ float DevelopmentWeight(Archetype a) {
 }
 
 }  // namespace
+
+ArchetypeProfile EffectiveProfile(const City& city, int id) {
+  const Archetype a = city.archetypes[id];
+  if (a == Archetype::kUrbanVillage) {
+    return MixProfiles(GetProfile(Archetype::kFormalResidential),
+                       GetProfile(Archetype::kUrbanVillage),
+                       city.informality[id]);
+  }
+  if (a == Archetype::kOldTown) {
+    return MixProfiles(GetProfile(Archetype::kOldTown),
+                       GetProfile(Archetype::kUrbanVillage),
+                       city.informality[id]);
+  }
+  return GetProfile(a);
+}
+
+uint64_t TileSeed(uint64_t city_seed, int region_id) {
+  // splitmix64 finalizer over (seed, id): every region gets its own RNG
+  // stream, so tile pixels depend only on (config.seed, id) — not on which
+  // thread renders the tile or whether rendering is eager or lazy.
+  uint64_t z = city_seed + 0x9E3779B97F4A7C15ull *
+                               (static_cast<uint64_t>(region_id) + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+void City::RenderRegionTile(int id, float* out_chw) const {
+  UV_CHECK_GE(id, 0);
+  UV_CHECK_LT(id, num_regions());
+  Rng rng(TileSeed(config.seed, id));
+  RenderTile(EffectiveProfile(*this, id), district_tints[district[id]].data(),
+             has_arterial_h[id] != 0, has_arterial_v[id] != 0,
+             config.image_size, &rng, out_chw);
+}
 
 int City::NumLabeledUv() const {
   int n = 0;
@@ -332,6 +369,8 @@ City GenerateCity(const CityConfig& config) {
   RoadGenResult roads =
       GenerateRoadNetwork(config, grid, development, &rng_road);
   city.roads = std::move(roads.network);
+  city.has_arterial_h = std::move(roads.has_arterial_h);
+  city.has_arterial_v = std::move(roads.has_arterial_v);
 
   // --- POIs. ---------------------------------------------------------------
   // District-level taste perturbation: each district scales each category's
@@ -343,28 +382,10 @@ City GenerateCity(const CityConfig& config) {
     for (auto& f : row) f = std::exp(rng_poi.Gaussian(0.0, 0.45));
   }
 
-  // Per-region generation profile with the blob-level informality blend:
-  // urban villages interpolate FormalResidential -> UrbanVillage, old towns
-  // interpolate OldTown -> UrbanVillage.
-  auto effective_profile = [&city](int id) {
-    const Archetype a = city.archetypes[id];
-    if (a == Archetype::kUrbanVillage) {
-      return MixProfiles(GetProfile(Archetype::kFormalResidential),
-                         GetProfile(Archetype::kUrbanVillage),
-                         city.informality[id]);
-    }
-    if (a == Archetype::kOldTown) {
-      return MixProfiles(GetProfile(Archetype::kOldTown),
-                         GetProfile(Archetype::kUrbanVillage),
-                         city.informality[id]);
-    }
-    return GetProfile(a);
-  };
-
   city.pois_by_region.assign(n, {});
   std::vector<double> weights(kNumPoiCategories);
   for (int id = 0; id < n; ++id) {
-    const ArchetypeProfile prof = effective_profile(id);
+    const ArchetypeProfile prof = EffectiveProfile(city, id);
     const int d = city.district[id];
     const double x0 = grid.ColOf(id) * grid.cell_meters;
     const double y0 = grid.RowOf(id) * grid.cell_meters;
@@ -402,21 +423,28 @@ City GenerateCity(const CityConfig& config) {
   }
 
   // --- Satellite tiles. ----------------------------------------------------
+  // District tints are drawn unconditionally (cheap, and the lazy feature
+  // store needs them even when eager rasterization is skipped).
+  city.district_tints.clear();
+  for (int d = 0; d < config.num_districts; ++d) {
+    city.district_tints.push_back(
+        {static_cast<float>(rng_img.Uniform(-0.04, 0.04)),
+         static_cast<float>(rng_img.Uniform(-0.04, 0.04)),
+         static_cast<float>(rng_img.Uniform(-0.04, 0.04))});
+  }
   if (config.generate_images) {
     const int s = config.image_size;
     city.images = std::make_shared<Tensor>(n, 3 * s * s);
-    std::vector<std::array<float, 3>> tints;
-    // District tints reuse the layout stream deterministically.
-    for (int d = 0; d < config.num_districts; ++d) {
-      tints.push_back({static_cast<float>(rng_img.Uniform(-0.04, 0.04)),
-                       static_cast<float>(rng_img.Uniform(-0.04, 0.04)),
-                       static_cast<float>(rng_img.Uniform(-0.04, 0.04))});
-    }
-    for (int id = 0; id < n; ++id) {
-      RenderTile(effective_profile(id), tints[city.district[id]].data(),
-                 roads.has_arterial_h[id] != 0, roads.has_arterial_v[id] != 0,
-                 s, &rng_img, city.images->row(id));
-    }
+    // Each region renders from its own TileSeed stream, so chunk layout
+    // (and thread count) cannot change the pixels.
+    auto& tiles_rendered =
+        obs::Registry::Global().GetCounter("synth.tiles_rendered");
+    ParallelFor(0, n, 64, [&](int begin, int end) {
+      for (int id = begin; id < end; ++id) {
+        city.RenderRegionTile(id, city.images->row(id));
+      }
+      tiles_rendered.Inc(static_cast<uint64_t>(end - begin));
+    });
   }
 
   // --- Labels (crowdsourced ground truth substitution). --------------------

@@ -2,14 +2,79 @@
 
 #include <algorithm>
 #include <array>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <unordered_set>
+#include <utility>
 
 #include "features/image_encoder.h"
 #include "features/poi_features.h"
 #include "tensor/tensor_ops.h"
 #include "util/check.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace uv::urg {
+namespace {
+
+// Zeroes the ablated POI feature group (Fig. 5(b) data ablations); shared by
+// the dense and sharded builders so both produce identical feature bytes.
+void ApplyPoiAblation(FeatureAblation ablation, Tensor* poi) {
+  switch (ablation) {
+    case FeatureAblation::kNone:
+    case FeatureAblation::kNoImage:
+      break;
+    case FeatureAblation::kNoCate:
+      for (int r = 0; r < poi->rows(); ++r) {
+        for (int c = features::PoiFeatureGroups::kCategoryBegin;
+             c < features::PoiFeatureGroups::kCategoryEnd; ++c) {
+          poi->at(r, c) = 0.0f;
+        }
+      }
+      break;
+    case FeatureAblation::kNoRad:
+      for (int r = 0; r < poi->rows(); ++r) {
+        for (int c = features::PoiFeatureGroups::kRadiusBegin;
+             c < features::PoiFeatureGroups::kRadiusEnd; ++c) {
+          poi->at(r, c) = 0.0f;
+        }
+      }
+      break;
+    case FeatureAblation::kNoIndex:
+      for (int r = 0; r < poi->rows(); ++r) {
+        poi->at(r, features::PoiFeatureGroups::kIndexBegin) = 0.0f;
+      }
+      break;
+  }
+}
+
+int ResolveShardTarget(int requested) {
+  if (requested > 0) return requested;
+  if (const char* v = std::getenv("UV_SHARDS")) {
+    const int parsed = std::atoi(v);
+    if (parsed > 0) return parsed;
+  }
+  return ThreadPool::Global().num_threads();
+}
+
+}  // namespace
+
+void ShardedUrg::InNeighborsGlobal(int id, std::vector<int>* out) const {
+  UV_CHECK_GE(id, 0);
+  UV_CHECK_LT(id, num_regions());
+  const UrgShard& shard = shards[spec.ShardOf(grid, id)];
+  const int local = shard.OwnedLocal(grid, id);
+  const auto& off = *shard.local.offsets();
+  const auto& nbr = *shard.local.neighbors();
+  const size_t first = out->size();
+  for (int e = off[local]; e < off[local + 1]; ++e) {
+    out->push_back(shard.GlobalOf(grid, nbr[e]));
+  }
+  // Segments are sorted by local index (owned first, halo after), which is
+  // not global order; restore it so callers see the dense segment exactly.
+  std::sort(out->begin() + static_cast<int64_t>(first), out->end());
+}
 
 std::vector<int> UrbanRegionGraph::LabeledIds() const {
   std::vector<int> ids;
@@ -17,6 +82,44 @@ std::vector<int> UrbanRegionGraph::LabeledIds() const {
     if (labels[i] >= 0) ids.push_back(i);
   }
   return ids;
+}
+
+int UrbanRegionGraph::PoiDim() const {
+  return features ? features->poi_dim() : poi_features.cols();
+}
+
+int UrbanRegionGraph::ImageDim() const {
+  return features ? features->image_dim() : image_features.cols();
+}
+
+void UrbanRegionGraph::GatherPoiRows(const std::vector<int>& ids,
+                                     Tensor* out) const {
+  if (features) {
+    features->GatherPoi(ids, out);
+    return;
+  }
+  out->ResizeUninit(static_cast<int>(ids.size()), poi_features.cols());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    UV_CHECK_GE(ids[i], 0);
+    UV_CHECK_LT(ids[i], poi_features.rows());
+    std::memcpy(out->row(static_cast<int>(i)), poi_features.row(ids[i]),
+                sizeof(float) * static_cast<size_t>(poi_features.cols()));
+  }
+}
+
+void UrbanRegionGraph::GatherImageRows(const std::vector<int>& ids,
+                                       Tensor* out) const {
+  if (features) {
+    features->GatherImage(ids, out);
+    return;
+  }
+  out->ResizeUninit(static_cast<int>(ids.size()), image_features.cols());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    UV_CHECK_GE(ids[i], 0);
+    UV_CHECK_LT(ids[i], image_features.rows());
+    std::memcpy(out->row(static_cast<int>(i)), image_features.row(ids[i]),
+                sizeof(float) * static_cast<size_t>(image_features.cols()));
+  }
 }
 
 UrbanRegionGraph BuildUrg(const synth::City& city, const UrgOptions& options) {
@@ -42,46 +145,20 @@ UrbanRegionGraph BuildUrg(const synth::City& city, const UrgOptions& options) {
     edges.insert(edges.end(), road.begin(), road.end());
   }
   // Attention layers let a region attend to itself via a self loop.
-  urg.adjacency = graph::CsrGraph::FromEdges(city.grid.num_regions(), edges,
+  urg.adjacency = graph::CsrGraph::FromEdges(city.num_regions(), edges,
                                              /*symmetrize=*/false,
                                              /*add_self_loops=*/true);
-  urg.num_edges = urg.adjacency.num_edges() - city.grid.num_regions();
+  urg.num_edges = urg.adjacency.num_edges() - city.num_regions();
 
   // --- Region features (Section IV-B). -----------------------------------
   urg.poi_features = features::BuildPoiFeatures(city);
-  switch (options.feature_ablation) {
-    case FeatureAblation::kNone:
-      break;
-    case FeatureAblation::kNoCate:
-      for (int r = 0; r < urg.poi_features.rows(); ++r) {
-        for (int c = features::PoiFeatureGroups::kCategoryBegin;
-             c < features::PoiFeatureGroups::kCategoryEnd; ++c) {
-          urg.poi_features.at(r, c) = 0.0f;
-        }
-      }
-      break;
-    case FeatureAblation::kNoRad:
-      for (int r = 0; r < urg.poi_features.rows(); ++r) {
-        for (int c = features::PoiFeatureGroups::kRadiusBegin;
-             c < features::PoiFeatureGroups::kRadiusEnd; ++c) {
-          urg.poi_features.at(r, c) = 0.0f;
-        }
-      }
-      break;
-    case FeatureAblation::kNoIndex:
-      for (int r = 0; r < urg.poi_features.rows(); ++r) {
-        urg.poi_features.at(r, features::PoiFeatureGroups::kIndexBegin) = 0.0f;
-      }
-      break;
-    case FeatureAblation::kNoImage:
-      break;  // Handled below.
-  }
+  ApplyPoiAblation(options.feature_ablation, &urg.poi_features);
 
   if (options.feature_ablation == FeatureAblation::kNoImage ||
       city.images == nullptr) {
     // Regions characterized by POI features only; keep a minimal zero block
     // so every model sees the same two-modality interface.
-    urg.image_features = Tensor(city.grid.num_regions(),
+    urg.image_features = Tensor(city.num_regions(),
                                 std::max(8, options.image_feature_dim / 8));
   } else {
     features::ConvEncoder::Options enc;
@@ -105,6 +182,211 @@ UrbanRegionGraph BuildUrg(const synth::City& city, const UrgOptions& options) {
               static_cast<long long>(urg.num_edges),
               static_cast<long long>(urg.num_spatial_edges),
               static_cast<long long>(urg.num_road_edges));
+  return urg;
+}
+
+UrbanRegionGraph BuildShardedUrg(std::shared_ptr<const synth::City> city,
+                                 const UrgOptions& options,
+                                 const ShardOptions& shard_options) {
+  UV_CHECK(city != nullptr);
+  const synth::City& c = *city;
+  const graph::GridSpec& grid = c.grid;
+  const int n = c.num_regions();
+
+  UrbanRegionGraph urg;
+  urg.city_name = c.config.name;
+  urg.grid = grid;
+  urg.labels = c.labels;
+  urg.is_uv = std::vector<uint8_t>(c.is_uv.begin(), c.is_uv.end());
+  urg.images = c.images;
+  urg.image_size = c.config.image_size;
+
+  auto sharded = std::make_shared<ShardedUrg>();
+  sharded->grid = grid;
+  sharded->spec =
+      graph::MakeShardSpec(grid, ResolveShardTarget(shard_options.num_shards));
+  const graph::ShardSpec& spec = sharded->spec;
+  const int num_shards = spec.num_shards();
+  sharded->shards.resize(num_shards);
+
+  // Shared read-only inputs for the per-shard builders: which region (and
+  // hence shard) each road intersection falls in.
+  const int num_inter = c.roads.num_intersections();
+  std::vector<int> region_of(num_inter);
+  std::vector<std::vector<int>> inter_by_shard(num_shards);
+  for (int i = 0; i < num_inter; ++i) {
+    const auto& p = c.roads.intersection(i);
+    region_of[i] = grid.RegionAt(p.x, p.y);
+    inter_by_shard[spec.ShardOf(grid, region_of[i])].push_back(i);
+  }
+
+  // Shards build independently: each collects only the edges whose
+  // destination it owns, so transient memory per worker is O(E/shards).
+  ParallelFor(0, num_shards, 1, [&](int64_t begin, int64_t end) {
+    for (int s = static_cast<int>(begin); s < static_cast<int>(end); ++s) {
+      UrgShard& shard = sharded->shards[s];
+      shard.shard_id = s;
+      shard.bounds = spec.TileBounds(grid, s);
+      const int r0 = shard.bounds[0], c0 = shard.bounds[1];
+      const int r1 = shard.bounds[2], c1 = shard.bounds[3];
+      shard.num_owned = (r1 - r0) * (c1 - c0);
+
+      // (dst_local, src_global) pairs, self loops included.
+      std::vector<std::pair<int, int>> edges;
+      for (int row = r0; row < r1; ++row) {
+        for (int col = c0; col < c1; ++col) {
+          const int dst = grid.RegionId(row, col);
+          const int dst_local = shard.OwnedLocal(grid, dst);
+          edges.emplace_back(dst_local, dst);  // Self loop.
+          if (options.use_spatial_edges) {
+            for (int dr = -1; dr <= 1; ++dr) {
+              for (int dc = -1; dc <= 1; ++dc) {
+                if (dr == 0 && dc == 0) continue;
+                if (!grid.InBounds(row + dr, col + dc)) continue;
+                edges.emplace_back(dst_local,
+                                   grid.RegionId(row + dr, col + dc));
+                ++shard.num_spatial_edges;
+              }
+            }
+          }
+        }
+      }
+
+      if (options.use_road_edges && num_inter > 0) {
+        // Region pairs with an owned endpoint: bounded BFS from every
+        // intersection inside an owned region. Hop reachability on the
+        // undirected road graph is symmetric, so every dense pair (a, b)
+        // is discovered both by a's owner and by b's owner — the shard
+        // union reproduces BuildRegionConnectivityEdges exactly.
+        std::unordered_set<int64_t> pair_keys;
+        std::vector<int> depth(num_inter, -1);
+        std::vector<int> touched;
+        std::deque<int> queue;
+        for (const int start : inter_by_shard[s]) {
+          const int ra = region_of[start];
+          queue.clear();
+          queue.push_back(start);
+          depth[start] = 0;
+          touched.push_back(start);
+          while (!queue.empty()) {
+            const int u = queue.front();
+            queue.pop_front();
+            if (depth[u] == options.road_max_hops) continue;
+            for (int v : c.roads.Neighbors(u)) {
+              if (depth[v] != -1) continue;
+              depth[v] = depth[u] + 1;
+              touched.push_back(v);
+              queue.push_back(v);
+              const int rb = region_of[v];
+              if (rb != ra) {
+                const int lo = std::min(ra, rb);
+                const int hi = std::max(ra, rb);
+                pair_keys.insert(static_cast<int64_t>(lo) * n + hi);
+              }
+            }
+          }
+          for (int t : touched) depth[t] = -1;
+          touched.clear();
+        }
+        for (const int64_t key : pair_keys) {
+          const int lo = static_cast<int>(key / n);
+          const int hi = static_cast<int>(key % n);
+          if (spec.ShardOf(grid, lo) == s) {
+            edges.emplace_back(shard.OwnedLocal(grid, lo), hi);
+            ++shard.num_road_edges;
+          }
+          if (spec.ShardOf(grid, hi) == s) {
+            edges.emplace_back(shard.OwnedLocal(grid, hi), lo);
+            ++shard.num_road_edges;
+          }
+        }
+      }
+
+      // Halo table: sorted global ids of sources the shard does not own.
+      std::vector<int> halo;
+      for (const auto& e : edges) {
+        if (spec.ShardOf(grid, e.second) != s) halo.push_back(e.second);
+      }
+      std::sort(halo.begin(), halo.end());
+      halo.erase(std::unique(halo.begin(), halo.end()), halo.end());
+      shard.halo = std::move(halo);
+
+      // Map sources to local indices, then assemble the dst-grouped CSR
+      // (spatial and road relations can duplicate an edge; dedupe like the
+      // dense FromEdges does).
+      for (auto& e : edges) {
+        if (spec.ShardOf(grid, e.second) == s) {
+          e.second = shard.OwnedLocal(grid, e.second);
+        } else {
+          const auto it = std::lower_bound(shard.halo.begin(),
+                                           shard.halo.end(), e.second);
+          e.second = shard.num_owned +
+                     static_cast<int>(it - shard.halo.begin());
+        }
+      }
+      std::sort(edges.begin(), edges.end());
+      edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+      const int local_nodes =
+          shard.num_owned + static_cast<int>(shard.halo.size());
+      auto offsets = std::make_shared<std::vector<int>>(local_nodes + 1, 0);
+      auto neighbors = std::make_shared<std::vector<int>>();
+      neighbors->reserve(edges.size());
+      for (const auto& e : edges) {
+        ++(*offsets)[e.first + 1];
+        neighbors->push_back(e.second);
+      }
+      for (int i = 0; i < local_nodes; ++i) {
+        (*offsets)[i + 1] += (*offsets)[i];
+      }
+      shard.local = graph::CsrGraph::FromCsrArrays(local_nodes, offsets,
+                                                   neighbors);
+    }
+  });
+
+  // Global degrees (self loop included) for subgraph GCN normalization,
+  // plus the Table I edge totals. Every directed edge is counted exactly
+  // once, by its destination's owning shard.
+  sharded->global_degree.assign(n, 0);
+  int64_t union_edges = 0;
+  for (const UrgShard& shard : sharded->shards) {
+    urg.num_spatial_edges += shard.num_spatial_edges;
+    urg.num_road_edges += shard.num_road_edges;
+    union_edges += shard.local.num_edges();
+    for (int local = 0; local < shard.num_owned; ++local) {
+      sharded->global_degree[shard.GlobalOf(grid, local)] =
+          shard.local.Degree(local);
+    }
+  }
+  urg.num_edges = union_edges - n;
+  urg.sharded = std::move(sharded);
+
+  // --- Features: resident POIs, render-on-demand images. ------------------
+  Tensor poi = features::BuildPoiFeatures(c);
+  ApplyPoiAblation(options.feature_ablation, &poi);
+  if (options.standardize_features) StandardizeColumnsInPlace(&poi);
+
+  if (options.feature_ablation == FeatureAblation::kNoImage) {
+    // POI-only ablation: a small resident zero block, like the dense path.
+    urg.features = std::make_shared<ResidentFeatureStore>(
+        std::move(poi),
+        Tensor(n, std::max(8, options.image_feature_dim / 8)));
+  } else {
+    LazyFeatureStore::Options store = shard_options.feature_store;
+    store.image_feature_dim = options.image_feature_dim;
+    store.encoder_seed = options.encoder_seed;
+    store.standardize = options.standardize_features;
+    urg.features = std::make_shared<LazyFeatureStore>(city, std::move(poi),
+                                                      store);
+  }
+
+  UV_LOG_INFO(
+      "Sharded URG %s: %d regions, %d shards (%dx%d), %lld edges "
+      "(%lld spatial, %lld road)",
+      urg.city_name.c_str(), n, spec.num_shards(), spec.shards_y,
+      spec.shards_x, static_cast<long long>(urg.num_edges),
+      static_cast<long long>(urg.num_spatial_edges),
+      static_cast<long long>(urg.num_road_edges));
   return urg;
 }
 

@@ -10,6 +10,7 @@
 #include "graph/grid.h"
 #include "synth/city.h"
 #include "tensor/tensor.h"
+#include "urg/feature_store.h"
 
 namespace uv::urg {
 
@@ -38,6 +39,68 @@ struct UrgOptions {
   bool standardize_features = true;
 };
 
+// One rectangular district of the sharded URG: the regions of a ShardSpec
+// tile plus the cross-shard "halo" sources its in-edges reference. The
+// shard's adjacency is a local dst-grouped CSR over num_owned + halo.size()
+// nodes — owned regions first in tile row-major order, then halo regions in
+// ascending global-id order. Only owned nodes carry in-segments (halo nodes
+// exist purely as edge sources), so no per-shard structure — and no union of
+// shards held at once — ever materializes a global O(E) array.
+struct UrgShard {
+  int shard_id = 0;
+  std::array<int, 4> bounds{};  // Half-open cell bounds {r0, c0, r1, c1}.
+  int num_owned = 0;
+  std::vector<int> halo;  // Sorted global ids of non-owned edge sources.
+  graph::CsrGraph local;  // Dst-grouped; sources are local indices.
+  int64_t num_spatial_edges = 0;  // Directed, into owned, self loops excluded.
+  int64_t num_road_edges = 0;
+
+  // Local index of an owned region: pure arithmetic, no table.
+  int OwnedLocal(const graph::GridSpec& grid, int id) const {
+    return (grid.RowOf(id) - bounds[0]) * (bounds[3] - bounds[1]) +
+           (grid.ColOf(id) - bounds[1]);
+  }
+  // Global id of any local index (owned or halo).
+  int GlobalOf(const graph::GridSpec& grid, int local) const {
+    if (local < num_owned) {
+      const int tile_w = bounds[3] - bounds[1];
+      return grid.RegionId(bounds[0] + local / tile_w,
+                           bounds[1] + local % tile_w);
+    }
+    return halo[local - num_owned];
+  }
+};
+
+// District-sharded URG adjacency: per-shard CSRs that together represent
+// exactly the edge set (plus self loops) of the dense BuildUrg adjacency.
+// Shard membership is deterministic arithmetic on the grid (ShardSpec), and
+// shards build independently in parallel, so construction peaks at
+// O(E/shards) transient memory instead of one global edge list.
+struct ShardedUrg {
+  graph::GridSpec grid;
+  graph::ShardSpec spec;
+  std::vector<UrgShard> shards;
+  // Global in-degree (self loop included) per region: subgraph GCN
+  // normalization must use parent-graph degrees, not sampled ones.
+  std::vector<int> global_degree;
+
+  int num_regions() const { return static_cast<int>(global_degree.size()); }
+
+  // Appends the global in-neighbors of `id` (self loop included) to *out,
+  // sorted ascending. Equals the dense adjacency's in-segment of `id`.
+  void InNeighborsGlobal(int id, std::vector<int>* out) const;
+};
+
+// Options for BuildShardedUrg.
+struct ShardOptions {
+  // Target shard count; <= 0 resolves UV_SHARDS from the environment and
+  // falls back to the global thread-pool width. The realized tiling
+  // (ShardSpec) depends only on the grid and this count — never on the
+  // thread count — so the sharded graph is bit-stable across UV_THREADS.
+  int num_shards = 0;
+  LazyFeatureStore::Options feature_store;
+};
+
 // The Urban Region Graph G(V, E, A, X): fine-grained regions as nodes,
 // spatial-proximity plus road-connectivity edges, and multi-modal region
 // features. Also carries the labels and raw tiles so that a single object
@@ -64,19 +127,44 @@ struct UrbanRegionGraph {
   std::shared_ptr<Tensor> images;
   int image_size = 32;
 
+  // Paper-scale representation (BuildShardedUrg): district-sharded
+  // adjacency plus a batch-oriented feature store. When `sharded` is set,
+  // `adjacency` is empty and poi/image feature tensors live behind
+  // `features` instead of the resident members above — access rows through
+  // the Gather helpers below, which route either way.
+  std::shared_ptr<ShardedUrg> sharded;
+  std::shared_ptr<FeatureStore> features;
+
   // Edge statistics (directed counts, self loops excluded) for Table I.
   int64_t num_spatial_edges = 0;
   int64_t num_road_edges = 0;
   int64_t num_edges = 0;  // Union of the two relations.
 
-  int num_regions() const { return grid.num_regions(); }
+  int num_regions() const { return static_cast<int>(grid.num_regions()); }
 
   // Ids of labeled regions, in ascending order.
   std::vector<int> LabeledIds() const;
+
+  // Feature dimensions and batched row access, uniform across the resident
+  // and feature-store representations.
+  int PoiDim() const;
+  int ImageDim() const;
+  void GatherPoiRows(const std::vector<int>& ids, Tensor* out) const;
+  void GatherImageRows(const std::vector<int>& ids, Tensor* out) const;
 };
 
 // Assembles the URG from generated city data.
 UrbanRegionGraph BuildUrg(const synth::City& city, const UrgOptions& options);
+
+// Paper-scale assembly: district-sharded adjacency (shards build in
+// parallel; no global O(E) edge list is ever materialized) plus a lazy
+// feature store that renders and encodes tile batches on demand. The edge
+// set represented by the union of shards is exactly BuildUrg's. Requires a
+// shared City because tiles are re-rendered per batch for the store's
+// lifetime.
+UrbanRegionGraph BuildShardedUrg(std::shared_ptr<const synth::City> city,
+                                 const UrgOptions& options,
+                                 const ShardOptions& shard_options);
 
 // Returns the subgrid covering `fraction` of the city's POIs with a centred
 // rectangle (the paper's "main urban area" rule). The result is a pair of

@@ -1,5 +1,6 @@
 #include "util/buffer_pool.h"
 
+#include <algorithm>
 #include <atomic>
 #include <array>
 #include <cstdio>
@@ -49,6 +50,8 @@ struct MemCounters {
   obs::Counter& heap_bytes;
   obs::Counter& releases;
   obs::Counter& tls_spills;
+  obs::Gauge& pool_bytes;       // Bucket-rounded bytes currently acquired.
+  obs::Gauge& pool_bytes_peak;  // High-water mark since the last ResetPeak.
 };
 
 MemCounters& Counters() {
@@ -56,8 +59,39 @@ MemCounters& Counters() {
   static MemCounters* counters = new MemCounters{
       reg.GetCounter("mem.acquires"),    reg.GetCounter("mem.pool_hits"),
       reg.GetCounter("mem.heap_allocs"), reg.GetCounter("mem.heap_bytes"),
-      reg.GetCounter("mem.releases"),    reg.GetCounter("mem.tls_spills")};
+      reg.GetCounter("mem.releases"),    reg.GetCounter("mem.tls_spills"),
+      reg.GetGauge("mem.pool_bytes"),    reg.GetGauge("mem.pool_bytes_peak")};
   return *counters;
+}
+
+// Outstanding (acquired-but-not-released) bucket-rounded bytes, and the
+// high-water mark. The atomics here are authoritative — obs::ResetAll()
+// zeroes the mirrored registry gauges, but the next update re-publishes
+// the live value — so Stats() always reports the true footprint across
+// per-repeat registry resets in the bench protocol.
+std::atomic<int64_t> g_outstanding_bytes{0};
+std::atomic<int64_t> g_peak_bytes{0};
+
+void TrackAcquireBytes(size_t bytes) {
+  MemCounters& c = Counters();
+  const int64_t now = g_outstanding_bytes.fetch_add(
+                          static_cast<int64_t>(bytes),
+                          std::memory_order_relaxed) +
+                      static_cast<int64_t>(bytes);
+  int64_t peak = g_peak_bytes.load(std::memory_order_relaxed);
+  while (now > peak && !g_peak_bytes.compare_exchange_weak(
+                           peak, now, std::memory_order_relaxed)) {
+  }
+  c.pool_bytes.Set(now);
+  c.pool_bytes_peak.Set(std::max(now, peak));
+}
+
+void TrackReleaseBytes(size_t bytes) {
+  const int64_t now = g_outstanding_bytes.fetch_sub(
+                          static_cast<int64_t>(bytes),
+                          std::memory_order_relaxed) -
+                      static_cast<int64_t>(bytes);
+  Counters().pool_bytes.Set(now);
 }
 
 void* HeapAlloc(size_t bytes) {
@@ -142,8 +176,12 @@ void* BufferPool::Acquire(size_t bytes) {
   if (bytes == 0) return nullptr;
   Counters().acquires.Inc();
   const int idx = BucketIndex(bytes);
-  if (idx < 0) return HeapAlloc(bytes);
+  if (idx < 0) {
+    TrackAcquireBytes(bytes);
+    return HeapAlloc(bytes);
+  }
   const size_t cap = BucketBytes(idx);
+  TrackAcquireBytes(cap);
   if (Enabled()) {
     if (TlsCache* cache = Cache()) {
       auto& list = cache->free_lists[idx];
@@ -171,6 +209,7 @@ void BufferPool::Release(void* p, size_t bytes) {
   if (p == nullptr) return;
   Counters().releases.Inc();
   const int idx = BucketIndex(bytes);
+  TrackReleaseBytes(idx < 0 ? bytes : BucketBytes(idx));
   if (idx >= 0 && Enabled()) {
     if (TlsCache* cache = Cache()) {
       auto& list = cache->free_lists[idx];
@@ -212,6 +251,11 @@ MemStatsSnapshot BufferPool::Stats() {
   s.heap_bytes = c.heap_bytes.Value();
   s.releases = c.releases.Value();
   s.tls_spills = c.tls_spills.Value();
+  s.pool_bytes =
+      static_cast<uint64_t>(std::max<int64_t>(
+          0, g_outstanding_bytes.load(std::memory_order_relaxed)));
+  s.pool_bytes_peak = static_cast<uint64_t>(
+      std::max<int64_t>(0, g_peak_bytes.load(std::memory_order_relaxed)));
   return s;
 }
 
@@ -223,6 +267,17 @@ void BufferPool::ResetStats() {
   c.heap_bytes.Reset();
   c.releases.Reset();
   c.tls_spills.Reset();
+  ResetPeak();
+}
+
+void BufferPool::ResetPeak() {
+  // Restart the high-water mark from the current footprint, so a phase
+  // measured after ResetPeak reports its own peak rather than history's.
+  const int64_t now = g_outstanding_bytes.load(std::memory_order_relaxed);
+  g_peak_bytes.store(now, std::memory_order_relaxed);
+  MemCounters& c = Counters();
+  c.pool_bytes.Set(now);
+  c.pool_bytes_peak.Set(now);
 }
 
 bool MemStatsRequested() {
@@ -238,7 +293,7 @@ std::string FormatMemStats(const MemStatsSnapshot& s) {
   std::snprintf(
       buf, sizeof(buf),
       "[mem] pool %s: acquires=%llu hits=%llu (%.1f%%) heap_allocs=%llu "
-      "heap_bytes=%.1fMB releases=%llu",
+      "heap_bytes=%.1fMB releases=%llu peak=%.1fMB",
       BufferPool::Enabled() ? "on" : "off",
       static_cast<unsigned long long>(s.acquires),
       static_cast<unsigned long long>(s.hits),
@@ -247,7 +302,8 @@ std::string FormatMemStats(const MemStatsSnapshot& s) {
           : 0.0,
       static_cast<unsigned long long>(s.heap_allocs),
       static_cast<double>(s.heap_bytes) / (1024.0 * 1024.0),
-      static_cast<unsigned long long>(s.releases));
+      static_cast<unsigned long long>(s.releases),
+      static_cast<double>(s.pool_bytes_peak) / (1024.0 * 1024.0));
   return buf;
 }
 

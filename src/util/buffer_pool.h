@@ -24,6 +24,12 @@ struct MemStatsSnapshot {
   uint64_t heap_bytes = 0;   // Bytes of those fresh slabs.
   uint64_t releases = 0;     // Total Release calls.
   uint64_t tls_spills = 0;   // Releases that overflowed a thread cache.
+  // Live footprint: bucket-rounded bytes acquired and not yet released,
+  // and its high-water mark since the last ResetPeak()/ResetStats(). These
+  // are the O(batch·fanout)-vs-O(city) evidence the city-scale benchmarks
+  // gate on (mirrored as gauges mem.pool_bytes / mem.pool_bytes_peak).
+  uint64_t pool_bytes = 0;
+  uint64_t pool_bytes_peak = 0;
 };
 
 // Process-wide recycling allocator for the compute hot path: tensor value /
@@ -68,6 +74,11 @@ class BufferPool {
 
   static MemStatsSnapshot Stats();
   static void ResetStats();
+
+  // Restarts the pool_bytes_peak high-water mark from the current
+  // outstanding footprint (the footprint itself is never reset — it tracks
+  // live slabs). Call before a phase whose own peak should be measured.
+  static void ResetPeak();
 };
 
 // True when UV_MEM_STATS is set to a non-"0" value: benchmarks and the
@@ -77,7 +88,7 @@ bool MemStatsRequested();
 // The one rendering of a counters snapshot every tool prints (no trailing
 // newline):
 //   [mem] pool on: acquires=N hits=N (P%) heap_allocs=N heap_bytes=XMB
-//   releases=N
+//   releases=N peak=XMB
 std::string FormatMemStats(const MemStatsSnapshot& s);
 
 }  // namespace uv

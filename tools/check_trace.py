@@ -217,6 +217,56 @@ def check_ledger_benchmark(path, name, bench):
     return len(repeats), len(metrics)
 
 
+# Required metrics (name -> direction) per city_scale.* entry kind, matching
+# what bench_suite's RunCityScaleSuite records. Entries are named
+# city_scale.<kind>_<tag> with tag one of the --city-scale presets.
+CITY_SCALE_KINDS = {
+    "urg_build": {
+        "regions_per_sec": "higher",
+        "mem.pool_bytes_peak": "lower",
+        "num_regions": "info",
+        "num_edges": "info",
+    },
+    "sampler": {
+        "subgraphs_per_sec": "higher",
+        "edges_per_subgraph": "info",
+    },
+    "train_step_cmsf": {
+        "train_step_ms": "lower",
+        "mem.pool_bytes_peak": "lower",
+        "mem.pool_peak_delta": "info",
+        "batches_per_epoch": "info",
+    },
+    "train_step_gcn": {
+        "train_step_ms": "lower",
+        "mem.pool_bytes_peak": "lower",
+        "mem.pool_peak_delta": "info",
+        "batches_per_epoch": "info",
+    },
+}
+
+
+def check_city_scale_entry(path, name, bench):
+    rest = name[len("city_scale."):]
+    kind, _, tag = rest.rpartition("_")
+    if kind not in CITY_SCALE_KINDS or not tag:
+        fail(f"{path}: benchmark {name!r} does not match "
+             f"city_scale.<kind>_<tag> with kind in "
+             f"{sorted(CITY_SCALE_KINDS)}")
+    if not bench.get("repeats"):
+        fail(f"{path}: city-scale benchmark {name!r} has no timed repeats")
+    metrics = bench.get("metrics", {})
+    for mname, direction in CITY_SCALE_KINDS[kind].items():
+        metric = metrics.get(mname)
+        if metric is None:
+            fail(f"{path}: city-scale benchmark {name!r} lacks required "
+                 f"metric {mname!r}")
+        if metric.get("direction") != direction:
+            fail(f"{path}: city-scale benchmark {name!r} metric {mname!r} "
+                 f"has direction {metric.get('direction')!r}, "
+                 f"expected {direction!r}")
+
+
 def check_ledger(path):
     try:
         with open(path, "r", encoding="utf-8") as f:
@@ -239,13 +289,17 @@ def check_ledger(path):
     benches = doc.get("benchmarks")
     if not isinstance(benches, dict) or not benches:
         fail(f"{path}: missing or empty 'benchmarks' map")
-    total_repeats = total_metrics = 0
+    total_repeats = total_metrics = city_scale = 0
     for name, bench in benches.items():
         nrep, nmet = check_ledger_benchmark(path, name, bench)
         total_repeats += nrep
         total_metrics += nmet
+        if name.startswith("city_scale."):
+            check_city_scale_entry(path, name, bench)
+            city_scale += 1
     print(f"check_trace: {path}: OK ({len(benches)} benchmarks, "
-          f"{total_repeats} repeats, {total_metrics} metrics)")
+          f"{total_repeats} repeats, {total_metrics} metrics, "
+          f"{city_scale} city-scale entries)")
 
 
 def main():
