@@ -14,13 +14,18 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "autograd/ops.h"
 #include "bench_common.h"
+#include "core/cmsf_detector.h"
 #include "core/cmsf_model.h"
+#include "eval/splits.h"
 #include "graph/csr_graph.h"
 #include "graph/grid.h"
+#include "infer/engine.h"
+#include "infer/server.h"
 #include "nn/graph_context.h"
 #include "tensor/tensor_ops.h"
 #include "urg/neighbor_sampler.h"
@@ -330,23 +335,156 @@ void RunCityScaleSuite(uv::obs::Report* report,
   }
 }
 
+// Serving leg: trains CMSF on the quickstart-shaped city (a Shenzhen-like
+// synthetic at quickstart scale), then serves the same 32-id request
+// stream through both scoring paths and records the serve.* ledger family:
+//   serve.autograd_quickstart  the training-path Score. It has no way to
+//                              reuse work across requests — the
+//                              master-slave coupling is global, so every
+//                              request replays the full-graph autograd
+//                              forward and slices out its rows.
+//   serve.engine_quickstart    the grad-free engine behind the concurrent
+//                              micro-batching ScoringServer; the globally
+//                              coupled state is computed once at engine
+//                              construction and each request only pays for
+//                              its own rows' tail.
+// The engine entry carries regions_per_sec and speedup_vs_autograd plus the
+// serve.queue_wait_us / serve.batch_size / serve.latency_us histogram
+// percentiles captured from the final timed repeat. Both paths are
+// verified bit-identical before anything is recorded.
+void RunServeSuite(uv::obs::Report* report,
+                   const uv::bench::BenchConfig& bench) {
+  const uv::synth::CityConfig config =
+      uv::synth::ShenzhenLike(/*scale=*/0.02, /*seed=*/42);
+  const uv::urg::UrbanRegionGraph urg =
+      uv::urg::BuildUrg(uv::synth::GenerateCity(config), uv::urg::UrgOptions{});
+  const int n = urg.num_regions();
+  std::printf("--- serve: quickstart city, %d regions ---\n", n);
+
+  uv::Rng rng(7);
+  const auto folds =
+      uv::eval::BlockKFold(urg.grid, urg.LabeledIds(), 3, 10, &rng);
+  std::vector<int> train_labels(folds[0].train_ids.size());
+  for (size_t i = 0; i < train_labels.size(); ++i) {
+    train_labels[i] = urg.labels[folds[0].train_ids[i]];
+  }
+  uv::core::CmsfConfig cmsf;
+  cmsf.num_clusters = 30;
+  cmsf.master_epochs = std::min(bench.epochs, 40);
+  cmsf.slave_epochs = 10;
+  cmsf.seed = bench.seed;
+  uv::core::CmsfDetector detector(cmsf);
+  detector.Train(urg, folds[0].train_ids, train_labels);
+
+  std::vector<int> all_ids(n);
+  for (int id = 0; id < n; ++id) all_ids[id] = id;
+
+  static constexpr int kClients = 4;
+  static constexpr int kRequestSize = 32;
+
+  // Autograd serving baseline: each request pays a full-graph forward. A
+  // handful of requests is enough to price that per-request cost without
+  // stalling CI; regions_per_sec is ids actually served over wall time.
+  static constexpr int kAutogradRequests = 8;
+  auto& autograd_entry = report->RunTimed("serve.autograd_quickstart", [&] {
+    std::vector<int> ids(kRequestSize);
+    for (int r = 0; r < kAutogradRequests; ++r) {
+      for (int i = 0; i < kRequestSize; ++i) {
+        ids[i] = (r * kRequestSize + i) % n;
+      }
+      (void)detector.Score(urg, ids);
+    }
+  });
+  const double autograd_secs = autograd_entry.Stats().p50;
+  const double autograd_rps =
+      autograd_secs > 0.0 ? kAutogradRequests * kRequestSize / autograd_secs
+                          : 0.0;
+  autograd_entry.AddMetric("regions_per_sec", autograd_rps,
+                           uv::obs::Direction::kHigherIsBetter);
+  autograd_entry.AddMetric("request_size", kRequestSize);
+  autograd_entry.AddMetric("requests",
+                           static_cast<double>(kAutogradRequests));
+
+  const std::vector<float> autograd_scores = detector.Score(urg, all_ids);
+
+  auto engine = uv::infer::MakeCmsfEngine(*detector.model(),
+                                          &detector.frozen(), urg);
+  // Bit-identity guard: a ledger entry for a wrong-answer engine would be
+  // worse than no entry at all.
+  const std::vector<float> engine_scores = engine->Score(all_ids);
+  for (int i = 0; i < n; ++i) {
+    if (engine_scores[i] != autograd_scores[i]) {
+      std::fprintf(stderr,
+                   "FATAL: engine/autograd mismatch at region %d (%g vs %g)\n",
+                   i, engine_scores[i], autograd_scores[i]);
+      std::exit(1);
+    }
+  }
+
+  // Concurrent serving: 4 clients submit 32-id micro-batches covering every
+  // region once per repeat, through the batching dispatcher.
+  // Throughput leg: flush as soon as work is queued. With 4 synchronous
+  // clients at most 32 ids are ever in flight, so a non-zero deadline just
+  // stalls every batch waiting for a 64-id fill that can never happen.
+  uv::infer::ServerOptions server_options;
+  server_options.deadline_us = 0;
+  auto& engine_entry = report->RunTimed("serve.engine_quickstart", [&] {
+    uv::infer::ScoringServer server(engine.get(), server_options);
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([c, n, &server] {
+        int ids[kRequestSize];
+        float out[kRequestSize];
+        // Client c scores ids congruent to c mod kClients, 32 at a time.
+        int filled = 0;
+        for (int id = c; id < n; id += kClients) {
+          ids[filled++] = id;
+          if (filled == kRequestSize) {
+            server.Score(ids, filled, out);
+            filled = 0;
+          }
+        }
+        if (filled > 0) server.Score(ids, filled, out);
+      });
+    }
+    for (auto& c : clients) c.join();
+  });
+  const double engine_secs = engine_entry.Stats().p50;
+  const double engine_rps = engine_secs > 0.0 ? n / engine_secs : 0.0;
+  engine_entry.AddMetric("regions_per_sec", engine_rps,
+                         uv::obs::Direction::kHigherIsBetter);
+  engine_entry.AddMetric(
+      "speedup_vs_autograd", autograd_rps > 0.0 ? engine_rps / autograd_rps : 0.0,
+      uv::obs::Direction::kHigherIsBetter);
+  engine_entry.AddMetric("num_regions", static_cast<double>(n));
+  engine_entry.AddMetric("clients", kClients);
+  engine_entry.AddMetric("request_size", kRequestSize);
+
+  std::printf("autograd: %10.0f regions/sec\n", autograd_rps);
+  std::printf("engine  : %10.0f regions/sec (%.1fx)\n", engine_rps,
+              autograd_rps > 0.0 ? engine_rps / autograd_rps : 0.0);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool micro = false, eval = false;
+  bool micro = false, eval = false, serve = false;
   std::vector<std::string> city_scales;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--micro") == 0) micro = true;
     if (std::strcmp(argv[i], "--eval") == 0) eval = true;
+    if (std::strcmp(argv[i], "--serve") == 0) serve = true;
     if (std::strncmp(argv[i], "--city-scale=", 13) == 0) {
       city_scales.emplace_back(argv[i] + 13);
     } else if (std::strcmp(argv[i], "--city-scale") == 0 && i + 1 < argc) {
       city_scales.emplace_back(argv[++i]);
     }
   }
-  if (!micro && !eval && city_scales.empty()) {
+  if (!micro && !eval && !serve && city_scales.empty()) {
     std::fprintf(stderr,
-                 "usage: bench_suite --micro [--eval] [--city-scale TAG]... "
+                 "usage: bench_suite --micro [--eval] [--serve] "
+                 "[--city-scale TAG]... "
                  "[--repeats N] [--warmup N] [--out FILE]\n"
                  "       TAG in {93k, 175k, 354k}; repeatable\n");
     return 2;
@@ -359,6 +497,7 @@ int main(int argc, char** argv) {
 
   if (micro) RunMicroSuite(&report);
   if (eval) RunEvalSuite(&report, bench);
+  if (serve) RunServeSuite(&report, bench);
   for (const auto& tag : city_scales) RunCityScaleSuite(&report, bench, tag);
 
   const std::string path =

@@ -3,24 +3,98 @@
 // the paper's protocol (block-level 3-fold CV, AUC + top-p% metrics).
 //
 //   ./build/examples/method_comparison [scale] [epochs] [--json stats.json]
+//                                      [--checkpoint model.uvck]
 //
 // --json dumps the cross-validation stats as a perf ledger through the
 // same obs::Report writer the bench binaries use; the stdout table is
 // unchanged whether or not the flag is given.
+//
+// --checkpoint exercises the UVCK save/load round trip after the table:
+// a CMSF detector is trained on one block fold, saved to the given path,
+// reloaded into a fresh detector, and both are scored on the held-out
+// fold. The reloaded model must reproduce every score bit-for-bit (and
+// therefore every metric); the binary exits non-zero if it does not.
 
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "baselines/registry.h"
+#include "core/cmsf_detector.h"
+#include "eval/metrics.h"
 #include "eval/runner.h"
+#include "eval/splits.h"
 #include "obs/report.h"
 #include "synth/city.h"
 #include "urg/urban_region_graph.h"
 #include "util/table.h"
 
+namespace {
+
+// Train on fold 0, save, reload into a fresh detector, and require the
+// reloaded model's held-out scores to match the trained model's exactly.
+// Returns false (after printing the mismatch) if anything differs.
+bool RunCheckpointRoundTrip(const uv::urg::UrbanRegionGraph& urg,
+                            int epochs, const std::string& path) {
+  uv::Rng rng(7);
+  const auto folds =
+      uv::eval::BlockKFold(urg.grid, urg.LabeledIds(), 3, 10, &rng);
+  const auto& fold = folds[0];
+  std::vector<int> train_labels(fold.train_ids.size());
+  for (size_t i = 0; i < train_labels.size(); ++i) {
+    train_labels[i] = urg.labels[fold.train_ids[i]];
+  }
+  std::vector<int> eval_labels(fold.test_ids.size());
+  for (size_t i = 0; i < eval_labels.size(); ++i) {
+    eval_labels[i] = urg.labels[fold.test_ids[i]];
+  }
+
+  uv::core::CmsfConfig cmsf;
+  cmsf.num_clusters = 30;
+  cmsf.master_epochs = epochs;
+  uv::core::CmsfDetector trained(cmsf);
+  trained.Train(urg, fold.train_ids, train_labels);
+  const std::vector<float> scores = trained.Score(urg, fold.test_ids);
+
+  if (auto status = trained.SaveModel(path); !status.ok()) {
+    std::fprintf(stderr, "checkpoint save failed: %s\n",
+                 status.message().c_str());
+    return false;
+  }
+  // A fresh detector with a default config: LoadModel validates the
+  // checkpoint against this URG and adopts the saved config.
+  uv::core::CmsfDetector reloaded(uv::core::CmsfConfig{});
+  if (auto status = reloaded.LoadModel(urg, path); !status.ok()) {
+    std::fprintf(stderr, "checkpoint load failed: %s\n",
+                 status.message().c_str());
+    return false;
+  }
+  const std::vector<float> reloaded_scores = reloaded.Score(urg, fold.test_ids);
+
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (scores[i] != reloaded_scores[i]) {
+      std::fprintf(stderr,
+                   "checkpoint round trip NOT bit-identical at eval row %zu "
+                   "(%g vs %g)\n",
+                   i, scores[i], reloaded_scores[i]);
+      return false;
+    }
+  }
+  const double auc = uv::eval::Auc(scores, eval_labels);
+  const double reloaded_auc = uv::eval::Auc(reloaded_scores, eval_labels);
+  std::printf(
+      "checkpoint %s: round trip bit-identical over %zu held-out regions "
+      "(AUC %.4f == %.4f)\n",
+      path.c_str(), scores.size(), auc, reloaded_auc);
+  return true;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::string json_path;
+  std::string checkpoint_path;
   double positional[2] = {0.015, 80.0};
   int npos = 0;
   for (int i = 1; i < argc; ++i) {
@@ -28,6 +102,10 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--checkpoint") == 0 && i + 1 < argc) {
+      checkpoint_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--checkpoint=", 13) == 0) {
+      checkpoint_path = argv[i] + 13;
     } else if (npos < 2) {
       positional[npos++] = std::atof(argv[i]);
     }
@@ -71,6 +149,10 @@ int main(int argc, char** argv) {
   table.Print();
   if (!json_path.empty() && report.WriteFile(json_path)) {
     std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+  }
+  if (!checkpoint_path.empty() &&
+      !RunCheckpointRoundTrip(urg, epochs, checkpoint_path)) {
+    return 1;
   }
   return 0;
 }

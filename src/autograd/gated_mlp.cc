@@ -2,28 +2,19 @@
 
 #include <cmath>
 
+#include "tensor/forward_ops.h"
 #include "util/check.h"
 
 namespace uv::ag {
 
 int GatedMlpFilterSize(int d_in, int d_hidden) {
-  return d_in * d_hidden + 2 * d_hidden + 1;
+  return uv::GatedMlpFilterSize(d_in, d_hidden);
 }
 
 VarPtr GatedMlp(const VarPtr& x, const VarPtr& filter, const VarPtr& w1,
                 const VarPtr& b1, const VarPtr& w2, const VarPtr& b2) {
-  const int n = x->rows();
   const int d_in = x->cols();
   const int d_hidden = w1->cols();
-  UV_CHECK_EQ(w1->rows(), d_in);
-  UV_CHECK_EQ(b1->rows(), 1);
-  UV_CHECK_EQ(b1->cols(), d_hidden);
-  UV_CHECK_EQ(w2->rows(), d_hidden);
-  UV_CHECK_EQ(w2->cols(), 1);
-  UV_CHECK_EQ(b2->rows(), 1);
-  UV_CHECK_EQ(b2->cols(), 1);
-  UV_CHECK_EQ(filter->rows(), n);
-  UV_CHECK_EQ(filter->cols(), GatedMlpFilterSize(d_in, d_hidden));
 
   // Filter row offsets for each parameter block.
   const int off_w1 = 0;
@@ -31,26 +22,12 @@ VarPtr GatedMlp(const VarPtr& x, const VarPtr& filter, const VarPtr& w1,
   const int off_w2 = off_b1 + d_hidden;
   const int off_b2 = off_w2 + d_hidden;
 
-  Tensor out = Tensor::Uninit(n, 1);
-  // Cache the hidden activations for the backward pass.
-  Tensor hidden = Tensor::Uninit(n, d_hidden);
-  for (int i = 0; i < n; ++i) {
-    const float* xi = x->value.row(i);
-    const float* fi = filter->value.row(i);
-    float* hi = hidden.row(i);
-    for (int c = 0; c < d_hidden; ++c) {
-      float z = b1->value.at(0, c) * fi[off_b1 + c];
-      for (int r = 0; r < d_in; ++r) {
-        z += xi[r] * w1->value.at(r, c) * fi[off_w1 + r * d_hidden + c];
-      }
-      hi[c] = z > 0.0f ? z : 0.0f;
-    }
-    float logit = b2->value.at(0, 0) * fi[off_b2];
-    for (int c = 0; c < d_hidden; ++c) {
-      logit += hi[c] * w2->value.at(c, 0) * fi[off_w2 + c];
-    }
-    out.at(i, 0) = logit;
-  }
+  // Shared forward (tensor/forward_ops.cc) validates every shape and caches
+  // the hidden activations for the backward pass.
+  Tensor out;
+  Tensor hidden;
+  uv::GatedMlpForward(x->value, filter->value, w1->value, b1->value,
+                      w2->value, b2->value, &out, &hidden);
 
   VarPtr xv = x, fv = filter, w1v = w1, b1v = b1, w2v = w2, b2v = b2;
   return MakeOp(

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "autograd/ops.h"
+#include "tensor/forward_ops.h"
 #include "tensor/tensor_ops.h"
 #include "util/check.h"
 
@@ -167,14 +168,8 @@ VarPtr AddRowBroadcast(const VarPtr& x, const VarPtr& bias) {
 }
 
 VarPtr MulColBroadcast(const VarPtr& x, const VarPtr& scale) {
-  UV_CHECK_EQ(scale->rows(), x->rows());
-  UV_CHECK_EQ(scale->cols(), 1);
   Tensor out = x->value;
-  for (int r = 0; r < out.rows(); ++r) {
-    const float s = scale->value.at(r, 0);
-    float* row = out.row(r);
-    for (int c = 0; c < out.cols(); ++c) row[c] *= s;
-  }
+  MulColBroadcastInPlace(scale->value, &out);
   VarPtr xv = x, sv = scale;
   return MakeOp(
       std::move(out), {x, scale},
@@ -203,14 +198,8 @@ VarPtr MulColBroadcast(const VarPtr& x, const VarPtr& scale) {
 }
 
 VarPtr MulRowVector(const VarPtr& x, const VarPtr& v) {
-  UV_CHECK_EQ(v->rows(), 1);
-  UV_CHECK_EQ(v->cols(), x->cols());
   Tensor out = x->value;
-  const float* vd = v->value.data();
-  for (int r = 0; r < out.rows(); ++r) {
-    float* row = out.row(r);
-    for (int c = 0; c < out.cols(); ++c) row[c] *= vd[c];
-  }
+  MulRowVectorInPlace(v->value, &out);
   VarPtr xv = x, vv = v;
   return MakeOp(
       std::move(out), {x, v},
@@ -372,16 +361,18 @@ VarPtr Pointwise(const VarPtr& a, Fwd fwd, Dfn dfn, const char* name) {
 
 }  // namespace
 
+// The scalar forward formulas live in tensor/forward_ops.h so the grad-free
+// inference engine evaluates the exact same expressions.
 VarPtr Relu(const VarPtr& a) {
   return Pointwise(
-      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      a, [](float x) { return ReluScalar(x); },
       [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; }, "relu");
 }
 
 VarPtr LeakyRelu(const VarPtr& a, float negative_slope) {
   return Pointwise(
       a,
-      [negative_slope](float x) { return x > 0.0f ? x : negative_slope * x; },
+      [negative_slope](float x) { return LeakyReluScalar(x, negative_slope); },
       [negative_slope](float x, float) {
         return x > 0.0f ? 1.0f : negative_slope;
       },
@@ -390,11 +381,7 @@ VarPtr LeakyRelu(const VarPtr& a, float negative_slope) {
 
 VarPtr Sigmoid(const VarPtr& a) {
   return Pointwise(
-      a,
-      [](float x) {
-        return x >= 0.0f ? 1.0f / (1.0f + std::exp(-x))
-                         : std::exp(x) / (1.0f + std::exp(x));
-      },
+      a, [](float x) { return SigmoidScalar(x); },
       [](float, float y) { return y * (1.0f - y); }, "sigmoid");
 }
 

@@ -7,6 +7,7 @@
 
 #include "autograd/ops.h"
 #include "obs/trace.h"
+#include "tensor/forward_ops.h"
 #include "tensor/tensor_ops.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
@@ -14,39 +15,17 @@
 namespace uv::ag {
 namespace {
 
-// Segments (CSR rows) per parallel chunk. Chunk boundaries depend only on
-// these constants and the problem size, so outputs are identical for every
-// UV_THREADS value; all chunk bodies below write disjoint rows/elements.
-constexpr int64_t kSegmentGrain = 64;
+// Rows per parallel chunk in the backward scatters. Chunk boundaries depend
+// only on these constants and the problem size, so outputs are identical
+// for every UV_THREADS value; all chunk bodies below write disjoint rows.
+// The forward halves live in tensor/forward_ops.cc (shared with the
+// grad-free inference engine) with the same contract.
+using uv::kSegmentGrain;
 constexpr int64_t kRowGrain = 256;
 
-// Inverse of a scatter map: for each destination row, the ascending list
-// of source rows that write to it. Lets the backward scatters run
-// partitioned by destination (race-free) while keeping the per-destination
-// accumulation order identical to the serial ascending-source walk.
-struct DestIndex {
-  std::vector<int> offsets;  // num_destinations + 1
-  std::vector<int> sources;  // ascending within each destination
-};
-
-DestIndex BuildDestIndex(const std::vector<int>& dest_of_source,
-                         int num_destinations) {
-  DestIndex index;
-  index.offsets.assign(num_destinations + 1, 0);
-  for (const int d : dest_of_source) {
-    if (d >= 0) ++index.offsets[d + 1];
-  }
-  for (int d = 0; d < num_destinations; ++d) {
-    index.offsets[d + 1] += index.offsets[d];
-  }
-  index.sources.resize(index.offsets.back());
-  std::vector<int> cursor(index.offsets.begin(), index.offsets.end() - 1);
-  for (size_t s = 0; s < dest_of_source.size(); ++s) {
-    const int d = dest_of_source[s];
-    if (d >= 0) index.sources[cursor[d]++] = static_cast<int>(s);
-  }
-  return index;
-}
+// The scatter-inverse index now lives in tensor/forward_ops.h so the
+// grad-free engine builds bit-identical segment sums from the same walk.
+using DestIndex = uv::SegmentDestIndex;
 
 // Memo-cache of inverse scatter indices keyed on the identity of the
 // shared index vector. The attention layers gather with the same index
@@ -80,7 +59,7 @@ std::shared_ptr<const DestIndex> CachedDestIndex(
     }
   }
   auto index = std::make_shared<const DestIndex>(
-      BuildDestIndex(*ids, num_destinations));
+      BuildSegmentDestIndex(*ids, num_destinations));
   cache[ids.get()] = Entry{ids, num_destinations, index};
   return index;
 }
@@ -125,34 +104,11 @@ VarPtr GatherRows(const VarPtr& x,
 
 VarPtr SegmentSoftmax(const VarPtr& scores,
                       const std::shared_ptr<const std::vector<int>>& offsets) {
-  UV_CHECK_EQ(scores->cols(), 1);
-  const auto& off = *offsets;
-  const int num_segments = static_cast<int>(off.size()) - 1;
-  // Segments must tile [0, rows) exactly: that guarantees every element of
-  // the uninitialized output below is written by exactly one segment.
-  UV_CHECK_EQ(off.front(), 0);
-  UV_CHECK_EQ(off.back(), scores->rows());
-
-  Tensor out = Tensor::Uninit(scores->rows(), 1);
+  const int num_segments = static_cast<int>(offsets->size()) - 1;
+  Tensor out;
   obs::SpanGuard fwd_span("segment_softmax", obs::SpanLevel::kFine,
                           "segments", num_segments);
-  const float* s = scores->value.data();
-  float* o = out.data();
-  ParallelFor(0, num_segments, kSegmentGrain, [&](int64_t s0, int64_t s1) {
-    for (int64_t i = s0; i < s1; ++i) {
-      const int lo = off[i], hi = off[i + 1];
-      if (lo == hi) continue;
-      float mx = -1e30f;
-      for (int e = lo; e < hi; ++e) mx = std::max(mx, s[e]);
-      double total = 0.0;
-      for (int e = lo; e < hi; ++e) {
-        o[e] = std::exp(s[e] - mx);
-        total += o[e];
-      }
-      const float inv = total > 0.0 ? static_cast<float>(1.0 / total) : 0.0f;
-      for (int e = lo; e < hi; ++e) o[e] *= inv;
-    }
-  });
+  uv::SegmentSoftmaxInto(scores->value, *offsets, &out);
 
   VarPtr sv = scores;
   Tensor soft = out;
@@ -186,27 +142,12 @@ VarPtr SegmentSoftmax(const VarPtr& scores,
 VarPtr SegmentWeightedSum(
     const VarPtr& alpha, const VarPtr& feats,
     const std::shared_ptr<const std::vector<int>>& offsets) {
-  UV_CHECK_EQ(alpha->cols(), 1);
-  UV_CHECK_EQ(alpha->rows(), feats->rows());
-  const auto& off = *offsets;
-  const int num_segments = static_cast<int>(off.size()) - 1;
-  UV_CHECK_EQ(off.back(), feats->rows());
+  const int num_segments = static_cast<int>(offsets->size()) - 1;
   const int d = feats->cols();
-
-  Tensor out(num_segments, d);
+  Tensor out;
   obs::SpanGuard fwd_span("segment_weighted_sum", obs::SpanLevel::kFine,
                           "segments", num_segments);
-  const float* a = alpha->value.data();
-  ParallelFor(0, num_segments, kSegmentGrain, [&](int64_t s0, int64_t s1) {
-    for (int64_t i = s0; i < s1; ++i) {
-      float* dst = out.row(static_cast<int>(i));
-      for (int e = off[i]; e < off[i + 1]; ++e) {
-        const float w = a[e];
-        const float* f = feats->value.row(e);
-        for (int c = 0; c < d; ++c) dst[c] += w * f[c];
-      }
-    }
-  });
+  uv::SegmentWeightedSumInto(alpha->value, feats->value, *offsets, &out);
 
   VarPtr av = alpha, fv = feats;
   return MakeOp(
@@ -257,21 +198,10 @@ VarPtr SegmentSumByIds(const VarPtr& x,
   // destination segment. Source rows are visited in ascending order per
   // segment, matching the serial scatter's accumulation order exactly.
   const auto dest = CachedDestIndex(seg_ids, num_segments);
-  Tensor out(num_segments, x->cols());
+  Tensor out;
   obs::SpanGuard fwd_span("segment_sum", obs::SpanLevel::kFine, "segments",
                           num_segments);
-  const int cols = x->cols();
-  ParallelFor(0, num_segments, kSegmentGrain, [&](int64_t k0, int64_t k1) {
-    for (int64_t k = k0; k < k1; ++k) {
-      float* dst = out.row(static_cast<int>(k));
-      const int lo = dest->offsets[k];
-      const int hi = dest->offsets[k + 1];
-      for (int s = lo; s < hi; ++s) {
-        const float* src = x->value.row(dest->sources[s]);
-        for (int c = 0; c < cols; ++c) dst[c] += src[c];
-      }
-    }
-  });
+  uv::SegmentSumInto(x->value, *dest, &out);
   VarPtr xv = x;
   return MakeOp(
       std::move(out), {x},

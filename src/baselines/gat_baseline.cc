@@ -2,6 +2,9 @@
 
 #include "autograd/ops.h"
 #include "core/cmsf_model.h"
+#include "tensor/forward_ops.h"
+#include "tensor/tensor_ops.h"
+#include "util/check.h"
 #include "util/timer.h"
 
 namespace uv::baselines {
@@ -107,6 +110,25 @@ std::vector<float> GatBaseline::Score(const urg::UrbanRegionGraph& urg,
 
 int64_t GatBaseline::NumParameters() const {
   return img_reduce_ ? CountParams(Params()) : 0;
+}
+
+std::unique_ptr<infer::Engine> GatBaseline::MakeEngine(
+    const urg::UrbanRegionGraph& urg) const {
+  UV_CHECK(img_reduce_ != nullptr);  // Train first.
+  const nn::GraphContext ctx = nn::GraphContext::FromCsr(urg.adjacency);
+  Tensor p = poi_g1_->ForwardRaw(urg.poi_features, ctx);
+  ReluInPlace(&p);
+  p = poi_g2_->ForwardRaw(p, ctx);
+  ReluInPlace(&p);
+  Tensor i = img_reduce_->ForwardRaw(urg.image_features,
+                                     kern::Activation::kRelu);
+  i = img_g1_->ForwardRaw(i, ctx);
+  ReluInPlace(&i);
+  i = img_g2_->ForwardRaw(i, ctx);
+  ReluInPlace(&i);
+  return infer::MakeDenseTailEngine(
+      ConcatCols(p, i), fuse_->w()->value, fuse_->b()->value,
+      kern::Activation::kRelu, head_->w()->value, head_->b()->value);
 }
 
 }  // namespace uv::baselines

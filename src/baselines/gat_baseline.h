@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "baselines/common.h"
+#include "infer/engine.h"
 #include "nn/gat.h"
 #include "nn/linear.h"
 
@@ -29,6 +30,11 @@ class GatBaseline : public eval::Detector {
     return epoch_history_;
   }
   double LastInferenceSeconds() const override { return inference_seconds_; }
+
+  // Grad-free inference engine over this trained model (full-graph
+  // semantics), as GcnBaseline::MakeEngine.
+  std::unique_ptr<infer::Engine> MakeEngine(
+      const urg::UrbanRegionGraph& urg) const;
 
  private:
   ag::VarPtr ForwardOn(const nn::GraphContext& ctx, const ag::VarPtr& poi,

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "baselines/common.h"
+#include "infer/engine.h"
 #include "nn/gcn.h"
 #include "nn/graph_context.h"
 #include "nn/linear.h"
@@ -33,6 +34,12 @@ class GcnBaseline : public eval::Detector {
     return epoch_history_;
   }
   double LastInferenceSeconds() const override { return inference_seconds_; }
+
+  // Grad-free inference engine over this trained model (full-graph
+  // semantics): precomputes the fused trunk features once, then serves the
+  // dense fuse+head tail per request, bit-identical to full-graph Score.
+  std::unique_ptr<infer::Engine> MakeEngine(
+      const urg::UrbanRegionGraph& urg) const;
 
  private:
   ag::VarPtr ForwardOn(const nn::GraphContext& ctx, const ag::VarPtr& poi,

@@ -67,4 +67,24 @@ std::unique_ptr<eval::Detector> MakeDetector(
   return nullptr;
 }
 
+std::unique_ptr<infer::Engine> MakeEngine(const eval::Detector& detector,
+                                          const urg::UrbanRegionGraph& urg) {
+  if (const auto* cmsf = dynamic_cast<const core::CmsfDetector*>(&detector)) {
+    UV_CHECK(cmsf->model() != nullptr);  // Train or LoadModel first.
+    // Mirror Score: the frozen assignment participates only when the
+    // hierarchy exists (MakeCmsfEngine further requires the gate for the
+    // slave path).
+    const core::CmsfModel::FrozenAssignment* frozen =
+        cmsf->model()->config().use_hierarchy ? &cmsf->frozen() : nullptr;
+    return infer::MakeCmsfEngine(*cmsf->model(), frozen, urg);
+  }
+  if (const auto* gcn = dynamic_cast<const GcnBaseline*>(&detector)) {
+    return gcn->MakeEngine(urg);
+  }
+  if (const auto* gat = dynamic_cast<const GatBaseline*>(&detector)) {
+    return gat->MakeEngine(urg);
+  }
+  return nullptr;
+}
+
 }  // namespace uv::baselines

@@ -8,6 +8,7 @@
 #include "baselines/common.h"
 #include "core/cmsf_config.h"
 #include "eval/detector.h"
+#include "infer/engine.h"
 
 namespace uv::baselines {
 
@@ -20,6 +21,13 @@ std::vector<std::string> AllDetectorNames();
 std::unique_ptr<eval::Detector> MakeDetector(const std::string& name,
                                              const TrainOptions& options,
                                              const core::CmsfConfig& cmsf_config);
+
+// Grad-free inference engine for a trained detector over the given URG.
+// Supported for CMSF (and its ablation variants), GCN, and GAT; returns
+// null for detectors without an engine implementation. The detector and
+// URG must outlive construction only — the engine owns all cached state.
+std::unique_ptr<infer::Engine> MakeEngine(const eval::Detector& detector,
+                                          const urg::UrbanRegionGraph& urg);
 
 }  // namespace uv::baselines
 

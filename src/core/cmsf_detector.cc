@@ -1,6 +1,7 @@
 #include "core/cmsf_detector.h"
 
-#include "io/serialize.h"
+#include "core/config_codec.h"
+#include "io/checkpoint.h"
 #include "util/timer.h"
 
 namespace uv::core {
@@ -10,6 +11,7 @@ void CmsfDetector::Train(const urg::UrbanRegionGraph& urg,
                          const std::vector<int>& train_labels) {
   Rng rng(config_.seed);
   minibatch_ = config_.batch_size > 0;
+  fingerprint_ = io::UrgFingerprint::FromUrg(urg);
   model_ = std::make_unique<CmsfModel>(config_, urg.PoiDim(), urg.ImageDim(),
                                        &rng);
   if (minibatch_) {
@@ -51,29 +53,40 @@ std::vector<float> CmsfDetector::Score(const urg::UrbanRegionGraph& urg,
 
 Status CmsfDetector::SaveModel(const std::string& path) const {
   if (!model_) return Status::FailedPrecondition("detector is not trained");
-  std::vector<Tensor> tensors;
-  for (const auto& p : model_->AllParams()) tensors.push_back(p->value);
+  io::Checkpoint ck;
+  ck.model_name = name_;
+  ck.config = EncodeCmsfConfig(config_);
+  ck.fingerprint = fingerprint_;
+  for (const auto& p : model_->AllParams()) ck.tensors.push_back(p->value);
   // Frozen stage-one assignment rides along as three extra tensors.
-  tensors.push_back(frozen_.soft);
+  ck.tensors.push_back(frozen_.soft);
   Tensor hard(1, static_cast<int>(frozen_.hard.size()));
   for (size_t i = 0; i < frozen_.hard.size(); ++i) {
     hard.at(0, static_cast<int>(i)) = static_cast<float>(frozen_.hard[i]);
   }
-  tensors.push_back(std::move(hard));
+  ck.tensors.push_back(std::move(hard));
   Tensor pseudo(1, static_cast<int>(frozen_.pseudo_labels.size()));
   for (size_t i = 0; i < frozen_.pseudo_labels.size(); ++i) {
     pseudo.at(0, static_cast<int>(i)) =
         static_cast<float>(frozen_.pseudo_labels[i]);
   }
-  tensors.push_back(std::move(pseudo));
-  return io::SaveTensors(path, tensors);
+  ck.tensors.push_back(std::move(pseudo));
+  return io::SaveCheckpoint(path, ck);
 }
 
 Status CmsfDetector::LoadModel(const urg::UrbanRegionGraph& urg,
                                const std::string& path) {
-  auto loaded = io::LoadTensors(path);
+  auto loaded = io::LoadCheckpoint(path);
   if (!loaded.ok()) return loaded.status();
-  std::vector<Tensor>& tensors = loaded.value();
+  io::Checkpoint& ck = loaded.value();
+  const io::UrgFingerprint fingerprint = io::UrgFingerprint::FromUrg(urg);
+  Status valid = io::ValidateCheckpoint(ck, name_, fingerprint);
+  if (!valid.ok()) return valid;
+  auto config = DecodeCmsfConfig(ck.config);
+  if (!config.ok()) return config.status();
+  config_ = config.value();
+  fingerprint_ = fingerprint;
+  std::vector<Tensor>& tensors = ck.tensors;
 
   Rng rng(config_.seed);
   minibatch_ = config_.batch_size > 0;

@@ -7,6 +7,7 @@
 
 #include "core/cmsf_model.h"
 #include "eval/detector.h"
+#include "io/checkpoint.h"
 #include "util/status.h"
 
 namespace uv::core {
@@ -37,10 +38,12 @@ class CmsfDetector : public eval::Detector {
   const CmsfModel* model() const { return model_.get(); }
   const CmsfModel::FrozenAssignment& frozen() const { return frozen_; }
 
-  // Persists the trained model (all parameters plus the frozen stage-one
-  // assignment) so a detector can be reloaded without retraining.
+  // Persists the trained model as a versioned UVCK checkpoint: all
+  // parameters plus the frozen stage-one assignment, the serialized config,
+  // and a fingerprint of the URG the model was trained on.
   Status SaveModel(const std::string& path) const;
-  // Rebuilds the model for the given URG and restores a saved checkpoint.
+  // Restores a saved checkpoint: validates version / model name / URG
+  // fingerprint, adopts the checkpoint's config, and rebuilds the model.
   Status LoadModel(const urg::UrbanRegionGraph& urg, const std::string& path);
 
  private:
@@ -50,6 +53,7 @@ class CmsfDetector : public eval::Detector {
   std::unique_ptr<CmsfModel> model_;
   std::optional<CmsfInputs> inputs_;
   CmsfModel::FrozenAssignment frozen_;
+  io::UrgFingerprint fingerprint_;
   double train_epoch_seconds_ = 0.0;
   double inference_seconds_ = 0.0;
   // Master-stage epochs only, matching train_epoch_seconds_ (Table III

@@ -64,7 +64,15 @@ class CmsfModel {
   const CmsfConfig& config() const { return config_; }
   const nn::Mlp& classifier() const { return *classifier_; }
   const nn::MsGate& gate() const { return *gate_; }
+  const nn::Gscm* gscm() const { return gscm_.get(); }
   int gscm_in_dim() const { return gscm_in_dim_; }
+  int classifier_in() const { return classifier_in_; }
+
+  // Grad-free trunk forward on raw tensors, bit-identical to Trunk's value
+  // (the fused x^ entering GSCM). Used by the inference engine; builds no
+  // autograd graph and emits no spans.
+  Tensor TrunkRaw(const Tensor& poi, const Tensor& image,
+                  const nn::GraphContext& ctx) const;
 
  private:
   // Representation trunk shared by all variants: returns x^ (the fused

@@ -1,0 +1,140 @@
+#include "core/config_codec.h"
+
+#include <cstring>
+
+namespace uv::core {
+namespace {
+
+// Bump when the field layout below changes. Independent of the UVCK
+// checkpoint schema version.
+constexpr uint8_t kCodecVersion = 1;
+
+class Writer {
+ public:
+  explicit Writer(std::vector<uint8_t>* out) : out_(out) {}
+  template <typename T>
+  void Pod(const T& value) {
+    const size_t off = out_->size();
+    out_->resize(off + sizeof(T));
+    std::memcpy(out_->data() + off, &value, sizeof(T));
+  }
+
+ private:
+  std::vector<uint8_t>* out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<uint8_t>& blob) : blob_(blob) {}
+  template <typename T>
+  bool Pod(T* value) {
+    if (pos_ + sizeof(T) > blob_.size()) return false;
+    std::memcpy(value, blob_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+  bool AtEnd() const { return pos_ == blob_.size(); }
+
+ private:
+  const std::vector<uint8_t>& blob_;
+  size_t pos_ = 0;
+};
+
+bool ReadAggKind(Reader* r, nn::AggKind* kind) {
+  int32_t raw = 0;
+  if (!r->Pod(&raw)) return false;
+  if (raw < 0 || raw > static_cast<int32_t>(nn::AggKind::kAttention)) {
+    return false;
+  }
+  *kind = static_cast<nn::AggKind>(raw);
+  return true;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeCmsfConfig(const CmsfConfig& config) {
+  std::vector<uint8_t> blob;
+  Writer w(&blob);
+  w.Pod(kCodecVersion);
+  w.Pod(static_cast<int32_t>(config.image_reduce_dim));
+  w.Pod(static_cast<int32_t>(config.hidden_dim));
+  w.Pod(static_cast<int32_t>(config.maga_layers));
+  w.Pod(static_cast<int32_t>(config.maga_heads));
+  w.Pod(static_cast<int32_t>(config.maga_agg));
+  w.Pod(static_cast<int32_t>(config.num_clusters));
+  w.Pod(config.temperature);
+  w.Pod(static_cast<int32_t>(config.gscm_agg));
+  w.Pod(static_cast<int32_t>(config.classifier_hidden));
+  w.Pod(static_cast<int32_t>(config.context_dim));
+  w.Pod(static_cast<uint8_t>(config.use_maga ? 1 : 0));
+  w.Pod(static_cast<uint8_t>(config.use_hierarchy ? 1 : 0));
+  w.Pod(static_cast<uint8_t>(config.use_gate ? 1 : 0));
+  w.Pod(static_cast<int32_t>(config.master_epochs));
+  w.Pod(static_cast<int32_t>(config.slave_epochs));
+  w.Pod(config.learning_rate);
+  w.Pod(config.lr_decay_per_epoch);
+  w.Pod(config.lambda);
+  w.Pod(config.pos_weight);
+  w.Pod(config.clip_norm);
+  w.Pod(config.seed);
+  w.Pod(static_cast<int32_t>(config.batch_size));
+  w.Pod(static_cast<int32_t>(config.fanout));
+  return blob;
+}
+
+StatusOr<CmsfConfig> DecodeCmsfConfig(const std::vector<uint8_t>& blob) {
+  Reader r(blob);
+  const auto bad = [] {
+    return Status::InvalidArgument("malformed CmsfConfig blob");
+  };
+  uint8_t version = 0;
+  if (!r.Pod(&version)) return bad();
+  if (version != kCodecVersion) {
+    return Status::InvalidArgument("unsupported CmsfConfig blob version " +
+                                   std::to_string(version));
+  }
+  CmsfConfig config;
+  int32_t i32 = 0;
+  uint8_t u8 = 0;
+  if (!r.Pod(&i32)) return bad();
+  config.image_reduce_dim = i32;
+  if (!r.Pod(&i32)) return bad();
+  config.hidden_dim = i32;
+  if (!r.Pod(&i32)) return bad();
+  config.maga_layers = i32;
+  if (!r.Pod(&i32)) return bad();
+  config.maga_heads = i32;
+  if (!ReadAggKind(&r, &config.maga_agg)) return bad();
+  if (!r.Pod(&i32)) return bad();
+  config.num_clusters = i32;
+  if (!r.Pod(&config.temperature)) return bad();
+  if (!ReadAggKind(&r, &config.gscm_agg)) return bad();
+  if (!r.Pod(&i32)) return bad();
+  config.classifier_hidden = i32;
+  if (!r.Pod(&i32)) return bad();
+  config.context_dim = i32;
+  if (!r.Pod(&u8)) return bad();
+  config.use_maga = u8 != 0;
+  if (!r.Pod(&u8)) return bad();
+  config.use_hierarchy = u8 != 0;
+  if (!r.Pod(&u8)) return bad();
+  config.use_gate = u8 != 0;
+  if (!r.Pod(&i32)) return bad();
+  config.master_epochs = i32;
+  if (!r.Pod(&i32)) return bad();
+  config.slave_epochs = i32;
+  if (!r.Pod(&config.learning_rate)) return bad();
+  if (!r.Pod(&config.lr_decay_per_epoch)) return bad();
+  if (!r.Pod(&config.lambda)) return bad();
+  if (!r.Pod(&config.pos_weight)) return bad();
+  if (!r.Pod(&config.clip_norm)) return bad();
+  if (!r.Pod(&config.seed)) return bad();
+  if (!r.Pod(&i32)) return bad();
+  config.batch_size = i32;
+  if (!r.Pod(&i32)) return bad();
+  config.fanout = i32;
+  if (!r.AtEnd()) return bad();
+  return config;
+}
+
+}  // namespace uv::core

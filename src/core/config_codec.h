@@ -1,0 +1,25 @@
+#ifndef UV_CORE_CONFIG_CODEC_H_
+#define UV_CORE_CONFIG_CODEC_H_
+
+// Fixed-layout binary codec for CmsfConfig, used as the opaque config blob
+// inside a UVCK checkpoint (io/checkpoint.h). The blob starts with its own
+// one-byte layout version so the checkpoint schema version and the config
+// layout can evolve independently; every field is written host-endian in
+// declaration order. Decoding validates the exact blob length and every
+// enum value, so a foreign or truncated blob never yields a half-filled
+// config.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cmsf_config.h"
+#include "util/status.h"
+
+namespace uv::core {
+
+std::vector<uint8_t> EncodeCmsfConfig(const CmsfConfig& config);
+StatusOr<CmsfConfig> DecodeCmsfConfig(const std::vector<uint8_t>& blob);
+
+}  // namespace uv::core
+
+#endif  // UV_CORE_CONFIG_CODEC_H_

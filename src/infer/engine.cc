@@ -1,0 +1,220 @@
+#include "infer/engine.h"
+
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "nn/graph_context.h"
+#include "nn/gscm.h"
+#include "nn/maga.h"
+#include "tensor/forward_ops.h"
+#include "tensor/tensor_ops.h"
+#include "util/check.h"
+
+namespace uv::infer {
+
+std::vector<float> Engine::Score(const std::vector<int>& ids) {
+  std::vector<float> out(ids.size());
+  ScoreInto(ids.data(), static_cast<int>(ids.size()), out.data());
+  return out;
+}
+
+namespace {
+
+// The final probability uses the plain one-branch sigmoid because that is
+// what PredictCmsf and baselines::SigmoidRows apply to logits — NOT the
+// two-branch SigmoidScalar (which matches ag::Sigmoid's interior uses, e.g.
+// the gate's context vector). The two forms can differ in the last bits for
+// large |z|, and bit-identity with the autograd Score path is the contract.
+inline float PlainSigmoid(float z) { return 1.0f / (1.0f + std::exp(-z)); }
+
+// Copies the selected rows of `src` into `dst` (resized to n x src.cols()).
+// ResizeUninit reuses the workspace slab at steady state.
+void GatherRowsInto(const Tensor& src, const int* ids, int n, Tensor* dst) {
+  const int d = src.cols();
+  dst->ResizeUninit(n, d);
+  for (int r = 0; r < n; ++r) {
+    std::memcpy(dst->row(r), src.row(ids[r]),
+                sizeof(float) * static_cast<size_t>(d));
+  }
+}
+
+// Prepared CMSF serving state. Construction runs the full grad-free forward
+// once; ScoreInto replays only the row-wise tail:
+//   master: global context share (eq. 12-13), AGG, classifier MLP;
+//   slave:  + context vector (eq. 19), filter (eq. 20), gated MLP (eq. 21).
+class CmsfEngine final : public Engine {
+ public:
+  CmsfEngine(const core::CmsfModel& model,
+             const core::CmsfModel::FrozenAssignment* frozen,
+             const urg::UrbanRegionGraph& urg) {
+    const core::CmsfConfig& cfg = model.config();
+    use_hierarchy_ = cfg.use_hierarchy;
+    // Mirrors PredictCmsf: the slave path needs the hierarchy, the gate,
+    // and a frozen stage-one assignment.
+    use_slave_ = cfg.use_hierarchy && cfg.use_gate && frozen != nullptr;
+
+    const nn::GraphContext ctx = nn::GraphContext::FromCsr(urg.adjacency);
+    trunk_ = model.TrunkRaw(urg.poi_features, urg.image_features, ctx);
+    num_regions_ = trunk_.rows();
+
+    if (use_hierarchy_) {
+      const nn::Gscm* gscm = model.gscm();
+      UV_CHECK(gscm != nullptr);
+      nn::Gscm::RawOutput g =
+          use_slave_ ? gscm->ForwardFrozenRaw(trunk_, frozen->soft,
+                                              frozen->hard)
+                     : gscm->ForwardRaw(trunk_);
+      assign_ = std::move(g.assignment);
+      // The reverse share x' = relu(B H' W_r) factors as B * (H' W_r); the
+      // inner product is request-invariant, so cache it (K x in_dim).
+      inner_ = MatMul(g.cluster_repr, gscm->reverse_transform());
+      agg_ = gscm->agg();
+      if (const Tensor* q = gscm->agg_query_value()) {
+        agg_query_ = *q;
+        has_agg_query_ = true;
+      }
+      if (use_slave_) {
+        const nn::MsGate& gate = model.gate();
+        const Tensor inclusion = gate.EstimateInclusionRaw(g.cluster_repr);
+        inclusion_row_ = Transpose(inclusion);  // 1 x K for MulRowVector.
+        w_q_ = gate.context_transform();
+        w_f_ = gate.filter_weight();
+        b_f_ = gate.filter_bias();
+      }
+    }
+
+    const nn::Mlp& classifier = model.classifier();
+    w1_ = classifier.layer1().w()->value;
+    b1_ = classifier.layer1().b()->value;
+    w2_ = classifier.layer2().w()->value;
+    b2_ = classifier.layer2().b()->value;
+  }
+
+  int num_regions() const override { return num_regions_; }
+
+  void ScoreInto(const int* ids, int n, float* out) override {
+    if (n <= 0) return;
+    for (int r = 0; r < n; ++r) {
+      UV_CHECK_GE(ids[r], 0);
+      UV_CHECK_LT(ids[r], num_regions_);
+    }
+    GatherRowsInto(trunk_, ids, n, &x_);
+
+    const Tensor* region = &x_;
+    if (use_hierarchy_) {
+      // Global context share: relu(B_rows * inner), then AGG with x^.
+      GatherRowsInto(assign_, ids, n, &b_);
+      global_.ResizeUninit(n, inner_.cols());
+      Gemm(false, false, 1.0f, b_, inner_, 0.0f, &global_);
+      ReluInPlace(&global_);
+      region_ = nn::AggregatePairRaw(agg_, x_, global_,
+                                     has_agg_query_ ? &agg_query_ : nullptr);
+      region = &region_;
+    }
+
+    if (use_slave_) {
+      // Context vector q = sigmoid((B ⊙ s^T) W_q), filter, gated MLP.
+      weighted_ = b_;
+      MulRowVectorInPlace(inclusion_row_, &weighted_);
+      context_.ResizeUninit(n, w_q_.cols());
+      Gemm(false, false, 1.0f, weighted_, w_q_, 0.0f, &context_);
+      SigmoidInPlace(&context_);
+      filter_.ResizeUninit(n, w_f_.cols());
+      GemmBiasAct(false, false, 1.0f, context_, w_f_, 0.0f, &filter_, &b_f_,
+                  kern::Activation::kSigmoid);
+      GatedMlpForward(*region, filter_, w1_, b1_, w2_, b2_, &logits_,
+                      &hidden_);
+    } else {
+      hidden_.ResizeUninit(n, w1_.cols());
+      GemmBiasAct(false, false, 1.0f, *region, w1_, 0.0f, &hidden_, &b1_,
+                  kern::Activation::kRelu);
+      logits_.ResizeUninit(n, 1);
+      GemmBiasAct(false, false, 1.0f, hidden_, w2_, 0.0f, &logits_, &b2_,
+                  kern::Activation::kNone);
+    }
+
+    const float* z = logits_.data();
+    for (int r = 0; r < n; ++r) out[r] = PlainSigmoid(z[r]);
+  }
+
+ private:
+  bool use_hierarchy_ = false;
+  bool use_slave_ = false;
+  int num_regions_ = 0;
+
+  // Request-invariant state cached at construction.
+  Tensor trunk_;          // N x gscm_in (fused x^).
+  Tensor assign_;         // N x K soft assignment B.
+  Tensor inner_;          // K x in_dim (H' W_r).
+  Tensor inclusion_row_;  // 1 x K (s^T), slave only.
+  Tensor agg_query_;      // AGG attention query copy (kAttention only).
+  bool has_agg_query_ = false;
+  nn::AggKind agg_ = nn::AggKind::kSum;
+  Tensor w_q_, w_f_, b_f_;      // Gate parameters (slave only).
+  Tensor w1_, b1_, w2_, b2_;    // Master classifier parameters.
+
+  // Per-request workspaces; slabs are reused across calls.
+  Tensor x_, b_, global_, region_;
+  Tensor weighted_, context_, filter_;
+  Tensor hidden_, logits_;
+};
+
+// Two-dense-layer tail over precomputed trunk features (GCN/GAT baselines).
+class DenseTailEngine final : public Engine {
+ public:
+  DenseTailEngine(Tensor features, Tensor w1, Tensor b1,
+                  kern::Activation act1, Tensor w2, Tensor b2)
+      : features_(std::move(features)),
+        w1_(std::move(w1)),
+        b1_(std::move(b1)),
+        act1_(act1),
+        w2_(std::move(w2)),
+        b2_(std::move(b2)) {
+    UV_CHECK_EQ(features_.cols(), w1_.rows());
+    UV_CHECK_EQ(w1_.cols(), w2_.rows());
+  }
+
+  int num_regions() const override { return features_.rows(); }
+
+  void ScoreInto(const int* ids, int n, float* out) override {
+    if (n <= 0) return;
+    for (int r = 0; r < n; ++r) {
+      UV_CHECK_GE(ids[r], 0);
+      UV_CHECK_LT(ids[r], features_.rows());
+    }
+    GatherRowsInto(features_, ids, n, &x_);
+    hidden_.ResizeUninit(n, w1_.cols());
+    GemmBiasAct(false, false, 1.0f, x_, w1_, 0.0f, &hidden_, &b1_, act1_);
+    logits_.ResizeUninit(n, w2_.cols());
+    GemmBiasAct(false, false, 1.0f, hidden_, w2_, 0.0f, &logits_, &b2_,
+                kern::Activation::kNone);
+    const float* z = logits_.data();
+    for (int r = 0; r < n; ++r) out[r] = PlainSigmoid(z[r]);
+  }
+
+ private:
+  Tensor features_, w1_, b1_;
+  kern::Activation act1_;
+  Tensor w2_, b2_;
+  Tensor x_, hidden_, logits_;
+};
+
+}  // namespace
+
+std::unique_ptr<Engine> MakeCmsfEngine(
+    const core::CmsfModel& model,
+    const core::CmsfModel::FrozenAssignment* frozen,
+    const urg::UrbanRegionGraph& urg) {
+  return std::make_unique<CmsfEngine>(model, frozen, urg);
+}
+
+std::unique_ptr<Engine> MakeDenseTailEngine(Tensor features, Tensor w1,
+                                            Tensor b1, kern::Activation act1,
+                                            Tensor w2, Tensor b2) {
+  return std::make_unique<DenseTailEngine>(
+      std::move(features), std::move(w1), std::move(b1), act1, std::move(w2),
+      std::move(b2));
+}
+
+}  // namespace uv::infer

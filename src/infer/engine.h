@@ -1,0 +1,61 @@
+#ifndef UV_INFER_ENGINE_H_
+#define UV_INFER_ENGINE_H_
+
+// Grad-free batched inference engines. An Engine is built once from a
+// trained model ("Prepare"): it runs a single raw-tensor forward pass over
+// the full URG — no autograd Variables, no graph nodes — and caches every
+// globally-coupled intermediate (trunk representations, cluster state).
+// Each scoring request then evaluates only the per-row tail for the
+// requested region ids over reusable pooled workspaces, so steady-state
+// scoring performs ~0 heap allocations per request (gated by
+// bench_serve_alloc).
+//
+// Scores are bit-identical to the autograd Score path of the full-graph
+// detector: both evaluate the same shared forward kernels
+// (tensor/forward_ops.h), and every per-request operation is row-wise, so
+// results do not depend on how requests are batched.
+
+#include <memory>
+#include <vector>
+
+#include "core/cmsf_model.h"
+#include "tensor/tensor.h"
+#include "urg/urban_region_graph.h"
+
+namespace uv::infer {
+
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  virtual int num_regions() const = 0;
+
+  // Scores region ids[0..n) into out[0..n). NOT thread-safe: the engine
+  // owns reusable workspaces, so concurrent callers must serialize (the
+  // ScoringServer's dispatcher thread is the intended single caller).
+  virtual void ScoreInto(const int* ids, int n, float* out) = 0;
+
+  // Convenience wrapper (allocates the result vector).
+  std::vector<float> Score(const std::vector<int>& ids);
+};
+
+// Engine for a trained CmsfModel over the given URG (full-graph
+// semantics, matching a detector trained with batch_size == 0). Pass the
+// frozen stage-one assignment to serve the slave path (the config must
+// also enable hierarchy + gate, mirroring PredictCmsf); pass null to serve
+// the master path. The model and URG are only read during construction.
+std::unique_ptr<Engine> MakeCmsfEngine(
+    const core::CmsfModel& model,
+    const core::CmsfModel::FrozenAssignment* frozen,
+    const urg::UrbanRegionGraph& urg);
+
+// Generic engine for baselines whose per-region tail is two dense layers
+// over precomputed trunk features: hidden = act1(rows * w1 + b1),
+// logits = hidden * w2 + b2, probability = sigmoid(logits).
+std::unique_ptr<Engine> MakeDenseTailEngine(Tensor features, Tensor w1,
+                                            Tensor b1, kern::Activation act1,
+                                            Tensor w2, Tensor b2);
+
+}  // namespace uv::infer
+
+#endif  // UV_INFER_ENGINE_H_

@@ -1,0 +1,144 @@
+#include "infer/server.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "util/check.h"
+
+namespace uv::infer {
+namespace {
+
+uint64_t NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+int EnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  const int parsed = std::atoi(v);
+  return parsed > 0 ? parsed : fallback;
+}
+
+}  // namespace
+
+ServerOptions ServerOptions::FromEnv() {
+  ServerOptions o;
+  o.max_batch = EnvInt("UV_SERVE_BATCH", o.max_batch);
+  o.deadline_us = EnvInt("UV_SERVE_DEADLINE_US", o.deadline_us);
+  return o;
+}
+
+ScoringServer::ScoringServer(Engine* engine, const ServerOptions& options)
+    : engine_(engine), options_(options) {
+  UV_CHECK(engine_ != nullptr);
+  UV_CHECK_GT(options_.max_batch, 0);
+  UV_CHECK_GE(options_.deadline_us, 0);
+  dispatcher_ = std::thread([this] { DispatchLoop(); });
+}
+
+ScoringServer::~ScoringServer() { Shutdown(); }
+
+void ScoringServer::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+void ScoringServer::Score(const int* ids, int n, float* out) {
+  if (n <= 0) return;
+  Request req;
+  req.ids = ids;
+  req.n = n;
+  req.out = out;
+  req.enqueue_us = NowMicros();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    UV_CHECK(!stop_);
+    if (tail_ != nullptr) {
+      tail_->next = &req;
+    } else {
+      head_ = &req;
+    }
+    tail_ = &req;
+    pending_ids_ += n;
+  }
+  work_cv_.notify_one();
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&req] { return req.done; });
+}
+
+std::vector<float> ScoringServer::Score(const std::vector<int>& ids) {
+  std::vector<float> out(ids.size());
+  Score(ids.data(), static_cast<int>(ids.size()), out.data());
+  return out;
+}
+
+void ScoringServer::DispatchLoop() {
+  obs::Registry& reg = obs::Registry::Global();
+  obs::Histogram& queue_wait_us = reg.GetHistogram("serve.queue_wait_us");
+  obs::Histogram& batch_size = reg.GetHistogram("serve.batch_size");
+  obs::Histogram& latency_us = reg.GetHistogram("serve.latency_us");
+
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [this] { return stop_ || head_ != nullptr; });
+    if (head_ == nullptr) return;  // stop_ with a drained queue.
+
+    // Micro-batch accumulation: hold the flush until the batch is full or
+    // the oldest request's deadline expires. head_ is stable here — only
+    // the dispatcher pops.
+    while (!stop_ && pending_ids_ < options_.max_batch) {
+      const uint64_t age = NowMicros() - head_->enqueue_us;
+      if (age >= static_cast<uint64_t>(options_.deadline_us)) break;
+      work_cv_.wait_for(
+          lock, std::chrono::microseconds(options_.deadline_us - age));
+    }
+
+    // Detach whole requests up to max_batch ids (always at least one, so
+    // an oversized single request still gets served).
+    batch_reqs_.clear();
+    int total = 0;
+    while (head_ != nullptr &&
+           (batch_reqs_.empty() || total + head_->n <= options_.max_batch)) {
+      batch_reqs_.push_back(head_);
+      total += head_->n;
+      pending_ids_ -= head_->n;
+      head_ = head_->next;
+    }
+    if (head_ == nullptr) tail_ = nullptr;
+    lock.unlock();
+
+    const uint64_t start_us = NowMicros();
+    batch_ids_.clear();
+    for (const Request* r : batch_reqs_) {
+      batch_ids_.insert(batch_ids_.end(), r->ids, r->ids + r->n);
+    }
+    if (static_cast<int>(batch_out_.size()) < total) batch_out_.resize(total);
+    engine_->ScoreInto(batch_ids_.data(), total, batch_out_.data());
+    const uint64_t end_us = NowMicros();
+
+    batch_size.Record(static_cast<uint64_t>(total));
+    int offset = 0;
+    for (const Request* r : batch_reqs_) {
+      std::memcpy(r->out, batch_out_.data() + offset,
+                  sizeof(float) * static_cast<size_t>(r->n));
+      offset += r->n;
+      queue_wait_us.Record(start_us - r->enqueue_us);
+      latency_us.Record(end_us - r->enqueue_us);
+    }
+
+    lock.lock();
+    for (Request* r : batch_reqs_) r->done = true;
+    done_cv_.notify_all();
+  }
+}
+
+}  // namespace uv::infer

@@ -1,0 +1,87 @@
+#ifndef UV_INFER_SERVER_H_
+#define UV_INFER_SERVER_H_
+
+// Concurrent micro-batching front end over a grad-free Engine. Client
+// threads block in Score(); a single dispatcher thread coalesces pending
+// requests into micro-batches, flushing when `max_batch` region ids are
+// queued or when the oldest request has waited `deadline_us`. Because the
+// engine tail is row-wise, results are bit-identical regardless of how
+// requests happen to be batched together.
+//
+// Serving metrics are recorded into the global obs registry:
+//   serve.queue_wait_us  time from enqueue to dispatch
+//   serve.batch_size     region ids per engine call
+//   serve.latency_us     time from enqueue to scored
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "infer/engine.h"
+
+namespace uv::infer {
+
+struct ServerOptions {
+  int max_batch = 64;     // Flush when this many ids are pending.
+  int deadline_us = 200;  // Or when the oldest request is this old.
+
+  // Reads UV_SERVE_BATCH / UV_SERVE_DEADLINE_US (non-positive or unset
+  // values keep the defaults above).
+  static ServerOptions FromEnv();
+};
+
+class ScoringServer {
+ public:
+  // The engine must outlive the server; the server's dispatcher thread is
+  // its only caller, satisfying the engine's single-caller contract.
+  explicit ScoringServer(Engine* engine,
+                         const ServerOptions& options = ServerOptions::FromEnv());
+  ~ScoringServer();
+
+  // Scores region ids[0..n) into out[0..n). Blocking; safe to call from
+  // any number of threads concurrently.
+  void Score(const int* ids, int n, float* out);
+  std::vector<float> Score(const std::vector<int>& ids);
+
+  // Drains pending requests and stops the dispatcher. Called by the
+  // destructor; new Score() calls after shutdown are an error.
+  void Shutdown();
+
+ private:
+  // Stack-allocated by Score(); the queue links them intrusively so the
+  // admission path performs no heap allocation.
+  struct Request {
+    const int* ids = nullptr;
+    int n = 0;
+    float* out = nullptr;
+    bool done = false;
+    Request* next = nullptr;
+    uint64_t enqueue_us = 0;
+  };
+
+  void DispatchLoop();
+
+  Engine* const engine_;
+  const ServerOptions options_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // Signals the dispatcher.
+  std::condition_variable done_cv_;  // Signals waiting clients.
+  Request* head_ = nullptr;          // FIFO intrusive queue.
+  Request* tail_ = nullptr;
+  int pending_ids_ = 0;
+  bool stop_ = false;
+
+  // Dispatcher-only batch buffers; capacity is retained across batches.
+  std::vector<Request*> batch_reqs_;
+  std::vector<int> batch_ids_;
+  std::vector<float> batch_out_;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace uv::infer
+
+#endif  // UV_INFER_SERVER_H_

@@ -1,0 +1,222 @@
+#include "io/checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "io/serialize.h"
+#include "urg/urban_region_graph.h"
+
+namespace uv::io {
+namespace {
+
+constexpr char kMagic[4] = {'U', 'V', 'C', 'K'};
+// Names and config blobs are small; a multi-megabyte length is a corrupt
+// header, not a real checkpoint.
+constexpr int32_t kMaxBlobBytes = 1 << 20;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+template <typename T>
+bool WritePod(std::FILE* f, const T& value) {
+  return std::fwrite(&value, sizeof(T), 1, f) == 1;
+}
+
+template <typename T>
+bool ReadPod(std::FILE* f, T* value) {
+  return std::fread(value, sizeof(T), 1, f) == 1;
+}
+
+void HashBytes(const void* data, size_t n, uint64_t* h) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    *h ^= p[i];
+    *h *= 1099511628211ull;  // FNV-1a 64-bit prime.
+  }
+}
+
+bool WriteFingerprint(std::FILE* f, const UrgFingerprint& fp) {
+  return WritePod(f, fp.grid_height) && WritePod(f, fp.grid_width) &&
+         WritePod(f, fp.cell_meters) && WritePod(f, fp.num_regions) &&
+         WritePod(f, fp.num_spatial_edges) &&
+         WritePod(f, fp.num_road_edges) && WritePod(f, fp.num_edges);
+}
+
+bool ReadFingerprint(std::FILE* f, UrgFingerprint* fp) {
+  return ReadPod(f, &fp->grid_height) && ReadPod(f, &fp->grid_width) &&
+         ReadPod(f, &fp->cell_meters) && ReadPod(f, &fp->num_regions) &&
+         ReadPod(f, &fp->num_spatial_edges) &&
+         ReadPod(f, &fp->num_road_edges) && ReadPod(f, &fp->num_edges);
+}
+
+}  // namespace
+
+UrgFingerprint UrgFingerprint::FromUrg(const urg::UrbanRegionGraph& urg) {
+  UrgFingerprint fp;
+  fp.grid_height = urg.grid.height;
+  fp.grid_width = urg.grid.width;
+  fp.cell_meters = urg.grid.cell_meters;
+  fp.num_regions = urg.num_regions();
+  fp.num_spatial_edges = urg.num_spatial_edges;
+  fp.num_road_edges = urg.num_road_edges;
+  fp.num_edges = urg.num_edges;
+  return fp;
+}
+
+uint64_t UrgFingerprint::Hash() const {
+  uint64_t h = 14695981039346656037ull;  // FNV-1a 64-bit offset basis.
+  HashBytes(&grid_height, sizeof(grid_height), &h);
+  HashBytes(&grid_width, sizeof(grid_width), &h);
+  HashBytes(&cell_meters, sizeof(cell_meters), &h);
+  HashBytes(&num_regions, sizeof(num_regions), &h);
+  HashBytes(&num_spatial_edges, sizeof(num_spatial_edges), &h);
+  HashBytes(&num_road_edges, sizeof(num_road_edges), &h);
+  HashBytes(&num_edges, sizeof(num_edges), &h);
+  return h;
+}
+
+bool UrgFingerprint::Matches(const UrgFingerprint& other) const {
+  return grid_height == other.grid_height &&
+         grid_width == other.grid_width &&
+         cell_meters == other.cell_meters &&
+         num_regions == other.num_regions &&
+         num_spatial_edges == other.num_spatial_edges &&
+         num_road_edges == other.num_road_edges &&
+         num_edges == other.num_edges;
+}
+
+std::string UrgFingerprint::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%dx%d@%.1fm, %lld regions, %lld/%lld/%lld edges",
+                grid_height, grid_width, cell_meters,
+                static_cast<long long>(num_regions),
+                static_cast<long long>(num_spatial_edges),
+                static_cast<long long>(num_road_edges),
+                static_cast<long long>(num_edges));
+  return buf;
+}
+
+Status SaveCheckpoint(const std::string& path,
+                      const Checkpoint& checkpoint) {
+  // The writer only knows how to produce the current schema; refusing here
+  // keeps a stale in-memory version field from minting files no loader
+  // accepts.
+  if (checkpoint.version != kCheckpointVersion) {
+    return Status::InvalidArgument(
+        "unsupported checkpoint version " +
+        std::to_string(checkpoint.version));
+  }
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IoError("cannot open for write: " + path);
+  const auto io_error = [&path] {
+    return Status::IoError("write failed: " + path);
+  };
+  if (std::fwrite(kMagic, 1, 4, f.get()) != 4) return io_error();
+  if (!WritePod(f.get(), checkpoint.version)) return io_error();
+  const int32_t name_len = static_cast<int32_t>(checkpoint.model_name.size());
+  if (!WritePod(f.get(), name_len)) return io_error();
+  if (name_len > 0 &&
+      std::fwrite(checkpoint.model_name.data(), 1, name_len, f.get()) !=
+          static_cast<size_t>(name_len)) {
+    return io_error();
+  }
+  const int32_t config_len = static_cast<int32_t>(checkpoint.config.size());
+  if (!WritePod(f.get(), config_len)) return io_error();
+  if (config_len > 0 &&
+      std::fwrite(checkpoint.config.data(), 1, config_len, f.get()) !=
+          static_cast<size_t>(config_len)) {
+    return io_error();
+  }
+  if (!WriteFingerprint(f.get(), checkpoint.fingerprint)) return io_error();
+  if (!WritePod(f.get(), checkpoint.fingerprint.Hash())) return io_error();
+  return WriteTensorList(f.get(), path, checkpoint.tensors);
+}
+
+StatusOr<Checkpoint> LoadCheckpoint(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IoError("cannot open for read: " + path);
+  char magic[4];
+  if (std::fread(magic, 1, 4, f.get()) != 4 ||
+      std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::IoError("not a UVCK checkpoint: " + path);
+  }
+  Checkpoint ck;
+  if (!ReadPod(f.get(), &ck.version)) {
+    return Status::IoError("truncated checkpoint header in " + path);
+  }
+  if (ck.version != kCheckpointVersion) {
+    return Status::InvalidArgument(
+        "unsupported checkpoint version " + std::to_string(ck.version) +
+        " in " + path + " (loader supports version " +
+        std::to_string(kCheckpointVersion) + ")");
+  }
+  int32_t name_len = 0;
+  if (!ReadPod(f.get(), &name_len) || name_len < 0 ||
+      name_len > kMaxBlobBytes) {
+    return Status::IoError("bad model name length in " + path);
+  }
+  ck.model_name.resize(name_len);
+  if (name_len > 0 &&
+      std::fread(ck.model_name.data(), 1, name_len, f.get()) !=
+          static_cast<size_t>(name_len)) {
+    return Status::IoError("truncated checkpoint header in " + path);
+  }
+  int32_t config_len = 0;
+  if (!ReadPod(f.get(), &config_len) || config_len < 0 ||
+      config_len > kMaxBlobBytes) {
+    return Status::IoError("bad config blob length in " + path);
+  }
+  ck.config.resize(config_len);
+  if (config_len > 0 &&
+      std::fread(ck.config.data(), 1, config_len, f.get()) !=
+          static_cast<size_t>(config_len)) {
+    return Status::IoError("truncated checkpoint header in " + path);
+  }
+  uint64_t stored_hash = 0;
+  if (!ReadFingerprint(f.get(), &ck.fingerprint) ||
+      !ReadPod(f.get(), &stored_hash)) {
+    return Status::IoError("truncated checkpoint header in " + path);
+  }
+  if (stored_hash != ck.fingerprint.Hash()) {
+    return Status::IoError("corrupt fingerprint in " + path);
+  }
+  auto tensors = ReadTensorList(f.get(), path);
+  if (!tensors.ok()) return tensors.status();
+  ck.tensors = std::move(tensors.value());
+  // The tensor list must end the file exactly.
+  char extra;
+  if (std::fread(&extra, 1, 1, f.get()) == 1) {
+    return Status::IoError("trailing bytes after tensor list in " + path);
+  }
+  return ck;
+}
+
+Status ValidateCheckpoint(const Checkpoint& checkpoint,
+                          const std::string& model_name,
+                          const UrgFingerprint& fingerprint) {
+  if (checkpoint.version != kCheckpointVersion) {
+    return Status::InvalidArgument(
+        "unsupported checkpoint version " +
+        std::to_string(checkpoint.version));
+  }
+  if (checkpoint.model_name != model_name) {
+    return Status::InvalidArgument("checkpoint is for model '" +
+                                   checkpoint.model_name +
+                                   "', expected '" + model_name + "'");
+  }
+  if (!checkpoint.fingerprint.Matches(fingerprint)) {
+    return Status::InvalidArgument(
+        "checkpoint URG fingerprint mismatch: checkpoint was trained on [" +
+        checkpoint.fingerprint.ToString() + "], serving graph is [" +
+        fingerprint.ToString() + "]");
+  }
+  return Status::Ok();
+}
+
+}  // namespace uv::io

@@ -1,0 +1,77 @@
+#ifndef UV_IO_CHECKPOINT_H_
+#define UV_IO_CHECKPOINT_H_
+
+// Versioned model checkpoint container ("UVCK" magic). A checkpoint wraps
+// the UVT1 tensor list (serialize.h) with everything needed to refuse a
+// wrong load: a schema version, the model name, an opaque model-config
+// blob (the layering keeps io below core, so core serializes CmsfConfig
+// into bytes via core::EncodeCmsfConfig), and a fingerprint of the URG the
+// model was trained on. On-disk layout, all fields host-endian like UVT1:
+//
+//   'U' 'V' 'C' 'K'
+//   int32   version            (kCheckpointVersion; loader refuses others)
+//   int32   model_name length, bytes
+//   int32   config blob length, bytes
+//   UrgFingerprint             (i32 h, i32 w, f64 cell_meters, 4 x i64)
+//   uint64  FNV-1a hash of the fingerprint fields (corruption check)
+//   UVT1 tensor list           (WriteTensorList)
+//
+// Trailing bytes after the tensor list are rejected: a truncated or
+// concatenated file never loads as a valid checkpoint.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace uv::urg {
+struct UrbanRegionGraph;
+}  // namespace uv::urg
+
+namespace uv::io {
+
+inline constexpr int32_t kCheckpointVersion = 1;
+
+// Identity of the URG a model was trained on: grid spec plus edge counts.
+// Two cities that agree on all of these are graph-isomorphic as far as the
+// model's forward pass can observe at load time; anything less refuses.
+struct UrgFingerprint {
+  int32_t grid_height = 0;
+  int32_t grid_width = 0;
+  double cell_meters = 0.0;
+  int64_t num_regions = 0;
+  int64_t num_spatial_edges = 0;
+  int64_t num_road_edges = 0;
+  int64_t num_edges = 0;
+
+  static UrgFingerprint FromUrg(const urg::UrbanRegionGraph& urg);
+  uint64_t Hash() const;  // FNV-1a over the fields, in declaration order.
+  bool Matches(const UrgFingerprint& other) const;
+  std::string ToString() const;
+};
+
+struct Checkpoint {
+  int32_t version = kCheckpointVersion;
+  std::string model_name;
+  std::vector<uint8_t> config;  // Opaque model-config blob.
+  UrgFingerprint fingerprint;
+  std::vector<Tensor> tensors;
+};
+
+Status SaveCheckpoint(const std::string& path, const Checkpoint& checkpoint);
+
+// Refuses unknown versions and corrupt/truncated files with a clean
+// Status; never returns a partially-filled checkpoint.
+StatusOr<Checkpoint> LoadCheckpoint(const std::string& path);
+
+// Loader-side gate: the model name must match and the fingerprint must
+// match the URG the checkpoint is about to serve.
+Status ValidateCheckpoint(const Checkpoint& checkpoint,
+                          const std::string& model_name,
+                          const UrgFingerprint& fingerprint);
+
+}  // namespace uv::io
+
+#endif  // UV_IO_CHECKPOINT_H_

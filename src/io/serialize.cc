@@ -1,5 +1,6 @@
 #include "io/serialize.h"
 
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -16,58 +17,101 @@ struct FileCloser {
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
+// Bytes from the current position to the end of the stream, with the
+// position restored. Used to reject corrupt headers (a huge tensor count or
+// shape) before any allocation happens.
+int64_t BytesRemaining(std::FILE* f) {
+  const long pos = std::ftell(f);
+  if (pos < 0 || std::fseek(f, 0, SEEK_END) != 0) return -1;
+  const long end = std::ftell(f);
+  if (end < 0 || std::fseek(f, pos, SEEK_SET) != 0) return -1;
+  return static_cast<int64_t>(end) - static_cast<int64_t>(pos);
+}
+
 }  // namespace
 
-Status SaveTensors(const std::string& path,
-                   const std::vector<Tensor>& tensors) {
-  FilePtr f(std::fopen(path.c_str(), "wb"));
-  if (!f) return Status::IoError("cannot open for write: " + path);
-  if (std::fwrite(kMagic, 1, 4, f.get()) != 4) {
+Status WriteTensorList(std::FILE* f, const std::string& path,
+                       const std::vector<Tensor>& tensors) {
+  if (std::fwrite(kMagic, 1, 4, f) != 4) {
     return Status::IoError("write failed: " + path);
   }
   const int32_t count = static_cast<int32_t>(tensors.size());
-  std::fwrite(&count, sizeof(count), 1, f.get());
+  if (std::fwrite(&count, sizeof(count), 1, f) != 1) {
+    return Status::IoError("write failed: " + path);
+  }
   for (const Tensor& t : tensors) {
     const int32_t rows = t.rows(), cols = t.cols();
-    std::fwrite(&rows, sizeof(rows), 1, f.get());
-    std::fwrite(&cols, sizeof(cols), 1, f.get());
+    if (std::fwrite(&rows, sizeof(rows), 1, f) != 1 ||
+        std::fwrite(&cols, sizeof(cols), 1, f) != 1) {
+      return Status::IoError("write failed: " + path);
+    }
     const size_t n = static_cast<size_t>(t.size());
-    if (n > 0 && std::fwrite(t.data(), sizeof(float), n, f.get()) != n) {
+    if (n > 0 && std::fwrite(t.data(), sizeof(float), n, f) != n) {
       return Status::IoError("write failed: " + path);
     }
   }
   return Status::Ok();
 }
 
-StatusOr<std::vector<Tensor>> LoadTensors(const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "rb"));
-  if (!f) return Status::IoError("cannot open for read: " + path);
+StatusOr<std::vector<Tensor>> ReadTensorList(std::FILE* f,
+                                             const std::string& path) {
   char magic[4];
-  if (std::fread(magic, 1, 4, f.get()) != 4 ||
+  if (std::fread(magic, 1, 4, f) != 4 ||
       std::memcmp(magic, kMagic, 4) != 0) {
     return Status::IoError("bad magic in " + path);
   }
   int32_t count = 0;
-  if (std::fread(&count, sizeof(count), 1, f.get()) != 1 || count < 0) {
+  if (std::fread(&count, sizeof(count), 1, f) != 1 || count < 0) {
+    return Status::IoError("bad tensor count in " + path);
+  }
+  int64_t remaining = BytesRemaining(f);
+  if (remaining < 0) return Status::IoError("cannot size " + path);
+  // Every tensor costs at least its 8-byte header, so a count the file
+  // cannot possibly hold is rejected before the vector reserve below.
+  if (static_cast<int64_t>(count) * 8 > remaining) {
     return Status::IoError("bad tensor count in " + path);
   }
   std::vector<Tensor> tensors;
   tensors.reserve(count);
   for (int32_t i = 0; i < count; ++i) {
     int32_t rows = 0, cols = 0;
-    if (std::fread(&rows, sizeof(rows), 1, f.get()) != 1 ||
-        std::fread(&cols, sizeof(cols), 1, f.get()) != 1 || rows < 0 ||
+    if (std::fread(&rows, sizeof(rows), 1, f) != 1 ||
+        std::fread(&cols, sizeof(cols), 1, f) != 1 || rows < 0 ||
         cols < 0) {
       return Status::IoError("bad tensor header in " + path);
     }
-    Tensor t(rows, cols);
-    const size_t n = static_cast<size_t>(t.size());
-    if (n > 0 && std::fread(t.data(), sizeof(float), n, f.get()) != n) {
+    remaining -= 8;
+    const int64_t n =
+        static_cast<int64_t>(rows) * static_cast<int64_t>(cols);
+    // Shape must fit both the int32 element count Tensor uses and the
+    // bytes actually left in the stream.
+    if (n > remaining / static_cast<int64_t>(sizeof(float)) ||
+        n > INT32_MAX) {
+      return Status::IoError("bad tensor header in " + path);
+    }
+    Tensor t = Tensor::Uninit(rows, cols);
+    if (n > 0 && std::fread(t.data(), sizeof(float),
+                            static_cast<size_t>(n),
+                            f) != static_cast<size_t>(n)) {
       return Status::IoError("truncated tensor data in " + path);
     }
+    remaining -= n * static_cast<int64_t>(sizeof(float));
     tensors.push_back(std::move(t));
   }
   return tensors;
+}
+
+Status SaveTensors(const std::string& path,
+                   const std::vector<Tensor>& tensors) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IoError("cannot open for write: " + path);
+  return WriteTensorList(f.get(), path, tensors);
+}
+
+StatusOr<std::vector<Tensor>> LoadTensors(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IoError("cannot open for read: " + path);
+  return ReadTensorList(f.get(), path);
 }
 
 Status SaveParams(const std::string& path,

@@ -1,6 +1,7 @@
 #ifndef UV_IO_SERIALIZE_H_
 #define UV_IO_SERIALIZE_H_
 
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,19 @@ namespace uv::io {
 // parameters are written/read in their canonical Params() order.
 Status SaveTensors(const std::string& path, const std::vector<Tensor>& tensors);
 StatusOr<std::vector<Tensor>> LoadTensors(const std::string& path);
+
+// The inner UVT1 codec over an already-open stream, shared between the
+// standalone files above and containers that embed a tensor list (the UVCK
+// checkpoint). WriteTensorList emits magic + count + per-tensor records and
+// checks every write; ReadTensorList validates the declared count and every
+// tensor shape against the bytes actually remaining in the stream before
+// allocating, so a corrupt header can neither trigger a huge allocation nor
+// return partially-filled tensors. Reading stops at the end of the record:
+// trailing bytes (a container's next section) are left unread.
+Status WriteTensorList(std::FILE* f, const std::string& path,
+                       const std::vector<Tensor>& tensors);
+StatusOr<std::vector<Tensor>> ReadTensorList(std::FILE* f,
+                                             const std::string& path);
 
 // Convenience wrappers over a parameter list. Loading requires the shapes
 // on disk to match the existing parameters exactly.

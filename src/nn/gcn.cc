@@ -1,5 +1,8 @@
 #include "nn/gcn.h"
 
+#include "tensor/forward_ops.h"
+#include "tensor/tensor_ops.h"
+
 namespace uv::nn {
 
 ag::VarPtr GcnLayer::Forward(const ag::VarPtr& x,
@@ -8,6 +11,14 @@ ag::VarPtr GcnLayer::Forward(const ag::VarPtr& x,
   ag::VarPtr h = lin_.Forward(x);
   ag::VarPtr gathered = ag::GatherRows(h, ctx.src_ids);
   return ag::SegmentWeightedSum(ctx.gcn_norm, gathered, ctx.offsets);
+}
+
+Tensor GcnLayer::ForwardRaw(const Tensor& x, const GraphContext& ctx) const {
+  const Tensor h = lin_.ForwardRaw(x);
+  const Tensor gathered = GatherRows(h, *ctx.src_ids);
+  Tensor out;
+  SegmentWeightedSumInto(ctx.gcn_norm->value, gathered, *ctx.offsets, &out);
+  return out;
 }
 
 }  // namespace uv::nn

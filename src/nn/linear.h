@@ -21,6 +21,12 @@ class Linear {
   ag::VarPtr Forward(const ag::VarPtr& x, kern::Activation act,
                      float leaky_slope = 0.0f) const;
 
+  // Grad-free forward on raw tensors, bit-identical to Forward's value
+  // (both run the same fused GemmBiasAct kernel).
+  Tensor ForwardRaw(const Tensor& x,
+                    kern::Activation act = kern::Activation::kNone,
+                    float leaky_slope = 0.0f) const;
+
   std::vector<ag::VarPtr> Params() const { return {w_, b_}; }
   const ag::VarPtr& w() const { return w_; }
   const ag::VarPtr& b() const { return b_; }
@@ -37,6 +43,7 @@ class Mlp {
   Mlp(int in_dim, int hidden_dim, int out_dim, Rng* rng);
 
   ag::VarPtr Forward(const ag::VarPtr& x) const;
+  Tensor ForwardRaw(const Tensor& x) const;
 
   std::vector<ag::VarPtr> Params() const;
   const Linear& layer1() const { return l1_; }

@@ -51,12 +51,14 @@ bool HasPrefix(const std::string& s, const char* prefix) {
   return s.rfind(prefix, 0) == 0;
 }
 
-// Counters/histograms snapshotted into each repeat: the allocator and
-// thread-pool families, where a hot-path regression shows first (a dropped
-// pool explodes mem.heap_allocs; a serialized GEMM empties
-// threadpool.queue_wait_us).
+// Counters/histograms snapshotted into each repeat: the allocator,
+// thread-pool, and serving families, where a hot-path regression shows
+// first (a dropped pool explodes mem.heap_allocs; a serialized GEMM
+// empties threadpool.queue_wait_us; a stalled dispatcher inflates
+// serve.latency_us).
 bool LedgerRelevant(const std::string& name) {
-  return HasPrefix(name, "mem.") || HasPrefix(name, "threadpool.");
+  return HasPrefix(name, "mem.") || HasPrefix(name, "threadpool.") ||
+         HasPrefix(name, "serve.");
 }
 
 std::string EnvOrEmpty(const char* name) {

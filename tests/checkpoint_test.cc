@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/cmsf_detector.h"
+#include "core/config_codec.h"
+#include "eval/splits.h"
+#include "io/checkpoint.h"
+#include "test_helpers.h"
+
+namespace uv::core {
+namespace {
+
+// Shared fixture: one tiny URG + a trained CMSF detector + its saved
+// checkpoint, built once (training dominates the suite's runtime).
+class CheckpointTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    urg_ = new urg::UrbanRegionGraph(uv::testing::TinyUrg());
+    Rng rng(3);
+    auto folds = eval::BlockKFold(urg_->grid, urg_->LabeledIds(), 3, 8, &rng);
+    fold_ = new eval::Fold(folds[0]);
+    train_labels_ = new std::vector<int>();
+    for (int id : fold_->train_ids) train_labels_->push_back(urg_->labels[id]);
+
+    detector_ = new CmsfDetector(FastConfig());
+    detector_->Train(*urg_, fold_->train_ids, *train_labels_);
+    expected_ = new std::vector<float>(
+        detector_->Score(*urg_, fold_->test_ids));
+    path_ = new std::string(::testing::TempDir() + "/uvck_fixture.bin");
+    ASSERT_TRUE(detector_->SaveModel(*path_).ok());
+  }
+
+  static CmsfConfig FastConfig() {
+    CmsfConfig config;
+    config.hidden_dim = 16;
+    config.image_reduce_dim = 16;
+    config.num_clusters = 8;
+    config.classifier_hidden = 8;
+    config.context_dim = 4;
+    config.master_epochs = 10;
+    config.slave_epochs = 3;
+    config.learning_rate = 5e-3;
+    return config;
+  }
+
+  static urg::UrbanRegionGraph* urg_;
+  static eval::Fold* fold_;
+  static std::vector<int>* train_labels_;
+  static CmsfDetector* detector_;
+  static std::vector<float>* expected_;
+  static std::string* path_;
+};
+
+urg::UrbanRegionGraph* CheckpointTest::urg_ = nullptr;
+eval::Fold* CheckpointTest::fold_ = nullptr;
+std::vector<int>* CheckpointTest::train_labels_ = nullptr;
+CmsfDetector* CheckpointTest::detector_ = nullptr;
+std::vector<float>* CheckpointTest::expected_ = nullptr;
+std::string* CheckpointTest::path_ = nullptr;
+
+TEST_F(CheckpointTest, ConfigCodecRoundTrip) {
+  CmsfConfig config;
+  config.image_reduce_dim = 96;
+  config.hidden_dim = 48;
+  config.maga_layers = 3;
+  config.maga_heads = 4;
+  config.maga_agg = nn::AggKind::kConcat;
+  config.num_clusters = 123;
+  config.temperature = 0.25f;
+  config.gscm_agg = nn::AggKind::kAttention;
+  config.classifier_hidden = 17;
+  config.context_dim = 9;
+  config.use_maga = false;
+  config.use_hierarchy = true;
+  config.use_gate = false;
+  config.master_epochs = 77;
+  config.slave_epochs = 13;
+  config.learning_rate = 3.5e-4;
+  config.lr_decay_per_epoch = 0.99;
+  config.lambda = 0.7;
+  config.pos_weight = 2.5;
+  config.clip_norm = 1.25;
+  config.seed = 0xdeadbeefULL;
+  config.batch_size = 256;
+  config.fanout = 12;
+
+  auto decoded = DecodeCmsfConfig(EncodeCmsfConfig(config));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+  const CmsfConfig& got = decoded.value();
+  EXPECT_EQ(got.image_reduce_dim, config.image_reduce_dim);
+  EXPECT_EQ(got.hidden_dim, config.hidden_dim);
+  EXPECT_EQ(got.maga_layers, config.maga_layers);
+  EXPECT_EQ(got.maga_heads, config.maga_heads);
+  EXPECT_EQ(got.maga_agg, config.maga_agg);
+  EXPECT_EQ(got.num_clusters, config.num_clusters);
+  EXPECT_EQ(got.temperature, config.temperature);
+  EXPECT_EQ(got.gscm_agg, config.gscm_agg);
+  EXPECT_EQ(got.classifier_hidden, config.classifier_hidden);
+  EXPECT_EQ(got.context_dim, config.context_dim);
+  EXPECT_EQ(got.use_maga, config.use_maga);
+  EXPECT_EQ(got.use_hierarchy, config.use_hierarchy);
+  EXPECT_EQ(got.use_gate, config.use_gate);
+  EXPECT_EQ(got.master_epochs, config.master_epochs);
+  EXPECT_EQ(got.slave_epochs, config.slave_epochs);
+  EXPECT_EQ(got.learning_rate, config.learning_rate);
+  EXPECT_EQ(got.lr_decay_per_epoch, config.lr_decay_per_epoch);
+  EXPECT_EQ(got.lambda, config.lambda);
+  EXPECT_EQ(got.pos_weight, config.pos_weight);
+  EXPECT_EQ(got.clip_norm, config.clip_norm);
+  EXPECT_EQ(got.seed, config.seed);
+  EXPECT_EQ(got.batch_size, config.batch_size);
+  EXPECT_EQ(got.fanout, config.fanout);
+}
+
+TEST_F(CheckpointTest, ConfigCodecRejectsMalformedBlobs) {
+  const std::vector<uint8_t> blob = EncodeCmsfConfig(CmsfConfig());
+  // Every strict prefix must be rejected (no partial decode).
+  for (size_t len = 0; len < blob.size(); ++len) {
+    std::vector<uint8_t> truncated(blob.begin(), blob.begin() + len);
+    EXPECT_FALSE(DecodeCmsfConfig(truncated).ok()) << "prefix " << len;
+  }
+  // Trailing bytes are rejected too.
+  std::vector<uint8_t> padded = blob;
+  padded.push_back(0);
+  EXPECT_FALSE(DecodeCmsfConfig(padded).ok());
+  // Unknown codec version.
+  std::vector<uint8_t> wrong_version = blob;
+  wrong_version[0] = 0xff;
+  EXPECT_FALSE(DecodeCmsfConfig(wrong_version).ok());
+}
+
+TEST_F(CheckpointTest, FingerprintMatchesSelfOnly) {
+  const io::UrgFingerprint a = io::UrgFingerprint::FromUrg(*urg_);
+  EXPECT_TRUE(a.Matches(io::UrgFingerprint::FromUrg(*urg_)));
+  EXPECT_EQ(a.num_regions, urg_->num_regions());
+
+  const urg::UrbanRegionGraph other = uv::testing::TinyUrg(/*seed=*/12);
+  const io::UrgFingerprint b = io::UrgFingerprint::FromUrg(other);
+  EXPECT_FALSE(a.Matches(b));
+  EXPECT_NE(a.Hash(), b.Hash());
+}
+
+TEST_F(CheckpointTest, RoundTripIsBitIdentical) {
+  // Fresh detector with a different seed and different (to-be-overwritten)
+  // shape knobs: LoadModel must adopt the checkpoint's config and reproduce
+  // the trained predictions bit-for-bit.
+  CmsfConfig other = FastConfig();
+  other.seed = 999;
+  other.hidden_dim = 32;
+  CmsfDetector loaded(other);
+  ASSERT_TRUE(loaded.LoadModel(*urg_, *path_).ok());
+  const auto got = loaded.Score(*urg_, fold_->test_ids);
+  ASSERT_EQ(got.size(), expected_->size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], (*expected_)[i]) << "prediction " << i;
+  }
+}
+
+TEST_F(CheckpointTest, RejectsWrongModelName) {
+  CmsfDetector variant(FastConfig(), "CMSF-G");
+  const Status status = variant.LoadModel(*urg_, *path_);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("CMSF-G"), std::string::npos);
+}
+
+TEST_F(CheckpointTest, RejectsWrongUrgFingerprint) {
+  const urg::UrbanRegionGraph other = uv::testing::TinyUrg(/*seed=*/12);
+  CmsfDetector loaded(FastConfig());
+  EXPECT_FALSE(loaded.LoadModel(other, *path_).ok());
+}
+
+TEST_F(CheckpointTest, RejectsUnsupportedVersion) {
+  auto ck = io::LoadCheckpoint(*path_);
+  ASSERT_TRUE(ck.ok());
+  io::Checkpoint bad = std::move(ck).value();
+  bad.version = 99;
+  // The writer itself refuses unknown versions...
+  const std::string bad_path = ::testing::TempDir() + "/uvck_badver.bin";
+  EXPECT_FALSE(io::SaveCheckpoint(bad_path, bad).ok());
+  // ...so forge one on disk by patching the version field after the magic.
+  std::vector<char> bytes;
+  {
+    std::ifstream in(*path_, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(bytes.size(), 8u);
+  const int32_t forged = 99;
+  std::memcpy(bytes.data() + 4, &forged, sizeof(forged));
+  {
+    std::ofstream out(bad_path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  const auto loaded = io::LoadCheckpoint(bad_path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("version"), std::string::npos);
+  std::remove(bad_path.c_str());
+}
+
+TEST_F(CheckpointTest, RejectsTruncationAndTrailingBytes) {
+  std::vector<char> bytes;
+  {
+    std::ifstream in(*path_, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(bytes.size(), 64u);
+  const std::string tmp = ::testing::TempDir() + "/uvck_mangled.bin";
+  // Truncations at several depths: header, fingerprint, tensor payload.
+  for (const size_t keep :
+       {size_t{2}, size_t{10}, size_t{40}, bytes.size() / 2,
+        bytes.size() - 1}) {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(keep));
+    out.close();
+    EXPECT_FALSE(io::LoadCheckpoint(tmp).ok()) << "kept " << keep;
+  }
+  // A trailing byte after the tensor list is also a corrupt file.
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.put('\0');
+  }
+  EXPECT_FALSE(io::LoadCheckpoint(tmp).ok());
+  std::remove(tmp.c_str());
+}
+
+TEST_F(CheckpointTest, LoadedDetectorCanSaveAgainIdentically) {
+  // Save -> load -> save must produce a byte-identical file: nothing about
+  // the checkpoint depends on in-memory history.
+  CmsfDetector loaded(FastConfig());
+  ASSERT_TRUE(loaded.LoadModel(*urg_, *path_).ok());
+  const std::string again = ::testing::TempDir() + "/uvck_again.bin";
+  ASSERT_TRUE(loaded.SaveModel(again).ok());
+  std::ifstream a(*path_, std::ios::binary), b(again, std::ios::binary);
+  const std::vector<char> bytes_a((std::istreambuf_iterator<char>(a)),
+                                  std::istreambuf_iterator<char>());
+  const std::vector<char> bytes_b((std::istreambuf_iterator<char>(b)),
+                                  std::istreambuf_iterator<char>());
+  EXPECT_EQ(bytes_a, bytes_b);
+  std::remove(again.c_str());
+}
+
+}  // namespace
+}  // namespace uv::core

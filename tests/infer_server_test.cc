@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "baselines/registry.h"
+#include "eval/splits.h"
+#include "infer/engine.h"
+#include "infer/server.h"
+#include "obs/metrics.h"
+#include "test_helpers.h"
+
+namespace uv::infer {
+namespace {
+
+class InferServerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    urg_ = new urg::UrbanRegionGraph(uv::testing::TinyUrg());
+    Rng rng(3);
+    auto folds = eval::BlockKFold(urg_->grid, urg_->LabeledIds(), 3, 8, &rng);
+    const eval::Fold& fold = folds[0];
+    std::vector<int> train_labels;
+    for (int id : fold.train_ids) train_labels.push_back(urg_->labels[id]);
+
+    baselines::TrainOptions options;
+    options.epochs = 8;
+    core::CmsfConfig config;
+    config.hidden_dim = 16;
+    config.image_reduce_dim = 16;
+    config.num_clusters = 8;
+    config.classifier_hidden = 8;
+    config.context_dim = 4;
+    config.master_epochs = 8;
+    config.slave_epochs = 3;
+    detector_ = baselines::MakeDetector("CMSF", options, config).release();
+    detector_->Train(*urg_, fold.train_ids, train_labels);
+    engine_ = baselines::MakeEngine(*detector_, *urg_).release();
+
+    // Ground truth for every region, scored directly (no server).
+    all_ids_ = new std::vector<int>();
+    for (int id = 0; id < urg_->num_regions(); ++id) all_ids_->push_back(id);
+    expected_ = new std::vector<float>(engine_->Score(*all_ids_));
+  }
+
+  static urg::UrbanRegionGraph* urg_;
+  static eval::Detector* detector_;
+  static Engine* engine_;
+  static std::vector<int>* all_ids_;
+  static std::vector<float>* expected_;
+};
+
+urg::UrbanRegionGraph* InferServerTest::urg_ = nullptr;
+eval::Detector* InferServerTest::detector_ = nullptr;
+Engine* InferServerTest::engine_ = nullptr;
+std::vector<int>* InferServerTest::all_ids_ = nullptr;
+std::vector<float>* InferServerTest::expected_ = nullptr;
+
+TEST_F(InferServerTest, OptionsFromEnv) {
+  unsetenv("UV_SERVE_BATCH");
+  unsetenv("UV_SERVE_DEADLINE_US");
+  ServerOptions defaults = ServerOptions::FromEnv();
+  EXPECT_EQ(defaults.max_batch, 64);
+  EXPECT_EQ(defaults.deadline_us, 200);
+  setenv("UV_SERVE_BATCH", "7", 1);
+  setenv("UV_SERVE_DEADLINE_US", "1234", 1);
+  ServerOptions overridden = ServerOptions::FromEnv();
+  EXPECT_EQ(overridden.max_batch, 7);
+  EXPECT_EQ(overridden.deadline_us, 1234);
+  setenv("UV_SERVE_BATCH", "bogus", 1);
+  EXPECT_EQ(ServerOptions::FromEnv().max_batch, 64);
+  unsetenv("UV_SERVE_BATCH");
+  unsetenv("UV_SERVE_DEADLINE_US");
+}
+
+TEST_F(InferServerTest, SingleClientMatchesDirectScoring) {
+  ScoringServer server(engine_);
+  const std::vector<float> got = server.Score(*all_ids_);
+  EXPECT_EQ(got, *expected_);
+}
+
+// Results must be bit-identical no matter how the dispatcher happens to
+// group requests: exercise extreme batching configurations.
+TEST_F(InferServerTest, DeterministicAcrossBatchCompositions) {
+  for (const int max_batch : {1, 3, 64, 4096}) {
+    for (const int deadline_us : {0, 500}) {
+      ServerOptions options;
+      options.max_batch = max_batch;
+      options.deadline_us = deadline_us;
+      ScoringServer server(engine_, options);
+      EXPECT_EQ(server.Score(*all_ids_), *expected_)
+          << "max_batch=" << max_batch << " deadline=" << deadline_us;
+    }
+  }
+}
+
+TEST_F(InferServerTest, ConcurrentClientsAllGetExactScores) {
+  ServerOptions options;
+  options.max_batch = 16;  // Force plenty of mixed-request batches.
+  options.deadline_us = 100;
+  ScoringServer server(engine_, options);
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 20;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([t, &server, &mismatches] {
+      const int n = urg_->num_regions();
+      for (int round = 0; round < kRounds; ++round) {
+        // Each client scores a different stride of the id space.
+        std::vector<int> ids;
+        for (int id = (t + round) % 5; id < n; id += 5) ids.push_back(id);
+        const std::vector<float> got = server.Score(ids);
+        for (size_t i = 0; i < ids.size(); ++i) {
+          if (got[i] != (*expected_)[ids[i]]) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST_F(InferServerTest, RecordsServingHistograms) {
+  obs::Registry::Global().ResetAll();
+  {
+    ScoringServer server(engine_);
+    server.Score(*all_ids_);
+    server.Score(*all_ids_);
+  }
+  const obs::RegistrySnapshot snapshot = obs::Registry::Global().Snapshot();
+  bool saw_queue = false, saw_batch = false, saw_latency = false;
+  for (const auto& h : snapshot.histograms) {
+    if (h.name == "serve.queue_wait_us") saw_queue = h.count >= 2;
+    if (h.name == "serve.batch_size") {
+      saw_batch = h.count >= 2;
+      // Both calls scored every region across one or more batches.
+      EXPECT_EQ(h.sum, static_cast<uint64_t>(2 * urg_->num_regions()));
+    }
+    if (h.name == "serve.latency_us") saw_latency = h.count >= 2;
+  }
+  EXPECT_TRUE(saw_queue);
+  EXPECT_TRUE(saw_batch);
+  EXPECT_TRUE(saw_latency);
+}
+
+TEST_F(InferServerTest, ShutdownDrainsAndIsIdempotent) {
+  ScoringServer server(engine_);
+  EXPECT_EQ(server.Score(*all_ids_), *expected_);
+  server.Shutdown();
+  server.Shutdown();  // Second call is a no-op.
+}
+
+TEST_F(InferServerTest, EmptyRequestIsANoop) {
+  ScoringServer server(engine_);
+  std::vector<float> out = server.Score(std::vector<int>{});
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace uv::infer

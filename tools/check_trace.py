@@ -214,6 +214,20 @@ def check_ledger_benchmark(path, name, bench):
         if metric.get("direction") not in LEDGER_DIRECTIONS:
             fail(f"{path}: {name!r} metric {mname!r} has bad direction "
                  f"{metric.get('direction')!r}")
+
+    histograms = bench.get("histograms", {})
+    if not isinstance(histograms, dict):
+        fail(f"{path}: benchmark {name!r}: bad histograms type")
+    for hname, hist in histograms.items():
+        if not isinstance(hist, dict):
+            fail(f"{path}: {name!r} histogram {hname!r} is not an object")
+        for key in ("count", "sum", "p50", "p95"):
+            val = hist.get(key)
+            if not isinstance(val, (int, float)) or val < 0:
+                fail(f"{path}: {name!r} histogram {hname!r} has bad "
+                     f"{key}={val!r}")
+        if hist["p50"] > hist["p95"]:
+            fail(f"{path}: {name!r} histogram {hname!r} has p50 > p95")
     return len(repeats), len(metrics)
 
 
@@ -244,6 +258,57 @@ CITY_SCALE_KINDS = {
         "batches_per_epoch": "info",
     },
 }
+
+
+# Required metrics per serve.* entry kind, matching what bench_suite's
+# RunServeSuite records. Entries are named serve.<kind>_<tag>; the engine
+# entry must also carry the serving histograms captured from the final
+# timed repeat.
+SERVE_KINDS = {
+    "autograd": {
+        "regions_per_sec": "higher",
+        "request_size": "info",
+        "requests": "info",
+    },
+    "engine": {
+        "regions_per_sec": "higher",
+        "speedup_vs_autograd": "higher",
+        "num_regions": "info",
+        "clients": "info",
+        "request_size": "info",
+    },
+}
+SERVE_ENGINE_HISTOGRAMS = (
+    "serve.queue_wait_us",
+    "serve.batch_size",
+    "serve.latency_us",
+)
+
+
+def check_serve_entry(path, name, bench):
+    rest = name[len("serve."):]
+    kind, _, tag = rest.rpartition("_")
+    if kind not in SERVE_KINDS or not tag:
+        fail(f"{path}: benchmark {name!r} does not match "
+             f"serve.<kind>_<tag> with kind in {sorted(SERVE_KINDS)}")
+    if not bench.get("repeats"):
+        fail(f"{path}: serve benchmark {name!r} has no timed repeats")
+    metrics = bench.get("metrics", {})
+    for mname, direction in SERVE_KINDS[kind].items():
+        metric = metrics.get(mname)
+        if metric is None:
+            fail(f"{path}: serve benchmark {name!r} lacks required "
+                 f"metric {mname!r}")
+        if metric.get("direction") != direction:
+            fail(f"{path}: serve benchmark {name!r} metric {mname!r} "
+                 f"has direction {metric.get('direction')!r}, "
+                 f"expected {direction!r}")
+    if kind == "engine":
+        histograms = bench.get("histograms", {})
+        for hname in SERVE_ENGINE_HISTOGRAMS:
+            if hname not in histograms:
+                fail(f"{path}: serve benchmark {name!r} lacks required "
+                     f"histogram {hname!r}")
 
 
 def check_city_scale_entry(path, name, bench):
@@ -289,7 +354,7 @@ def check_ledger(path):
     benches = doc.get("benchmarks")
     if not isinstance(benches, dict) or not benches:
         fail(f"{path}: missing or empty 'benchmarks' map")
-    total_repeats = total_metrics = city_scale = 0
+    total_repeats = total_metrics = city_scale = serve = 0
     for name, bench in benches.items():
         nrep, nmet = check_ledger_benchmark(path, name, bench)
         total_repeats += nrep
@@ -297,9 +362,12 @@ def check_ledger(path):
         if name.startswith("city_scale."):
             check_city_scale_entry(path, name, bench)
             city_scale += 1
+        elif name.startswith("serve."):
+            check_serve_entry(path, name, bench)
+            serve += 1
     print(f"check_trace: {path}: OK ({len(benches)} benchmarks, "
           f"{total_repeats} repeats, {total_metrics} metrics, "
-          f"{city_scale} city-scale entries)")
+          f"{city_scale} city-scale entries, {serve} serve entries)")
 
 
 def main():
