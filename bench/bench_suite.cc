@@ -11,6 +11,8 @@
 // UV_BENCH_REPEATS / UV_BENCH_WARMUP / UV_BENCH_OUT are the env fallbacks;
 // UV_BENCH_SCALE etc. shape the --eval leg (see bench_common.h).
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -466,25 +468,117 @@ void RunServeSuite(uv::obs::Report* report,
               autograd_rps > 0.0 ? engine_rps / autograd_rps : 0.0);
 }
 
+// Telemetry demo: runs a ScoringServer under continuous client load for a
+// couple of seconds and prints ScoringServer::Stats() ticks — live rolling
+// window percentiles, queue depth, in-flight count, dispatcher state —
+// plus the tail of the request-event ring. With UV_EXPORT set, the same
+// numbers land in the Prometheus/JSON files while this runs; the point of
+// the demo is seeing Stats() agree with the exporter. Not a ledger entry
+// (it measures nothing; it exercises the introspection surface).
+void RunServeMonitor(const uv::bench::BenchConfig& bench) {
+  const uv::synth::CityConfig config =
+      uv::synth::ShenzhenLike(/*scale=*/0.02, /*seed=*/42);
+  const uv::urg::UrbanRegionGraph urg =
+      uv::urg::BuildUrg(uv::synth::GenerateCity(config), uv::urg::UrgOptions{});
+  const int n = urg.num_regions();
+  std::printf("--- serve-monitor: quickstart city, %d regions ---\n", n);
+
+  uv::Rng rng(7);
+  const auto folds =
+      uv::eval::BlockKFold(urg.grid, urg.LabeledIds(), 3, 10, &rng);
+  std::vector<int> train_labels(folds[0].train_ids.size());
+  for (size_t i = 0; i < train_labels.size(); ++i) {
+    train_labels[i] = urg.labels[folds[0].train_ids[i]];
+  }
+  uv::core::CmsfConfig cmsf;
+  cmsf.num_clusters = 30;
+  cmsf.master_epochs = std::min(bench.epochs, 10);
+  cmsf.slave_epochs = 5;
+  cmsf.seed = bench.seed;
+  uv::core::CmsfDetector detector(cmsf);
+  detector.Train(urg, folds[0].train_ids, train_labels);
+  auto engine = uv::infer::MakeCmsfEngine(*detector.model(),
+                                          &detector.frozen(), urg);
+
+  uv::infer::ServerOptions server_options = uv::infer::ServerOptions::FromEnv();
+  server_options.slo_window_s = 2;  // Short window so ticks visibly roll.
+  if (server_options.event_capacity <= 0) server_options.event_capacity = 256;
+  uv::infer::ScoringServer server(engine.get(), server_options);
+
+  static constexpr int kMonitorClients = 2;
+  static constexpr int kRequestSize = 32;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> clients;
+  clients.reserve(kMonitorClients);
+  for (int c = 0; c < kMonitorClients; ++c) {
+    clients.emplace_back([c, n, &server, &stop] {
+      int ids[kRequestSize];
+      float out[kRequestSize];
+      int cursor = c * kRequestSize;
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (int i = 0; i < kRequestSize; ++i) {
+          ids[i] = (cursor + i) % n;
+        }
+        cursor = (cursor + kRequestSize) % n;
+        server.Score(ids, kRequestSize, out);
+      }
+    });
+  }
+
+  static constexpr int kTicks = 3;
+  for (int t = 0; t < kTicks; ++t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+    const uv::infer::ServerStats s = server.Stats();
+    std::printf(
+        "tick %d: reqs=%llu batches=%llu depth=%lld inflight=%lld state=%lld "
+        "| window(%llus, %llu reqs) latency p50/p95/p99 = %.0f/%.0f/%.0f us, "
+        "queue_wait p99 = %.0f us\n",
+        t + 1, static_cast<unsigned long long>(s.requests_total),
+        static_cast<unsigned long long>(s.batches_total),
+        static_cast<long long>(s.queue_depth),
+        static_cast<long long>(s.inflight),
+        static_cast<long long>(s.dispatcher_state),
+        static_cast<unsigned long long>(s.window_us / 1000000),
+        static_cast<unsigned long long>(s.window_count), s.latency_p50_us,
+        s.latency_p95_us, s.latency_p99_us, s.queue_wait_p99_us);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& c : clients) c.join();
+  server.Shutdown();
+
+  const auto events = server.RecentEvents();
+  const size_t tail = events.size() < 4 ? events.size() : size_t{4};
+  std::printf("last %zu of %zu ring events:\n", tail, events.size());
+  for (size_t i = events.size() - tail; i < events.size(); ++i) {
+    const auto& e = events[i];
+    std::printf("  req=%llu batch=%llu n=%d queue_wait=%lluus latency=%lluus\n",
+                static_cast<unsigned long long>(e.id),
+                static_cast<unsigned long long>(e.batch), e.n,
+                static_cast<unsigned long long>(e.queue_wait_us),
+                static_cast<unsigned long long>(e.latency_us));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool micro = false, eval = false, serve = false;
+  bool micro = false, eval = false, serve = false, serve_monitor = false;
   std::vector<std::string> city_scales;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--micro") == 0) micro = true;
     if (std::strcmp(argv[i], "--eval") == 0) eval = true;
     if (std::strcmp(argv[i], "--serve") == 0) serve = true;
+    if (std::strcmp(argv[i], "--serve-monitor") == 0) serve_monitor = true;
     if (std::strncmp(argv[i], "--city-scale=", 13) == 0) {
       city_scales.emplace_back(argv[i] + 13);
     } else if (std::strcmp(argv[i], "--city-scale") == 0 && i + 1 < argc) {
       city_scales.emplace_back(argv[++i]);
     }
   }
-  if (!micro && !eval && !serve && city_scales.empty()) {
+  if (!micro && !eval && !serve && !serve_monitor && city_scales.empty()) {
     std::fprintf(stderr,
                  "usage: bench_suite --micro [--eval] [--serve] "
-                 "[--city-scale TAG]... "
+                 "[--serve-monitor] [--city-scale TAG]... "
                  "[--repeats N] [--warmup N] [--out FILE]\n"
                  "       TAG in {93k, 175k, 354k}; repeatable\n");
     return 2;
@@ -498,10 +592,15 @@ int main(int argc, char** argv) {
   if (micro) RunMicroSuite(&report);
   if (eval) RunEvalSuite(&report, bench);
   if (serve) RunServeSuite(&report, bench);
+  if (serve_monitor) RunServeMonitor(bench);
   for (const auto& tag : city_scales) RunCityScaleSuite(&report, bench, tag);
 
-  const std::string path =
-      uv::bench::LedgerPath("BENCH_core.json", argc, argv);
-  uv::bench::WriteLedger(report, path);
+  // The monitor demo records no benchmarks; running it alone must not
+  // clobber an existing ledger with an empty one.
+  if (micro || eval || serve || !city_scales.empty()) {
+    const std::string path =
+        uv::bench::LedgerPath("BENCH_core.json", argc, argv);
+    uv::bench::WriteLedger(report, path);
+  }
   return 0;
 }

@@ -4,18 +4,12 @@
 #include <cstdlib>
 #include <cstring>
 
-#include "obs/metrics.h"
+#include "obs/metrics_log.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace uv::infer {
 namespace {
-
-uint64_t NowMicros() {
-  return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
 
 int EnvInt(const char* name, int fallback) {
   const char* v = std::getenv(name);
@@ -24,20 +18,54 @@ int EnvInt(const char* name, int fallback) {
   return parsed > 0 ? parsed : fallback;
 }
 
+// Dispatcher-state gauge values (serve.dispatcher_state).
+constexpr int64_t kIdle = 0;
+constexpr int64_t kBatching = 1;
+constexpr int64_t kScoring = 2;
+
 }  // namespace
 
 ServerOptions ServerOptions::FromEnv() {
   ServerOptions o;
   o.max_batch = EnvInt("UV_SERVE_BATCH", o.max_batch);
   o.deadline_us = EnvInt("UV_SERVE_DEADLINE_US", o.deadline_us);
+  o.slo_window_s = EnvInt("UV_SLO_WINDOW_S", o.slo_window_s);
+  o.event_capacity = EnvInt("UV_SERVE_EVENTS", o.event_capacity);
   return o;
 }
 
 ScoringServer::ScoringServer(Engine* engine, const ServerOptions& options)
-    : engine_(engine), options_(options) {
+    : engine_(engine),
+      options_(options),
+      clock_(options.clock != nullptr ? options.clock : obs::DefaultClock()),
+      requests_total_(obs::Registry::Global().GetCounter("serve.requests")),
+      regions_total_(obs::Registry::Global().GetCounter("serve.regions")),
+      queue_depth_(obs::Registry::Global().GetGauge("serve.queue_depth")),
+      inflight_(obs::Registry::Global().GetGauge("serve.inflight")),
+      dispatcher_state_(
+          obs::Registry::Global().GetGauge("serve.dispatcher_state")),
+      queue_wait_us_(
+          obs::Registry::Global().GetHistogram("serve.queue_wait_us")),
+      batch_size_(obs::Registry::Global().GetHistogram("serve.batch_size")),
+      latency_us_(obs::Registry::Global().GetHistogram("serve.latency_us")),
+      queue_wait_window_reg_(obs::Registry::Global().GetWindowed(
+          "serve.queue_wait_us",
+          static_cast<uint64_t>(options.slo_window_s) * 1000 * 1000)),
+      latency_window_reg_(obs::Registry::Global().GetWindowed(
+          "serve.latency_us",
+          static_cast<uint64_t>(options.slo_window_s) * 1000 * 1000)),
+      queue_wait_window_(
+          static_cast<uint64_t>(options.slo_window_s) * 1000 * 1000, clock_),
+      latency_window_(
+          static_cast<uint64_t>(options.slo_window_s) * 1000 * 1000, clock_) {
   UV_CHECK(engine_ != nullptr);
   UV_CHECK_GT(options_.max_batch, 0);
   UV_CHECK_GE(options_.deadline_us, 0);
+  UV_CHECK_GT(options_.slo_window_s, 0);
+  UV_CHECK_GE(options_.event_capacity, 0);
+  if (options_.event_capacity > 0) {
+    events_.resize(static_cast<size_t>(options_.event_capacity));
+  }
   dispatcher_ = std::thread([this] { DispatchLoop(); });
 }
 
@@ -58,7 +86,12 @@ void ScoringServer::Score(const int* ids, int n, float* out) {
   req.ids = ids;
   req.n = n;
   req.out = out;
-  req.enqueue_us = NowMicros();
+  // Ids are assigned at admission, so they are monotone in enqueue order
+  // and every span/record/event for one request agrees on its identity.
+  req.id = next_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  req.enqueue_us = clock_->NowMicros();
+  inflight_.Add(1);
+  queue_depth_.Add(n);
   {
     std::lock_guard<std::mutex> lock(mu_);
     UV_CHECK(!stop_);
@@ -73,6 +106,7 @@ void ScoringServer::Score(const int* ids, int n, float* out) {
   work_cv_.notify_one();
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [&req] { return req.done; });
+  inflight_.Add(-1);
 }
 
 std::vector<float> ScoringServer::Score(const std::vector<int>& ids) {
@@ -81,22 +115,56 @@ std::vector<float> ScoringServer::Score(const std::vector<int>& ids) {
   return out;
 }
 
-void ScoringServer::DispatchLoop() {
-  obs::Registry& reg = obs::Registry::Global();
-  obs::Histogram& queue_wait_us = reg.GetHistogram("serve.queue_wait_us");
-  obs::Histogram& batch_size = reg.GetHistogram("serve.batch_size");
-  obs::Histogram& latency_us = reg.GetHistogram("serve.latency_us");
+void ScoringServer::RecordCompletion(const Request& req) {
+  // Cumulative and windowed views of the same sample, one JSONL ground-
+  // truth record per request (unsampled — trace sampling only thins
+  // spans), and optionally a ring slot. Caller holds mu_ for the ring.
+  queue_wait_us_.Record(req.queue_wait_us);
+  latency_us_.Record(req.latency_us);
+  queue_wait_window_.Record(req.queue_wait_us);
+  latency_window_.Record(req.latency_us);
+  queue_wait_window_reg_.Record(req.queue_wait_us);
+  latency_window_reg_.Record(req.latency_us);
+  requests_total_.Inc();
+  regions_total_.Inc(static_cast<uint64_t>(req.n));
+  requests_done_.fetch_add(1, std::memory_order_relaxed);
+  regions_done_.fetch_add(static_cast<uint64_t>(req.n),
+                          std::memory_order_relaxed);
+  if (obs::MetricsLogEnabled()) {
+    obs::MetricsRecord("request")
+        .Int("req", static_cast<int64_t>(req.id))
+        .Int("batch", static_cast<int64_t>(req.batch))
+        .Int("n", req.n)
+        .Int("queue_wait_us", static_cast<int64_t>(req.queue_wait_us))
+        .Int("latency_us", static_cast<int64_t>(req.latency_us))
+        .Emit();
+  }
+  if (!events_.empty()) {
+    RequestEvent& slot = events_[event_next_];
+    slot.id = req.id;
+    slot.batch = req.batch;
+    slot.n = req.n;
+    slot.enqueue_us = req.enqueue_us;
+    slot.queue_wait_us = req.queue_wait_us;
+    slot.latency_us = req.latency_us;
+    event_next_ = (event_next_ + 1) % events_.size();
+    ++event_count_;
+  }
+}
 
+void ScoringServer::DispatchLoop() {
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
+    dispatcher_state_.Set(kIdle);
     work_cv_.wait(lock, [this] { return stop_ || head_ != nullptr; });
     if (head_ == nullptr) return;  // stop_ with a drained queue.
 
     // Micro-batch accumulation: hold the flush until the batch is full or
     // the oldest request's deadline expires. head_ is stable here — only
     // the dispatcher pops.
+    dispatcher_state_.Set(kBatching);
     while (!stop_ && pending_ids_ < options_.max_batch) {
-      const uint64_t age = NowMicros() - head_->enqueue_us;
+      const uint64_t age = clock_->NowMicros() - head_->enqueue_us;
       if (age >= static_cast<uint64_t>(options_.deadline_us)) break;
       work_cv_.wait_for(
           lock, std::chrono::microseconds(options_.deadline_us - age));
@@ -104,10 +172,13 @@ void ScoringServer::DispatchLoop() {
 
     // Detach whole requests up to max_batch ids (always at least one, so
     // an oversized single request still gets served).
+    const uint64_t batch_id =
+        batches_done_.fetch_add(1, std::memory_order_relaxed) + 1;
     batch_reqs_.clear();
     int total = 0;
     while (head_ != nullptr &&
            (batch_reqs_.empty() || total + head_->n <= options_.max_batch)) {
+      head_->batch = batch_id;
       batch_reqs_.push_back(head_);
       total += head_->n;
       pending_ids_ -= head_->n;
@@ -115,30 +186,93 @@ void ScoringServer::DispatchLoop() {
     }
     if (head_ == nullptr) tail_ = nullptr;
     lock.unlock();
+    queue_depth_.Add(-total);
+    dispatcher_state_.Set(kScoring);
 
-    const uint64_t start_us = NowMicros();
+    const uint64_t start_us = clock_->NowMicros();
     batch_ids_.clear();
     for (const Request* r : batch_reqs_) {
       batch_ids_.insert(batch_ids_.end(), r->ids, r->ids + r->n);
     }
     if (static_cast<int>(batch_out_.size()) < total) batch_out_.resize(total);
     engine_->ScoreInto(batch_ids_.data(), total, batch_out_.data());
-    const uint64_t end_us = NowMicros();
+    const uint64_t score_end_us = clock_->NowMicros();
 
-    batch_size.Record(static_cast<uint64_t>(total));
+    batch_size_.Record(static_cast<uint64_t>(total));
     int offset = 0;
-    for (const Request* r : batch_reqs_) {
+    for (Request* r : batch_reqs_) {
       std::memcpy(r->out, batch_out_.data() + offset,
                   sizeof(float) * static_cast<size_t>(r->n));
       offset += r->n;
-      queue_wait_us.Record(start_us - r->enqueue_us);
-      latency_us.Record(end_us - r->enqueue_us);
+      r->queue_wait_us = start_us - r->enqueue_us;
+      r->latency_us = clock_->NowMicros() - r->enqueue_us;
+    }
+
+    if (obs::TraceEnabled()) {
+      const uint64_t end_us = clock_->NowMicros();
+      // Batch-level spans are unconditional (one pair per engine call);
+      // the per-request queue-wait span is thinned by the deterministic
+      // id sampler so high-QPS traces stay within the span buffers.
+      obs::RecordSpan("serve.dispatch", obs::SpanLevel::kCoarse, start_us,
+                      end_us, "batch", static_cast<int64_t>(batch_id), "reqs",
+                      static_cast<int64_t>(batch_reqs_.size()));
+      obs::RecordSpan("serve.score", obs::SpanLevel::kFine, start_us,
+                      score_end_us, "batch", static_cast<int64_t>(batch_id),
+                      "size", total);
+      for (const Request* r : batch_reqs_) {
+        if (!obs::TraceSampleForId(r->id)) continue;
+        obs::RecordSpan("serve.enqueue", obs::SpanLevel::kFine, r->enqueue_us,
+                        start_us, "req", static_cast<int64_t>(r->id), "batch",
+                        static_cast<int64_t>(r->batch));
+      }
     }
 
     lock.lock();
-    for (Request* r : batch_reqs_) r->done = true;
+    for (Request* r : batch_reqs_) {
+      RecordCompletion(*r);
+      r->done = true;
+    }
     done_cv_.notify_all();
   }
+}
+
+ServerStats ScoringServer::Stats() const {
+  ServerStats s;
+  s.requests_total = requests_done_.load(std::memory_order_relaxed);
+  s.regions_total = regions_done_.load(std::memory_order_relaxed);
+  s.batches_total = batches_done_.load(std::memory_order_relaxed);
+  s.queue_depth = queue_depth_.Value();
+  s.inflight = inflight_.Value();
+  s.dispatcher_state = dispatcher_state_.Value();
+  const obs::WindowedHistogramSnapshot lat = latency_window_.Snapshot();
+  const obs::WindowedHistogramSnapshot qw = queue_wait_window_.Snapshot();
+  s.window_us = lat.window_us;
+  s.window_count = lat.count;
+  s.latency_p50_us = lat.p50;
+  s.latency_p95_us = lat.p95;
+  s.latency_p99_us = lat.p99;
+  s.queue_wait_p50_us = qw.p50;
+  s.queue_wait_p95_us = qw.p95;
+  s.queue_wait_p99_us = qw.p99;
+  return s;
+}
+
+std::vector<RequestEvent> ScoringServer::RecentEvents() const {
+  std::vector<RequestEvent> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.empty() || event_count_ == 0) return out;
+  const size_t n = event_count_ < events_.size()
+                       ? static_cast<size_t>(event_count_)
+                       : events_.size();
+  out.reserve(n);
+  // Oldest first: the ring's next write slot is also its oldest entry once
+  // it has wrapped.
+  const size_t start =
+      event_count_ < events_.size() ? 0 : event_next_;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(events_[(start + i) % events_.size()]);
+  }
+  return out;
 }
 
 }  // namespace uv::infer

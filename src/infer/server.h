@@ -8,10 +8,24 @@
 // engine tail is row-wise, results are bit-identical regardless of how
 // requests happen to be batched together.
 //
-// Serving metrics are recorded into the global obs registry:
-//   serve.queue_wait_us  time from enqueue to dispatch
-//   serve.batch_size     region ids per engine call
-//   serve.latency_us     time from enqueue to scored
+// Request lifecycle telemetry (global obs registry):
+//   serve.queue_wait_us   histogram + rolling window, enqueue -> dispatch
+//   serve.batch_size      histogram, region ids per engine call
+//   serve.latency_us      histogram + rolling window, enqueue -> scored
+//   serve.requests        counter, Score() calls completed
+//   serve.regions         counter, region ids scored
+//   serve.queue_depth     gauge, region ids waiting for dispatch
+//   serve.inflight        gauge, Score() calls between enqueue and done
+//   serve.dispatcher_state gauge, 0 idle / 1 batching / 2 scoring
+//
+// Every Score() call gets a process-unique monotonically increasing
+// request id, carried through queue -> dispatcher -> engine. With tracing
+// on, each batch emits serve.dispatch / serve.score spans (args: batch,
+// reqs/size) and each *sampled* request (TraceSampleForId, rate from
+// UV_TRACE_SAMPLE) emits a serve.enqueue span covering its queue wait
+// (args: req, batch). With UV_METRICS on, every completed request appends
+// a {"kind":"request",...} JSONL record — unsampled ground truth that the
+// windowed percentiles can be checked against post hoc.
 
 #include <condition_variable>
 #include <cstdint>
@@ -20,16 +34,64 @@
 #include <vector>
 
 #include "infer/engine.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/windowed.h"
 
 namespace uv::infer {
 
 struct ServerOptions {
   int max_batch = 64;     // Flush when this many ids are pending.
   int deadline_us = 200;  // Or when the oldest request is this old.
+  int slo_window_s = 60;  // Rolling window for serve.*_us percentiles.
 
-  // Reads UV_SERVE_BATCH / UV_SERVE_DEADLINE_US (non-positive or unset
-  // values keep the defaults above).
+  // Per-request completion events retained in a ring for introspection
+  // (RecentEvents). 0 disables the ring; the ring is preallocated, so the
+  // steady-state request path stays allocation-free either way.
+  int event_capacity = 0;
+
+  // Time source for enqueue/dispatch/latency stamps. nullptr means
+  // obs::DefaultClock() — the tracer's timeline, so request timestamps
+  // double as span times. Tests inject a FakeClock; note the batching
+  // deadline also reads this clock, so FakeClock tests should use
+  // deadline_us = 0 (a frozen clock never ages the oldest request).
+  const obs::Clock* clock = nullptr;
+
+  // Reads UV_SERVE_BATCH / UV_SERVE_DEADLINE_US / UV_SLO_WINDOW_S /
+  // UV_SERVE_EVENTS (non-positive or unset values keep the defaults).
   static ServerOptions FromEnv();
+};
+
+// One completed request, as retained by the event ring.
+struct RequestEvent {
+  uint64_t id = 0;             // Monotonic request id (from 1).
+  uint64_t batch = 0;          // Id of the batch that served it.
+  int n = 0;                   // Region ids in the request.
+  uint64_t enqueue_us = 0;     // Clock stamp at admission.
+  uint64_t queue_wait_us = 0;  // Enqueue -> batch detach.
+  uint64_t latency_us = 0;     // Enqueue -> results copied.
+};
+
+// Point-in-time introspection snapshot (Stats()).
+struct ServerStats {
+  uint64_t requests_total = 0;  // Completed Score() calls.
+  uint64_t regions_total = 0;   // Region ids scored.
+  uint64_t batches_total = 0;   // Engine calls.
+  int64_t queue_depth = 0;      // Region ids awaiting dispatch.
+  int64_t inflight = 0;         // Requests between enqueue and done.
+  int64_t dispatcher_state = 0;  // 0 idle / 1 batching / 2 scoring.
+
+  // Rolling-window views (serve.latency_us / serve.queue_wait_us over the
+  // last slo_window_s seconds; percentile math identical to Histogram's
+  // nearest-rank bucket-lower-bound convention).
+  uint64_t window_us = 0;
+  uint64_t window_count = 0;
+  double latency_p50_us = 0.0;
+  double latency_p95_us = 0.0;
+  double latency_p99_us = 0.0;
+  double queue_wait_p50_us = 0.0;
+  double queue_wait_p95_us = 0.0;
+  double queue_wait_p99_us = 0.0;
 };
 
 class ScoringServer {
@@ -49,6 +111,14 @@ class ScoringServer {
   // destructor; new Score() calls after shutdown are an error.
   void Shutdown();
 
+  // Live introspection: totals, queue/inflight gauges, and rolling-window
+  // latency percentiles. Safe from any thread, any time.
+  ServerStats Stats() const;
+
+  // The last up-to-event_capacity completed requests, oldest first. Empty
+  // when the ring is disabled.
+  std::vector<RequestEvent> RecentEvents() const;
+
  private:
   // Stack-allocated by Score(); the queue links them intrusively so the
   // admission path performs no heap allocation.
@@ -58,21 +128,57 @@ class ScoringServer {
     float* out = nullptr;
     bool done = false;
     Request* next = nullptr;
+    uint64_t id = 0;
+    uint64_t batch = 0;
     uint64_t enqueue_us = 0;
+    uint64_t queue_wait_us = 0;
+    uint64_t latency_us = 0;
   };
 
   void DispatchLoop();
+  void RecordCompletion(const Request& req);
 
   Engine* const engine_;
   const ServerOptions options_;
+  const obs::Clock* const clock_;
 
-  std::mutex mu_;
+  // Registry metrics, resolved once here: Get* takes a std::string and the
+  // admission path must stay allocation-free (bench_serve_alloc gates it).
+  obs::Counter& requests_total_;
+  obs::Counter& regions_total_;
+  obs::Gauge& queue_depth_;
+  obs::Gauge& inflight_;
+  obs::Gauge& dispatcher_state_;
+  obs::Histogram& queue_wait_us_;
+  obs::Histogram& batch_size_;
+  obs::Histogram& latency_us_;
+
+  // Registry-owned rolling windows feed the exporter; they are created
+  // once (first server fixes window and clock), so a server with an
+  // injected clock also keeps private windows on its own timeline for
+  // Stats(). With the default clock the two views see identical samples.
+  obs::WindowedHistogram& queue_wait_window_reg_;
+  obs::WindowedHistogram& latency_window_reg_;
+  obs::WindowedHistogram queue_wait_window_;
+  obs::WindowedHistogram latency_window_;
+
+  std::atomic<uint64_t> next_id_{0};
+  std::atomic<uint64_t> requests_done_{0};
+  std::atomic<uint64_t> regions_done_{0};
+  std::atomic<uint64_t> batches_done_{0};
+
+  mutable std::mutex mu_;            // Also taken by const introspection.
   std::condition_variable work_cv_;  // Signals the dispatcher.
   std::condition_variable done_cv_;  // Signals waiting clients.
   Request* head_ = nullptr;          // FIFO intrusive queue.
   Request* tail_ = nullptr;
   int pending_ids_ = 0;
   bool stop_ = false;
+
+  // Completion-event ring (mu_-guarded; preallocated in the constructor).
+  std::vector<RequestEvent> events_;
+  size_t event_next_ = 0;
+  uint64_t event_count_ = 0;
 
   // Dispatcher-only batch buffers; capacity is retained across batches.
   std::vector<Request*> batch_reqs_;

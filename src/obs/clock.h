@@ -1,0 +1,41 @@
+#ifndef UV_OBS_CLOCK_H_
+#define UV_OBS_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace uv::obs {
+
+// Injectable time source for telemetry that depends on *when* a sample was
+// taken (rolling SLO windows, request lifecycle timestamps). Production
+// code uses DefaultClock(), which reads the process-relative monotonic
+// clock (obs::NowMicros); tests inject a FakeClock to drive window
+// rotation and latency math deterministically.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual uint64_t NowMicros() const = 0;
+};
+
+// Leaky process-wide clock over obs::NowMicros() — microseconds on the
+// steady clock since process start, the same timeline the tracer stamps
+// spans with, so server timestamps double as span begin/end times.
+const Clock* DefaultClock();
+
+// Manually advanced clock for tests. Thread-safe: writers advance, any
+// thread reads.
+class FakeClock : public Clock {
+ public:
+  uint64_t NowMicros() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
+  void Set(uint64_t us) { now_.store(us, std::memory_order_relaxed); }
+  void Advance(uint64_t us) { now_.fetch_add(us, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> now_{0};
+};
+
+}  // namespace uv::obs
+
+#endif  // UV_OBS_CLOCK_H_

@@ -1,0 +1,61 @@
+#ifndef UV_OBS_EXPORTER_H_
+#define UV_OBS_EXPORTER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace uv::obs {
+
+// Live metrics exporter: a background thread that periodically snapshots
+// the registry and atomically rewrites two sibling files —
+//
+//   <path>       Prometheus text exposition format (scrape it, or point
+//                node_exporter's textfile collector at it)
+//   <path>.json  the same snapshot as one JSON document
+//                ("uv-metrics-export-v1"), for jq / dashboards
+//
+// Atomicity: each cycle writes to <file>.tmp in the same directory and
+// renames over the target, so a concurrent reader always sees a complete
+// file from some cycle, never a torn one.
+//
+// Activation: UV_EXPORT=<path> in the environment (interval from
+// UV_EXPORT_INTERVAL_MS, default 1000) — the obs bootstrap starts the
+// thread at process load and stops it (with one final export) at exit —
+// or StartExporter/StopExporter programmatically.
+
+struct ExporterOptions {
+  std::string path;        // Prometheus file; "<path>.json" rides along.
+  int interval_ms = 1000;  // Clamped to >= 10.
+
+  // UV_EXPORT / UV_EXPORT_INTERVAL_MS; path empty when UV_EXPORT is unset.
+  static ExporterOptions FromEnv();
+};
+
+// Starts the exporter thread. Returns false (and leaves any running
+// exporter untouched) if one is already running or the path is empty.
+bool StartExporter(const ExporterOptions& opts);
+
+// Stops the thread after one final export. No-op when not running.
+void StopExporter();
+
+bool ExporterEnabled();
+
+// Completed export cycles since StartExporter (tests poll this to await a
+// rewrite).
+uint64_t ExporterWriteCount();
+
+// One synchronous export of the current registry state to <path> and
+// <path>.json, with the same atomic-rename discipline as the background
+// thread. Returns false if either file could not be written.
+bool ExportNow(const std::string& path);
+
+// Renderers behind ExportNow, exposed for tests and one-off dumps.
+// ts_us is the export timestamp on the NowMicros timeline.
+std::string RenderPrometheus(const RegistrySnapshot& snap, uint64_t ts_us);
+std::string RenderJsonExport(const RegistrySnapshot& snap, uint64_t ts_us);
+
+}  // namespace uv::obs
+
+#endif  // UV_OBS_EXPORTER_H_

@@ -1,9 +1,13 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <cstdio>
-#include <map>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
+
+#include "obs/windowed.h"
 
 namespace uv::obs {
 
@@ -18,13 +22,10 @@ int ThreadShard() {
 
 }  // namespace internal
 
-double Histogram::Percentile(double p) const {
-  uint64_t counts[kNumBuckets];
+double Histogram::PercentileFromCounts(const uint64_t counts[kNumBuckets],
+                                       double p) {
   uint64_t total = 0;
-  for (int b = 0; b < kNumBuckets; ++b) {
-    counts[b] = buckets_[b].load(std::memory_order_relaxed);
-    total += counts[b];
-  }
+  for (int b = 0; b < kNumBuckets; ++b) total += counts[b];
   if (total == 0) return 0.0;
   // Nearest-rank: the smallest bucket whose cumulative count covers
   // ceil(p/100 * total) samples.
@@ -38,14 +39,38 @@ double Histogram::Percentile(double p) const {
   return static_cast<double>(BucketLowerBound(kNumBuckets - 1));
 }
 
-// Name-keyed tables. Metrics are held by unique_ptr for address stability
-// and the whole Impl is leaked with the Registry, so references handed out
-// by Get* stay valid through any phase of process teardown.
+double Histogram::Percentile(double p) const {
+  uint64_t counts[kNumBuckets];
+  for (int b = 0; b < kNumBuckets; ++b) {
+    counts[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  return PercentileFromCounts(counts, p);
+}
+
+// Name-keyed tables, sharded by name hash: first-lookups from concurrently
+// starting subsystems (kernels, server, exporter) take different mutexes.
+// Metrics are held by unique_ptr for address stability and the whole Impl
+// is leaked with the Registry, so references handed out by Get* stay valid
+// through any phase of process teardown. Snapshot/ResetAll walk every
+// shard; Snapshot sorts the merged result so output order is independent
+// of both shard assignment and registration order.
 struct Registry::Impl {
-  mutable std::mutex mu;
-  std::map<std::string, std::unique_ptr<Counter>> counters;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+  static constexpr int kShards = 8;
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, std::unique_ptr<Counter>> counters;
+    std::unordered_map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms;
+    std::unordered_map<std::string, std::unique_ptr<WindowedHistogram>>
+        windowed;
+  };
+
+  Shard& ShardFor(const std::string& name) {
+    return shards[std::hash<std::string>{}(name) % kShards];
+  }
+
+  Shard shards[kShards];
 };
 
 Registry::Registry() : impl_(new Impl) {}
@@ -56,59 +81,87 @@ Registry& Registry::Global() {
 }
 
 Counter& Registry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
-  auto& slot = impl_->counters[name];
+  Impl::Shard& shard = impl_->ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto& slot = shard.counters[name];
   if (!slot) slot.reset(new Counter);
   return *slot;
 }
 
 Gauge& Registry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
-  auto& slot = impl_->gauges[name];
+  Impl::Shard& shard = impl_->ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto& slot = shard.gauges[name];
   if (!slot) slot.reset(new Gauge);
   return *slot;
 }
 
 Histogram& Registry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
-  auto& slot = impl_->histograms[name];
+  Impl::Shard& shard = impl_->ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto& slot = shard.histograms[name];
   if (!slot) slot.reset(new Histogram);
+  return *slot;
+}
+
+WindowedHistogram& Registry::GetWindowed(const std::string& name,
+                                         uint64_t window_us,
+                                         const Clock* clock) {
+  Impl::Shard& shard = impl_->ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto& slot = shard.windowed[name];
+  if (!slot) slot.reset(new WindowedHistogram(window_us, clock));
   return *slot;
 }
 
 RegistrySnapshot Registry::Snapshot() const {
   RegistrySnapshot snap;
-  std::lock_guard<std::mutex> lock(impl_->mu);
-  snap.counters.reserve(impl_->counters.size());
-  for (const auto& [name, c] : impl_->counters) {
-    snap.counters.emplace_back(name, c->Value());
-  }
-  snap.gauges.reserve(impl_->gauges.size());
-  for (const auto& [name, g] : impl_->gauges) {
-    snap.gauges.emplace_back(name, g->Value());
-  }
-  snap.histograms.reserve(impl_->histograms.size());
-  for (const auto& [name, h] : impl_->histograms) {
-    HistogramSnapshot hs;
-    hs.name = name;
-    hs.count = h->Count();
-    hs.sum = h->Sum();
-    hs.p50 = h->Percentile(50.0);
-    hs.p95 = h->Percentile(95.0);
-    hs.p99 = h->Percentile(99.0);
-    hs.buckets.resize(Histogram::kNumBuckets);
-    for (int b = 0; b < Histogram::kNumBuckets; ++b) {
-      hs.buckets[b] = h->BucketCount(b);
+  for (const Impl::Shard& shard : impl_->shards) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [name, c] : shard.counters) {
+      snap.counters.emplace_back(name, c->Value());
     }
-    snap.histograms.push_back(std::move(hs));
+    for (const auto& [name, g] : shard.gauges) {
+      snap.gauges.emplace_back(name, g->Value());
+    }
+    for (const auto& [name, h] : shard.histograms) {
+      HistogramSnapshot hs;
+      hs.name = name;
+      hs.count = h->Count();
+      hs.sum = h->Sum();
+      hs.p50 = h->Percentile(50.0);
+      hs.p95 = h->Percentile(95.0);
+      hs.p99 = h->Percentile(99.0);
+      hs.buckets.resize(Histogram::kNumBuckets);
+      for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+        hs.buckets[b] = h->BucketCount(b);
+      }
+      snap.histograms.push_back(std::move(hs));
+    }
+    for (const auto& [name, w] : shard.windowed) {
+      WindowedHistogramSnapshot ws = w->Snapshot();
+      ws.name = name;
+      snap.windowed.push_back(std::move(ws));
+    }
   }
+  // Deterministic emission order regardless of shard/registration
+  // interleaving: exporter diffs and golden tests rely on it.
+  std::sort(snap.counters.begin(), snap.counters.end());
+  std::sort(snap.gauges.begin(), snap.gauges.end());
+  std::sort(snap.histograms.begin(), snap.histograms.end(),
+            [](const HistogramSnapshot& a, const HistogramSnapshot& b) {
+              return a.name < b.name;
+            });
+  std::sort(snap.windowed.begin(), snap.windowed.end(),
+            [](const WindowedHistogramSnapshot& a,
+               const WindowedHistogramSnapshot& b) { return a.name < b.name; });
   return snap;
 }
 
 std::string Registry::ToJson() const {
   const RegistrySnapshot snap = Snapshot();
   std::string out = "{\"counters\":{";
-  char buf[64];
+  char buf[96];
   bool first = true;
   for (const auto& [name, value] : snap.counters) {
     if (!first) out += ',';
@@ -155,15 +208,37 @@ std::string Registry::ToJson() const {
     }
     out += "]}";
   }
+  out += "},\"windowed\":{";
+  first = true;
+  for (const auto& w : snap.windowed) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += w.name;
+    out += "\":{";
+    std::snprintf(buf, sizeof(buf),
+                  "\"window_us\":%llu,\"count\":%llu,\"sum\":%llu",
+                  static_cast<unsigned long long>(w.window_us),
+                  static_cast<unsigned long long>(w.count),
+                  static_cast<unsigned long long>(w.sum));
+    out += buf;
+    std::snprintf(buf, sizeof(buf), ",\"p50\":%.0f,\"p95\":%.0f,\"p99\":%.0f",
+                  w.p50, w.p95, w.p99);
+    out += buf;
+    out += '}';
+  }
   out += "}}";
   return out;
 }
 
 void Registry::ResetAll() {
-  std::lock_guard<std::mutex> lock(impl_->mu);
-  for (auto& [name, c] : impl_->counters) c->Reset();
-  for (auto& [name, g] : impl_->gauges) g->Reset();
-  for (auto& [name, h] : impl_->histograms) h->Reset();
+  for (Impl::Shard& shard : impl_->shards) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto& [name, c] : shard.counters) c->Reset();
+    for (auto& [name, g] : shard.gauges) g->Reset();
+    for (auto& [name, h] : shard.histograms) h->Reset();
+    for (auto& [name, w] : shard.windowed) w->Reset();
+  }
 }
 
 }  // namespace uv::obs

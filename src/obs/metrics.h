@@ -115,6 +115,13 @@ class Histogram {
   // value between samples. Returns 0 on an empty histogram.
   double Percentile(double p) const;
 
+  // The same nearest-rank bucket-lower-bound percentile over an externally
+  // merged bucket array (kNumBuckets entries) — shared with
+  // WindowedHistogram so windowed and cumulative views of one metric use
+  // identical percentile math.
+  static double PercentileFromCounts(const uint64_t counts[kNumBuckets],
+                                     double p);
+
   void Reset() {
     for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
     sum_.store(0, std::memory_order_relaxed);
@@ -128,11 +135,15 @@ class Histogram {
 };
 
 // ---------------------------------------------------------------------------
-// Registry: the process-wide name -> metric table. Lookup takes a mutex and
-// is expected once per call site (cache the reference in a static); the
-// returned references stay valid forever (metrics are never destroyed, so
-// updates during thread/process teardown are safe).
+// Registry: the process-wide name -> metric table, sharded by name hash so
+// concurrent first-lookups from different subsystems do not serialize on
+// one mutex. Lookup is expected once per call site (cache the reference in
+// a static); the returned references stay valid forever (metrics are never
+// destroyed, so updates during thread/process teardown are safe).
 // ---------------------------------------------------------------------------
+
+class Clock;
+class WindowedHistogram;
 
 struct HistogramSnapshot {
   std::string name;
@@ -144,11 +155,25 @@ struct HistogramSnapshot {
   std::vector<uint64_t> buckets;  // kNumBuckets entries.
 };
 
-// Point-in-time copy of every registered metric.
+struct WindowedHistogramSnapshot {
+  std::string name;
+  uint64_t window_us = 0;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+// Point-in-time copy of every registered metric. Every section is sorted
+// by name — snapshot order is a documented contract (exporter output and
+// golden tests diff cleanly), independent of registration interleaving or
+// which hash shard a name lands in.
 struct RegistrySnapshot {
   std::vector<std::pair<std::string, uint64_t>> counters;
   std::vector<std::pair<std::string, int64_t>> gauges;
   std::vector<HistogramSnapshot> histograms;
+  std::vector<WindowedHistogramSnapshot> windowed;
 };
 
 class Registry {
@@ -160,10 +185,19 @@ class Registry {
   Gauge& GetGauge(const std::string& name);
   Histogram& GetHistogram(const std::string& name);
 
+  // Rolling-window companion to GetHistogram. The first call for a name
+  // fixes its window (and clock — nullptr means DefaultClock()); later
+  // calls return the same instance and ignore the arguments, like every
+  // other Get*. Default window: 60 seconds.
+  WindowedHistogram& GetWindowed(const std::string& name,
+                                 uint64_t window_us = 60ull * 1000 * 1000,
+                                 const Clock* clock = nullptr);
+
   RegistrySnapshot Snapshot() const;
 
   // Snapshot rendered as one JSON object:
-  //   {"counters":{...},"gauges":{...},"histograms":{name:{...}}}
+  //   {"counters":{...},"gauges":{...},"histograms":{name:{...}},
+  //    "windowed":{name:{...}}}
   std::string ToJson() const;
 
   // Zeroes every registered metric (tests/benchmarks).

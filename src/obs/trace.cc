@@ -6,6 +6,8 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/exporter.h"
+#include "obs/metrics.h"
 #include "obs/metrics_log.h"
 
 namespace uv::obs {
@@ -39,7 +41,7 @@ struct SpanBuffer {
   // the flusher (after quiescing writers) reads complete records.
   std::vector<SpanRecord> coarse, fine;
   std::atomic<uint32_t> coarse_size{0}, fine_size{0};
-  std::atomic<uint64_t> dropped{0};
+  std::atomic<uint64_t> dropped_coarse{0}, dropped_fine{0};
   const uint32_t tid;
 
   void Push(SpanLevel level, const SpanRecord& rec) {
@@ -49,11 +51,29 @@ struct SpanBuffer {
         level == SpanLevel::kCoarse ? coarse_size : fine_size;
     const uint32_t n = size.load(std::memory_order_relaxed);
     if (n >= store.size()) {
-      dropped.fetch_add(1, std::memory_order_relaxed);
+      CountDrop(level);
       return;
     }
     store[n] = rec;
     size.store(n + 1, std::memory_order_release);
+  }
+
+  // Buffer-full drops are surfaced two ways: per-buffer atomics feed
+  // TraceDroppedSpans (per Start/Stop experiment, reset on StartTrace) and
+  // process-lifetime registry counters feed the exporter, so a scrape of a
+  // running server shows trace loss without stopping the trace.
+  void CountDrop(SpanLevel level) {
+    static Counter& coarse_drops =
+        Registry::Global().GetCounter("trace.dropped_coarse");
+    static Counter& fine_drops =
+        Registry::Global().GetCounter("trace.dropped_fine");
+    if (level == SpanLevel::kCoarse) {
+      dropped_coarse.fetch_add(1, std::memory_order_relaxed);
+      coarse_drops.Inc();
+    } else {
+      dropped_fine.fetch_add(1, std::memory_order_relaxed);
+      fine_drops.Inc();
+    }
   }
 };
 
@@ -112,8 +132,24 @@ void WriteBuffer(FILE* f, const SpanBuffer& buf,
   }
 }
 
-// Reads UV_TRACE / UV_METRICS at load time and flushes both sinks at exit.
-// Lives in this TU so linking any span site pulls the bootstrap in.
+// Sampling threshold over the full uint64 hash range. Stored alongside the
+// raw rate so TraceSampleRate() reports back exactly what was set.
+std::atomic<uint64_t> g_sample_threshold{~uint64_t{0}};
+std::atomic<double> g_sample_rate{1.0};
+
+// splitmix64 finalizer: sequential request ids map to well-spread hashes,
+// so sampling at rate r keeps ~r of requests without aliasing against
+// batch size or arrival order.
+uint64_t MixId(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Reads UV_TRACE / UV_METRICS / UV_TRACE_SAMPLE / UV_EXPORT at load time
+// and flushes every sink at exit. Lives in this TU so linking any span
+// site pulls the bootstrap in.
 struct ObsBootstrap {
   ObsBootstrap() {
     if (const char* path = std::getenv("UV_TRACE")) {
@@ -122,8 +158,15 @@ struct ObsBootstrap {
     if (const char* path = std::getenv("UV_METRICS")) {
       if (path[0] != '\0') OpenMetricsLog(path);
     }
+    if (const char* rate = std::getenv("UV_TRACE_SAMPLE")) {
+      if (rate[0] != '\0') SetTraceSampleRate(std::strtod(rate, nullptr));
+    }
+    const ExporterOptions opts = ExporterOptions::FromEnv();
+    if (!opts.path.empty()) StartExporter(opts);
   }
   ~ObsBootstrap() {
+    // Exporter first: its final write must not observe sinks mid-teardown.
+    StopExporter();
     if (TraceEnabled()) StopTrace();
     CloseMetricsLog();
   }
@@ -170,7 +213,8 @@ void StartTrace(const std::string& path) {
   for (SpanBuffer* buf : state.buffers) {
     buf->coarse_size.store(0, std::memory_order_relaxed);
     buf->fine_size.store(0, std::memory_order_relaxed);
-    buf->dropped.store(0, std::memory_order_relaxed);
+    buf->dropped_coarse.store(0, std::memory_order_relaxed);
+    buf->dropped_fine.store(0, std::memory_order_relaxed);
   }
   state.path = path;
   state.started = true;
@@ -211,9 +255,47 @@ uint64_t TraceDroppedSpans() {
   std::lock_guard<std::mutex> lock(state.mu);
   uint64_t total = 0;
   for (const SpanBuffer* buf : state.buffers) {
-    total += buf->dropped.load(std::memory_order_relaxed);
+    total += buf->dropped_coarse.load(std::memory_order_relaxed);
+    total += buf->dropped_fine.load(std::memory_order_relaxed);
   }
   return total;
+}
+
+void RecordSpan(const char* name, SpanLevel level, uint64_t begin_us,
+                uint64_t end_us, const char* k0, int64_t v0, const char* k1,
+                int64_t v1) {
+  if (!TraceEnabled()) return;
+  SpanRecord rec;
+  rec.name = name;
+  rec.k0 = k0;
+  rec.k1 = k1;
+  rec.begin_us = begin_us;
+  rec.dur_us = end_us >= begin_us ? end_us - begin_us : 0;
+  rec.v0 = v0;
+  rec.v1 = v1;
+  Buffer()->Push(level, rec);
+}
+
+double TraceSampleRate() {
+  return g_sample_rate.load(std::memory_order_relaxed);
+}
+
+void SetTraceSampleRate(double rate) {
+  if (!(rate > 0.0)) rate = 0.0;  // NaN and negatives sample nothing.
+  if (rate > 1.0) rate = 1.0;
+  g_sample_rate.store(rate, std::memory_order_relaxed);
+  // rate == 1 must sample every id, so it maps to the max threshold with a
+  // <= comparison rather than scaling (which could round down).
+  const uint64_t threshold =
+      rate >= 1.0 ? ~uint64_t{0}
+                  : static_cast<uint64_t>(
+                        rate * 18446744073709551616.0 /* 2^64 */);
+  g_sample_threshold.store(threshold, std::memory_order_relaxed);
+}
+
+bool TraceSampleForId(uint64_t id) {
+  return MixId(id) <= g_sample_threshold.load(std::memory_order_relaxed) &&
+         g_sample_rate.load(std::memory_order_relaxed) > 0.0;
 }
 
 }  // namespace uv::obs

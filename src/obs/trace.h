@@ -14,6 +14,9 @@ namespace uv::obs {
 // Activation: set UV_TRACE=<file> in the environment — tracing starts at
 // process load and the trace is flushed to <file> at normal process exit —
 // or drive StartTrace/StopTrace programmatically (tests do).
+// UV_TRACE_SAMPLE=<rate in [0,1]> additionally sets the per-request
+// sampling rate consulted by TraceSampleForId (default 1.0: every
+// request).
 //
 // Storage is a bounded lock-free per-thread span buffer written only by its
 // owning thread and read once at flush. When a buffer fills, *new* spans
@@ -61,8 +64,38 @@ void StartTrace(const std::string& path);
 // parallel regions, which the caller has drained).
 bool StopTrace();
 
-// Spans dropped because a thread buffer was full (since StartTrace).
+// Spans dropped because a thread buffer was full (since StartTrace),
+// summed over both levels. Per-level counts are also exported as the
+// registry counters trace.dropped_coarse / trace.dropped_fine.
 uint64_t TraceDroppedSpans();
+
+// Records an already-timed span (begin/end on the NowMicros timeline).
+// Used for retroactive spans whose lifetime does not fit a C++ scope —
+// e.g. the server's per-request queue-wait span, emitted by the
+// dispatcher after the fact. No-op when tracing is off.
+void RecordSpan(const char* name, SpanLevel level, uint64_t begin_us,
+                uint64_t end_us, const char* k0 = nullptr, int64_t v0 = 0,
+                const char* k1 = nullptr, int64_t v1 = 0);
+
+// ---------------------------------------------------------------------------
+// Probabilistic per-request trace sampling. The decision is a pure hash of
+// the request id against a threshold — deterministic for a given id and
+// rate, no RNG state — so every span site observing one request agrees on
+// whether it is sampled, across threads and without coordination.
+// ---------------------------------------------------------------------------
+
+// Current sampling rate in [0, 1]; 1.0 until overridden (UV_TRACE_SAMPLE
+// or SetTraceSampleRate).
+double TraceSampleRate();
+
+// Sets the sampling rate; values are clamped to [0, 1]. Rate 1 samples
+// every id, rate 0 none.
+void SetTraceSampleRate(double rate);
+
+// True iff spans for this request id should be recorded at the current
+// rate. Cheap (one hash, one relaxed load); callers still gate on
+// TraceEnabled() first.
+bool TraceSampleForId(uint64_t id);
 
 // RAII scope: records one span from construction to destruction. The name
 // (and arg keys) must be string literals or otherwise outlive the trace.

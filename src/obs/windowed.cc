@@ -1,0 +1,120 @@
+#include "obs/windowed.h"
+
+#include <thread>
+
+#include "obs/trace.h"
+
+namespace uv::obs {
+
+namespace {
+
+// Epoch tag meaning "this slot is being zeroed": writers bounce and retry
+// instead of racing the clear. Unreachable as a real epoch (it would take
+// 2^64 microseconds of uptime).
+constexpr uint64_t kRotating = ~uint64_t{0};
+
+class MonotonicClock : public Clock {
+ public:
+  uint64_t NowMicros() const override { return obs::NowMicros(); }
+};
+
+}  // namespace
+
+const Clock* DefaultClock() {
+  static const MonotonicClock* clock = new MonotonicClock;  // Leaky.
+  return clock;
+}
+
+WindowedHistogram::WindowedHistogram(uint64_t window_us, const Clock* clock)
+    : clock_(clock != nullptr ? clock : DefaultClock()),
+      epoch_us_(window_us / kNumSlots > 0 ? window_us / kNumSlots : 1) {
+  // Seed each slot with the smallest epoch mapping to it (i % kNumSlots ==
+  // i). These tags are stale relative to any running clock, so empty slots
+  // never pollute a snapshot, and the invariant tag % kNumSlots == slot
+  // index holds from the start.
+  for (int i = 0; i < kNumSlots; ++i) {
+    slots_[i].epoch.store(static_cast<uint64_t>(i),
+                          std::memory_order_relaxed);
+  }
+}
+
+void WindowedHistogram::Rotate(Slot& slot, uint64_t target_epoch) {
+  std::lock_guard<std::mutex> lock(rotate_mu_);
+  // Under the mutex the tag is never kRotating (it is set and cleared
+  // within one critical section), so this comparison is well-defined.
+  if (slot.epoch.load(std::memory_order_acquire) >= target_epoch) return;
+  // Block the slot first, then drain: writers that passed the tag check
+  // before the sentinel landed are mid-record and must finish before the
+  // clear; writers arriving after it bounce into Rotate and park on the
+  // mutex, so the drain terminates.
+  slot.epoch.store(kRotating, std::memory_order_release);
+  while (slot.writers.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
+  for (auto& b : slot.buckets) b.store(0, std::memory_order_relaxed);
+  slot.sum.store(0, std::memory_order_relaxed);
+  slot.epoch.store(target_epoch, std::memory_order_release);
+}
+
+void WindowedHistogram::Record(uint64_t value) {
+  const uint64_t epoch = clock_->NowMicros() / epoch_us_;
+  Slot& slot = slots_[epoch % kNumSlots];
+  const int bucket = Histogram::BucketIndex(value);
+  for (;;) {
+    slot.writers.fetch_add(1, std::memory_order_acq_rel);
+    const uint64_t tag = slot.epoch.load(std::memory_order_acquire);
+    if (tag != kRotating && tag >= epoch) {
+      // tag > epoch: this recorder's epoch already rotated away while it
+      // was en route; attribute the sample to the live epoch rather than
+      // losing it (it is still counted exactly once).
+      slot.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+      slot.sum.fetch_add(value, std::memory_order_relaxed);
+      slot.writers.fetch_sub(1, std::memory_order_release);
+      return;
+    }
+    slot.writers.fetch_sub(1, std::memory_order_release);
+    Rotate(slot, epoch);
+  }
+}
+
+WindowedHistogramSnapshot WindowedHistogram::Snapshot() const {
+  const uint64_t now_epoch = clock_->NowMicros() / epoch_us_;
+  const uint64_t min_epoch =
+      now_epoch >= kNumSlots - 1 ? now_epoch - (kNumSlots - 1) : 0;
+  uint64_t counts[kNumBuckets] = {};
+  WindowedHistogramSnapshot snap;
+  snap.window_us = window_us();
+  for (const Slot& slot : slots_) {
+    const uint64_t tag = slot.epoch.load(std::memory_order_acquire);
+    // kRotating compares > now_epoch, so a slot mid-clear is skipped along
+    // with expired ones.
+    if (tag < min_epoch || tag > now_epoch) continue;
+    for (int b = 0; b < kNumBuckets; ++b) {
+      counts[b] += slot.buckets[b].load(std::memory_order_relaxed);
+    }
+    snap.sum += slot.sum.load(std::memory_order_relaxed);
+  }
+  for (int b = 0; b < kNumBuckets; ++b) snap.count += counts[b];
+  snap.p50 = Histogram::PercentileFromCounts(counts, 50.0);
+  snap.p95 = Histogram::PercentileFromCounts(counts, 95.0);
+  snap.p99 = Histogram::PercentileFromCounts(counts, 99.0);
+  return snap;
+}
+
+void WindowedHistogram::Reset() {
+  std::lock_guard<std::mutex> lock(rotate_mu_);
+  for (int i = 0; i < kNumSlots; ++i) {
+    Slot& slot = slots_[i];
+    slot.epoch.store(kRotating, std::memory_order_release);
+    while (slot.writers.load(std::memory_order_acquire) != 0) {
+      std::this_thread::yield();
+    }
+    for (auto& b : slot.buckets) b.store(0, std::memory_order_relaxed);
+    slot.sum.store(0, std::memory_order_relaxed);
+    // Back to the construction-time stale tag, so reset slots drop out of
+    // snapshots instead of reporting zero-count epochs as live.
+    slot.epoch.store(static_cast<uint64_t>(i), std::memory_order_release);
+  }
+}
+
+}  // namespace uv::obs

@@ -1,0 +1,76 @@
+#ifndef UV_OBS_WINDOWED_H_
+#define UV_OBS_WINDOWED_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "obs/clock.h"
+#include "obs/metrics.h"
+
+namespace uv::obs {
+
+// Rolling-window histogram: percentiles over the last `window_us`
+// microseconds rather than since process start. The window is a ring of
+// kNumSlots per-epoch bucket arrays (same power-of-two bucket layout as
+// Histogram, so windowed and cumulative views of one metric agree on
+// bucket edges); an epoch is window_us / kNumSlots long, the slot for
+// epoch e is e % kNumSlots, and slots are rotated lazily by whichever
+// recorder first lands in a new epoch. Rotation is the only locked path;
+// Record in the common case is a clock read plus three relaxed RMWs.
+//
+// Rotation safety: each slot carries its epoch tag and an in-flight writer
+// count. A writer pins the slot (writers++), re-checks the tag, and only
+// then records; the rotating thread (under rotate_mu_) waits for pinned
+// writers to drain before zeroing, so no sample is ever half-counted or
+// leaked across an epoch boundary. A writer whose epoch lost the race to a
+// newer one folds its sample into the newer epoch (counted once, slightly
+// late) instead of dropping it.
+//
+// The clock is injected (obs::Clock) so tests drive rotation with a
+// FakeClock; registry-owned instances use DefaultClock().
+class WindowedHistogram {
+ public:
+  static constexpr int kNumBuckets = Histogram::kNumBuckets;
+  static constexpr int kNumSlots = 8;
+
+  // window_us is rounded down to a multiple of kNumSlots (minimum one
+  // microsecond per epoch). clock == nullptr means DefaultClock().
+  explicit WindowedHistogram(uint64_t window_us,
+                             const Clock* clock = nullptr);
+  WindowedHistogram(const WindowedHistogram&) = delete;
+  WindowedHistogram& operator=(const WindowedHistogram&) = delete;
+
+  void Record(uint64_t value);
+
+  // Merged view over the slots still inside the window (the snapshot is a
+  // statistical read, not a consistent cut, like every registry metric).
+  // Percentiles use the shared nearest-rank bucket-lower-bound convention.
+  WindowedHistogramSnapshot Snapshot() const;
+
+  uint64_t window_us() const { return epoch_us_ * kNumSlots; }
+
+  // Drops every slot (ResetAll / tests). Waits for in-flight writers.
+  void Reset();
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> epoch{0};
+    std::atomic<uint32_t> writers{0};
+    std::atomic<uint64_t> buckets[kNumBuckets] = {};
+    std::atomic<uint64_t> sum{0};
+  };
+
+  // Advances `slot` to `target_epoch` (zeroing its counts) unless another
+  // thread already moved it at least that far.
+  void Rotate(Slot& slot, uint64_t target_epoch);
+
+  const Clock* const clock_;
+  const uint64_t epoch_us_;
+  mutable std::mutex rotate_mu_;
+  Slot slots_[kNumSlots];
+};
+
+}  // namespace uv::obs
+
+#endif  // UV_OBS_WINDOWED_H_

@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -10,7 +14,10 @@
 #include "eval/splits.h"
 #include "infer/engine.h"
 #include "infer/server.h"
+#include "obs/clock.h"
 #include "obs/metrics.h"
+#include "obs/metrics_log.h"
+#include "obs/trace.h"
 #include "test_helpers.h"
 
 namespace uv::infer {
@@ -162,6 +169,208 @@ TEST_F(InferServerTest, EmptyRequestIsANoop) {
   ScoringServer server(engine_);
   std::vector<float> out = server.Score(std::vector<int>{});
   EXPECT_TRUE(out.empty());
+}
+
+// --- Request lifecycle telemetry -------------------------------------------
+
+TEST_F(InferServerTest, RequestIdsAndEventsAreRecorded) {
+  obs::Registry::Global().ResetAll();
+  ServerOptions options;
+  options.event_capacity = 64;
+  ScoringServer server(engine_, options);
+  const int n = urg_->num_regions();
+  float out[8];
+  int ids[8];
+  constexpr int kRequests = 10;
+  for (int r = 0; r < kRequests; ++r) {
+    for (int i = 0; i < 8; ++i) ids[i] = (r * 8 + i) % n;
+    server.Score(ids, 8, out);
+  }
+  const std::vector<RequestEvent> events = server.RecentEvents();
+  ASSERT_EQ(events.size(), static_cast<size_t>(kRequests));
+  for (size_t i = 0; i < events.size(); ++i) {
+    // One synchronous client: ids are assigned in call order, from 1.
+    EXPECT_EQ(events[i].id, i + 1);
+    EXPECT_GE(events[i].batch, 1u);
+    EXPECT_EQ(events[i].n, 8);
+    EXPECT_GE(events[i].latency_us, events[i].queue_wait_us);
+  }
+  const ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.requests_total, static_cast<uint64_t>(kRequests));
+  EXPECT_EQ(stats.regions_total, static_cast<uint64_t>(kRequests) * 8);
+  EXPECT_GE(stats.batches_total, 1u);
+}
+
+TEST_F(InferServerTest, EventRingKeepsOnlyTheMostRecent) {
+  ServerOptions options;
+  options.event_capacity = 4;
+  ScoringServer server(engine_, options);
+  int id = 0;
+  float out;
+  for (int r = 0; r < 10; ++r) server.Score(&id, 1, &out);
+  const std::vector<RequestEvent> events = server.RecentEvents();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest first, and only the last four requests survive.
+  EXPECT_EQ(events[0].id, 7u);
+  EXPECT_EQ(events[3].id, 10u);
+}
+
+// The ISSUE acceptance check: Stats()'s rolling-window p99 must equal a
+// post-hoc percentile computed from the recorded per-request events. Both
+// sides use the same power-of-two buckets and nearest-rank convention, so
+// over an un-rotated window the match is exact, not approximate.
+TEST_F(InferServerTest, StatsWindowPercentilesMatchPostHocEventMath) {
+  obs::Registry::Global().ResetAll();
+  ServerOptions options;
+  options.event_capacity = 4096;
+  ScoringServer server(engine_, options);
+  const int n = urg_->num_regions();
+  for (int pass = 0; pass < 3; ++pass) {
+    int ids[32];
+    float out[32];
+    int filled = 0;
+    for (int id = 0; id < n; ++id) {
+      ids[filled++] = id;
+      if (filled == 32) {
+        server.Score(ids, filled, out);
+        filled = 0;
+      }
+    }
+    if (filled > 0) server.Score(ids, filled, out);
+  }
+  const std::vector<RequestEvent> events = server.RecentEvents();
+  const ServerStats stats = server.Stats();
+  ASSERT_EQ(stats.window_count, events.size());
+
+  uint64_t latency_counts[obs::Histogram::kNumBuckets] = {};
+  uint64_t wait_counts[obs::Histogram::kNumBuckets] = {};
+  for (const RequestEvent& e : events) {
+    ++latency_counts[obs::Histogram::BucketIndex(e.latency_us)];
+    ++wait_counts[obs::Histogram::BucketIndex(e.queue_wait_us)];
+  }
+  EXPECT_EQ(stats.latency_p50_us,
+            obs::Histogram::PercentileFromCounts(latency_counts, 50.0));
+  EXPECT_EQ(stats.latency_p95_us,
+            obs::Histogram::PercentileFromCounts(latency_counts, 95.0));
+  EXPECT_EQ(stats.latency_p99_us,
+            obs::Histogram::PercentileFromCounts(latency_counts, 99.0));
+  EXPECT_EQ(stats.queue_wait_p99_us,
+            obs::Histogram::PercentileFromCounts(wait_counts, 99.0));
+  // And the windowed view agrees with the cumulative histogram, which saw
+  // exactly the same samples since ResetAll.
+  EXPECT_EQ(stats.latency_p99_us,
+            obs::Registry::Global().GetHistogram("serve.latency_us")
+                .Percentile(99.0));
+}
+
+TEST_F(InferServerTest, LifecycleGaugesDrainToZero) {
+  obs::Registry::Global().ResetAll();
+  {
+    ScoringServer server(engine_);
+    server.Score(*all_ids_);
+    const ServerStats busy = server.Stats();
+    EXPECT_GE(busy.requests_total, 1u);
+  }
+  obs::Registry& reg = obs::Registry::Global();
+  EXPECT_EQ(reg.GetGauge("serve.queue_depth").Value(), 0);
+  EXPECT_EQ(reg.GetGauge("serve.inflight").Value(), 0);
+}
+
+TEST_F(InferServerTest, EveryRequestEmitsAJsonlRecord) {
+  const std::string path =
+      ::testing::TempDir() + "/serve_requests.jsonl";
+  obs::OpenMetricsLog(path);
+  constexpr int kRequests = 6;
+  {
+    ScoringServer server(engine_);
+    int id = 1;
+    float out;
+    for (int r = 0; r < kRequests; ++r) server.Score(&id, 1, &out);
+  }
+  obs::CloseMetricsLog();
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  int requests = 0;
+  while (std::getline(in, line)) {
+    if (line.find("\"kind\":\"request\"") == std::string::npos) continue;
+    ++requests;
+    EXPECT_NE(line.find("\"req\":"), std::string::npos);
+    EXPECT_NE(line.find("\"batch\":"), std::string::npos);
+    EXPECT_NE(line.find("\"queue_wait_us\":"), std::string::npos);
+    EXPECT_NE(line.find("\"latency_us\":"), std::string::npos);
+  }
+  EXPECT_EQ(requests, kRequests);
+  std::remove(path.c_str());
+}
+
+TEST_F(InferServerTest, SampledSpansCarryRequestAndBatchIds) {
+  const double saved_rate = obs::TraceSampleRate();
+  const std::string path = ::testing::TempDir() + "/serve_trace.json";
+
+  obs::SetTraceSampleRate(1.0);
+  obs::StartTrace(path);
+  {
+    ScoringServer server(engine_);
+    server.Score(*all_ids_);
+  }  // Shutdown before StopTrace: all spans recorded.
+  ASSERT_TRUE(obs::StopTrace());
+  std::string trace;
+  {
+    std::ifstream in(path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    trace = ss.str();
+  }
+  EXPECT_NE(trace.find("\"name\":\"serve.dispatch\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"serve.score\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"serve.enqueue\""), std::string::npos);
+  EXPECT_NE(trace.find("\"req\":"), std::string::npos);
+  EXPECT_NE(trace.find("\"batch\":"), std::string::npos);
+
+  // Rate 0: batch spans remain, per-request spans vanish.
+  obs::SetTraceSampleRate(0.0);
+  obs::StartTrace(path);
+  {
+    ScoringServer server(engine_);
+    server.Score(*all_ids_);
+  }
+  ASSERT_TRUE(obs::StopTrace());
+  {
+    std::ifstream in(path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    trace = ss.str();
+  }
+  EXPECT_NE(trace.find("\"name\":\"serve.dispatch\""), std::string::npos);
+  EXPECT_EQ(trace.find("\"name\":\"serve.enqueue\""), std::string::npos);
+
+  obs::SetTraceSampleRate(saved_rate);
+  std::remove(path.c_str());
+}
+
+TEST_F(InferServerTest, FakeClockDrivesWindowExpiry) {
+  obs::Registry::Global().ResetAll();
+  obs::FakeClock clock;
+  clock.Set(1);
+  ServerOptions options;
+  options.deadline_us = 0;  // A frozen clock never ages the oldest request.
+  options.clock = &clock;
+  options.slo_window_s = 8;  // 1-second epochs.
+  ScoringServer server(engine_, options);
+  int id = 0;
+  float out;
+  server.Score(&id, 1, &out);
+  EXPECT_EQ(server.Stats().window_count, 1u);
+  // Jump past the whole window: the sample rolls out of the SLO view but
+  // stays in the cumulative totals.
+  clock.Set(10ull * 1000 * 1000);
+  const ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.window_count, 0u);
+  EXPECT_EQ(stats.latency_p99_us, 0.0);
+  EXPECT_EQ(stats.requests_total, 1u);
+  server.Shutdown();
+  obs::Registry::Global().ResetAll();
 }
 
 }  // namespace

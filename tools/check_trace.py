@@ -1,6 +1,6 @@
 #!/usr/bin/env python3
-"""Validates the three obs output formats: UV_TRACE traces, UV_METRICS
-logs, and perf ledgers (obs::Report).
+"""Validates the obs output formats: UV_TRACE traces, UV_METRICS logs,
+perf ledgers (obs::Report), and the UV_EXPORT live exporter files.
 
 Trace files (Chrome trace-event JSON, as written by src/obs/trace.cc):
   * the file parses as JSON with a "traceEvents" array;
@@ -24,17 +24,28 @@ Perf ledgers (uv-perf-ledger-v1 JSON, as written by src/obs/report.cc):
   * null where a number is required fails (obs::Report serializes a
     non-finite measurement as null rather than masking it as 0).
 
+Exporter files (src/obs/exporter.cc):
+  * --prom: Prometheus text format — every sample belongs to a family
+    declared by a preceding # TYPE line, histogram bucket counts are
+    cumulative/monotone with le="+Inf" equal to _count, _sum and _count
+    are present per histogram, and the file ends with "# EOF" (so a
+    torn/partial rewrite is caught);
+  * --export-json: the "uv-metrics-export-v1" snapshot — schema tag,
+    ts_us, all four sections, p50 <= p95 <= p99 per (windowed) histogram,
+    and bucket arrays that sum to their count.
+
 Usage:
   tools/check_trace.py --trace trace.json --require fold,epoch,gemm
   tools/check_trace.py --metrics metrics.jsonl
   tools/check_trace.py --ledger BENCH_core.json
-  tools/check_trace.py --trace t.json --metrics m.jsonl --require fold
+  tools/check_trace.py --prom export.prom --export-json export.prom.json
 
 Exits 0 when every check passes, 1 otherwise (so CI can gate on it).
 """
 
 import argparse
 import json
+import re
 import sys
 
 
@@ -370,19 +381,179 @@ def check_ledger(path):
           f"{city_scale} city-scale entries, {serve} serve entries)")
 
 
+PROM_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"      # metric name
+    r"(\{[^{}]*\})?"                    # optional {label="value",...}
+    r" (-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|[+-]Inf|NaN)$"
+)
+PROM_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+
+def prom_family(name, types):
+    """Maps a sample name to its declared family, honoring the histogram
+    child suffixes (_bucket/_sum/_count)."""
+    if name in types:
+        return name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+            if types.get(base) == "histogram":
+                return base
+    return None
+
+
+def prom_labels(label_blob):
+    if not label_blob:
+        return {}
+    out = {}
+    for part in label_blob[1:-1].split(","):
+        if not part:
+            continue
+        key, _, val = part.partition("=")
+        out[key] = val.strip('"')
+    return out
+
+
+def check_prom(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        fail(f"{path}: {e}")
+    if not lines or lines[-1] != "# EOF":
+        fail(f"{path}: does not end with '# EOF' (torn or partial write?)")
+
+    types = {}  # family -> declared type.
+    hists = {}  # family -> {"buckets": [(le, v)], "sum": v, "count": v}.
+    samples = 0
+    for lineno, line in enumerate(lines[:-1], 1):
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in PROM_TYPES:
+                fail(f"{path}:{lineno}: malformed TYPE line: {line!r}")
+            if parts[2] in types:
+                fail(f"{path}:{lineno}: family {parts[2]!r} declared twice")
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # Other comments are legal.
+        m = PROM_SAMPLE_RE.match(line)
+        if m is None:
+            fail(f"{path}:{lineno}: unparseable sample line: {line!r}")
+        name, label_blob, value = m.group(1), m.group(2), m.group(3)
+        family = prom_family(name, types)
+        if family is None:
+            fail(f"{path}:{lineno}: sample {name!r} has no preceding "
+                 f"# TYPE declaration")
+        samples += 1
+        if types[family] != "histogram":
+            continue
+        hist = hists.setdefault(family, {"buckets": [], "sum": None,
+                                         "count": None})
+        if name.endswith("_bucket"):
+            le = prom_labels(label_blob).get("le")
+            if le is None:
+                fail(f"{path}:{lineno}: histogram bucket without 'le' label")
+            hist["buckets"].append((le, float(value)))
+        elif name.endswith("_sum"):
+            hist["sum"] = float(value)
+        elif name.endswith("_count"):
+            hist["count"] = float(value)
+
+    if samples == 0:
+        fail(f"{path}: no samples")
+    for family, hist in hists.items():
+        if hist["sum"] is None or hist["count"] is None:
+            fail(f"{path}: histogram {family!r} lacks _sum or _count")
+        buckets = hist["buckets"]
+        if not buckets or buckets[-1][0] != "+Inf":
+            fail(f"{path}: histogram {family!r} lacks a trailing "
+                 f"le=\"+Inf\" bucket")
+        values = [v for _, v in buckets]
+        if any(b > a for b, a in zip(values, values[1:])):
+            fail(f"{path}: histogram {family!r} bucket counts are not "
+                 f"cumulative/monotone: {values}")
+        if values[-1] != hist["count"]:
+            fail(f"{path}: histogram {family!r}: le=\"+Inf\" bucket "
+                 f"({values[-1]}) != _count ({hist['count']})")
+    print(f"check_trace: {path}: OK ({len(types)} families, {samples} "
+          f"samples, {len(hists)} histograms)")
+
+
+EXPORT_SCHEMA = "uv-metrics-export-v1"
+
+
+def check_export_json(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: not readable as JSON: {e}")
+    if not isinstance(doc, dict) or doc.get("schema") != EXPORT_SCHEMA:
+        fail(f"{path}: schema tag is {doc.get('schema')!r}, "
+             f"expected {EXPORT_SCHEMA!r}")
+    ts = doc.get("ts_us")
+    if not isinstance(ts, (int, float)) or ts < 0:
+        fail(f"{path}: bad ts_us={ts!r}")
+    for section in ("counters", "gauges", "histograms", "windowed"):
+        if not isinstance(doc.get(section), dict):
+            fail(f"{path}: missing {section!r} object")
+    for name, value in doc["counters"].items():
+        if not isinstance(value, int) or value < 0:
+            fail(f"{path}: counter {name!r} is not a non-negative "
+                 f"integer: {value!r}")
+    for name, value in doc["gauges"].items():
+        if not isinstance(value, int):
+            fail(f"{path}: gauge {name!r} is not an integer: {value!r}")
+    for name, hist in doc["histograms"].items():
+        for key in ("count", "sum", "p50", "p95", "p99"):
+            val = hist.get(key)
+            if not isinstance(val, (int, float)) or val < 0:
+                fail(f"{path}: histogram {name!r} has bad {key}={val!r}")
+        if not hist["p50"] <= hist["p95"] <= hist["p99"]:
+            fail(f"{path}: histogram {name!r} percentiles not ordered")
+        buckets = hist.get("buckets")
+        if not isinstance(buckets, list) or len(buckets) != 28:
+            fail(f"{path}: histogram {name!r} bucket array is not "
+                 f"28 entries: {buckets!r}")
+        if sum(buckets) != hist["count"]:
+            fail(f"{path}: histogram {name!r}: buckets sum to "
+                 f"{sum(buckets)}, count says {hist['count']}")
+    for name, win in doc["windowed"].items():
+        for key in ("window_us", "count", "sum", "p50", "p95", "p99"):
+            val = win.get(key)
+            if not isinstance(val, (int, float)) or val < 0:
+                fail(f"{path}: windowed {name!r} has bad {key}={val!r}")
+        if win["window_us"] == 0:
+            fail(f"{path}: windowed {name!r} has zero window_us")
+        if not win["p50"] <= win["p95"] <= win["p99"]:
+            fail(f"{path}: windowed {name!r} percentiles not ordered")
+    print(f"check_trace: {path}: OK ({len(doc['counters'])} counters, "
+          f"{len(doc['gauges'])} gauges, {len(doc['histograms'])} "
+          f"histograms, {len(doc['windowed'])} windowed)")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--trace", help="Chrome trace-event JSON file")
     parser.add_argument("--metrics", help="JSONL metrics log file")
     parser.add_argument("--ledger", help="perf ledger JSON file (obs::Report)")
+    parser.add_argument("--prom",
+                        help="Prometheus text file (UV_EXPORT output)")
+    parser.add_argument("--export-json",
+                        help="JSON export snapshot (UV_EXPORT .json sibling)")
     parser.add_argument(
         "--require",
         default="",
         help="comma-separated span names that must appear in the trace",
     )
     args = parser.parse_args()
-    if not args.trace and not args.metrics and not args.ledger:
-        parser.error("pass --trace, --metrics, and/or --ledger")
+    if not (args.trace or args.metrics or args.ledger or args.prom
+            or args.export_json):
+        parser.error("pass --trace, --metrics, --ledger, --prom, "
+                     "and/or --export-json")
     required = [n for n in args.require.split(",") if n]
     if required and not args.trace:
         parser.error("--require needs --trace")
@@ -392,6 +563,10 @@ def main():
         check_metrics(args.metrics)
     if args.ledger:
         check_ledger(args.ledger)
+    if args.prom:
+        check_prom(args.prom)
+    if args.export_json:
+        check_export_json(args.export_json)
 
 
 if __name__ == "__main__":
