@@ -29,6 +29,7 @@
 #include "infer/engine.h"
 #include "infer/server.h"
 #include "nn/graph_context.h"
+#include "obs/quality.h"
 #include "tensor/tensor_ops.h"
 #include "urg/neighbor_sampler.h"
 #include "util/buffer_pool.h"
@@ -430,7 +431,7 @@ void RunServeSuite(uv::obs::Report* report,
   // stalls every batch waiting for a 64-id fill that can never happen.
   uv::infer::ServerOptions server_options;
   server_options.deadline_us = 0;
-  auto& engine_entry = report->RunTimed("serve.engine_quickstart", [&] {
+  const auto serve_one_repeat = [&] {
     uv::infer::ScoringServer server(engine.get(), server_options);
     std::vector<std::thread> clients;
     clients.reserve(kClients);
@@ -451,7 +452,9 @@ void RunServeSuite(uv::obs::Report* report,
       });
     }
     for (auto& c : clients) c.join();
-  });
+  };
+  auto& engine_entry =
+      report->RunTimed("serve.engine_quickstart", serve_one_repeat);
   const double engine_secs = engine_entry.Stats().p50;
   const double engine_rps = engine_secs > 0.0 ? n / engine_secs : 0.0;
   engine_entry.AddMetric("regions_per_sec", engine_rps,
@@ -463,9 +466,42 @@ void RunServeSuite(uv::obs::Report* report,
   engine_entry.AddMetric("clients", kClients);
   engine_entry.AddMetric("request_size", kRequestSize);
 
-  std::printf("autograd: %10.0f regions/sec\n", autograd_rps);
-  std::printf("engine  : %10.0f regions/sec (%.1fx)\n", engine_rps,
+  // Same load with a QualityMonitor attached: prices the wait-free drift
+  // sketches riding the hot path. throughput_vs_plain is the gated ratio —
+  // the monitor must stay within ~10% of unmonitored serving throughput.
+  uv::obs::QualityMonitor monitor(detector.baseline(urg));
+  engine->SetQualityMonitor(&monitor);
+  auto& monitored_entry =
+      report->RunTimed("serve.engine_monitored_quickstart", serve_one_repeat);
+  engine->SetQualityMonitor(nullptr);
+  // Serving the training city: PSI must come out exactly 0, with no alert.
+  // A monitored bench entry whose monitor misreports drift would poison
+  // the ledger, so treat that like the bit-identity guard above.
+  const uv::obs::DriftReport drift = monitor.ComputeDrift();
+  if (drift.feature_psi_max != 0.0 || drift.score_psi != 0.0 || drift.alert) {
+    std::fprintf(stderr,
+                 "FATAL: monitored serve of the training city reported "
+                 "drift (feature PSI %.9f, score PSI %.9f, alert %d)\n",
+                 drift.feature_psi_max, drift.score_psi, drift.alert ? 1 : 0);
+    std::exit(1);
+  }
+  const double monitored_secs = monitored_entry.Stats().p50;
+  const double monitored_rps =
+      monitored_secs > 0.0 ? n / monitored_secs : 0.0;
+  const double vs_plain = engine_rps > 0.0 ? monitored_rps / engine_rps : 0.0;
+  monitored_entry.AddMetric("regions_per_sec", monitored_rps,
+                            uv::obs::Direction::kHigherIsBetter);
+  monitored_entry.AddMetric("throughput_vs_plain", vs_plain,
+                            uv::obs::Direction::kHigherIsBetter);
+  monitored_entry.AddMetric("num_regions", static_cast<double>(n));
+  monitored_entry.AddMetric("clients", kClients);
+  monitored_entry.AddMetric("request_size", kRequestSize);
+
+  std::printf("autograd : %10.0f regions/sec\n", autograd_rps);
+  std::printf("engine   : %10.0f regions/sec (%.1fx)\n", engine_rps,
               autograd_rps > 0.0 ? engine_rps / autograd_rps : 0.0);
+  std::printf("monitored: %10.0f regions/sec (%.2fx vs plain)\n",
+              monitored_rps, vs_plain);
 }
 
 // Telemetry demo: runs a ScoringServer under continuous client load for a

@@ -82,7 +82,7 @@ int main(int argc, char** argv) {
               "city has %d true UV cells\n",
               top_k, hits, 100.0 * hits / top_k, truth);
 
-  const auto status = detector.SaveModel(model_path);
+  const auto status = detector.SaveModel(urg, model_path);
   std::printf("model checkpoint: %s (%s)\n", model_path.c_str(),
               status.ok() ? "saved" : status.ToString().c_str());
   return 0;

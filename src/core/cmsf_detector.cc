@@ -1,7 +1,11 @@
 #include "core/cmsf_detector.h"
 
+#include <numeric>
+
 #include "core/config_codec.h"
 #include "io/checkpoint.h"
+#include "nn/graph_context.h"
+#include "obs/quality.h"
 #include "util/timer.h"
 
 namespace uv::core {
@@ -12,6 +16,12 @@ void CmsfDetector::Train(const urg::UrbanRegionGraph& urg,
   Rng rng(config_.seed);
   minibatch_ = config_.batch_size > 0;
   fingerprint_ = io::UrgFingerprint::FromUrg(urg);
+  // A new training run invalidates any cached quality baseline; the ids
+  // and labels are retained so the baseline's calibration bins can pair
+  // training scores with ground truth at save time.
+  baseline_ = obs::QualityBaseline();
+  train_ids_ = train_ids;
+  train_labels_ = train_labels;
   model_ = std::make_unique<CmsfModel>(config_, urg.PoiDim(), urg.ImageDim(),
                                        &rng);
   if (minibatch_) {
@@ -51,12 +61,48 @@ std::vector<float> CmsfDetector::Score(const urg::UrbanRegionGraph& urg,
   return scores;
 }
 
-Status CmsfDetector::SaveModel(const std::string& path) const {
+void CmsfDetector::EnsureBaseline(const urg::UrbanRegionGraph& urg) {
+  if (!baseline_.empty() || !model_) return;
+  // The baseline observes exactly what serving engines observe: the
+  // grad-free trunk over the full graph (engine workspaces gather rows of
+  // this matrix) and the full-graph predicted scores, which are
+  // bit-identical to the engine's by the inference-engine contract. The
+  // full-graph path is used even for minibatch-trained detectors — the
+  // baseline is a property of the model over the whole training city, not
+  // of how training happened to be batched.
+  const nn::GraphContext ctx = nn::GraphContext::FromCsr(urg.adjacency);
+  const Tensor trunk =
+      model_->TrunkRaw(urg.poi_features, urg.image_features, ctx);
+  const CmsfModel::FrozenAssignment* frozen =
+      config_.use_hierarchy ? &frozen_ : nullptr;
+  std::vector<int> all_ids(static_cast<size_t>(urg.num_regions()));
+  std::iota(all_ids.begin(), all_ids.end(), 0);
+  std::vector<float> scores;
+  if (!minibatch_ && inputs_) {
+    scores = PredictCmsf(*model_, *inputs_, frozen, all_ids);
+  } else {
+    const CmsfInputs inputs = CmsfInputs::FromUrg(urg);
+    scores = PredictCmsf(*model_, inputs, frozen, all_ids);
+  }
+  std::vector<float> labeled_scores(train_ids_.size());
+  for (size_t i = 0; i < train_ids_.size(); ++i) {
+    labeled_scores[i] = scores[static_cast<size_t>(train_ids_[i])];
+  }
+  baseline_ = obs::BuildQualityBaseline(
+      trunk.data(), trunk.rows(), trunk.cols(), scores.data(),
+      static_cast<int64_t>(scores.size()), labeled_scores.data(),
+      train_labels_.data(), static_cast<int64_t>(train_ids_.size()));
+}
+
+Status CmsfDetector::SaveModel(const urg::UrbanRegionGraph& urg,
+                               const std::string& path) {
   if (!model_) return Status::FailedPrecondition("detector is not trained");
+  EnsureBaseline(urg);
   io::Checkpoint ck;
   ck.model_name = name_;
   ck.config = EncodeCmsfConfig(config_);
   ck.fingerprint = fingerprint_;
+  ck.baseline = baseline_;
   for (const auto& p : model_->AllParams()) ck.tensors.push_back(p->value);
   // Frozen stage-one assignment rides along as three extra tensors.
   ck.tensors.push_back(frozen_.soft);
@@ -114,6 +160,12 @@ Status CmsfDetector::LoadModel(const urg::UrbanRegionGraph& urg,
   for (int i = 0; i < pseudo.cols(); ++i) {
     frozen_.pseudo_labels[i] = static_cast<int>(pseudo.at(0, i));
   }
+  // Adopt the checkpoint's baseline verbatim (never recompute: the counts
+  // must stay byte-identical across save -> load -> save). The training
+  // ids/labels belong to whatever run produced the file, not this process.
+  baseline_ = std::move(ck.baseline);
+  train_ids_.clear();
+  train_labels_.clear();
   return Status::Ok();
 }
 

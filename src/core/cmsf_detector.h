@@ -38,15 +38,29 @@ class CmsfDetector : public eval::Detector {
   const CmsfModel* model() const { return model_.get(); }
   const CmsfModel::FrozenAssignment& frozen() const { return frozen_; }
 
-  // Persists the trained model as a versioned UVCK checkpoint: all
-  // parameters plus the frozen stage-one assignment, the serialized config,
-  // and a fingerprint of the URG the model was trained on.
-  Status SaveModel(const std::string& path) const;
+  // Persists the trained model as a v2 UVCK checkpoint: all parameters
+  // plus the frozen stage-one assignment, the serialized config, a
+  // fingerprint of the URG the model was trained on, and the training-time
+  // quality baseline (built on first save from the grad-free trunk over
+  // the full graph — the same representation serving engines observe — and
+  // cached thereafter, so save -> load -> save stays byte-identical).
+  Status SaveModel(const urg::UrbanRegionGraph& urg, const std::string& path);
   // Restores a saved checkpoint: validates version / model name / URG
-  // fingerprint, adopts the checkpoint's config, and rebuilds the model.
+  // fingerprint, adopts the checkpoint's config and quality baseline, and
+  // rebuilds the model.
   Status LoadModel(const urg::UrbanRegionGraph& urg, const std::string& path);
 
+  // The training-time baseline for drift monitors. Built lazily by
+  // SaveModel (or explicitly here); empty() until the detector has been
+  // trained or loaded from a v2 checkpoint.
+  const obs::QualityBaseline& baseline(const urg::UrbanRegionGraph& urg) {
+    EnsureBaseline(urg);
+    return baseline_;
+  }
+
  private:
+  void EnsureBaseline(const urg::UrbanRegionGraph& urg);
+
   CmsfConfig config_;
   std::string name_;
   bool minibatch_ = false;
@@ -54,6 +68,12 @@ class CmsfDetector : public eval::Detector {
   std::optional<CmsfInputs> inputs_;
   CmsfModel::FrozenAssignment frozen_;
   io::UrgFingerprint fingerprint_;
+  obs::QualityBaseline baseline_;
+  // Retained from Train so the baseline's calibration bins can pair
+  // training scores with ground truth; empty after LoadModel (the loaded
+  // baseline already carries them).
+  std::vector<int> train_ids_;
+  std::vector<int> train_labels_;
   double train_epoch_seconds_ = 0.0;
   double inference_seconds_ = 0.0;
   // Master-stage epochs only, matching train_epoch_seconds_ (Table III

@@ -136,6 +136,10 @@ class CmsfEngine final : public Engine {
 
     const float* z = logits_.data();
     for (int r = 0; r < n; ++r) out[r] = PlainSigmoid(z[r]);
+    // x_ still holds the gathered trunk rows — the representation the
+    // checkpoint baseline sketched — so drift monitoring sees exactly the
+    // features this batch was scored from.
+    ObserveQuality(x_.data(), n, x_.cols(), out);
   }
 
  private:
@@ -191,6 +195,7 @@ class DenseTailEngine final : public Engine {
                 kern::Activation::kNone);
     const float* z = logits_.data();
     for (int r = 0; r < n; ++r) out[r] = PlainSigmoid(z[r]);
+    ObserveQuality(x_.data(), n, x_.cols(), out);
   }
 
  private:

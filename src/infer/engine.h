@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/cmsf_model.h"
+#include "obs/quality.h"
 #include "tensor/tensor.h"
 #include "urg/urban_region_graph.h"
 
@@ -37,6 +38,26 @@ class Engine {
 
   // Convenience wrapper (allocates the result vector).
   std::vector<float> Score(const std::vector<int>& ids);
+
+  // Attaches a quality monitor: every subsequent ScoreInto feeds the
+  // batch's encoded region features (the gathered trunk rows — exactly
+  // what the baseline in the checkpoint sketched) and scores into it.
+  // nullptr detaches. The monitor must outlive the engine or be detached
+  // first; observation is wait-free and allocation-free, so the serving
+  // alloc gate holds with a monitor attached.
+  void SetQualityMonitor(obs::QualityMonitor* monitor) { monitor_ = monitor; }
+  obs::QualityMonitor* quality_monitor() const { return monitor_; }
+
+ protected:
+  // Called by implementations at the end of ScoreInto with the batch's
+  // feature workspace (n x d row-major) and final scores.
+  void ObserveQuality(const float* features, int n, int d,
+                      const float* scores) {
+    if (monitor_ != nullptr) monitor_->ObserveBatch(features, n, d, scores);
+  }
+
+ private:
+  obs::QualityMonitor* monitor_ = nullptr;
 };
 
 // Engine for a trained CmsfModel over the given URG (full-graph

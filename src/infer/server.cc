@@ -1,6 +1,7 @@
 #include "infer/server.h"
 
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 
@@ -18,6 +19,14 @@ int EnvInt(const char* name, int fallback) {
   return parsed > 0 ? parsed : fallback;
 }
 
+double EnvRate(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  const double parsed = std::strtod(v, nullptr);
+  if (!(parsed >= 0.0)) return fallback;  // NaN/negatives keep the default.
+  return parsed > 1.0 ? 1.0 : parsed;
+}
+
 // Dispatcher-state gauge values (serve.dispatcher_state).
 constexpr int64_t kIdle = 0;
 constexpr int64_t kBatching = 1;
@@ -31,6 +40,7 @@ ServerOptions ServerOptions::FromEnv() {
   o.deadline_us = EnvInt("UV_SERVE_DEADLINE_US", o.deadline_us);
   o.slo_window_s = EnvInt("UV_SLO_WINDOW_S", o.slo_window_s);
   o.event_capacity = EnvInt("UV_SERVE_EVENTS", o.event_capacity);
+  o.shadow_sample = EnvRate("UV_SHADOW_SAMPLE", o.shadow_sample);
   return o;
 }
 
@@ -38,6 +48,8 @@ ScoringServer::ScoringServer(Engine* engine, const ServerOptions& options)
     : engine_(engine),
       options_(options),
       clock_(options.clock != nullptr ? options.clock : obs::DefaultClock()),
+      shadow_(options.shadow),
+      shadow_threshold_(obs::SampleThreshold(options.shadow_sample)),
       requests_total_(obs::Registry::Global().GetCounter("serve.requests")),
       regions_total_(obs::Registry::Global().GetCounter("serve.regions")),
       queue_depth_(obs::Registry::Global().GetGauge("serve.queue_depth")),
@@ -48,6 +60,14 @@ ScoringServer::ScoringServer(Engine* engine, const ServerOptions& options)
           obs::Registry::Global().GetHistogram("serve.queue_wait_us")),
       batch_size_(obs::Registry::Global().GetHistogram("serve.batch_size")),
       latency_us_(obs::Registry::Global().GetHistogram("serve.latency_us")),
+      shadow_requests_total_(
+          obs::Registry::Global().GetCounter("shadow.requests")),
+      shadow_regions_total_(
+          obs::Registry::Global().GetCounter("shadow.regions")),
+      shadow_disagree_total_(
+          obs::Registry::Global().GetCounter("shadow.disagreements")),
+      shadow_delta_e6_(
+          obs::Registry::Global().GetHistogram("shadow.score_delta_e6")),
       queue_wait_window_reg_(obs::Registry::Global().GetWindowed(
           "serve.queue_wait_us",
           static_cast<uint64_t>(options.slo_window_s) * 1000 * 1000)),
@@ -59,6 +79,9 @@ ScoringServer::ScoringServer(Engine* engine, const ServerOptions& options)
       latency_window_(
           static_cast<uint64_t>(options.slo_window_s) * 1000 * 1000, clock_) {
   UV_CHECK(engine_ != nullptr);
+  if (shadow_ != nullptr) {
+    UV_CHECK_EQ(shadow_->num_regions(), engine_->num_regions());
+  }
   UV_CHECK_GT(options_.max_batch, 0);
   UV_CHECK_GE(options_.deadline_us, 0);
   UV_CHECK_GT(options_.slo_window_s, 0);
@@ -208,6 +231,28 @@ void ScoringServer::DispatchLoop() {
       r->latency_us = clock_->NowMicros() - r->enqueue_us;
     }
 
+    // Stage the shadow slice now — ids and primary outputs copied into
+    // dispatcher-owned buffers — because the Request structs become
+    // invalid the moment done is signalled. The shadow pass itself runs
+    // after clients are unblocked, so it never adds to served latency.
+    bool shadow_pending = false;
+    if (shadow_ != nullptr) {
+      shadow_ids_.clear();
+      shadow_ref_.clear();
+      shadow_sampled_reqs_ = 0;
+      offset = 0;
+      for (const Request* r : batch_reqs_) {
+        if (obs::SampleIdAgainst(r->id, shadow_threshold_)) {
+          shadow_ids_.insert(shadow_ids_.end(), r->ids, r->ids + r->n);
+          shadow_ref_.insert(shadow_ref_.end(), batch_out_.data() + offset,
+                             batch_out_.data() + offset + r->n);
+          ++shadow_sampled_reqs_;
+        }
+        offset += r->n;
+      }
+      shadow_pending = !shadow_ids_.empty();
+    }
+
     if (obs::TraceEnabled()) {
       const uint64_t end_us = clock_->NowMicros();
       // Batch-level spans are unconditional (one pair per engine call);
@@ -233,7 +278,52 @@ void ScoringServer::DispatchLoop() {
       r->done = true;
     }
     done_cv_.notify_all();
+
+    if (shadow_pending) {
+      lock.unlock();
+      RunShadowBatch(batch_id);
+      lock.lock();
+    }
   }
+}
+
+void ScoringServer::RunShadowBatch(uint64_t batch_id) {
+  const int m = static_cast<int>(shadow_ids_.size());
+  if (static_cast<int>(shadow_out_.size()) < m) shadow_out_.resize(m);
+  const uint64_t start_us = clock_->NowMicros();
+  shadow_->ScoreInto(shadow_ids_.data(), m, shadow_out_.data());
+  const uint64_t end_us = clock_->NowMicros();
+  uint64_t disagreements = 0;
+  for (int i = 0; i < m; ++i) {
+    const double delta = std::fabs(static_cast<double>(shadow_out_[i]) -
+                                   static_cast<double>(shadow_ref_[i]));
+    shadow_delta_e6_.Record(
+        static_cast<uint64_t>(std::llround(delta * 1e6)));
+    if ((shadow_out_[i] >= 0.5f) != (shadow_ref_[i] >= 0.5f)) {
+      ++disagreements;
+    }
+  }
+  shadow_requests_total_.Inc(shadow_sampled_reqs_);
+  shadow_regions_total_.Inc(static_cast<uint64_t>(m));
+  shadow_requests_done_.fetch_add(shadow_sampled_reqs_,
+                                  std::memory_order_relaxed);
+  shadow_regions_done_.fetch_add(static_cast<uint64_t>(m),
+                                 std::memory_order_relaxed);
+  if (disagreements > 0) {
+    shadow_disagree_total_.Inc(disagreements);
+    shadow_disagree_done_.fetch_add(disagreements, std::memory_order_relaxed);
+  }
+  if (obs::TraceEnabled()) {
+    obs::RecordSpan("serve.shadow", obs::SpanLevel::kFine, start_us, end_us,
+                    "batch", static_cast<int64_t>(batch_id), "size", m);
+  }
+}
+
+bool ScoringServer::Feedback(const float* scores, const int* labels, int n) {
+  obs::QualityMonitor* monitor = engine_->quality_monitor();
+  if (monitor == nullptr) return false;
+  monitor->ObserveLabels(scores, labels, n);
+  return true;
 }
 
 ServerStats ScoringServer::Stats() const {
@@ -244,6 +334,10 @@ ServerStats ScoringServer::Stats() const {
   s.queue_depth = queue_depth_.Value();
   s.inflight = inflight_.Value();
   s.dispatcher_state = dispatcher_state_.Value();
+  s.shadow_requests = shadow_requests_done_.load(std::memory_order_relaxed);
+  s.shadow_regions = shadow_regions_done_.load(std::memory_order_relaxed);
+  s.shadow_disagreements =
+      shadow_disagree_done_.load(std::memory_order_relaxed);
   const obs::WindowedHistogramSnapshot lat = latency_window_.Snapshot();
   const obs::WindowedHistogramSnapshot qw = queue_wait_window_.Snapshot();
   s.window_us = lat.window_us;

@@ -26,6 +26,20 @@
 // (args: req, batch). With UV_METRICS on, every completed request appends
 // a {"kind":"request",...} JSONL record — unsampled ground truth that the
 // windowed percentiles can be checked against post hoc.
+//
+// Shadow scoring (ServerOptions::shadow): an optional second engine — a
+// candidate checkpoint under evaluation — re-scores a deterministic
+// per-request-id sample (the same splitmix64 scheme as trace sampling,
+// rate from shadow_sample / UV_SHADOW_SAMPLE) *after* the primary results
+// have been returned to clients, so served results and latency are never
+// affected. Disagreements against the primary at the 0.5 decision
+// threshold and absolute score deltas are recorded as:
+//   shadow.requests       counter, sampled requests re-scored
+//   shadow.regions        counter, region ids re-scored
+//   shadow.disagreements  counter, decision flips vs the primary
+//   shadow.score_delta_e6 histogram, |candidate - primary| * 1e6
+// With both engines loaded from the same checkpoint the delta histogram
+// records only zeros — engine scoring is bit-identical by contract.
 
 #include <condition_variable>
 #include <cstdint>
@@ -57,8 +71,18 @@ struct ServerOptions {
   // deadline_us = 0 (a frozen clock never ages the oldest request).
   const obs::Clock* clock = nullptr;
 
+  // Candidate engine for shadow scoring (see header comment); nullptr
+  // disables. Must cover the same region-id space as the primary and
+  // outlive the server; the dispatcher is its only caller.
+  Engine* shadow = nullptr;
+
+  // Fraction of requests (sampled deterministically by request id) the
+  // shadow engine re-scores. Clamped to [0, 1].
+  double shadow_sample = 1.0;
+
   // Reads UV_SERVE_BATCH / UV_SERVE_DEADLINE_US / UV_SLO_WINDOW_S /
-  // UV_SERVE_EVENTS (non-positive or unset values keep the defaults).
+  // UV_SERVE_EVENTS / UV_SHADOW_SAMPLE (out-of-range or unset values keep
+  // the defaults).
   static ServerOptions FromEnv();
 };
 
@@ -80,6 +104,11 @@ struct ServerStats {
   int64_t queue_depth = 0;      // Region ids awaiting dispatch.
   int64_t inflight = 0;         // Requests between enqueue and done.
   int64_t dispatcher_state = 0;  // 0 idle / 1 batching / 2 scoring.
+
+  // Shadow-scoring totals (all zero when no shadow engine is attached).
+  uint64_t shadow_requests = 0;
+  uint64_t shadow_regions = 0;
+  uint64_t shadow_disagreements = 0;
 
   // Rolling-window views (serve.latency_us / serve.queue_wait_us over the
   // last slo_window_s seconds; percentile math identical to Histogram's
@@ -111,6 +140,13 @@ class ScoringServer {
   // destructor; new Score() calls after shutdown are an error.
   void Shutdown();
 
+  // Delayed ground-truth feedback: `scores` are the values this server
+  // *served* earlier, paired with labels that have since arrived. Routed
+  // to the primary engine's QualityMonitor for calibration (ECE) and
+  // rolling precision/recall; returns false (and drops the samples) when
+  // no monitor is attached. Thread-safe.
+  bool Feedback(const float* scores, const int* labels, int n);
+
   // Live introspection: totals, queue/inflight gauges, and rolling-window
   // latency percentiles. Safe from any thread, any time.
   ServerStats Stats() const;
@@ -137,10 +173,16 @@ class ScoringServer {
 
   void DispatchLoop();
   void RecordCompletion(const Request& req);
+  // Re-scores the sampled slice of the last batch on the shadow engine and
+  // records disagreement metrics. Dispatcher-only; runs after clients have
+  // been notified, outside the lock.
+  void RunShadowBatch(uint64_t batch_id);
 
   Engine* const engine_;
   const ServerOptions options_;
   const obs::Clock* const clock_;
+  Engine* const shadow_;
+  const uint64_t shadow_threshold_;  // Precomputed from shadow_sample.
 
   // Registry metrics, resolved once here: Get* takes a std::string and the
   // admission path must stay allocation-free (bench_serve_alloc gates it).
@@ -152,6 +194,10 @@ class ScoringServer {
   obs::Histogram& queue_wait_us_;
   obs::Histogram& batch_size_;
   obs::Histogram& latency_us_;
+  obs::Counter& shadow_requests_total_;
+  obs::Counter& shadow_regions_total_;
+  obs::Counter& shadow_disagree_total_;
+  obs::Histogram& shadow_delta_e6_;
 
   // Registry-owned rolling windows feed the exporter; they are created
   // once (first server fixes window and clock), so a server with an
@@ -166,6 +212,9 @@ class ScoringServer {
   std::atomic<uint64_t> requests_done_{0};
   std::atomic<uint64_t> regions_done_{0};
   std::atomic<uint64_t> batches_done_{0};
+  std::atomic<uint64_t> shadow_requests_done_{0};
+  std::atomic<uint64_t> shadow_regions_done_{0};
+  std::atomic<uint64_t> shadow_disagree_done_{0};
 
   mutable std::mutex mu_;            // Also taken by const introspection.
   std::condition_variable work_cv_;  // Signals the dispatcher.
@@ -184,6 +233,15 @@ class ScoringServer {
   std::vector<Request*> batch_reqs_;
   std::vector<int> batch_ids_;
   std::vector<float> batch_out_;
+
+  // Dispatcher-only shadow buffers: ids and *copies* of the primary
+  // outputs for the sampled requests. Requests are stack-allocated by
+  // clients and must never be touched after done is signalled, so the
+  // shadow pass works exclusively from these copies.
+  std::vector<int> shadow_ids_;
+  std::vector<float> shadow_ref_;
+  std::vector<float> shadow_out_;
+  uint64_t shadow_sampled_reqs_ = 0;
 
   std::thread dispatcher_;
 };

@@ -5,8 +5,10 @@
 // the UVT1 tensor list (serialize.h) with everything needed to refuse a
 // wrong load: a schema version, the model name, an opaque model-config
 // blob (the layering keeps io below core, so core serializes CmsfConfig
-// into bytes via core::EncodeCmsfConfig), and a fingerprint of the URG the
-// model was trained on. On-disk layout, all fields host-endian like UVT1:
+// into bytes via core::EncodeCmsfConfig), a fingerprint of the URG the
+// model was trained on, and — since v2 — the training-time quality
+// baseline that drift detection compares serving traffic against
+// (obs/quality.h). On-disk layout, all fields host-endian like UVT1:
 //
 //   'U' 'V' 'C' 'K'
 //   int32   version            (kCheckpointVersion; loader refuses others)
@@ -14,15 +16,20 @@
 //   int32   config blob length, bytes
 //   UrgFingerprint             (i32 h, i32 w, f64 cell_meters, 4 x i64)
 //   uint64  FNV-1a hash of the fingerprint fields (corruption check)
+//   uint8   has_baseline                                   [v2]
+//   int32   baseline blob length, bytes, uint64 FNV hash   [v2, if present]
 //   UVT1 tensor list           (WriteTensorList)
 //
 // Trailing bytes after the tensor list are rejected: a truncated or
-// concatenated file never loads as a valid checkpoint.
+// concatenated file never loads as a valid checkpoint. Loader errors name
+// the byte offset where the read failed and, for version mismatches, both
+// the found and the expected schema version.
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "obs/quality.h"
 #include "tensor/tensor.h"
 #include "util/status.h"
 
@@ -32,7 +39,12 @@ struct UrbanRegionGraph;
 
 namespace uv::io {
 
-inline constexpr int32_t kCheckpointVersion = 1;
+// v1: name/config/fingerprint + tensor list. v2 adds the embedded quality
+// baseline section. v1 files are *rejected* (with an actionable message),
+// not silently upgraded: a served model without its training baseline
+// would be blind to drift, so operators must re-save with the current
+// build.
+inline constexpr int32_t kCheckpointVersion = 2;
 
 // Identity of the URG a model was trained on: grid spec plus edge counts.
 // Two cities that agree on all of these are graph-isomorphic as far as the
@@ -57,6 +69,10 @@ struct Checkpoint {
   std::string model_name;
   std::vector<uint8_t> config;  // Opaque model-config blob.
   UrgFingerprint fingerprint;
+  // Training-time quality baseline (empty() means "absent on disk" — a
+  // writer may legitimately save a model that never computed one, and
+  // loads round-trip the section byte-for-byte either way).
+  obs::QualityBaseline baseline;
   std::vector<Tensor> tensors;
 };
 

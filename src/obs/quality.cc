@@ -1,0 +1,481 @@
+#include "obs/quality.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "obs/metrics.h"
+#include "obs/metrics_log.h"
+#include "obs/windowed.h"
+
+namespace uv::obs {
+namespace {
+
+// Proportions below this are floored before taking logs so empty bins do
+// not produce infinities. Applied only when the proportions already
+// differ — identical proportions short-circuit first, preserving the
+// exact-zero guarantee.
+constexpr double kPsiEpsilon = 1e-6;
+
+// Fixed-point scales for the commutative serving-side sums. Feature values
+// use 16 fractional bits (they are encoder outputs, O(1) magnitude);
+// scores are probabilities, so 24 bits keep the quantization below 1e-7.
+constexpr double kFeatureFpScale = 65536.0;
+constexpr double kScoreFpScale = 16777216.0;  // 2^24.
+
+int64_t ToFixed(float v, double scale) {
+  double d = static_cast<double>(v) * scale;
+  if (!(d == d)) return 0;  // NaN observes as 0; binning sent it low too.
+  if (d > 9.0e15) d = 9.0e15;  // Stay far from int64 overflow even after
+  if (d < -9.0e15) d = -9.0e15;  // billions of accumulated samples.
+  return std::llround(d);
+}
+
+int64_t ToMicro(double v) {
+  if (!(v == v)) return 0;
+  if (v > 9.0e12) v = 9.0e12;
+  if (v < -9.0e12) v = -9.0e12;
+  return std::llround(v * 1e6);
+}
+
+double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  const double parsed = std::strtod(v, nullptr);
+  return parsed > 0.0 ? parsed : fallback;
+}
+
+int EnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  const int parsed = std::atoi(v);
+  return parsed > 0 ? parsed : fallback;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Binning rules.
+// ---------------------------------------------------------------------------
+
+int QualityBaseline::FeatureBin(float v, const float* edges) {
+  // First bin whose edge is >= v; values equal to an edge fall low, NaN
+  // compares false and lands in bin 0. Linear scan: kFeatureBins is 10 and
+  // the edges sit on one cache line.
+  int b = 0;
+  while (b < kFeatureBins - 1 && v > edges[b]) ++b;
+  return b;
+}
+
+int QualityBaseline::ScoreBin(float s) {
+  if (!(s > 0.0f)) return 0;  // Negatives and NaN clamp low.
+  const int b = static_cast<int>(s * kScoreBins);
+  return b < kScoreBins ? b : kScoreBins - 1;
+}
+
+int QualityBaseline::CalibBin(float s) {
+  if (!(s > 0.0f)) return 0;
+  const int b = static_cast<int>(s * kCalibBins);
+  return b < kCalibBins ? b : kCalibBins - 1;
+}
+
+// ---------------------------------------------------------------------------
+// Baseline construction.
+// ---------------------------------------------------------------------------
+
+QualityBaseline BuildQualityBaseline(const float* features, int64_t n, int d,
+                                     const float* scores, int64_t n_scores,
+                                     const float* labeled_scores,
+                                     const int* labels, int64_t n_labeled) {
+  QualityBaseline base;
+  if (features != nullptr && n > 0 && d > 0) {
+    base.columns.resize(static_cast<size_t>(d));
+    std::vector<float> column(static_cast<size_t>(n));
+    for (int c = 0; c < d; ++c) {
+      QualityBaseline::Column& col = base.columns[static_cast<size_t>(c)];
+      for (int64_t r = 0; r < n; ++r) column[static_cast<size_t>(r)] =
+          features[r * d + c];
+      // Moments first (in row order, single-threaded: deterministic).
+      double sum = 0.0;
+      for (int64_t r = 0; r < n; ++r) sum += column[static_cast<size_t>(r)];
+      const double mean = sum / static_cast<double>(n);
+      double var = 0.0;
+      for (int64_t r = 0; r < n; ++r) {
+        const double dlt = column[static_cast<size_t>(r)] - mean;
+        var += dlt * dlt;
+      }
+      col.mean = static_cast<float>(mean);
+      col.stdev =
+          static_cast<float>(std::sqrt(var / static_cast<double>(n)));
+      // Quantile edges at exact ranks of the sorted column, then the
+      // training histogram through the same FeatureBin the monitor uses.
+      std::sort(column.begin(), column.end());
+      for (int e = 0; e < QualityBaseline::kFeatureBins - 1; ++e) {
+        int64_t rank = (static_cast<int64_t>(e) + 1) * n /
+                       QualityBaseline::kFeatureBins;
+        if (rank >= n) rank = n - 1;
+        col.edges[e] = column[static_cast<size_t>(rank)];
+      }
+      for (int64_t r = 0; r < n; ++r) {
+        const int b = QualityBaseline::FeatureBin(
+            features[r * d + c], col.edges);
+        ++col.counts[b];
+      }
+    }
+  }
+  for (int64_t i = 0; i < n_scores; ++i) {
+    ++base.score_counts[QualityBaseline::ScoreBin(scores[i])];
+  }
+  for (int64_t i = 0; i < n_labeled; ++i) {
+    const int b = QualityBaseline::CalibBin(labeled_scores[i]);
+    ++base.calib_count[b];
+    base.calib_score_sum[b] += static_cast<double>(labeled_scores[i]);
+    if (labels[i] != 0) ++base.calib_pos[b];
+  }
+  return base;
+}
+
+// ---------------------------------------------------------------------------
+// Divergence / calibration math.
+// ---------------------------------------------------------------------------
+
+double PopulationStabilityIndex(const uint64_t* expected,
+                                const uint64_t* actual, int k) {
+  uint64_t te = 0, ta = 0;
+  for (int i = 0; i < k; ++i) {
+    te += expected[i];
+    ta += actual[i];
+  }
+  if (te == 0 || ta == 0) return 0.0;
+  double psi = 0.0;
+  for (int i = 0; i < k; ++i) {
+    double p = static_cast<double>(expected[i]) / static_cast<double>(te);
+    double q = static_cast<double>(actual[i]) / static_cast<double>(ta);
+    // Correctly-rounded IEEE division makes proportional counts compare
+    // equal bit-for-bit; skipping before the epsilon floor is what makes
+    // "serving the training city" report exactly 0.0.
+    if (p == q) continue;
+    if (p < kPsiEpsilon) p = kPsiEpsilon;
+    if (q < kPsiEpsilon) q = kPsiEpsilon;
+    psi += (q - p) * std::log(q / p);
+  }
+  return psi;
+}
+
+double KlDivergence(const uint64_t* expected, const uint64_t* actual,
+                    int k) {
+  uint64_t te = 0, ta = 0;
+  for (int i = 0; i < k; ++i) {
+    te += expected[i];
+    ta += actual[i];
+  }
+  if (te == 0 || ta == 0) return 0.0;
+  double kl = 0.0;
+  for (int i = 0; i < k; ++i) {
+    double p = static_cast<double>(expected[i]) / static_cast<double>(te);
+    double q = static_cast<double>(actual[i]) / static_cast<double>(ta);
+    if (p == q || q == 0.0) continue;  // q log(q/p): lim q->0 term is 0.
+    if (p < kPsiEpsilon) p = kPsiEpsilon;
+    kl += q * std::log(q / p);
+  }
+  return kl;
+}
+
+double ExpectedCalibrationError(const uint64_t* count,
+                                const double* score_sum, const uint64_t* pos,
+                                int k) {
+  uint64_t total = 0;
+  for (int i = 0; i < k; ++i) total += count[i];
+  if (total == 0) return 0.0;
+  double ece = 0.0;
+  for (int i = 0; i < k; ++i) {
+    if (count[i] == 0) continue;
+    const double n = static_cast<double>(count[i]);
+    const double confidence = score_sum[i] / n;
+    const double accuracy = static_cast<double>(pos[i]) / n;
+    ece += (n / static_cast<double>(total)) *
+           std::fabs(confidence - accuracy);
+  }
+  return ece;
+}
+
+// ---------------------------------------------------------------------------
+// Streaming monitor.
+// ---------------------------------------------------------------------------
+
+QualityOptions QualityOptions::FromEnv() {
+  QualityOptions o;
+  o.psi_alert = EnvDouble("UV_PSI_ALERT", o.psi_alert);
+  o.label_window = EnvInt("UV_LABEL_WINDOW", o.label_window);
+  return o;
+}
+
+QualityMonitor::QualityMonitor(QualityBaseline baseline,
+                               QualityOptions options)
+    : baseline_(std::move(baseline)),
+      options_(options),
+      feature_counts_(baseline_.columns.size() *
+                      QualityBaseline::kFeatureBins),
+      feature_sum_fp_(baseline_.columns.size()),
+      ring_(options.label_window > 0 ? static_cast<size_t>(options.label_window)
+                                     : size_t{1}),
+      feature_rows_total_(
+          Registry::Global().GetCounter("quality.feature_rows")),
+      scores_total_(Registry::Global().GetCounter("quality.scores")),
+      labels_total_(Registry::Global().GetCounter("quality.labels")),
+      dim_mismatch_total_(
+          Registry::Global().GetCounter("quality.feature_dim_mismatch")),
+      alerts_total_(Registry::Global().GetCounter("drift.alerts")),
+      alert_gauge_(Registry::Global().GetGauge("drift.alert")),
+      feature_psi_max_gauge_(
+          Registry::Global().GetGauge("drift.feature_psi_max_e6")),
+      feature_psi_mean_gauge_(
+          Registry::Global().GetGauge("drift.feature_psi_mean_e6")),
+      score_psi_gauge_(Registry::Global().GetGauge("drift.score_psi_e6")),
+      score_kl_gauge_(Registry::Global().GetGauge("drift.score_kl_e6")),
+      ece_gauge_(Registry::Global().GetGauge("quality.ece_e6")),
+      precision_gauge_(Registry::Global().GetGauge("quality.precision_e6")),
+      recall_gauge_(Registry::Global().GetGauge("quality.recall_e6")),
+      score_hist_(Registry::Global().GetHistogram("quality.score_e6")),
+      score_window_(Registry::Global().GetWindowed("quality.score_e6")) {}
+
+void QualityMonitor::ObserveBatch(const float* features, int n, int d,
+                                  const float* scores) {
+  if (n <= 0) return;
+  const int cols = static_cast<int>(baseline_.columns.size());
+  if (features != nullptr && cols > 0) {
+    if (d == cols) {
+      // Column-major with batch-local accumulators: one pass over the
+      // batch costs <= kFeatureBins + 1 atomic RMWs per column instead of
+      // two per value. Integer sums commute, so the merged sketch is
+      // unchanged by the reassociation.
+      for (int c = 0; c < d; ++c) {
+        const float* edges = baseline_.columns[static_cast<size_t>(c)].edges;
+        uint64_t local[QualityBaseline::kFeatureBins] = {};
+        int64_t sum = 0;
+        const float* v = features + c;
+        for (int r = 0; r < n; ++r, v += d) {
+          ++local[QualityBaseline::FeatureBin(*v, edges)];
+          sum += ToFixed(*v, kFeatureFpScale);
+        }
+        std::atomic<uint64_t>* bins =
+            feature_counts_.data() +
+            static_cast<size_t>(c) * QualityBaseline::kFeatureBins;
+        for (int b = 0; b < QualityBaseline::kFeatureBins; ++b) {
+          if (local[b] != 0) {
+            bins[b].fetch_add(local[b], std::memory_order_relaxed);
+          }
+        }
+        if (sum != 0) {
+          feature_sum_fp_[static_cast<size_t>(c)].fetch_add(
+              sum, std::memory_order_relaxed);
+        }
+      }
+      feature_rows_.fetch_add(static_cast<uint64_t>(n),
+                              std::memory_order_relaxed);
+      feature_rows_total_.Inc(static_cast<uint64_t>(n));
+    } else {
+      dim_mismatch_total_.Inc();
+    }
+  }
+  if (scores != nullptr) {
+    uint64_t local[QualityBaseline::kScoreBins] = {};
+    for (int r = 0; r < n; ++r) {
+      ++local[QualityBaseline::ScoreBin(scores[r])];
+      const int64_t e6 = ToMicro(static_cast<double>(scores[r]));
+      const uint64_t sample = e6 > 0 ? static_cast<uint64_t>(e6) : 0;
+      score_hist_.Record(sample);
+      score_window_.Record(sample);
+    }
+    for (int b = 0; b < QualityBaseline::kScoreBins; ++b) {
+      if (local[b] != 0) {
+        score_counts_[b].fetch_add(local[b], std::memory_order_relaxed);
+      }
+    }
+    scores_seen_.fetch_add(static_cast<uint64_t>(n),
+                           std::memory_order_relaxed);
+    scores_total_.Inc(static_cast<uint64_t>(n));
+  }
+  const uint64_t batch =
+      batches_seen_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (options_.publish_every_batches > 0 &&
+      batch % static_cast<uint64_t>(options_.publish_every_batches) == 0) {
+    Publish();
+  }
+}
+
+void QualityMonitor::ObserveLabels(const float* scores, const int* labels,
+                                   int n) {
+  if (n <= 0) return;
+  for (int i = 0; i < n; ++i) {
+    const int b = QualityBaseline::CalibBin(scores[i]);
+    calib_count_[b].fetch_add(1, std::memory_order_relaxed);
+    calib_score_fp_[b].fetch_add(ToFixed(scores[i], kScoreFpScale),
+                                 std::memory_order_relaxed);
+    if (labels[i] != 0) calib_pos_[b].fetch_add(1, std::memory_order_relaxed);
+  }
+  {
+    std::lock_guard<std::mutex> lock(ring_mu_);
+    for (int i = 0; i < n; ++i) {
+      ring_[ring_next_] = {scores[i], labels[i]};
+      ring_next_ = (ring_next_ + 1) % ring_.size();
+      ++ring_total_;
+    }
+  }
+  labels_seen_.fetch_add(static_cast<uint64_t>(n),
+                         std::memory_order_relaxed);
+  labels_total_.Inc(static_cast<uint64_t>(n));
+}
+
+DriftReport QualityMonitor::ComputeDrift() const {
+  DriftReport r;
+  uint64_t base_scores = 0;
+  for (const uint64_t c : baseline_.score_counts) base_scores += c;
+  r.has_baseline = !baseline_.empty() || base_scores > 0;
+  r.feature_rows = feature_rows_.load(std::memory_order_relaxed);
+  r.scores = scores_seen_.load(std::memory_order_relaxed);
+  r.columns = static_cast<int>(baseline_.columns.size());
+  const uint64_t rows = r.feature_rows;
+  if (r.columns > 0 && rows > 0) {
+    double psi_sum = 0.0;
+    uint64_t serving[QualityBaseline::kFeatureBins];
+    for (int c = 0; c < r.columns; ++c) {
+      const QualityBaseline::Column& col =
+          baseline_.columns[static_cast<size_t>(c)];
+      for (int b = 0; b < QualityBaseline::kFeatureBins; ++b) {
+        serving[b] = feature_counts_[static_cast<size_t>(c) *
+                                         QualityBaseline::kFeatureBins +
+                                     static_cast<size_t>(b)]
+                         .load(std::memory_order_relaxed);
+      }
+      const double psi = PopulationStabilityIndex(
+          col.counts, serving, QualityBaseline::kFeatureBins);
+      psi_sum += psi;
+      if (psi > r.feature_psi_max) {
+        r.feature_psi_max = psi;
+        r.feature_psi_argmax = c;
+      }
+      const double serving_mean =
+          (static_cast<double>(feature_sum_fp_[static_cast<size_t>(c)].load(
+               std::memory_order_relaxed)) /
+           kFeatureFpScale) /
+          static_cast<double>(rows);
+      const double denom =
+          col.stdev > 1e-6f ? static_cast<double>(col.stdev) : 1e-6;
+      const double zshift =
+          std::fabs(serving_mean - static_cast<double>(col.mean)) / denom;
+      if (zshift > r.feature_mean_zshift_max) {
+        r.feature_mean_zshift_max = zshift;
+      }
+    }
+    r.feature_psi_mean = psi_sum / static_cast<double>(r.columns);
+  }
+  if (r.scores > 0) {
+    uint64_t serving[QualityBaseline::kScoreBins];
+    for (int b = 0; b < QualityBaseline::kScoreBins; ++b) {
+      serving[b] = score_counts_[b].load(std::memory_order_relaxed);
+    }
+    r.score_psi = PopulationStabilityIndex(baseline_.score_counts, serving,
+                                           QualityBaseline::kScoreBins);
+    r.score_kl = KlDivergence(baseline_.score_counts, serving,
+                              QualityBaseline::kScoreBins);
+  }
+  r.alert = (r.feature_psi_max > options_.psi_alert ||
+             r.score_psi > options_.psi_alert);
+  return r;
+}
+
+CalibrationReport QualityMonitor::ComputeCalibration() const {
+  CalibrationReport r;
+  r.labels = labels_seen_.load(std::memory_order_relaxed);
+  uint64_t count[QualityBaseline::kCalibBins];
+  double score_sum[QualityBaseline::kCalibBins];
+  uint64_t pos[QualityBaseline::kCalibBins];
+  for (int b = 0; b < QualityBaseline::kCalibBins; ++b) {
+    count[b] = calib_count_[b].load(std::memory_order_relaxed);
+    score_sum[b] = static_cast<double>(calib_score_fp_[b].load(
+                       std::memory_order_relaxed)) /
+                   kScoreFpScale;
+    pos[b] = calib_pos_[b].load(std::memory_order_relaxed);
+  }
+  r.ece = ExpectedCalibrationError(count, score_sum, pos,
+                                   QualityBaseline::kCalibBins);
+  r.baseline_ece = ExpectedCalibrationError(
+      baseline_.calib_count, baseline_.calib_score_sum, baseline_.calib_pos,
+      QualityBaseline::kCalibBins);
+  uint64_t tp = 0, fp = 0, fn = 0;
+  {
+    std::lock_guard<std::mutex> lock(ring_mu_);
+    const size_t filled = ring_total_ < ring_.size()
+                              ? static_cast<size_t>(ring_total_)
+                              : ring_.size();
+    r.window_labels = filled;
+    for (size_t i = 0; i < filled; ++i) {
+      const bool predicted = ring_[i].first >= 0.5f;
+      const bool actual = ring_[i].second != 0;
+      if (predicted && actual) ++tp;
+      if (predicted && !actual) ++fp;
+      if (!predicted && actual) ++fn;
+    }
+  }
+  r.precision = tp + fp > 0
+                    ? static_cast<double>(tp) / static_cast<double>(tp + fp)
+                    : 0.0;
+  r.recall = tp + fn > 0
+                 ? static_cast<double>(tp) / static_cast<double>(tp + fn)
+                 : 0.0;
+  return r;
+}
+
+void QualityMonitor::Publish() {
+  const DriftReport drift = ComputeDrift();
+  const CalibrationReport calib = ComputeCalibration();
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  feature_psi_max_gauge_.Set(ToMicro(drift.feature_psi_max));
+  feature_psi_mean_gauge_.Set(ToMicro(drift.feature_psi_mean));
+  score_psi_gauge_.Set(ToMicro(drift.score_psi));
+  score_kl_gauge_.Set(ToMicro(drift.score_kl));
+  ece_gauge_.Set(ToMicro(calib.ece));
+  precision_gauge_.Set(ToMicro(calib.precision));
+  recall_gauge_.Set(ToMicro(calib.recall));
+  alert_gauge_.Set(drift.alert ? 1 : 0);
+  if (drift.alert && !last_alert_) alerts_total_.Inc();
+  last_alert_ = drift.alert;
+  if (MetricsLogEnabled()) {
+    MetricsRecord("quality")
+        .Int("feature_rows", static_cast<int64_t>(drift.feature_rows))
+        .Int("scores", static_cast<int64_t>(drift.scores))
+        .Int("labels", static_cast<int64_t>(calib.labels))
+        .Num("feature_psi_max", drift.feature_psi_max)
+        .Num("feature_psi_mean", drift.feature_psi_mean)
+        .Num("score_psi", drift.score_psi)
+        .Num("score_kl", drift.score_kl)
+        .Num("ece", calib.ece)
+        .Num("precision", calib.precision)
+        .Num("recall", calib.recall)
+        .Int("alert", drift.alert ? 1 : 0)
+        .Emit();
+  }
+}
+
+void QualityMonitor::Reset() {
+  for (auto& a : feature_counts_) a.store(0, std::memory_order_relaxed);
+  for (auto& a : feature_sum_fp_) a.store(0, std::memory_order_relaxed);
+  feature_rows_.store(0, std::memory_order_relaxed);
+  for (auto& a : score_counts_) a.store(0, std::memory_order_relaxed);
+  scores_seen_.store(0, std::memory_order_relaxed);
+  batches_seen_.store(0, std::memory_order_relaxed);
+  for (auto& a : calib_count_) a.store(0, std::memory_order_relaxed);
+  for (auto& a : calib_score_fp_) a.store(0, std::memory_order_relaxed);
+  for (auto& a : calib_pos_) a.store(0, std::memory_order_relaxed);
+  labels_seen_.store(0, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(ring_mu_);
+    ring_next_ = 0;
+    ring_total_ = 0;
+  }
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  last_alert_ = false;
+}
+
+}  // namespace uv::obs

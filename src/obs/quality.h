@@ -1,0 +1,250 @@
+#ifndef UV_OBS_QUALITY_H_
+#define UV_OBS_QUALITY_H_
+
+// Model-quality observability: drift detection against a training-time
+// baseline, score calibration tracking, and the sketches both are built on.
+//
+// A QualityBaseline is captured once at SaveModel time (per-feature-column
+// quantile edges + bin counts + moments over the encoded region features,
+// the training score histogram, and calibration bins over the labeled
+// training ids) and rides inside the v2 UVCK checkpoint. A QualityMonitor
+// then accumulates the same sketches over *served* batches and compares
+// them to the baseline with PSI / KL divergence, publishing everything as
+// the `quality.*` / `drift.*` registry families (exporter + JSONL sinks
+// pick them up like any other metric).
+//
+// Determinism contract: every serving-side sketch is built exclusively
+// from commutative integer atomics (bin counts, fixed-point sums), so the
+// merged sketch is bit-identical regardless of UV_THREADS, UV_POOL, or how
+// requests were batched together. PSI is computed from bin *proportions*;
+// IEEE-754 division is correctly rounded, so serving the training city k
+// times yields counts k*c_i over total k*N whose proportions equal the
+// baseline's c_i/N bit-for-bit, every PSI term short-circuits on p == q,
+// and the reported PSI is exactly 0.0 — a tested invariant, not an
+// approximation.
+//
+// Layering: obs sits below tensor, so the observation API takes raw
+// row-major float pointers; engines pass their gathered trunk workspace.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace uv::obs {
+
+class Counter;
+class Gauge;
+class Histogram;
+class WindowedHistogram;
+
+// ---------------------------------------------------------------------------
+// Baseline: the training-time reference distribution embedded in the
+// checkpoint. Plain vectors/arrays so io can serialize it with the same
+// pod-writer idiom as the rest of the UVCK container.
+// ---------------------------------------------------------------------------
+
+struct QualityBaseline {
+  static constexpr int kFeatureBins = 10;  // Deciles of each feature column.
+  static constexpr int kScoreBins = 20;    // Fixed-width bins over [0, 1].
+  static constexpr int kCalibBins = 10;    // Reliability bins over [0, 1].
+
+  struct Column {
+    float edges[kFeatureBins - 1] = {};  // Ascending interior bin edges.
+    uint64_t counts[kFeatureBins] = {};  // Training histogram over edges.
+    float mean = 0.0f;
+    float stdev = 0.0f;  // Population standard deviation.
+  };
+
+  std::vector<Column> columns;             // One per encoded feature column.
+  uint64_t score_counts[kScoreBins] = {};  // Training score histogram.
+
+  // Reliability bins over the labeled training ids: per predicted-score
+  // bin, the sample count, the exact score sum, and the positive count.
+  uint64_t calib_count[kCalibBins] = {};
+  double calib_score_sum[kCalibBins] = {};
+  uint64_t calib_pos[kCalibBins] = {};
+
+  bool empty() const { return columns.empty(); }
+
+  // Shared binning rules — the baseline builder and the serving monitor
+  // MUST agree bit-for-bit, so they live here. FeatureBin returns the
+  // first bin whose edge is >= v (values equal to an edge fall low);
+  // Score/CalibBin clamp floor(v * bins) into [0, bins).
+  static int FeatureBin(float v, const float* edges);
+  static int ScoreBin(float s);
+  static int CalibBin(float s);
+};
+
+// Builds the training-time baseline. `features` is n x d row-major (the
+// encoded region representations), `scores` holds n_scores predicted
+// probabilities (typically every region of the training city), and the
+// labeled triple feeds the calibration bins (scores over the training ids
+// paired with their ground-truth labels; pass n_labeled = 0 when labels
+// are unavailable). Quantile edges are exact ranks of the sorted column,
+// so the construction is deterministic for a fixed input.
+QualityBaseline BuildQualityBaseline(const float* features, int64_t n, int d,
+                                     const float* scores, int64_t n_scores,
+                                     const float* labeled_scores,
+                                     const int* labels, int64_t n_labeled);
+
+// ---------------------------------------------------------------------------
+// Divergence / calibration math, exposed for tests and tools. All operate
+// on integer count arrays and convert to proportions internally; terms
+// with identical proportions are skipped before any epsilon flooring, so
+// proportional inputs give exactly 0.0.
+// ---------------------------------------------------------------------------
+
+double PopulationStabilityIndex(const uint64_t* expected,
+                                const uint64_t* actual, int k);
+double KlDivergence(const uint64_t* expected, const uint64_t* actual, int k);
+
+// ECE over reliability bins: sum_b (count_b / total) *
+// |score_sum_b / count_b - pos_b / count_b|.
+double ExpectedCalibrationError(const uint64_t* count,
+                                const double* score_sum, const uint64_t* pos,
+                                int k);
+
+// ---------------------------------------------------------------------------
+// Streaming monitor.
+// ---------------------------------------------------------------------------
+
+struct QualityOptions {
+  // PSI above this (feature max or score) raises the drift alert.
+  double psi_alert = 0.2;
+
+  // Rolling window (in labeled samples) for precision/recall; the ring is
+  // preallocated. ECE uses cumulative integer bins instead, so it stays
+  // order-independent.
+  int label_window = 4096;
+
+  // Auto-publish cadence: recompute drift and refresh the registry gauges
+  // every this many observed batches (0 = manual Publish() only).
+  int publish_every_batches = 32;
+
+  // Reads UV_PSI_ALERT / UV_LABEL_WINDOW (non-positive or unset values
+  // keep the defaults).
+  static QualityOptions FromEnv();
+};
+
+struct DriftReport {
+  bool has_baseline = false;
+  uint64_t feature_rows = 0;  // Rows observed into the feature sketches.
+  uint64_t scores = 0;        // Scores observed into the score histogram.
+  int columns = 0;
+  double feature_psi_max = 0.0;
+  int feature_psi_argmax = -1;  // Column achieving the max (-1 when none).
+  double feature_psi_mean = 0.0;
+  // Max over columns of |serving mean - baseline mean| / max(stdev, 1e-6).
+  double feature_mean_zshift_max = 0.0;
+  double score_psi = 0.0;
+  double score_kl = 0.0;  // KL(serving || baseline) over score bins.
+  bool alert = false;     // PSI (feature max or score) above threshold.
+};
+
+struct CalibrationReport {
+  uint64_t labels = 0;        // Cumulative labeled samples observed.
+  double ece = 0.0;           // Cumulative serving ECE.
+  double baseline_ece = 0.0;  // Training-time ECE from the checkpoint.
+  uint64_t window_labels = 0;  // Samples in the rolling ring.
+  double precision = 0.0;      // Rolling, threshold 0.5.
+  double recall = 0.0;         // Rolling, threshold 0.5.
+};
+
+// Accumulates serving-side sketches and publishes drift/calibration
+// metrics. ObserveBatch/ObserveLabels are thread-safe, wait-free (relaxed
+// atomics only) and allocation-free; Compute*/Publish are mutex-guarded
+// and cheap enough for a per-batch cadence.
+//
+// Registry families (micro-unit gauges carry doubles as round(v * 1e6)):
+//   quality.feature_rows   counter   rows observed into feature sketches
+//   quality.scores         counter   scores observed
+//   quality.labels         counter   delayed labels observed
+//   quality.score_e6       histogram + rolling window, score * 1e6
+//   quality.ece_e6         gauge     cumulative serving ECE
+//   quality.precision_e6   gauge     rolling precision at 0.5
+//   quality.recall_e6      gauge     rolling recall at 0.5
+//   drift.feature_psi_max_e6 / drift.feature_psi_mean_e6   gauges
+//   drift.score_psi_e6 / drift.score_kl_e6                 gauges
+//   drift.alert            gauge     1 while PSI exceeds the threshold
+//   drift.alerts           counter   rising edges of drift.alert
+class QualityMonitor {
+ public:
+  explicit QualityMonitor(QualityBaseline baseline,
+                          QualityOptions options = QualityOptions::FromEnv());
+
+  // Observes one served batch: n rows of d features (row-major) and their
+  // n scores. Feature sketches require d == baseline columns; mismatched
+  // batches still feed the score histogram but bump
+  // quality.feature_dim_mismatch instead of corrupting the sketches.
+  void ObserveBatch(const float* features, int n, int d, const float* scores);
+
+  // Delayed ground-truth feedback: the scores the caller was *served*
+  // paired with labels that arrived later. Feeds ECE bins and the rolling
+  // precision/recall ring; never re-scores, so drift sketches stay pure.
+  void ObserveLabels(const float* scores, const int* labels, int n);
+
+  DriftReport ComputeDrift() const;
+  CalibrationReport ComputeCalibration() const;
+
+  // Recomputes both reports, refreshes every gauge, bumps drift.alerts on
+  // a rising alert edge, and appends a {"kind":"quality",...} JSONL record
+  // when the metrics log is open.
+  void Publish();
+
+  // Clears the serving-side sketches (not the baseline). Tests only.
+  void Reset();
+
+  const QualityBaseline& baseline() const { return baseline_; }
+  const QualityOptions& options() const { return options_; }
+
+ private:
+  const QualityBaseline baseline_;
+  const QualityOptions options_;
+
+  // Serving-side sketches: flattened columns x kFeatureBins counts plus a
+  // per-column fixed-point sum (v * 65536, llround) for mean drift.
+  std::vector<std::atomic<uint64_t>> feature_counts_;
+  std::vector<std::atomic<int64_t>> feature_sum_fp_;
+  std::atomic<uint64_t> feature_rows_{0};
+  std::atomic<uint64_t> score_counts_[QualityBaseline::kScoreBins] = {};
+  std::atomic<uint64_t> scores_seen_{0};
+  std::atomic<uint64_t> batches_seen_{0};
+
+  // Calibration: cumulative integer bins (order-independent ECE; scores
+  // enter as fixed-point score * 2^24) plus the rolling label ring.
+  std::atomic<uint64_t> calib_count_[QualityBaseline::kCalibBins] = {};
+  std::atomic<int64_t> calib_score_fp_[QualityBaseline::kCalibBins] = {};
+  std::atomic<uint64_t> calib_pos_[QualityBaseline::kCalibBins] = {};
+  std::atomic<uint64_t> labels_seen_{0};
+
+  mutable std::mutex ring_mu_;
+  std::vector<std::pair<float, int>> ring_;  // Preallocated label_window.
+  size_t ring_next_ = 0;
+  uint64_t ring_total_ = 0;
+
+  std::mutex publish_mu_;
+  bool last_alert_ = false;
+
+  // Registry handles resolved once at construction (Get* takes a string;
+  // the observation path must stay allocation-free).
+  Counter& feature_rows_total_;
+  Counter& scores_total_;
+  Counter& labels_total_;
+  Counter& dim_mismatch_total_;
+  Counter& alerts_total_;
+  Gauge& alert_gauge_;
+  Gauge& feature_psi_max_gauge_;
+  Gauge& feature_psi_mean_gauge_;
+  Gauge& score_psi_gauge_;
+  Gauge& score_kl_gauge_;
+  Gauge& ece_gauge_;
+  Gauge& precision_gauge_;
+  Gauge& recall_gauge_;
+  Histogram& score_hist_;
+  WindowedHistogram& score_window_;
+};
+
+}  // namespace uv::obs
+
+#endif  // UV_OBS_QUALITY_H_

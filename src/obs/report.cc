@@ -52,13 +52,15 @@ bool HasPrefix(const std::string& s, const char* prefix) {
 }
 
 // Counters/histograms snapshotted into each repeat: the allocator,
-// thread-pool, and serving families, where a hot-path regression shows
-// first (a dropped pool explodes mem.heap_allocs; a serialized GEMM
-// empties threadpool.queue_wait_us; a stalled dispatcher inflates
-// serve.latency_us).
+// thread-pool, serving, and model-quality families, where a hot-path
+// regression shows first (a dropped pool explodes mem.heap_allocs; a
+// serialized GEMM empties threadpool.queue_wait_us; a stalled dispatcher
+// inflates serve.latency_us; a monitored serve entry carries its
+// quality.score_e6 sketch and drift gauges would surface in export).
 bool LedgerRelevant(const std::string& name) {
   return HasPrefix(name, "mem.") || HasPrefix(name, "threadpool.") ||
-         HasPrefix(name, "serve.");
+         HasPrefix(name, "serve.") || HasPrefix(name, "quality.") ||
+         HasPrefix(name, "drift.") || HasPrefix(name, "shadow.");
 }
 
 std::string EnvOrEmpty(const char* name) {

@@ -284,18 +284,25 @@ void SetTraceSampleRate(double rate) {
   if (!(rate > 0.0)) rate = 0.0;  // NaN and negatives sample nothing.
   if (rate > 1.0) rate = 1.0;
   g_sample_rate.store(rate, std::memory_order_relaxed);
-  // rate == 1 must sample every id, so it maps to the max threshold with a
-  // <= comparison rather than scaling (which could round down).
-  const uint64_t threshold =
-      rate >= 1.0 ? ~uint64_t{0}
-                  : static_cast<uint64_t>(
-                        rate * 18446744073709551616.0 /* 2^64 */);
-  g_sample_threshold.store(threshold, std::memory_order_relaxed);
+  g_sample_threshold.store(SampleThreshold(rate), std::memory_order_relaxed);
 }
 
 bool TraceSampleForId(uint64_t id) {
-  return MixId(id) <= g_sample_threshold.load(std::memory_order_relaxed) &&
+  return SampleIdAgainst(
+             id, g_sample_threshold.load(std::memory_order_relaxed)) &&
          g_sample_rate.load(std::memory_order_relaxed) > 0.0;
+}
+
+uint64_t SampleThreshold(double rate) {
+  if (!(rate > 0.0)) return 0;
+  // rate == 1 must sample every id, so it maps to the max threshold with a
+  // <= comparison rather than scaling (which could round down).
+  if (rate >= 1.0) return ~uint64_t{0};
+  return static_cast<uint64_t>(rate * 18446744073709551616.0 /* 2^64 */);
+}
+
+bool SampleIdAgainst(uint64_t id, uint64_t threshold) {
+  return threshold != 0 && MixId(id) <= threshold;
 }
 
 }  // namespace uv::obs

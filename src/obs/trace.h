@@ -97,6 +97,15 @@ void SetTraceSampleRate(double rate);
 // TraceEnabled() first.
 bool TraceSampleForId(uint64_t id);
 
+// The id-hash sampling scheme itself, exposed so other per-request
+// samplers (shadow scoring) make the same deterministic decision without
+// touching the trace rate. SampleThreshold maps a rate in [0, 1] to a
+// threshold over the full uint64 hash range (0 = never, ~0 = always);
+// SampleIdAgainst hashes the id (splitmix64 finalizer, so sequential ids
+// spread uniformly) and compares it against that threshold.
+uint64_t SampleThreshold(double rate);
+bool SampleIdAgainst(uint64_t id, uint64_t threshold);
+
 // RAII scope: records one span from construction to destruction. The name
 // (and arg keys) must be string literals or otherwise outlive the trace.
 class SpanGuard {

@@ -32,7 +32,7 @@ class CheckpointTest : public ::testing::Test {
     expected_ = new std::vector<float>(
         detector_->Score(*urg_, fold_->test_ids));
     path_ = new std::string(::testing::TempDir() + "/uvck_fixture.bin");
-    ASSERT_TRUE(detector_->SaveModel(*path_).ok());
+    ASSERT_TRUE(detector_->SaveModel(*urg_, *path_).ok());
   }
 
   static CmsfConfig FastConfig() {
@@ -230,13 +230,176 @@ TEST_F(CheckpointTest, RejectsTruncationAndTrailingBytes) {
   std::remove(tmp.c_str());
 }
 
+TEST_F(CheckpointTest, RejectsV1FileWithActionableMessage) {
+  // A v1 file is a current file with version 1 in the schema field: the
+  // loader refuses at the version check, before interpreting anything the
+  // schemas disagree on. The message must be actionable — found and
+  // expected versions, the failing offset, and the remedy.
+  std::vector<char> bytes;
+  {
+    std::ifstream in(*path_, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(bytes.size(), 8u);
+  const int32_t v1 = 1;
+  std::memcpy(bytes.data() + 4, &v1, sizeof(v1));
+  const std::string v1_path = ::testing::TempDir() + "/uvck_v1.bin";
+  {
+    std::ofstream out(v1_path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  const auto loaded = io::LoadCheckpoint(v1_path);
+  ASSERT_FALSE(loaded.ok());
+  const std::string& msg = loaded.status().message();
+  EXPECT_NE(msg.find("schema version 1"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("expects version 2"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("byte offset 4"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("re-save"), std::string::npos) << msg;
+  std::remove(v1_path.c_str());
+}
+
+TEST_F(CheckpointTest, TruncationErrorsNameTheFailingOffset) {
+  std::vector<char> bytes;
+  {
+    std::ifstream in(*path_, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  const std::string tmp = ::testing::TempDir() + "/uvck_offset.bin";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), 10);
+  }
+  const auto loaded = io::LoadCheckpoint(tmp);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("byte offset"), std::string::npos)
+      << loaded.status().message();
+  std::remove(tmp.c_str());
+}
+
+TEST_F(CheckpointTest, BaselineRoundTripsThroughCheckpoint) {
+  auto ck = io::LoadCheckpoint(*path_);
+  ASSERT_TRUE(ck.ok()) << ck.status().message();
+  const obs::QualityBaseline& base = ck.value().baseline;
+  ASSERT_FALSE(base.empty());
+  // Every trunk column was sketched over every region; the score histogram
+  // covers all regions; the calibration bins cover the training ids.
+  const auto n = static_cast<uint64_t>(urg_->num_regions());
+  for (const obs::QualityBaseline::Column& col : base.columns) {
+    uint64_t total = 0;
+    for (const uint64_t c : col.counts) total += c;
+    EXPECT_EQ(total, n);
+  }
+  uint64_t score_total = 0;
+  for (const uint64_t c : base.score_counts) score_total += c;
+  EXPECT_EQ(score_total, n);
+  uint64_t calib_total = 0;
+  for (const uint64_t c : base.calib_count) calib_total += c;
+  EXPECT_EQ(calib_total, fold_->train_ids.size());
+  // And the on-disk baseline is exactly the detector's cached one.
+  const obs::QualityBaseline& live = detector_->baseline(*urg_);
+  ASSERT_EQ(live.columns.size(), base.columns.size());
+  for (size_t c = 0; c < live.columns.size(); ++c) {
+    for (int e = 0; e < obs::QualityBaseline::kFeatureBins - 1; ++e) {
+      EXPECT_EQ(live.columns[c].edges[e], base.columns[c].edges[e]);
+    }
+    for (int b = 0; b < obs::QualityBaseline::kFeatureBins; ++b) {
+      EXPECT_EQ(live.columns[c].counts[b], base.columns[c].counts[b]);
+    }
+    EXPECT_EQ(live.columns[c].mean, base.columns[c].mean);
+    EXPECT_EQ(live.columns[c].stdev, base.columns[c].stdev);
+  }
+}
+
+TEST(CheckpointBaselineIo, SyntheticRoundTripAndCorruption) {
+  // Direct io-layer round trip with a hand-built baseline (empty model
+  // name/config, so the section's file offsets are deterministic).
+  io::Checkpoint ck;
+  Tensor t(1, 3);
+  t.at(0, 0) = 1.0f;
+  t.at(0, 1) = 2.0f;
+  t.at(0, 2) = 3.0f;
+  ck.tensors.push_back(std::move(t));
+  obs::QualityBaseline base;
+  base.columns.resize(2);
+  for (int c = 0; c < 2; ++c) {
+    for (int e = 0; e < obs::QualityBaseline::kFeatureBins - 1; ++e) {
+      base.columns[c].edges[e] = static_cast<float>(c + e) * 0.25f;
+    }
+    for (int b = 0; b < obs::QualityBaseline::kFeatureBins; ++b) {
+      base.columns[c].counts[b] = static_cast<uint64_t>(10 * c + b);
+    }
+    base.columns[c].mean = 0.5f + static_cast<float>(c);
+    base.columns[c].stdev = 1.5f;
+  }
+  for (int b = 0; b < obs::QualityBaseline::kScoreBins; ++b) {
+    base.score_counts[b] = static_cast<uint64_t>(b * b);
+  }
+  for (int b = 0; b < obs::QualityBaseline::kCalibBins; ++b) {
+    base.calib_count[b] = static_cast<uint64_t>(b + 1);
+    base.calib_score_sum[b] = 0.05 + 0.1 * b;
+    base.calib_pos[b] = static_cast<uint64_t>(b);
+  }
+  ck.baseline = base;
+
+  const std::string path = ::testing::TempDir() + "/uvck_baseline_io.bin";
+  ASSERT_TRUE(io::SaveCheckpoint(path, ck).ok());
+  auto loaded = io::LoadCheckpoint(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  const obs::QualityBaseline& got = loaded.value().baseline;
+  ASSERT_EQ(got.columns.size(), base.columns.size());
+  for (size_t c = 0; c < base.columns.size(); ++c) {
+    for (int e = 0; e < obs::QualityBaseline::kFeatureBins - 1; ++e) {
+      EXPECT_EQ(got.columns[c].edges[e], base.columns[c].edges[e]);
+    }
+    for (int b = 0; b < obs::QualityBaseline::kFeatureBins; ++b) {
+      EXPECT_EQ(got.columns[c].counts[b], base.columns[c].counts[b]);
+    }
+    EXPECT_EQ(got.columns[c].mean, base.columns[c].mean);
+    EXPECT_EQ(got.columns[c].stdev, base.columns[c].stdev);
+  }
+  for (int b = 0; b < obs::QualityBaseline::kScoreBins; ++b) {
+    EXPECT_EQ(got.score_counts[b], base.score_counts[b]);
+  }
+  for (int b = 0; b < obs::QualityBaseline::kCalibBins; ++b) {
+    EXPECT_EQ(got.calib_count[b], base.calib_count[b]);
+    EXPECT_EQ(got.calib_score_sum[b], base.calib_score_sum[b]);
+    EXPECT_EQ(got.calib_pos[b], base.calib_pos[b]);
+  }
+
+  // Flip one byte inside the baseline blob: the section hash must catch
+  // it. With empty name/config the blob starts at byte 77 (4 magic + 4
+  // version + 4 + 4 empty blobs + 48 fingerprint + 8 hash + 1 flag +
+  // 4 length).
+  std::vector<char> bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(bytes.size(), 90u);
+  bytes[80] = static_cast<char>(bytes[80] ^ 0x40);
+  const std::string bad = ::testing::TempDir() + "/uvck_baseline_bad.bin";
+  {
+    std::ofstream out(bad, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  const auto corrupt = io::LoadCheckpoint(bad);
+  ASSERT_FALSE(corrupt.ok());
+  EXPECT_NE(corrupt.status().message().find("baseline"), std::string::npos)
+      << corrupt.status().message();
+  std::remove(bad.c_str());
+  std::remove(path.c_str());
+}
+
 TEST_F(CheckpointTest, LoadedDetectorCanSaveAgainIdentically) {
   // Save -> load -> save must produce a byte-identical file: nothing about
   // the checkpoint depends on in-memory history.
   CmsfDetector loaded(FastConfig());
   ASSERT_TRUE(loaded.LoadModel(*urg_, *path_).ok());
   const std::string again = ::testing::TempDir() + "/uvck_again.bin";
-  ASSERT_TRUE(loaded.SaveModel(again).ok());
+  ASSERT_TRUE(loaded.SaveModel(*urg_, again).ok());
   std::ifstream a(*path_, std::ios::binary), b(again, std::ios::binary);
   const std::vector<char> bytes_a((std::istreambuf_iterator<char>(a)),
                                   std::istreambuf_iterator<char>());

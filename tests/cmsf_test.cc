@@ -220,7 +220,7 @@ TEST_F(CmsfTest, SaveLoadRoundTripPreservesPredictions) {
   auto expected = trained.Score(*urg_, fold_->test_ids);
 
   const std::string path = ::testing::TempDir() + "/cmsf_checkpoint.bin";
-  ASSERT_TRUE(trained.SaveModel(path).ok());
+  ASSERT_TRUE(trained.SaveModel(*urg_, path).ok());
 
   // Fresh detector with a different seed: loading the checkpoint must
   // reproduce the trained predictions exactly (parameters AND the frozen
@@ -238,7 +238,8 @@ TEST_F(CmsfTest, SaveLoadRoundTripPreservesPredictions) {
 
 TEST_F(CmsfTest, SaveBeforeTrainFails) {
   CmsfDetector detector(FastConfig());
-  EXPECT_FALSE(detector.SaveModel("/tmp/never.bin").ok());
+  EXPECT_FALSE(
+      detector.SaveModel(urg::UrbanRegionGraph(), "/tmp/never.bin").ok());
 }
 
 }  // namespace

@@ -13,6 +13,10 @@ Metrics files (JSONL, as written by src/obs/metrics_log.cc):
   * every line parses as a JSON object with a "kind" field;
   * "epoch" records carry numeric "epoch" and "loss" fields;
   * ts_us is non-decreasing per (run, fold, stage) epoch series;
+  * "quality" records (QualityMonitor::Publish) carry the full drift/
+    calibration schema: numeric feature_rows/scores/labels counts,
+    feature_psi_max/feature_psi_mean/score_psi/score_kl/ece/precision/
+    recall all >= 0, and a 0/1 alert flag;
   * the final record is the "registry" dump.
 
 Perf ledgers (uv-perf-ledger-v1 JSON, as written by src/obs/report.cc):
@@ -39,6 +43,8 @@ Usage:
   tools/check_trace.py --metrics metrics.jsonl
   tools/check_trace.py --ledger BENCH_core.json
   tools/check_trace.py --prom export.prom --export-json export.prom.json
+  tools/check_trace.py --export-json export.prom.json \
+      --require-export drift.alert,quality.score_e6
 
 Exits 0 when every check passes, 1 otherwise (so CI can gate on it).
 """
@@ -111,6 +117,36 @@ def check_trace(path, required_names):
           f"{len(seen_names)} distinct names)")
 
 
+# Numeric fields every {"kind": "quality"} record must carry; all are
+# non-negative, and "alert" must be exactly 0 or 1. Keep in sync with
+# QualityMonitor::Publish in src/obs/quality.cc.
+QUALITY_FIELDS = (
+    "feature_rows",
+    "scores",
+    "labels",
+    "feature_psi_max",
+    "feature_psi_mean",
+    "score_psi",
+    "score_kl",
+    "ece",
+    "precision",
+    "recall",
+)
+
+
+def check_quality_record(path, rec):
+    for field in QUALITY_FIELDS:
+        val = rec.get(field)
+        if not isinstance(val, (int, float)) or val < 0:
+            fail(f"{path}: quality record has bad {field}={val!r}: {rec}")
+    if rec.get("alert") not in (0, 1):
+        fail(f"{path}: quality record alert is not 0/1: {rec}")
+    if rec.get("alert") == 1 and (
+        rec["feature_psi_max"] == 0 and rec["score_psi"] == 0
+    ):
+        fail(f"{path}: quality record alerts with zero PSI: {rec}")
+
+
 def check_metrics(path):
     records = []
     try:
@@ -132,8 +168,12 @@ def check_metrics(path):
         fail(f"{path}: empty metrics log")
 
     epochs = 0
+    quality = 0
     last_ts = {}  # (run, fold, stage) -> last ts_us of its epoch series.
     for rec in records:
+        if rec["kind"] == "quality":
+            check_quality_record(path, rec)
+            quality += 1
         if rec["kind"] != "epoch":
             continue
         epochs += 1
@@ -156,7 +196,7 @@ def check_metrics(path):
     if not isinstance(reg, dict) or "counters" not in reg:
         fail(f"{path}: registry dump lacks a 'counters' object")
     print(f"check_trace: {path}: OK ({len(records)} records, "
-          f"{epochs} epoch records)")
+          f"{epochs} epoch records, {quality} quality records)")
 
 
 LEDGER_SCHEMA = "uv-perf-ledger-v1"
@@ -288,12 +328,23 @@ SERVE_KINDS = {
         "clients": "info",
         "request_size": "info",
     },
+    # Same load with a QualityMonitor attached to the engine;
+    # throughput_vs_plain is the monitored/unmonitored ratio the perf job
+    # gates on (the sketches must stay close to free).
+    "engine_monitored": {
+        "regions_per_sec": "higher",
+        "throughput_vs_plain": "higher",
+        "num_regions": "info",
+        "clients": "info",
+        "request_size": "info",
+    },
 }
 SERVE_ENGINE_HISTOGRAMS = (
     "serve.queue_wait_us",
     "serve.batch_size",
     "serve.latency_us",
 )
+SERVE_MONITORED_HISTOGRAMS = SERVE_ENGINE_HISTOGRAMS + ("quality.score_e6",)
 
 
 def check_serve_entry(path, name, bench):
@@ -314,12 +365,16 @@ def check_serve_entry(path, name, bench):
             fail(f"{path}: serve benchmark {name!r} metric {mname!r} "
                  f"has direction {metric.get('direction')!r}, "
                  f"expected {direction!r}")
+    required_histograms = ()
     if kind == "engine":
-        histograms = bench.get("histograms", {})
-        for hname in SERVE_ENGINE_HISTOGRAMS:
-            if hname not in histograms:
-                fail(f"{path}: serve benchmark {name!r} lacks required "
-                     f"histogram {hname!r}")
+        required_histograms = SERVE_ENGINE_HISTOGRAMS
+    elif kind == "engine_monitored":
+        required_histograms = SERVE_MONITORED_HISTOGRAMS
+    histograms = bench.get("histograms", {})
+    for hname in required_histograms:
+        if hname not in histograms:
+            fail(f"{path}: serve benchmark {name!r} lacks required "
+                 f"histogram {hname!r}")
 
 
 def check_city_scale_entry(path, name, bench):
@@ -485,7 +540,7 @@ def check_prom(path):
 EXPORT_SCHEMA = "uv-metrics-export-v1"
 
 
-def check_export_json(path):
+def check_export_json(path, required_names=()):
     try:
         with open(path, "r", encoding="utf-8") as f:
             doc = json.load(f)
@@ -530,6 +585,13 @@ def check_export_json(path):
             fail(f"{path}: windowed {name!r} has zero window_us")
         if not win["p50"] <= win["p95"] <= win["p99"]:
             fail(f"{path}: windowed {name!r} percentiles not ordered")
+    exported = set()
+    for section in ("counters", "gauges", "histograms", "windowed"):
+        exported.update(doc[section])
+    missing = [n for n in required_names if n not in exported]
+    if missing:
+        fail(f"{path}: required exported metrics absent: {missing}; "
+             f"present: {sorted(exported)}")
     print(f"check_trace: {path}: OK ({len(doc['counters'])} counters, "
           f"{len(doc['gauges'])} gauges, {len(doc['histograms'])} "
           f"histograms, {len(doc['windowed'])} windowed)")
@@ -549,6 +611,12 @@ def main():
         default="",
         help="comma-separated span names that must appear in the trace",
     )
+    parser.add_argument(
+        "--require-export",
+        default="",
+        help="comma-separated metric names that must appear in any "
+             "section of the --export-json snapshot",
+    )
     args = parser.parse_args()
     if not (args.trace or args.metrics or args.ledger or args.prom
             or args.export_json):
@@ -557,6 +625,9 @@ def main():
     required = [n for n in args.require.split(",") if n]
     if required and not args.trace:
         parser.error("--require needs --trace")
+    required_export = [n for n in args.require_export.split(",") if n]
+    if required_export and not args.export_json:
+        parser.error("--require-export needs --export-json")
     if args.trace:
         check_trace(args.trace, required)
     if args.metrics:
@@ -566,7 +637,7 @@ def main():
     if args.prom:
         check_prom(args.prom)
     if args.export_json:
-        check_export_json(args.export_json)
+        check_export_json(args.export_json, required_export)
 
 
 if __name__ == "__main__":
